@@ -1,0 +1,123 @@
+// Ablation A2 (DESIGN.md): the §VI-B sealing design choice.
+//
+//   "Without re-encryption, the process of migrating the sealed data is
+//    constant-time for transferring the key and then linear for
+//    transferring the actual sealed data."
+//
+// Compares, for a sealed corpus of 1 kB .. 64 MB:
+//  * MSK scheme (this paper): the migration protocol moves only the
+//    128-bit MSK; the sealed blobs travel unchanged with the VM disk.
+//  * re-encryption scheme: every sealed blob must be unsealed with the
+//    source machine key and re-sealed for the destination inside the
+//    enclave, then shipped — linear crypto work in the corpus size.
+#include <cstdio>
+#include <vector>
+
+#include "baseline/nonmigratable.h"
+#include "migration/migratable_enclave.h"
+#include "migration/migration_enclave.h"
+#include "platform/world.h"
+
+namespace sgxmig {
+namespace {
+
+using migration::InitState;
+using migration::MigratableEnclave;
+using migration::MigrationEnclave;
+
+constexpr size_t kBlobSize = 64 * 1024;
+
+/// MSK scheme: full protocol migration; corpus size only affects the
+/// (untrusted, unchanged) blobs on disk.
+double msk_scheme_seconds(platform::World& world, platform::Machine& m0,
+                          platform::Machine& m1, size_t corpus_bytes) {
+  const auto image = sgx::EnclaveImage::create(
+      "reseal-" + std::to_string(corpus_bytes), 1, "bench");
+  auto enclave = std::make_unique<MigratableEnclave>(m0, image);
+  enclave->set_persist_callback(
+      [&m0](ByteView s) { m0.storage().put("ml", s); });
+  enclave->ecall_migration_init(ByteView(), InitState::kNew, "m0");
+  // Seal the corpus (setup, not measured: sealing happened during normal
+  // operation long before the migration).
+  size_t sealed = 0;
+  int blob_index = 0;
+  while (sealed < corpus_bytes) {
+    const size_t n = std::min(kBlobSize, corpus_bytes - sealed);
+    auto blob = enclave->ecall_seal_migratable_data(ByteView(), Bytes(n, 0x5a));
+    m0.storage().put("blob" + std::to_string(blob_index++), blob.value());
+    sealed += n;
+  }
+
+  const Duration t0 = world.clock().now();
+  enclave->ecall_migration_start("m1");
+  enclave.reset();
+  auto moved = std::make_unique<MigratableEnclave>(m1, image);
+  moved->set_persist_callback(
+      [&m1](ByteView s) { m1.storage().put("ml", s); });
+  moved->ecall_migration_init(ByteView(), InitState::kMigrate, "m1");
+  return to_seconds(world.clock().now() - t0);
+}
+
+/// Re-encryption scheme: unseal + re-seal every blob in-enclave and ship
+/// it to the destination.
+double reseal_scheme_seconds(platform::World& world, platform::Machine& m0,
+                             size_t corpus_bytes) {
+  const auto image = sgx::EnclaveImage::create(
+      "reseal-base-" + std::to_string(corpus_bytes), 1, "bench");
+  baseline::BaselineEnclave enclave(m0, image);
+  std::vector<Bytes> blobs;
+  size_t sealed = 0;
+  while (sealed < corpus_bytes) {
+    const size_t n = std::min(kBlobSize, corpus_bytes - sealed);
+    blobs.push_back(enclave.ecall_seal(ByteView(), Bytes(n, 0x5a)).value());
+    sealed += n;
+  }
+
+  const Duration t0 = world.clock().now();
+  for (const Bytes& blob : blobs) {
+    auto plain = enclave.ecall_unseal(blob);
+    // Re-encrypt for the destination (same cost model as sealing) and
+    // transfer the re-encrypted pages.
+    auto resealed =
+        enclave.ecall_seal(ByteView(), plain.value().plaintext);
+    world.clock().advance(
+        world.costs().transfer_time(resealed.value().size()));
+  }
+  return to_seconds(world.clock().now() - t0);
+}
+
+void run() {
+  std::printf("\n================================================================\n");
+  std::printf("Ablation A2 — MSK transfer vs. re-encrypting sealed data (§VI-B)\n");
+  std::printf("================================================================\n");
+  std::printf("%14s %20s %24s\n", "sealed corpus", "MSK scheme [s]",
+              "re-encryption scheme [s]");
+
+  platform::World world(/*seed=*/20180604);
+  auto& m0 = world.add_machine("m0");
+  auto& m1 = world.add_machine("m1");
+  MigrationEnclave me0(m0, MigrationEnclave::standard_image(),
+                       world.provider());
+  MigrationEnclave me1(m1, MigrationEnclave::standard_image(),
+                       world.provider());
+
+  for (const size_t kib : {1u, 64u, 1024u, 16u * 1024u, 64u * 1024u}) {
+    const size_t bytes = kib * 1024;
+    const double msk_s = msk_scheme_seconds(world, m0, m1, bytes);
+    const double reseal_s = reseal_scheme_seconds(world, m0, bytes);
+    std::printf("%11zu kB %20.3f %24.3f\n", kib, msk_s, reseal_s);
+  }
+  std::printf(
+      "\nexpected shape: MSK scheme flat (protocol-dominated, the data\n"
+      "itself moves as ordinary VM disk); re-encryption grows linearly\n"
+      "with the corpus (2x GCM pass + wire transfer inside the migration\n"
+      "window).\n");
+}
+
+}  // namespace
+}  // namespace sgxmig
+
+int main() {
+  sgxmig::run();
+  return 0;
+}

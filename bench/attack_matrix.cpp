@@ -1,0 +1,56 @@
+// Reproduces the paper's §III motivation as an executable experiment: the
+// fork attack (§III-B), the roll-back attack (§III-C), and the
+// migrate-back restriction, against each migration mechanism.
+#include <cstdio>
+
+#include "attacks/attacks.h"
+#include "platform/world.h"
+
+namespace sgxmig {
+namespace {
+
+using attacks::Mechanism;
+
+const char* verdict(bool attack_succeeded) {
+  return attack_succeeded ? "ATTACK SUCCEEDS" : "blocked";
+}
+
+void run() {
+  std::printf("\n================================================================\n");
+  std::printf("§III attack matrix — persistent state vs. migration mechanism\n");
+  std::printf("================================================================\n");
+  std::printf("%-34s %-16s %-16s %-14s\n", "mechanism", "fork (III-B)",
+              "roll-back (III-C)", "migrate back");
+
+  for (const Mechanism mechanism :
+       {Mechanism::kGuVolatileFlag, Mechanism::kGuPersistedFlag,
+        Mechanism::kOurScheme}) {
+    platform::World world(/*seed=*/0xa77ac);
+    const auto fork = attacks::run_fork_attack(world, mechanism);
+    const auto rollback = attacks::run_rollback_attack(world, mechanism);
+    const auto back = attacks::check_migrate_back(world, mechanism);
+    std::printf("%-34s %-16s %-16s %-14s\n",
+                attacks::mechanism_name(mechanism).c_str(),
+                verdict(fork.attack_succeeded),
+                verdict(rollback.attack_succeeded),
+                back.migrate_back_possible ? "possible" : "IMPOSSIBLE");
+  }
+
+  platform::World world(/*seed=*/0xa77ad);
+  std::printf("\nstandard-sealed data after migration without the MSK: %s\n",
+              attacks::check_sealed_data_loss_without_msk(world)
+                  ? "LOST (unsealable on the destination)"
+                  : "accessible");
+
+  std::printf(
+      "\npaper's claim: only the ME+ML design blocks both attacks while\n"
+      "still allowing the enclave to migrate back to the source machine.\n");
+}
+
+}  // namespace
+}  // namespace sgxmig
+
+int main() {
+  sgxmig::run();
+  return 0;
+}

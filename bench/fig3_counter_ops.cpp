@@ -1,0 +1,115 @@
+// Reproduces paper Figure 3: "Average duration of counter operations" —
+// create / increase / read / destroy, Migration Library vs. the baseline
+// (standard SGX monotonic counters), 1000 trials each, 99% CI, one-tailed
+// t-test.
+//
+// Expected shape (paper §VII-B): small overhead on the mutating
+// operations, at most ~12.3% on increment (statistically significant),
+// and no statistically significant overhead on read.
+#include <cstdio>
+#include <memory>
+
+#include "baseline/nonmigratable.h"
+#include "bench_common.h"
+#include "migration/migratable_enclave.h"
+#include "migration/migration_enclave.h"
+#include "platform/world.h"
+
+namespace sgxmig {
+namespace {
+
+using bench::kPaperTrials;
+
+void run() {
+  platform::World world(/*seed=*/20180601);
+  auto& machine = world.add_machine("m0");
+  migration::MigrationEnclave me(
+      machine, migration::MigrationEnclave::standard_image(),
+      world.provider());
+
+  const auto image = sgx::EnclaveImage::create("bench-app", 1, "bench");
+
+  // Migration Library variant.
+  migration::MigratableEnclave lib_enclave(machine, image);
+  lib_enclave.set_persist_callback([&machine](ByteView state) {
+    machine.storage().put("bench.mlstate", state);
+  });
+  lib_enclave.ecall_migration_init(ByteView(), migration::InitState::kNew,
+                                   machine.address());
+
+  // Baseline: standard SGX counters.
+  baseline::BaselineEnclave base_enclave(machine, image);
+
+  // One long-lived counter for read/increment sampling.
+  const uint32_t lib_counter =
+      lib_enclave.ecall_create_migratable_counter().value().counter_id;
+  const sgx::CounterUuid base_counter =
+      base_enclave.ecall_create_counter().value().uuid;
+
+  const auto& clock = world.clock();
+
+  // --- create / destroy (paired create+destroy per trial, timed apart) ---
+  std::vector<double> lib_create, lib_destroy, base_create, base_destroy;
+  lib_create.reserve(kPaperTrials);
+  for (int i = 0; i < kPaperTrials; ++i) {
+    Duration t0 = clock.now();
+    const uint32_t id =
+        lib_enclave.ecall_create_migratable_counter().value().counter_id;
+    lib_create.push_back(to_seconds(clock.now() - t0));
+    t0 = clock.now();
+    lib_enclave.ecall_destroy_migratable_counter(id);
+    lib_destroy.push_back(to_seconds(clock.now() - t0));
+
+    t0 = clock.now();
+    const sgx::CounterUuid uuid =
+        base_enclave.ecall_create_counter().value().uuid;
+    base_create.push_back(to_seconds(clock.now() - t0));
+    t0 = clock.now();
+    base_enclave.ecall_destroy_counter(uuid);
+    base_destroy.push_back(to_seconds(clock.now() - t0));
+  }
+
+  // --- increment / read ---
+  const auto lib_increment =
+      bench::sample_virtual_seconds(clock, kPaperTrials, [&] {
+        lib_enclave.ecall_increment_migratable_counter(lib_counter);
+      });
+  const auto base_increment =
+      bench::sample_virtual_seconds(clock, kPaperTrials, [&] {
+        base_enclave.ecall_increment_counter(base_counter);
+      });
+  const auto lib_read = bench::sample_virtual_seconds(
+      clock, kPaperTrials,
+      [&] { lib_enclave.ecall_read_migratable_counter(lib_counter); });
+  const auto base_read = bench::sample_virtual_seconds(
+      clock, kPaperTrials,
+      [&] { base_enclave.ecall_read_counter(base_counter); });
+
+  bench::print_header(
+      "Figure 3 — average duration of counter operations",
+      "Migration Library (migratable counters) vs. baseline (SGX counters)");
+  bench::print_row(bench::compare("create counter", lib_create, base_create));
+  bench::print_row(
+      bench::compare("increase counter", lib_increment, base_increment));
+  bench::print_row(bench::compare("read counter", lib_read, base_read));
+  bench::print_row(
+      bench::compare("destroy counter", lib_destroy, base_destroy));
+
+  const auto inc = bench::compare("", lib_increment, base_increment);
+  const auto rd = bench::compare("", lib_read, base_read);
+  std::printf(
+      "\npaper reports: increment overhead 12.3%% (p ~ 0, significant); "
+      "read not significant (p ~ 0.12)\n");
+  std::printf("measured:      increment overhead %.1f%% (p = %.3g); "
+              "read overhead %.2f%% (p = %.3g)\n",
+              inc.overhead_percent(), inc.p_value, rd.overhead_percent(),
+              rd.p_value);
+}
+
+}  // namespace
+}  // namespace sgxmig
+
+int main() {
+  sgxmig::run();
+  return 0;
+}

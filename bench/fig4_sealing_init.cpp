@@ -1,0 +1,105 @@
+// Reproduces paper Figure 4: "Average duration of initialization and
+// sealing operations" — library init (new / restore) and seal/unseal at
+// 100 B and 100 kB, Migration Library vs. standard SGX sealing, 1000
+// trials, 99% CI.
+//
+// Expected shape (paper §VII-B): everything sub-millisecond; the
+// migratable sealing operations are slightly FASTER than their standard
+// counterparts because the MSK is already available in enclave memory,
+// while standard sealing performs an EGETKEY each call; initialization is
+// negligible.
+#include <cstdio>
+#include <memory>
+
+#include "baseline/nonmigratable.h"
+#include "bench_common.h"
+#include "migration/migratable_enclave.h"
+#include "migration/migration_enclave.h"
+#include "platform/world.h"
+
+namespace sgxmig {
+namespace {
+
+using bench::kPaperTrials;
+
+void run() {
+  platform::World world(/*seed=*/20180602);
+  auto& machine = world.add_machine("m0");
+  migration::MigrationEnclave me(
+      machine, migration::MigrationEnclave::standard_image(),
+      world.provider());
+  const auto image = sgx::EnclaveImage::create("bench-app", 1, "bench");
+  const auto& clock = world.clock();
+
+  // --- init (new): fresh library buffer each trial ---
+  std::vector<double> init_new;
+  init_new.reserve(kPaperTrials);
+  Bytes state_buffer;
+  for (int i = 0; i < kPaperTrials; ++i) {
+    migration::MigratableEnclave enclave(machine, image);
+    const Duration t0 = clock.now();
+    enclave.ecall_migration_init(ByteView(), migration::InitState::kNew,
+                                 machine.address());
+    init_new.push_back(to_seconds(clock.now() - t0));
+    state_buffer = enclave.sealed_state();
+  }
+
+  // --- init (restore): reload the stored buffer each trial ---
+  std::vector<double> init_restore;
+  init_restore.reserve(kPaperTrials);
+  for (int i = 0; i < kPaperTrials; ++i) {
+    migration::MigratableEnclave enclave(machine, image);
+    const Duration t0 = clock.now();
+    enclave.ecall_migration_init(state_buffer, migration::InitState::kRestore,
+                                 machine.address());
+    init_restore.push_back(to_seconds(clock.now() - t0));
+  }
+
+  // --- seal / unseal at 100 B and 100 kB ---
+  migration::MigratableEnclave lib_enclave(machine, image);
+  lib_enclave.ecall_migration_init(ByteView(), migration::InitState::kNew,
+                                   machine.address());
+  baseline::BaselineEnclave base_enclave(machine, image);
+
+  bench::print_header(
+      "Figure 4 — average duration of initialization and sealing",
+      "migratable seal (MSK) vs. standard sgx_seal_data (EGETKEY per call)");
+  bench::print_single_row("init (new)", summarize(init_new));
+  bench::print_single_row("init (restore)", summarize(init_restore));
+
+  for (const size_t size : {size_t{100}, size_t{100 * 1000}}) {
+    const Bytes payload(size, 0xab);
+    const Bytes aad = to_bytes(std::string_view("hdr"));
+    const Bytes lib_blob =
+        lib_enclave.ecall_seal_migratable_data(aad, payload).value();
+    const Bytes base_blob = base_enclave.ecall_seal(aad, payload).value();
+
+    const auto lib_seal = bench::sample_virtual_seconds(
+        clock, kPaperTrials,
+        [&] { lib_enclave.ecall_seal_migratable_data(aad, payload); });
+    const auto base_seal = bench::sample_virtual_seconds(
+        clock, kPaperTrials, [&] { base_enclave.ecall_seal(aad, payload); });
+    const auto lib_unseal = bench::sample_virtual_seconds(
+        clock, kPaperTrials,
+        [&] { lib_enclave.ecall_unseal_migratable_data(lib_blob); });
+    const auto base_unseal = bench::sample_virtual_seconds(
+        clock, kPaperTrials, [&] { base_enclave.ecall_unseal(base_blob); });
+
+    const std::string label = size == 100 ? "100B" : "100kB";
+    bench::print_row(bench::compare("seal " + label, lib_seal, base_seal));
+    bench::print_row(
+        bench::compare("unseal " + label, lib_unseal, base_unseal));
+  }
+
+  std::printf(
+      "\npaper reports: migratable sealing slightly faster than standard "
+      "(negative overhead); init negligible\n");
+}
+
+}  // namespace
+}  // namespace sgxmig
+
+int main() {
+  sgxmig::run();
+  return 0;
+}

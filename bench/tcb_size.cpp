@@ -1,0 +1,113 @@
+// Reproduces the §VII-A TCB-size measurement:
+//
+//   "our Migration Enclave and Library consist of 217 and 940 lines of
+//    code respectively (excluding the SGX trusted libraries), which is
+//    feasible to audit."
+//
+// Counts non-blank, non-comment lines of the corresponding modules of
+// this reproduction (excluding, as the paper does, the trusted substrate:
+// the simulated SGX runtime, crypto, and networking).
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#ifndef SGXMIG_SOURCE_DIR
+#define SGXMIG_SOURCE_DIR "."
+#endif
+
+namespace {
+
+struct LocCount {
+  int code = 0;
+  int comment = 0;
+  int blank = 0;
+};
+
+LocCount count_file(const std::string& path) {
+  LocCount count;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "warning: cannot open %s\n", path.c_str());
+    return count;
+  }
+  std::string line;
+  bool in_block_comment = false;
+  while (std::getline(in, line)) {
+    // Strip leading whitespace.
+    size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos) {
+      ++count.blank;
+      continue;
+    }
+    const std::string trimmed = line.substr(start);
+    if (in_block_comment) {
+      ++count.comment;
+      if (trimmed.find("*/") != std::string::npos) in_block_comment = false;
+      continue;
+    }
+    if (trimmed.rfind("//", 0) == 0) {
+      ++count.comment;
+      continue;
+    }
+    if (trimmed.rfind("/*", 0) == 0) {
+      ++count.comment;
+      if (trimmed.find("*/") == std::string::npos) in_block_comment = true;
+      continue;
+    }
+    ++count.code;
+  }
+  return count;
+}
+
+LocCount count_files(const std::vector<std::string>& files) {
+  LocCount total;
+  for (const auto& file : files) {
+    const LocCount c = count_file(std::string(SGXMIG_SOURCE_DIR) + "/" + file);
+    total.code += c.code;
+    total.comment += c.comment;
+    total.blank += c.blank;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::string> me_files = {
+      "src/migration/migration_enclave.h",
+      "src/migration/migration_enclave.cpp",
+  };
+  const std::vector<std::string> ml_files = {
+      "src/migration/migration_library.h",
+      "src/migration/migration_library.cpp",
+      "src/migration/library_state.h",
+      "src/migration/library_state.cpp",
+      "src/migration/migration_data.h",
+      "src/migration/migration_data.cpp",
+      "src/migration/protocol.h",
+      "src/migration/protocol.cpp",
+      "src/migration/migratable_enclave.h",
+  };
+
+  const LocCount me = count_files(me_files);
+  const LocCount ml = count_files(ml_files);
+
+  std::printf("\n================================================================\n");
+  std::printf("§VII-A — software TCB added by the migration framework\n");
+  std::printf("(code lines exclude blanks and comments; the simulated SGX\n");
+  std::printf(" substrate is excluded, as the paper excludes Intel's trusted\n");
+  std::printf(" libraries)\n");
+  std::printf("================================================================\n");
+  std::printf("%-38s %8s %9s %7s\n", "component", "code", "comments", "blank");
+  std::printf("%-38s %8d %9d %7d\n", "Migration Enclave", me.code, me.comment,
+              me.blank);
+  std::printf("%-38s %8d %9d %7d\n",
+              "Migration Library (+ wire structures)", ml.code, ml.comment,
+              ml.blank);
+  std::printf("\npaper reports: ME = 217 LoC, ML = 940 LoC\n");
+  std::printf("shape check: both components remain in the hundreds-of-lines "
+              "range — %s\n",
+              (me.code < 1500 && ml.code < 2500) ? "OK (auditable)" : "grown");
+  return 0;
+}

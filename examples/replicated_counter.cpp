@@ -1,0 +1,73 @@
+// Hybster-style replication with TrInX trusted counters (paper §III's
+// second motivating system), using the apps::Hybster* harness.
+//
+// Three followers accept requests ordered by a leader enclave's trusted
+// counter.  Mid-run the leader's VM migrates to a standby machine; its
+// certification key and counter position travel with the migration
+// framework, so ordering continues gap-free and replayed certificates
+// stay detectable.
+//
+// Run:  ./build/examples/replicated_counter
+#include <cstdio>
+
+#include "apps/hybster.h"
+#include "migration/migration_enclave.h"
+#include "platform/world.h"
+
+using namespace sgxmig;
+using apps::HybsterCluster;
+using migration::MigrationEnclave;
+
+int main() {
+  platform::World world(/*seed=*/3);
+  auto& m0 = world.add_machine("m0");
+  auto& standby = world.add_machine("standby");
+  MigrationEnclave me0(m0, MigrationEnclave::standard_image(), world.provider());
+  MigrationEnclave me_standby(standby, MigrationEnclave::standard_image(),
+                              world.provider());
+
+  const auto image = sgx::EnclaveImage::create("trinx", 1, "hybster-devs");
+  HybsterCluster cluster(m0, /*follower_count=*/3, image);
+
+  std::printf("phase 1: leader on %s orders requests\n", m0.address().c_str());
+  for (const std::string request : {"put(x,1)", "put(y,2)", "del(x)"}) {
+    const Status status = cluster.submit(request);
+    std::printf("  submit %-10s -> %s (position %lu)\n", request.c_str(),
+                std::string(status_name(status)).c_str(),
+                (unsigned long)cluster.leader().ordered_count());
+  }
+
+  std::printf("\nphase 2: leader's VM migrates %s -> %s ...\n",
+              m0.address().c_str(), standby.address().c_str());
+  const auto key_before = cluster.leader().public_key();
+  const Status migrated = cluster.migrate_leader(standby);
+  std::printf("  migration: %s; certification key unchanged: %s\n",
+              std::string(status_name(migrated)).c_str(),
+              cluster.leader().public_key() == key_before ? "yes" : "NO");
+
+  std::printf("\nphase 3: ordering continues from position %lu\n",
+              (unsigned long)cluster.leader().ordered_count() + 1);
+  for (const std::string request : {"put(z,9)", "inc(y)"}) {
+    const Status status = cluster.submit(request);
+    std::printf("  submit %-10s -> %s\n", request.c_str(),
+                std::string(status_name(status)).c_str());
+  }
+
+  std::printf("\nphase 4: adversary replays an already-applied certificate\n");
+  auto ordered = cluster.leader().order("pay(bob,100)");
+  if (ordered.ok()) {
+    for (auto& follower : cluster.followers()) {
+      follower.apply(ordered.value());
+    }
+    const Status replayed =
+        cluster.followers()[0].apply(ordered.value());  // the double-spend try
+    std::printf("  replayed certificate -> %s\n",
+                std::string(status_name(replayed)).c_str());
+  }
+
+  std::printf("\ncommitted %zu requests; follower logs consistent: %s\n",
+              cluster.committed(),
+              cluster.logs_consistent() ? "yes" : "NO");
+  std::printf("total virtual time: %.3f s\n", to_seconds(world.clock().now()));
+  return 0;
+}

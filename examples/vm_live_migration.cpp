@@ -1,0 +1,117 @@
+// Full-stack scenario: a VM containing a rollback-protected KV-store
+// enclave is live-migrated between physical machines.  The live-migration
+// engine runs iterative pre-copy for the VM memory and drives the
+// non-transparent enclave hooks (paper §VIII): migration_start() before
+// the copy, init(kMigrate) after.
+//
+// Run:  ./build/examples/vm_live_migration
+#include <cstdio>
+
+#include "apps/kvstore.h"
+#include "migration/migration_enclave.h"
+#include "platform/world.h"
+#include "vm/live_migration.h"
+
+using namespace sgxmig;
+using apps::KvStoreEnclave;
+using migration::InitState;
+using migration::MigrationEnclave;
+
+namespace {
+
+class KvApplication : public vm::GuestApplication {
+ public:
+  explicit KvApplication(platform::Machine& machine)
+      : image_(sgx::EnclaveImage::create("kvstore", 1, "storage-devs")) {
+    enclave_ = std::make_unique<KvStoreEnclave>(machine, image_);
+    wire(machine);
+    enclave_->ecall_migration_init(ByteView(), InitState::kNew,
+                                   machine.address());
+    enclave_->ecall_setup();
+  }
+
+  Status on_pre_migration(platform::Machine& source,
+                          const std::string& destination) override {
+    std::printf("  [app] persisting KV state and starting enclave "
+                "migration to %s\n", destination.c_str());
+    auto blob = enclave_->ecall_persist();
+    if (!blob.ok()) return blob.status();
+    source.storage().put("kv.data", blob.value());
+    data_ = blob.value();
+    return enclave_->ecall_migration_start(destination);
+  }
+
+  Status on_post_migration(platform::Machine& destination) override {
+    std::printf("  [app] restarting enclave on %s with init(kMigrate)\n",
+                destination.address().c_str());
+    enclave_ = std::make_unique<KvStoreEnclave>(destination, image_);
+    wire(destination);
+    const Status init = enclave_->ecall_migration_init(
+        ByteView(), InitState::kMigrate, destination.address());
+    if (init != Status::kOk) return init;
+    destination.storage().put("kv.data", data_);
+    return enclave_->ecall_restore(data_);
+  }
+
+  KvStoreEnclave& enclave() { return *enclave_; }
+
+ private:
+  void wire(platform::Machine& machine) {
+    enclave_->set_persist_callback([&machine](ByteView s) {
+      machine.storage().put("kv.mlstate", s);
+    });
+  }
+
+  std::shared_ptr<const sgx::EnclaveImage> image_;
+  std::unique_ptr<KvStoreEnclave> enclave_;
+  Bytes data_;
+};
+
+}  // namespace
+
+int main() {
+  platform::World world(/*seed=*/4);
+  auto& m0 = world.add_machine("m0");
+  auto& m1 = world.add_machine("m1");
+  MigrationEnclave me0(m0, MigrationEnclave::standard_image(), world.provider());
+  MigrationEnclave me1(m1, MigrationEnclave::standard_image(), world.provider());
+
+  vm::Hypervisor hv0(m0), hv1(m1);
+  vm::Vm& guest = hv0.create_vm("tenant-vm", /*memory=*/2ull << 30,
+                                /*dirty_bytes_per_second=*/80e6);
+  KvApplication app(m0);
+  guest.attach_application(&app);
+
+  // Populate the store.
+  for (int i = 0; i < 20; ++i) {
+    app.enclave().ecall_put("doc:" + std::to_string(i),
+                            to_bytes("contents-" + std::to_string(i)));
+  }
+  std::printf("KV store on %s holds %lu entries\n", m0.address().c_str(),
+              (unsigned long)app.enclave().ecall_size().value());
+
+  std::printf("\nlive-migrating tenant-vm (2 GiB, 80 MB/s dirty rate) "
+              "m0 -> m1 ...\n");
+  vm::LiveMigrationEngine engine(world);
+  const auto report = engine.migrate(hv0, hv1, "tenant-vm").value();
+
+  std::printf("\nmigration report:\n");
+  std::printf("  total time          : %7.3f s\n", to_seconds(report.total_time));
+  std::printf("  memory copy         : %7.3f s (%d pre-copy rounds, "
+              "%.0f MiB moved)\n",
+              to_seconds(report.memory_copy_time), report.precopy_rounds,
+              static_cast<double>(report.bytes_copied) / (1 << 20));
+  std::printf("  downtime            : %7.3f s\n", to_seconds(report.downtime));
+  std::printf("  enclave (source)    : %7.3f s  <- the paper's ~0.47 s\n",
+              to_seconds(report.enclave_pre_time));
+  std::printf("  enclave (destination): %6.3f s\n",
+              to_seconds(report.enclave_post_time));
+
+  std::printf("\nafter migration, the store still serves on %s: doc:7 -> %s\n",
+              m1.address().c_str(),
+              to_string(app.enclave().ecall_get("doc:7").value()).c_str());
+  app.enclave().ecall_put("doc:new", to_bytes(std::string_view("post-move")));
+  std::printf("and accepts writes (%lu entries, rollback protection armed)\n",
+              (unsigned long)app.enclave().ecall_size().value());
+  return 0;
+}

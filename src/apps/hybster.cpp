@@ -1,0 +1,119 @@
+#include "apps/hybster.h"
+
+#include "crypto/sha256.h"
+
+namespace sgxmig::apps {
+
+Status HybsterFollower::apply(const OrderedRequest& ordered) {
+  if (!(ordered.certificate.signer == leader_key_)) {
+    return Status::kSignatureInvalid;
+  }
+  if (!ordered.certificate.verify()) return Status::kSignatureInvalid;
+  // The certificate must cover exactly this request...
+  const auto expected_hash = crypto::Sha256::hash(to_bytes(ordered.request));
+  if (!(ordered.certificate.message_hash == expected_hash)) {
+    return Status::kTampered;
+  }
+  // ...and carry exactly the next position (no gaps, no replays — the
+  // TrInX guarantee Hybster builds on).
+  if (ordered.certificate.value < next_expected_) {
+    return Status::kReplayDetected;
+  }
+  if (ordered.certificate.value > next_expected_) {
+    return Status::kInvalidState;  // gap: an earlier request is missing
+  }
+  log_.push_back(ordered.request);
+  ++next_expected_;
+  return Status::kOk;
+}
+
+HybsterLeader::HybsterLeader(platform::Machine& machine,
+                             std::shared_ptr<const sgx::EnclaveImage> image)
+    : image_(std::move(image)) {
+  enclave_ = std::make_unique<TrinxEnclave>(machine, image_);
+  wire_persistence(machine);
+  enclave_->ecall_migration_init(ByteView(), migration::InitState::kNew,
+                                 machine.address());
+  enclave_->ecall_setup();
+  ordering_counter_ = enclave_->ecall_create_trinx_counter().value();
+}
+
+void HybsterLeader::wire_persistence(platform::Machine& machine) {
+  enclave_->set_persist_callback([&machine](ByteView state) {
+    machine.storage().put("hybster.mlstate", state);
+  });
+}
+
+Result<OrderedRequest> HybsterLeader::order(const std::string& request) {
+  auto certificate =
+      enclave_->ecall_certify(ordering_counter_, to_bytes(request));
+  if (!certificate.ok()) return certificate.status();
+  OrderedRequest ordered;
+  ordered.request = request;
+  ordered.certificate = std::move(certificate).value();
+  return ordered;
+}
+
+Status HybsterLeader::migrate_to(platform::Machine& destination) {
+  // Persist the TrInX state (counters + key), migrate the enclave, and
+  // restore on the destination.  On a retry after a failed migration the
+  // library is already frozen; reuse the snapshot taken then.
+  auto snapshot = enclave_->ecall_persist();
+  if (snapshot.ok()) {
+    last_snapshot_ = snapshot.value();
+  } else if (snapshot.status() != Status::kMigrationFrozen ||
+             last_snapshot_.empty()) {
+    return snapshot.status();
+  }
+  const Status start = enclave_->ecall_migration_start(destination.address());
+  if (start != Status::kOk) return start;
+  enclave_.reset();
+
+  enclave_ = std::make_unique<TrinxEnclave>(destination, image_);
+  wire_persistence(destination);
+  const Status init = enclave_->ecall_migration_init(
+      ByteView(), migration::InitState::kMigrate, destination.address());
+  if (init != Status::kOk) return init;
+  return enclave_->ecall_restore(last_snapshot_);
+}
+
+crypto::Ed25519PublicKey HybsterLeader::public_key() {
+  return enclave_->ecall_public_key().value();
+}
+
+uint64_t HybsterLeader::ordered_count() {
+  return enclave_->ecall_counter_value(ordering_counter_).value_or(0);
+}
+
+HybsterCluster::HybsterCluster(platform::Machine& leader_machine,
+                               size_t follower_count,
+                               std::shared_ptr<const sgx::EnclaveImage> image)
+    : leader_(leader_machine, std::move(image)) {
+  const auto key = leader_.public_key();
+  for (size_t i = 0; i < follower_count; ++i) {
+    followers_.emplace_back("follower-" + std::to_string(i), key);
+  }
+}
+
+Status HybsterCluster::submit(const std::string& request) {
+  auto ordered = leader_.order(request);
+  if (!ordered.ok()) return ordered.status();
+  for (auto& follower : followers_) {
+    const Status applied = follower.apply(ordered.value());
+    if (applied != Status::kOk) return applied;
+  }
+  return Status::kOk;
+}
+
+bool HybsterCluster::logs_consistent() const {
+  for (size_t i = 1; i < followers_.size(); ++i) {
+    if (followers_[i].log() != followers_[0].log()) return false;
+  }
+  return true;
+}
+
+size_t HybsterCluster::committed() const {
+  return followers_.empty() ? 0 : followers_[0].log().size();
+}
+
+}  // namespace sgxmig::apps

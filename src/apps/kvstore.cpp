@@ -1,0 +1,116 @@
+#include "apps/kvstore.h"
+
+#include "support/serde.h"
+
+namespace sgxmig::apps {
+
+namespace {
+Bytes version_aad(uint32_t version) {
+  BinaryWriter w;
+  w.str("kvstore-state");
+  w.u32(version);
+  return w.take();
+}
+}  // namespace
+
+KvStoreEnclave::KvStoreEnclave(sgx::PlatformIface& platform,
+                               std::shared_ptr<const sgx::EnclaveImage> image)
+    : MigratableEnclave(platform, std::move(image)) {}
+
+Status KvStoreEnclave::ecall_setup() {
+  auto scope = enter_ecall();
+  if (setup_done_) return Status::kAlreadyExists;
+  auto counter = library().create_migratable_counter();
+  if (!counter.ok()) return counter.status();
+  version_counter_ = counter.value().counter_id;
+  setup_done_ = true;
+  return Status::kOk;
+}
+
+Status KvStoreEnclave::ecall_put(const std::string& key, ByteView value) {
+  auto scope = enter_ecall();
+  if (!setup_done_) return Status::kNotInitialized;
+  if (library().frozen()) return Status::kMigrationFrozen;
+  entries_[key] = to_bytes(value);
+  return Status::kOk;
+}
+
+Result<Bytes> KvStoreEnclave::ecall_get(const std::string& key) {
+  auto scope = enter_ecall();
+  if (!setup_done_) return Status::kNotInitialized;
+  if (library().frozen()) return Status::kMigrationFrozen;
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return Status::kStorageMissing;
+  return it->second;
+}
+
+Status KvStoreEnclave::ecall_erase(const std::string& key) {
+  auto scope = enter_ecall();
+  if (!setup_done_) return Status::kNotInitialized;
+  if (library().frozen()) return Status::kMigrationFrozen;
+  return entries_.erase(key) != 0 ? Status::kOk : Status::kStorageMissing;
+}
+
+Result<uint64_t> KvStoreEnclave::ecall_size() {
+  auto scope = enter_ecall();
+  if (!setup_done_) return Status::kNotInitialized;
+  return static_cast<uint64_t>(entries_.size());
+}
+
+Bytes KvStoreEnclave::serialize_store() const {
+  BinaryWriter w;
+  w.u32(*version_counter_);
+  w.u32(static_cast<uint32_t>(entries_.size()));
+  for (const auto& [key, value] : entries_) {
+    w.str(key);
+    w.bytes(value);
+  }
+  return w.take();
+}
+
+Result<Bytes> KvStoreEnclave::ecall_persist() {
+  auto scope = enter_ecall();
+  if (!setup_done_) return Status::kNotInitialized;
+  auto version = library().increment_migratable_counter(*version_counter_);
+  if (!version.ok()) return version.status();
+  return library().seal_migratable_data(version_aad(version.value()),
+                                        serialize_store());
+}
+
+Status KvStoreEnclave::ecall_restore(ByteView blob) {
+  auto scope = enter_ecall();
+  if (setup_done_) return Status::kInvalidState;
+  auto unsealed = library().unseal_migratable_data(blob);
+  if (!unsealed.ok()) return unsealed.status();
+  BinaryReader aad(unsealed.value().aad);
+  if (aad.str(64) != "kvstore-state") return Status::kTampered;
+  const uint32_t stored_version = aad.u32();
+  if (!aad.done()) return Status::kTampered;
+
+  BinaryReader r(unsealed.value().plaintext);
+  const uint32_t counter_id = r.u32();
+  const uint32_t count = r.u32();
+  if (count > 1000000) return Status::kTampered;
+  std::map<std::string, Bytes> entries;
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string key = r.str(1u << 16);
+    entries[std::move(key)] = r.bytes(1u << 24);
+  }
+  if (!r.done()) return Status::kTampered;
+
+  version_counter_ = counter_id;
+  auto current = library().read_migratable_counter(counter_id);
+  if (!current.ok()) {
+    version_counter_.reset();
+    return current.status();
+  }
+  if (current.value() != stored_version) {
+    version_counter_.reset();
+    return Status::kReplayDetected;
+  }
+  entries_ = std::move(entries);
+  setup_done_ = true;
+  return Status::kOk;
+}
+
+}  // namespace sgxmig::apps

@@ -1,0 +1,41 @@
+// A rollback-protected key-value store enclave on the Migration Library —
+// the kind of stateful cloud service whose persistent state must survive
+// VM migration (paper §I: "most real-world enclaves have data that must
+// be persisted").
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "migration/migratable_enclave.h"
+
+namespace sgxmig::apps {
+
+class KvStoreEnclave : public migration::MigratableEnclave {
+ public:
+  KvStoreEnclave(sgx::PlatformIface& platform,
+                 std::shared_ptr<const sgx::EnclaveImage> image);
+
+  /// Creates the version counter (requires ecall_migration_init first).
+  Status ecall_setup();
+
+  Status ecall_put(const std::string& key, ByteView value);
+  Result<Bytes> ecall_get(const std::string& key);
+  Status ecall_erase(const std::string& key);
+  Result<uint64_t> ecall_size();
+
+  /// Seals the whole store under a fresh version.
+  Result<Bytes> ecall_persist();
+  /// Restores; stale blobs are rejected with kReplayDetected.
+  Status ecall_restore(ByteView blob);
+
+ private:
+  Bytes serialize_store() const;
+
+  bool setup_done_ = false;
+  std::map<std::string, Bytes> entries_;
+  std::optional<uint32_t> version_counter_;
+};
+
+}  // namespace sgxmig::apps

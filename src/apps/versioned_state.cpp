@@ -1,0 +1,231 @@
+#include "apps/versioned_state.h"
+
+#include "crypto/gcm.h"
+#include "support/serde.h"
+
+namespace sgxmig::apps {
+
+namespace {
+constexpr char kBlobMagic[] = "VERSIONED-STATE-v1";
+constexpr char kKdcBlobMagic[] = "VERSIONED-STATE-KDC-v1";
+
+Bytes version_aad(uint32_t version) {
+  BinaryWriter w;
+  w.u32(version);
+  return w.take();
+}
+}  // namespace
+
+VersionedStateEnclave::VersionedStateEnclave(
+    sgx::PlatformIface& platform,
+    std::shared_ptr<const sgx::EnclaveImage> image, PersistenceMode mode,
+    baseline::GuMigrationLibrary::FlagMode gu_flag_mode)
+    : MigratableEnclave(platform, std::move(image)),
+      mode_(mode),
+      gu_library_(*this, gu_flag_mode) {}
+
+Status VersionedStateEnclave::spin_check() const {
+  // Gu et al.'s spin lock: a migrated-away enclave performs no work.
+  return gu_library_.spin_locked() ? Status::kMigrationFrozen : Status::kOk;
+}
+
+Status VersionedStateEnclave::ecall_install_kdc_key(const sgx::Key128& key) {
+  auto scope = enter_ecall();
+  if (mode_ != PersistenceMode::kKdcSeal) return Status::kInvalidState;
+  kdc_key_ = key;
+  return Status::kOk;
+}
+
+Status VersionedStateEnclave::ecall_set_state(ByteView state) {
+  auto scope = enter_ecall();
+  const Status spin = spin_check();
+  if (spin != Status::kOk) return spin;
+  app_state_ = to_bytes(state);
+  return Status::kOk;
+}
+
+Result<Bytes> VersionedStateEnclave::ecall_get_state() {
+  auto scope = enter_ecall();
+  const Status spin = spin_check();
+  if (spin != Status::kOk) return spin;
+  return app_state_;
+}
+
+Bytes VersionedStateEnclave::state_payload() const {
+  BinaryWriter w;
+  w.bytes(app_state_);
+  return w.take();
+}
+
+Result<PersistedState> VersionedStateEnclave::ecall_persist() {
+  auto scope = enter_ecall();
+  const Status spin = spin_check();
+  if (spin != Status::kOk) return spin;
+
+  switch (mode_) {
+    case PersistenceMode::kMigratable: {
+      if (!migratable_counter_.has_value()) {
+        auto created = library().create_migratable_counter();
+        if (!created.ok()) return created.status();
+        migratable_counter_ = created.value().counter_id;
+      }
+      auto version = library().increment_migratable_counter(*migratable_counter_);
+      if (!version.ok()) return version.status();
+      auto sealed = library().seal_migratable_data(version_aad(version.value()),
+                                                   state_payload());
+      if (!sealed.ok()) return sealed.status();
+      PersistedState out;
+      out.blob = std::move(sealed).value();
+      return out;
+    }
+    case PersistenceMode::kNativeSeal:
+    case PersistenceMode::kKdcSeal: {
+      // First persist on this machine: request a counter (the §III attack
+      // scripts rely on exactly this "create a fresh counter on a new
+      // machine" behaviour).
+      if (!native_counter_.has_value()) {
+        auto created = counter_create();
+        if (!created.ok()) return created.status();
+        native_counter_ = created.value().uuid;
+      }
+      auto version = counter_increment(*native_counter_);
+      if (!version.ok()) return version.status();
+
+      PersistedState out;
+      out.counter_uuid = *native_counter_;
+      if (mode_ == PersistenceMode::kNativeSeal) {
+        auto sealed = seal(sgx::KeyPolicy::kMrEnclave,
+                           version_aad(version.value()), state_payload());
+        if (!sealed.ok()) return sealed.status();
+        BinaryWriter w;
+        w.str(kBlobMagic);
+        w.bytes(sealed.value());
+        out.blob = w.take();
+      } else {
+        if (!kdc_key_.has_value()) return Status::kNotInitialized;
+        Bytes iv(crypto::kGcmIvSize);
+        rng().generate(iv.data(), iv.size());
+        charge_gcm(app_state_.size());
+        const auto ct =
+            crypto::gcm_encrypt(ByteView(kdc_key_->data(), kdc_key_->size()),
+                                iv, version_aad(version.value()),
+                                state_payload());
+        BinaryWriter w;
+        w.str(kKdcBlobMagic);
+        w.u32(version.value());
+        w.fixed(ct.iv);
+        w.fixed(ct.tag);
+        w.bytes(ct.ciphertext);
+        out.blob = w.take();
+      }
+      return out;
+    }
+  }
+  return Status::kInvalidParameter;
+}
+
+Status VersionedStateEnclave::ecall_restore(ByteView blob,
+                                            const sgx::CounterUuid& uuid) {
+  auto scope = enter_ecall();
+  const Status spin = spin_check();
+  if (spin != Status::kOk) return spin;
+  if (mode_ == PersistenceMode::kMigratable) return Status::kInvalidState;
+
+  uint32_t stored_version = 0;
+  Bytes payload;
+  if (mode_ == PersistenceMode::kNativeSeal) {
+    BinaryReader r(blob);
+    if (r.str(64) != kBlobMagic) return Status::kTampered;
+    const Bytes sealed = r.bytes(1u << 24);
+    if (!r.done()) return Status::kTampered;
+    auto unsealed = unseal(sealed);
+    if (!unsealed.ok()) return unsealed.status();
+    BinaryReader aad(unsealed.value().aad);
+    stored_version = aad.u32();
+    if (!aad.done()) return Status::kTampered;
+    payload = unsealed.value().plaintext;
+  } else {
+    if (!kdc_key_.has_value()) return Status::kNotInitialized;
+    BinaryReader r(blob);
+    if (r.str(64) != kKdcBlobMagic) return Status::kTampered;
+    stored_version = r.u32();
+    const auto iv = r.fixed<12>();
+    const auto tag = r.fixed<16>();
+    const Bytes ciphertext = r.bytes(1u << 24);
+    if (!r.done()) return Status::kTampered;
+    charge_gcm(ciphertext.size());
+    auto plain = crypto::gcm_decrypt(
+        ByteView(kdc_key_->data(), kdc_key_->size()),
+        ByteView(iv.data(), iv.size()), version_aad(stored_version),
+        ciphertext, ByteView(tag.data(), tag.size()));
+    if (!plain.ok()) return plain.status();
+    payload = std::move(plain).value();
+  }
+
+  // Roll-back check: the stored version must equal the current value of
+  // the supplied machine-local counter.
+  auto current = counter_read(uuid);
+  if (!current.ok()) return current.status();
+  if (current.value() != stored_version) return Status::kReplayDetected;
+
+  BinaryReader p(payload);
+  app_state_ = p.bytes(1u << 24);
+  if (!p.done()) return Status::kTampered;
+  native_counter_ = uuid;
+  return Status::kOk;
+}
+
+Status VersionedStateEnclave::ecall_restore_migratable(ByteView blob) {
+  auto scope = enter_ecall();
+  const Status spin = spin_check();
+  if (spin != Status::kOk) return spin;
+  if (mode_ != PersistenceMode::kMigratable) return Status::kInvalidState;
+  auto unsealed = library().unseal_migratable_data(blob);
+  if (!unsealed.ok()) return unsealed.status();
+  BinaryReader aad(unsealed.value().aad);
+  const uint32_t stored_version = aad.u32();
+  if (!aad.done()) return Status::kTampered;
+
+  if (!migratable_counter_.has_value()) migratable_counter_ = 0;
+  auto current = library().read_migratable_counter(*migratable_counter_);
+  if (!current.ok()) return current.status();
+  if (current.value() != stored_version) return Status::kReplayDetected;
+
+  BinaryReader p(unsealed.value().plaintext);
+  app_state_ = p.bytes(1u << 24);
+  if (!p.done()) return Status::kTampered;
+  return Status::kOk;
+}
+
+Result<uint32_t> VersionedStateEnclave::ecall_current_version() {
+  auto scope = enter_ecall();
+  if (mode_ == PersistenceMode::kMigratable) {
+    if (!migratable_counter_.has_value()) return Status::kCounterNotFound;
+    return library().read_migratable_counter(*migratable_counter_);
+  }
+  if (!native_counter_.has_value()) return Status::kCounterNotFound;
+  return counter_read(*native_counter_);
+}
+
+Result<Bytes> VersionedStateEnclave::ecall_export_memory_image() {
+  auto scope = enter_ecall();
+  BinaryWriter w;
+  w.bytes(app_state_);
+  w.boolean(kdc_key_.has_value());
+  if (kdc_key_.has_value()) w.fixed(*kdc_key_);
+  return w.take();
+}
+
+Status VersionedStateEnclave::ecall_import_memory_image(ByteView image) {
+  auto scope = enter_ecall();
+  BinaryReader r(image);
+  app_state_ = r.bytes(1u << 24);
+  if (r.boolean()) kdc_key_ = r.fixed<16>();
+  if (!r.ok()) return Status::kTampered;
+  // The destination has no counter yet; the next persist creates one —
+  // exactly the behaviour the §III scripts exploit.
+  native_counter_.reset();
+  return Status::kOk;
+}
+
+}  // namespace sgxmig::apps

@@ -1,0 +1,93 @@
+// The persistence pattern shared by Teechan [3] and TrInX/Hybster [4], and
+// the target of the paper's §III attacks:
+//
+//   "increment a hardware counter and seal the new counter value along
+//    with the enclave's state as a version number.  When the enclave is
+//    restarted, it only accepts sealed data whose version number matches
+//    the current hardware counter value."
+//
+// Three persistence modes cover the paper's scenarios:
+//  * kNativeSeal — standard SGX sealing + native counter.  Secure on one
+//    machine; sealed data is LOST on migration (machine-bound key).
+//  * kKdcSeal — state encrypted under a key from an external KDC (e.g.
+//    AWS KMS, §III-C), so ciphertexts decrypt on any machine; version
+//    protection still relies on the native (machine-local) counter.
+//    This is the configuration the §III-C roll-back attack breaks when
+//    migrated without counter migration.
+//  * kMigratable — this paper's scheme: MSK sealing + migratable counter.
+//
+// The enclave also supports Gu et al.-style memory export/import so the
+// attack harness can migrate it with the baseline mechanism.
+#pragma once
+
+#include <optional>
+
+#include "baseline/gu_migration.h"
+#include "migration/migratable_enclave.h"
+
+namespace sgxmig::apps {
+
+enum class PersistenceMode : uint8_t {
+  kNativeSeal = 1,
+  kKdcSeal = 2,
+  kMigratable = 3,
+};
+
+/// Result of a persist operation: the blob to store, plus (for native/KDC
+/// modes) the machine-local counter UUID the application must remember —
+/// the UUID is not secret, only a name.
+struct PersistedState {
+  Bytes blob;
+  sgx::CounterUuid counter_uuid{};
+};
+
+class VersionedStateEnclave : public migration::MigratableEnclave {
+ public:
+  VersionedStateEnclave(
+      sgx::PlatformIface& platform,
+      std::shared_ptr<const sgx::EnclaveImage> image, PersistenceMode mode,
+      baseline::GuMigrationLibrary::FlagMode gu_flag_mode =
+          baseline::GuMigrationLibrary::FlagMode::kVolatile);
+
+  /// For kKdcSeal: installs the externally provisioned encryption key
+  /// (modeled as already delivered via remote attestation from the KDC).
+  Status ecall_install_kdc_key(const sgx::Key128& key);
+
+  // ----- application state (lives in enclave memory) -----
+  Status ecall_set_state(ByteView state);
+  Result<Bytes> ecall_get_state();
+
+  // ----- versioned persistence (the §III pattern) -----
+  /// Increments the version counter and seals {state, version}.
+  Result<PersistedState> ecall_persist();
+  /// Restores from a blob.  For native/KDC modes the application supplies
+  /// the UUID of this machine's counter; the version in the blob must
+  /// equal the counter's current value, else kReplayDetected.
+  Status ecall_restore(ByteView blob, const sgx::CounterUuid& counter_uuid);
+  /// Migratable-mode restore (the counter lives in the Migration Library).
+  Status ecall_restore_migratable(ByteView blob);
+
+  Result<uint32_t> ecall_current_version();
+
+  // ----- Gu et al.-style memory migration support -----
+  baseline::GuMigrationLibrary& gu_library() { return gu_library_; }
+  /// Serializes the enclave's in-memory state (app state, counter handle,
+  /// KDC key) — what Gu et al.'s mechanism would copy out of the EPC.
+  Result<Bytes> ecall_export_memory_image();
+  Status ecall_import_memory_image(ByteView image);
+
+ private:
+  Bytes state_payload() const;
+  Status spin_check() const;
+
+  PersistenceMode mode_;
+  baseline::GuMigrationLibrary gu_library_;
+  Bytes app_state_;
+  std::optional<sgx::Key128> kdc_key_;
+  // Native/KDC-mode version counter (on the current machine).
+  std::optional<sgx::CounterUuid> native_counter_;
+  // Migratable-mode version counter id.
+  std::optional<uint32_t> migratable_counter_;
+};
+
+}  // namespace sgxmig::apps

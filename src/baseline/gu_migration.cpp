@@ -1,0 +1,96 @@
+#include "baseline/gu_migration.h"
+
+#include "net/channel.h"
+#include "sgx/remote_attestation.h"
+#include "support/serde.h"
+
+namespace sgxmig::baseline {
+
+namespace {
+constexpr char kFlagAad[] = "GU-MIGRATED-FLAG";
+}  // namespace
+
+GuMigrationLibrary::GuMigrationLibrary(sgx::Enclave& host, FlagMode mode)
+    : host_(host), mode_(mode) {}
+
+Status GuMigrationLibrary::restore(ByteView sealed_flag_blob) {
+  if (mode_ == FlagMode::kVolatile || sealed_flag_blob.empty()) {
+    // Nothing persisted: a fresh instance starts unlocked — this is
+    // exactly the gap the §III-B fork attack drives through.
+    migrated_ = false;
+    return Status::kOk;
+  }
+  auto unsealed = host_.unseal(sealed_flag_blob);
+  if (!unsealed.ok()) return unsealed.status();
+  if (to_string(unsealed.value().aad) != kFlagAad ||
+      unsealed.value().plaintext.size() != 1) {
+    return Status::kTampered;
+  }
+  migrated_ = unsealed.value().plaintext[0] != 0;
+  return Status::kOk;
+}
+
+Status GuMigrationLibrary::persist_flag() {
+  const Bytes flag = {static_cast<uint8_t>(migrated_ ? 1 : 0)};
+  auto sealed =
+      host_.seal(sgx::KeyPolicy::kMrEnclave,
+                 to_bytes(std::string_view(kFlagAad)), flag);
+  if (!sealed.ok()) return sealed.status();
+  if (persist_callback_) {
+    host_.platform().charge(host_.platform().costs().ocall);
+    persist_callback_(sealed.value());
+  }
+  return Status::kOk;
+}
+
+Status GuMigrationLibrary::migrate_memory(GuMigrationLibrary& source,
+                                          ByteView memory,
+                                          GuMigrationLibrary& destination,
+                                          Bytes* received) {
+  if (source.migrated_) return Status::kMigrationFrozen;
+  if (destination.migrated_) return Status::kInvalidState;
+
+  // Mutual remote attestation directly between the two enclave instances
+  // (Gu et al. have no Migration Enclave intermediary).
+  sgx::RaSession initiator(source.host_.platform(), source.host_.identity(),
+                           sgx::RaSession::Role::kInitiator);
+  sgx::RaSession responder(destination.host_.platform(),
+                           destination.host_.identity(),
+                           sgx::RaSession::Role::kResponder);
+  auto msg2 = responder.handle_msg1(initiator.create_msg1());
+  if (!msg2.ok()) return msg2.status();
+  auto msg3 = initiator.handle_msg2(msg2.value());
+  if (!msg3.ok()) return msg3.status();
+  const Status ra = responder.handle_msg3(msg3.value());
+  if (ra != Status::kOk) return ra;
+  // Only an identical enclave may receive the memory image.
+  if (!(initiator.peer_identity().mr_enclave ==
+        source.host_.identity().mr_enclave)) {
+    return Status::kIdentityMismatch;
+  }
+
+  // Re-encrypt the memory pages under the agreed key and "send" them.
+  net::SecureChannel tx(initiator.session_key(),
+                        net::SecureChannel::Role::kInitiator);
+  net::SecureChannel rx(responder.session_key(),
+                        net::SecureChannel::Role::kResponder);
+  source.host_.charge_gcm(memory.size());
+  const Bytes wire = tx.seal_record(memory);
+  source.host_.platform().charge(
+      source.host_.platform().costs().net_latency +
+      source.host_.platform().costs().transfer_time(wire.size()));
+  auto plain = rx.open_record(wire);
+  if (!plain.ok()) return plain.status();
+  destination.host_.charge_gcm(plain.value().size());
+  if (received != nullptr) *received = std::move(plain).value();
+
+  // Hold the source in its spin lock.
+  source.migrated_ = true;
+  if (source.mode_ == FlagMode::kPersisted) {
+    const Status status = source.persist_flag();
+    if (status != Status::kOk) return status;
+  }
+  return Status::kOk;
+}
+
+}  // namespace sgxmig::baseline

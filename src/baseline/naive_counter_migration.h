@@ -1,0 +1,29 @@
+// The rejected counter-migration design from §VI-B: "transfer the current
+// counter value to the destination enclave and have the latter create a
+// new counter and increment it until the counter value reaches the
+// transferred value."  Cost is LINEAR in the counter value — and hardware
+// increments are ~160 ms each — versus the offset scheme's constant time.
+// bench/ablation_counter_offset.cpp reproduces this comparison.
+#pragma once
+
+#include "baseline/nonmigratable.h"
+#include "sgx/pse.h"
+#include "support/status.h"
+
+namespace sgxmig::baseline {
+
+/// Recreates a counter with value `target_value` on the destination by
+/// brute-force incrementing.  Returns the new counter's UUID.
+inline Result<sgx::CounterUuid> naive_migrate_counter(
+    BaselineEnclave& destination, uint32_t target_value) {
+  auto created = destination.ecall_create_counter();
+  if (!created.ok()) return created.status();
+  for (uint32_t v = 0; v < target_value; ++v) {
+    auto incremented =
+        destination.ecall_increment_counter(created.value().uuid);
+    if (!incremented.ok()) return incremented.status();
+  }
+  return created.value().uuid;
+}
+
+}  // namespace sgxmig::baseline

@@ -1,0 +1,54 @@
+// The non-migratable baseline enclave: standard SGX sealing and monotonic
+// counters, no migration library.  This is the "baseline implementation"
+// every Fig. 3 / Fig. 4 comparison runs against, and the enclave whose
+// persistent state is simply LOST on migration (the motivating failure).
+#pragma once
+
+#include <map>
+
+#include "sgx/enclave.h"
+
+namespace sgxmig::baseline {
+
+class BaselineEnclave : public sgx::Enclave {
+ public:
+  BaselineEnclave(sgx::PlatformIface& platform,
+                  std::shared_ptr<const sgx::EnclaveImage> image)
+      : Enclave(platform, std::move(image)) {}
+
+  // Standard sealing (sgx_seal_data / sgx_unseal_data).
+  Result<Bytes> ecall_seal(ByteView aad, ByteView plaintext) {
+    auto scope = enter_ecall();
+    return seal(sgx::KeyPolicy::kMrEnclave, aad, plaintext);
+  }
+
+  Result<sgx::UnsealedData> ecall_unseal(ByteView blob) {
+    auto scope = enter_ecall();
+    return unseal(blob);
+  }
+
+  // Standard monotonic counters, addressed by SGX UUID (the application
+  // must store the UUID itself — exactly the usage the Migration Library
+  // replaces with its internal counter ids).
+  Result<sgx::CreatedCounter> ecall_create_counter() {
+    auto scope = enter_ecall();
+    return counter_create();
+  }
+
+  Result<uint32_t> ecall_read_counter(const sgx::CounterUuid& uuid) {
+    auto scope = enter_ecall();
+    return counter_read(uuid);
+  }
+
+  Result<uint32_t> ecall_increment_counter(const sgx::CounterUuid& uuid) {
+    auto scope = enter_ecall();
+    return counter_increment(uuid);
+  }
+
+  Status ecall_destroy_counter(const sgx::CounterUuid& uuid) {
+    auto scope = enter_ecall();
+    return counter_destroy(uuid);
+  }
+};
+
+}  // namespace sgxmig::baseline

@@ -1,0 +1,33 @@
+// AES-128/192/256 block cipher (FIPS 197), implemented from scratch.
+//
+// This is a straightforward table-free implementation (S-box lookups on
+// bytes, column mixing in GF(2^8)).  It stands in for the AES-NI hardware
+// instructions the paper's enclaves use; throughput is benchmarked in
+// bench/bench_crypto.cpp and feeds the cost model constants.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/bytes.h"
+
+namespace sgxmig::crypto {
+
+using Aes128Key = std::array<uint8_t, 16>;
+
+class Aes {
+ public:
+  /// `key` must be 16, 24, or 32 bytes.
+  explicit Aes(ByteView key);
+
+  void encrypt_block(const uint8_t in[16], uint8_t out[16]) const;
+  void decrypt_block(const uint8_t in[16], uint8_t out[16]) const;
+
+  static constexpr size_t kBlockSize = 16;
+
+ private:
+  uint8_t round_keys_[15 * 16];  // up to 14 rounds + initial
+  int rounds_;
+};
+
+}  // namespace sgxmig::crypto

@@ -1,0 +1,65 @@
+#include "crypto/cmac.h"
+
+#include <cstring>
+
+#include "crypto/aes.h"
+
+namespace sgxmig::crypto {
+
+namespace {
+
+// Doubling in GF(2^128) with the CMAC polynomial (left shift, conditional
+// XOR of 0x87 into the last byte).
+void gf_double(uint8_t block[16]) {
+  const uint8_t carry = block[0] >> 7;
+  for (int i = 0; i < 15; ++i) {
+    block[i] = static_cast<uint8_t>((block[i] << 1) | (block[i + 1] >> 7));
+  }
+  block[15] = static_cast<uint8_t>(block[15] << 1);
+  if (carry != 0) block[15] ^= 0x87;
+}
+
+}  // namespace
+
+CmacTag aes_cmac(ByteView key, ByteView message) {
+  const Aes aes(key);
+
+  // Subkey generation.
+  uint8_t l[16] = {0};
+  uint8_t zero[16] = {0};
+  aes.encrypt_block(zero, l);
+  uint8_t k1[16];
+  std::memcpy(k1, l, 16);
+  gf_double(k1);
+  uint8_t k2[16];
+  std::memcpy(k2, k1, 16);
+  gf_double(k2);
+
+  const size_t n = message.size();
+  const size_t full_blocks = n == 0 ? 0 : (n - 1) / 16;
+  const size_t last_len = n - full_blocks * 16;  // 1..16 (0 only if n == 0)
+
+  uint8_t x[16] = {0};
+  for (size_t b = 0; b < full_blocks; ++b) {
+    for (int i = 0; i < 16; ++i) x[i] ^= message[b * 16 + i];
+    aes.encrypt_block(x, x);
+  }
+
+  uint8_t last[16] = {0};
+  if (n != 0 && last_len == 16) {
+    for (int i = 0; i < 16; ++i) {
+      last[i] = message[full_blocks * 16 + i] ^ k1[i];
+    }
+  } else {
+    for (size_t i = 0; i < last_len; ++i) last[i] = message[full_blocks * 16 + i];
+    last[last_len] = 0x80;
+    for (int i = 0; i < 16; ++i) last[i] ^= k2[i];
+  }
+  for (int i = 0; i < 16; ++i) x[i] ^= last[i];
+
+  CmacTag tag{};
+  aes.encrypt_block(x, tag.data());
+  return tag;
+}
+
+}  // namespace sgxmig::crypto

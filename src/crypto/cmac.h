@@ -1,0 +1,18 @@
+// AES-128-CMAC (RFC 4493 / NIST SP 800-38B).
+//
+// SGX uses CMAC with the report key to MAC local-attestation REPORTs
+// (EREPORT), and CMAC-based KDFs in EGETKEY; the simulated SGX layer does
+// the same.
+#pragma once
+
+#include <array>
+
+#include "support/bytes.h"
+
+namespace sgxmig::crypto {
+
+using CmacTag = std::array<uint8_t, 16>;
+
+CmacTag aes_cmac(ByteView key, ByteView message);
+
+}  // namespace sgxmig::crypto

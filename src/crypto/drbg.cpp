@@ -1,0 +1,57 @@
+#include "crypto/drbg.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "crypto/aes.h"
+
+namespace sgxmig::crypto {
+
+CtrDrbg::CtrDrbg(ByteView seed) {
+  if (seed.size() < 32) {
+    throw std::invalid_argument("CtrDrbg: seed must be >= 32 bytes");
+  }
+  update(seed.subspan(0, 32));
+}
+
+void CtrDrbg::increment_v() {
+  for (int i = 15; i >= 0; --i) {
+    if (++v_[i] != 0) break;
+  }
+}
+
+void CtrDrbg::update(ByteView provided) {
+  uint8_t temp[32];
+  const Aes aes(ByteView(key_.data(), key_.size()));
+  for (int block = 0; block < 2; ++block) {
+    increment_v();
+    aes.encrypt_block(v_.data(), temp + 16 * block);
+  }
+  for (size_t i = 0; i < 32 && i < provided.size(); ++i) temp[i] ^= provided[i];
+  std::memcpy(key_.data(), temp, 16);
+  std::memcpy(v_.data(), temp + 16, 16);
+}
+
+void CtrDrbg::generate(uint8_t* out, size_t len) {
+  const Aes aes(ByteView(key_.data(), key_.size()));
+  size_t offset = 0;
+  while (offset < len) {
+    increment_v();
+    uint8_t block[16];
+    aes.encrypt_block(v_.data(), block);
+    const size_t take = std::min<size_t>(16, len - offset);
+    std::memcpy(out + offset, block, take);
+    offset += take;
+  }
+  update(ByteView());
+}
+
+Bytes CtrDrbg::bytes(size_t len) {
+  Bytes out(len);
+  generate(out.data(), len);
+  return out;
+}
+
+void CtrDrbg::reseed(ByteView entropy) { update(entropy); }
+
+}  // namespace sgxmig::crypto

@@ -1,0 +1,42 @@
+// Ed25519 signatures (RFC 8032), implemented from scratch on top of
+// fe25519/sc25519.
+//
+// In this reproduction Ed25519 stands in for every signature scheme the
+// paper's ecosystem uses as an opaque primitive: the EPID group signature
+// of the Quoting Enclave, the Intel Attestation Service report signature,
+// the cloud provider's machine certificates, and application-level
+// signatures (Teechan payments, TrInX certifications).
+#pragma once
+
+#include <array>
+
+#include "support/bytes.h"
+
+namespace sgxmig::crypto {
+
+using Ed25519PublicKey = std::array<uint8_t, 32>;
+using Ed25519Seed = std::array<uint8_t, 32>;
+using Ed25519Signature = std::array<uint8_t, 64>;
+
+class Ed25519KeyPair {
+ public:
+  /// Derives the key pair from a 32-byte seed (RFC 8032 §5.1.5).
+  static Ed25519KeyPair from_seed(const Ed25519Seed& seed);
+
+  const Ed25519PublicKey& public_key() const { return public_key_; }
+  const Ed25519Seed& seed() const { return seed_; }
+
+  Ed25519Signature sign(ByteView message) const;
+
+ private:
+  Ed25519Seed seed_{};
+  Ed25519PublicKey public_key_{};
+  std::array<uint8_t, 32> scalar_{};  // clamped secret scalar s
+  std::array<uint8_t, 32> prefix_{};  // deterministic nonce prefix
+};
+
+/// Verifies a signature; rejects non-canonical S and invalid points.
+bool ed25519_verify(const Ed25519PublicKey& public_key, ByteView message,
+                    const Ed25519Signature& signature);
+
+}  // namespace sgxmig::crypto

@@ -1,0 +1,220 @@
+#include "crypto/fe25519.h"
+
+#include <cstring>
+
+#include "support/bytes.h"
+
+namespace sgxmig::crypto {
+
+namespace {
+using u128 = unsigned __int128;
+constexpr uint64_t kMask51 = 0x7ffffffffffffULL;  // 2^51 - 1
+
+// Reduces limbs to < 2^52 after an add/sub (inputs < 2^54 per limb).
+Fe carry_reduce(Fe t) {
+  for (int i = 0; i < 4; ++i) {
+    t.v[i + 1] += t.v[i] >> 51;
+    t.v[i] &= kMask51;
+  }
+  t.v[0] += 19 * (t.v[4] >> 51);
+  t.v[4] &= kMask51;
+  return t;
+}
+}  // namespace
+
+Fe fe_zero() { return Fe{{0, 0, 0, 0, 0}}; }
+Fe fe_one() { return Fe{{1, 0, 0, 0, 0}}; }
+Fe fe_from_u64(uint64_t x) { return carry_reduce(Fe{{x, 0, 0, 0, 0}}); }
+
+Fe fe_add(const Fe& a, const Fe& b) {
+  Fe out;
+  for (int i = 0; i < 5; ++i) out.v[i] = a.v[i] + b.v[i];
+  return carry_reduce(out);
+}
+
+Fe fe_sub(const Fe& a, const Fe& b) {
+  // a + 4p - b keeps every limb positive for inputs with limbs < 2^53.
+  static constexpr uint64_t k4p0 = 0x1fffffffffffb4ULL;  // 4*(2^51-19)
+  static constexpr uint64_t k4pi = 0x1ffffffffffffcULL;  // 4*(2^51-1)
+  Fe out;
+  out.v[0] = a.v[0] + k4p0 - b.v[0];
+  for (int i = 1; i < 5; ++i) out.v[i] = a.v[i] + k4pi - b.v[i];
+  return carry_reduce(out);
+}
+
+Fe fe_neg(const Fe& a) { return fe_sub(fe_zero(), a); }
+
+Fe fe_mul(const Fe& a, const Fe& b) {
+  const uint64_t a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3], a4 = a.v[4];
+  const uint64_t b0 = b.v[0], b1 = b.v[1], b2 = b.v[2], b3 = b.v[3], b4 = b.v[4];
+
+  u128 t0 = (u128)a0 * b0 +
+            (u128)19 * ((u128)a1 * b4 + (u128)a2 * b3 + (u128)a3 * b2 + (u128)a4 * b1);
+  u128 t1 = (u128)a0 * b1 + (u128)a1 * b0 +
+            (u128)19 * ((u128)a2 * b4 + (u128)a3 * b3 + (u128)a4 * b2);
+  u128 t2 = (u128)a0 * b2 + (u128)a1 * b1 + (u128)a2 * b0 +
+            (u128)19 * ((u128)a3 * b4 + (u128)a4 * b3);
+  u128 t3 = (u128)a0 * b3 + (u128)a1 * b2 + (u128)a2 * b1 + (u128)a3 * b0 +
+            (u128)19 * ((u128)a4 * b4);
+  u128 t4 = (u128)a0 * b4 + (u128)a1 * b3 + (u128)a2 * b2 + (u128)a3 * b1 +
+            (u128)a4 * b0;
+
+  Fe r;
+  uint64_t c;
+  r.v[0] = (uint64_t)t0 & kMask51; c = (uint64_t)(t0 >> 51);
+  t1 += c; r.v[1] = (uint64_t)t1 & kMask51; c = (uint64_t)(t1 >> 51);
+  t2 += c; r.v[2] = (uint64_t)t2 & kMask51; c = (uint64_t)(t2 >> 51);
+  t3 += c; r.v[3] = (uint64_t)t3 & kMask51; c = (uint64_t)(t3 >> 51);
+  t4 += c; r.v[4] = (uint64_t)t4 & kMask51; c = (uint64_t)(t4 >> 51);
+  r.v[0] += c * 19;
+  c = r.v[0] >> 51;
+  r.v[0] &= kMask51;
+  r.v[1] += c;
+  return r;
+}
+
+Fe fe_sq(const Fe& a) { return fe_mul(a, a); }
+
+Fe fe_mul_small(const Fe& a, uint64_t s) {
+  u128 t;
+  Fe r;
+  uint64_t c = 0;
+  for (int i = 0; i < 5; ++i) {
+    t = (u128)a.v[i] * s + c;
+    r.v[i] = (uint64_t)t & kMask51;
+    c = (uint64_t)(t >> 51);
+  }
+  r.v[0] += c * 19;
+  c = r.v[0] >> 51;
+  r.v[0] &= kMask51;
+  r.v[1] += c;
+  return r;
+}
+
+Fe fe_pow(const Fe& a, const std::array<uint8_t, 32>& e) {
+  // MSB-first square-and-multiply; skips leading zero bits.
+  Fe result = fe_one();
+  bool started = false;
+  for (int byte = 31; byte >= 0; --byte) {
+    for (int bit = 7; bit >= 0; --bit) {
+      if (started) result = fe_sq(result);
+      if ((e[byte] >> bit) & 1) {
+        result = fe_mul(result, a);
+        started = true;
+      }
+    }
+  }
+  return result;
+}
+
+Fe fe_invert(const Fe& a) {
+  // p - 2 = 2^255 - 21.
+  std::array<uint8_t, 32> e{};
+  e.fill(0xff);
+  e[0] = 0xeb;
+  e[31] = 0x7f;
+  return fe_pow(a, e);
+}
+
+Fe fe_pow22523(const Fe& a) {
+  // (p - 5) / 8 = 2^252 - 3.
+  std::array<uint8_t, 32> e{};
+  e.fill(0xff);
+  e[0] = 0xfd;
+  e[31] = 0x0f;
+  return fe_pow(a, e);
+}
+
+void fe_cswap(Fe& a, Fe& b, uint64_t swap) {
+  const uint64_t mask = 0 - swap;  // 0 or all-ones
+  for (int i = 0; i < 5; ++i) {
+    const uint64_t x = mask & (a.v[i] ^ b.v[i]);
+    a.v[i] ^= x;
+    b.v[i] ^= x;
+  }
+}
+
+Fe fe_frombytes(const uint8_t s[32]) {
+  Fe out;
+  out.v[0] = load_le64(s) & kMask51;
+  out.v[1] = (load_le64(s + 6) >> 3) & kMask51;
+  out.v[2] = (load_le64(s + 12) >> 6) & kMask51;
+  out.v[3] = (load_le64(s + 19) >> 1) & kMask51;
+  out.v[4] = (load_le64(s + 24) >> 12) & kMask51;
+  return out;
+}
+
+void fe_tobytes(uint8_t out[32], const Fe& f) {
+  Fe t = carry_reduce(f);
+  t = carry_reduce(t);
+  // Compute q = floor((t + 19) / 2^255) ∈ {0, 1}: 1 iff t >= p.
+  uint64_t q = (t.v[0] + 19) >> 51;
+  q = (t.v[1] + q) >> 51;
+  q = (t.v[2] + q) >> 51;
+  q = (t.v[3] + q) >> 51;
+  q = (t.v[4] + q) >> 51;
+  // Subtract p by adding 19q and dropping the 2^255 bit.
+  t.v[0] += 19 * q;
+  for (int i = 0; i < 4; ++i) {
+    t.v[i + 1] += t.v[i] >> 51;
+    t.v[i] &= kMask51;
+  }
+  t.v[4] &= kMask51;
+
+  // Pack 5 x 51 bits little-endian.  The accumulator never holds more
+  // than 7 + 51 = 58 bits, so the shifts below cannot overflow.
+  uint8_t buf[40] = {0};
+  uint64_t acc = 0;
+  int acc_bits = 0;
+  int pos = 0;
+  for (int i = 0; i < 5; ++i) {
+    acc |= t.v[i] << acc_bits;
+    acc_bits += 51;
+    while (acc_bits >= 8) {
+      buf[pos++] = static_cast<uint8_t>(acc);
+      acc >>= 8;
+      acc_bits -= 8;
+    }
+  }
+  while (acc_bits > 0) {
+    buf[pos++] = static_cast<uint8_t>(acc);
+    acc >>= 8;
+    acc_bits -= 8;
+  }
+  std::memcpy(out, buf, 32);
+}
+
+bool fe_is_zero(const Fe& a) {
+  uint8_t bytes[32];
+  fe_tobytes(bytes, a);
+  uint8_t acc = 0;
+  for (uint8_t b : bytes) acc |= b;
+  return acc == 0;
+}
+
+int fe_is_negative(const Fe& a) {
+  uint8_t bytes[32];
+  fe_tobytes(bytes, a);
+  return bytes[0] & 1;
+}
+
+bool fe_equal(const Fe& a, const Fe& b) {
+  uint8_t ab[32], bb[32];
+  fe_tobytes(ab, a);
+  fe_tobytes(bb, b);
+  return constant_time_eq(ByteView(ab, 32), ByteView(bb, 32));
+}
+
+const Fe& fe_sqrtm1() {
+  // sqrt(-1) = 2^((p-1)/4) mod p, with (p-1)/4 = 2^253 - 5.
+  static const Fe value = [] {
+    std::array<uint8_t, 32> e{};
+    e.fill(0xff);
+    e[0] = 0xfb;
+    e[31] = 0x1f;
+    return fe_pow(fe_from_u64(2), e);
+  }();
+  return value;
+}
+
+}  // namespace sgxmig::crypto

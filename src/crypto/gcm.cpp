@@ -1,0 +1,160 @@
+#include "crypto/gcm.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "crypto/aes.h"
+
+namespace sgxmig::crypto {
+
+namespace {
+
+struct Block {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+};
+
+Block load_block(const uint8_t* p) {
+  return Block{load_be64(p), load_be64(p + 8)};
+}
+
+void store_block(uint8_t* p, const Block& b) {
+  store_be64(p, b.hi);
+  store_be64(p + 8, b.lo);
+}
+
+// Multiplication in GF(2^128) with the GCM polynomial, bit-by-bit
+// (right-shift algorithm from SP 800-38D §6.3).
+Block ghash_multiply(const Block& x, const Block& h) {
+  Block z{0, 0};
+  Block v = h;
+  for (int i = 0; i < 128; ++i) {
+    const uint64_t bit =
+        i < 64 ? (x.hi >> (63 - i)) & 1 : (x.lo >> (127 - i)) & 1;
+    if (bit != 0) {
+      z.hi ^= v.hi;
+      z.lo ^= v.lo;
+    }
+    const uint64_t lsb = v.lo & 1;
+    v.lo = (v.lo >> 1) | (v.hi << 63);
+    v.hi >>= 1;
+    if (lsb != 0) v.hi ^= 0xe100000000000000ULL;
+  }
+  return z;
+}
+
+class Ghash {
+ public:
+  explicit Ghash(const Block& h) : h_(h) {}
+
+  void update(ByteView data) {
+    size_t offset = 0;
+    while (offset < data.size()) {
+      uint8_t block[16] = {0};
+      const size_t take = std::min<size_t>(16, data.size() - offset);
+      std::memcpy(block, data.data() + offset, take);
+      const Block b = load_block(block);
+      y_.hi ^= b.hi;
+      y_.lo ^= b.lo;
+      y_ = ghash_multiply(y_, h_);
+      offset += take;
+    }
+  }
+
+  void lengths(uint64_t aad_bits, uint64_t ct_bits) {
+    y_.hi ^= aad_bits;
+    y_.lo ^= ct_bits;
+    y_ = ghash_multiply(y_, h_);
+  }
+
+  Block digest() const { return y_; }
+
+ private:
+  Block h_;
+  Block y_{0, 0};
+};
+
+void ctr_crypt(const Aes& aes, const uint8_t j0[16], ByteView in, Bytes& out) {
+  uint8_t counter[16];
+  std::memcpy(counter, j0, 16);
+  out.resize(in.size());
+  size_t offset = 0;
+  while (offset < in.size()) {
+    // Increment the low 32 bits (inc32).
+    uint32_t ctr = load_be32(counter + 12);
+    store_be32(counter + 12, ctr + 1);
+    uint8_t keystream[16];
+    aes.encrypt_block(counter, keystream);
+    const size_t take = std::min<size_t>(16, in.size() - offset);
+    for (size_t i = 0; i < take; ++i) {
+      out[offset + i] = in[offset + i] ^ keystream[i];
+    }
+    offset += take;
+  }
+}
+
+void compute_tag(const Aes& aes, const Block& hash_subkey,
+                 const uint8_t j0[16], ByteView aad, ByteView ciphertext,
+                 uint8_t tag[16]) {
+  Ghash ghash(hash_subkey);
+  ghash.update(aad);
+  ghash.update(ciphertext);
+  ghash.lengths(static_cast<uint64_t>(aad.size()) * 8,
+                static_cast<uint64_t>(ciphertext.size()) * 8);
+  uint8_t s[16];
+  store_block(s, ghash.digest());
+  uint8_t e[16];
+  aes.encrypt_block(j0, e);
+  for (int i = 0; i < 16; ++i) tag[i] = s[i] ^ e[i];
+}
+
+}  // namespace
+
+GcmCiphertext gcm_encrypt(ByteView key, ByteView iv, ByteView aad,
+                          ByteView plaintext) {
+  if (iv.size() != kGcmIvSize) {
+    throw std::invalid_argument("gcm_encrypt: IV must be 12 bytes");
+  }
+  const Aes aes(key);
+  uint8_t zero[16] = {0};
+  uint8_t h_bytes[16];
+  aes.encrypt_block(zero, h_bytes);
+  const Block h = load_block(h_bytes);
+
+  uint8_t j0[16];
+  std::memcpy(j0, iv.data(), 12);
+  store_be32(j0 + 12, 1);
+
+  GcmCiphertext out;
+  std::memcpy(out.iv.data(), iv.data(), kGcmIvSize);
+  ctr_crypt(aes, j0, plaintext, out.ciphertext);
+  compute_tag(aes, h, j0, aad, out.ciphertext, out.tag.data());
+  return out;
+}
+
+Result<Bytes> gcm_decrypt(ByteView key, ByteView iv, ByteView aad,
+                          ByteView ciphertext, ByteView tag) {
+  if (iv.size() != kGcmIvSize || tag.size() != kGcmTagSize) {
+    return Status::kInvalidParameter;
+  }
+  const Aes aes(key);
+  uint8_t zero[16] = {0};
+  uint8_t h_bytes[16];
+  aes.encrypt_block(zero, h_bytes);
+  const Block h = load_block(h_bytes);
+
+  uint8_t j0[16];
+  std::memcpy(j0, iv.data(), 12);
+  store_be32(j0 + 12, 1);
+
+  uint8_t expected_tag[16];
+  compute_tag(aes, h, j0, aad, ciphertext, expected_tag);
+  if (!constant_time_eq(ByteView(expected_tag, 16), tag)) {
+    return Status::kMacMismatch;
+  }
+  Bytes plaintext;
+  ctr_crypt(aes, j0, ciphertext, plaintext);
+  return plaintext;
+}
+
+}  // namespace sgxmig::crypto

@@ -1,0 +1,67 @@
+#include "crypto/hmac.h"
+
+#include <stdexcept>
+
+namespace sgxmig::crypto {
+
+namespace {
+
+template <typename Hash, size_t BlockSize, size_t DigestSize>
+std::array<uint8_t, DigestSize> hmac_impl(ByteView key, ByteView message) {
+  uint8_t key_block[BlockSize] = {0};
+  if (key.size() > BlockSize) {
+    const auto digest = Hash::hash(key);
+    for (size_t i = 0; i < digest.size(); ++i) key_block[i] = digest[i];
+  } else {
+    for (size_t i = 0; i < key.size(); ++i) key_block[i] = key[i];
+  }
+  uint8_t ipad[BlockSize];
+  uint8_t opad[BlockSize];
+  for (size_t i = 0; i < BlockSize; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+  Hash inner;
+  inner.update(ByteView(ipad, BlockSize));
+  inner.update(message);
+  const auto inner_digest = inner.finish();
+  Hash outer;
+  outer.update(ByteView(opad, BlockSize));
+  outer.update(ByteView(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+}  // namespace
+
+Sha256Digest hmac_sha256(ByteView key, ByteView message) {
+  return hmac_impl<Sha256, Sha256::kBlockSize, Sha256::kDigestSize>(key, message);
+}
+
+Sha512Digest hmac_sha512(ByteView key, ByteView message) {
+  return hmac_impl<Sha512, Sha512::kBlockSize, Sha512::kDigestSize>(key, message);
+}
+
+Bytes hkdf_sha256(ByteView ikm, ByteView salt, ByteView info, size_t length) {
+  if (length > 255 * Sha256::kDigestSize) {
+    throw std::invalid_argument("hkdf_sha256: requested length too large");
+  }
+  // Extract.
+  const Sha256Digest prk = hmac_sha256(salt, ikm);
+  // Expand.
+  Bytes okm;
+  okm.reserve(length);
+  Bytes previous;
+  uint8_t counter = 1;
+  while (okm.size() < length) {
+    Bytes block = previous;
+    append(block, info);
+    block.push_back(counter++);
+    const Sha256Digest t = hmac_sha256(ByteView(prk.data(), prk.size()), block);
+    previous.assign(t.begin(), t.end());
+    const size_t take = std::min(previous.size(), length - okm.size());
+    okm.insert(okm.end(), previous.begin(), previous.begin() + static_cast<ptrdiff_t>(take));
+  }
+  return okm;
+}
+
+}  // namespace sgxmig::crypto

@@ -1,0 +1,16 @@
+// HMAC (RFC 2104) over SHA-256 and SHA-512, and HKDF (RFC 5869).
+#pragma once
+
+#include "crypto/sha256.h"
+#include "crypto/sha512.h"
+#include "support/bytes.h"
+
+namespace sgxmig::crypto {
+
+Sha256Digest hmac_sha256(ByteView key, ByteView message);
+Sha512Digest hmac_sha512(ByteView key, ByteView message);
+
+/// HKDF-Extract-then-Expand with HMAC-SHA256.  `length` <= 255 * 32.
+Bytes hkdf_sha256(ByteView ikm, ByteView salt, ByteView info, size_t length);
+
+}  // namespace sgxmig::crypto

@@ -1,0 +1,121 @@
+#include "crypto/sc25519.h"
+
+#include <cstring>
+
+namespace sgxmig::crypto {
+
+namespace {
+using u128 = unsigned __int128;
+
+constexpr uint64_t kL[4] = {0x5812631a5cf5d3edULL, 0x14def9dea2f79cd6ULL, 0,
+                            0x1000000000000000ULL};
+
+// True iff a >= L.
+bool ge_l(const uint64_t a[4]) {
+  for (int i = 3; i >= 0; --i) {
+    if (a[i] > kL[i]) return true;
+    if (a[i] < kL[i]) return false;
+  }
+  return true;  // equal
+}
+
+void sub_l(uint64_t a[4]) {
+  unsigned __int128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 diff = (u128)a[i] - kL[i] - (uint64_t)borrow;
+    a[i] = (uint64_t)diff;
+    borrow = (diff >> 64) & 1;  // 1 if borrowed
+  }
+}
+
+// r = 2r (+ bit), then reduce once; requires r < L on entry.
+void shl1_add_mod(uint64_t r[4], uint64_t bit) {
+  uint64_t carry = bit;
+  for (int i = 0; i < 4; ++i) {
+    const uint64_t next_carry = r[i] >> 63;
+    r[i] = (r[i] << 1) | carry;
+    carry = next_carry;
+  }
+  // r < 2L < 2^254, so the shift never overflows 256 bits and one
+  // conditional subtraction restores r < L.
+  if (ge_l(r)) sub_l(r);
+}
+}  // namespace
+
+Sc sc_zero() { return Sc{{0, 0, 0, 0}}; }
+
+Sc sc_from_bytes(ByteView bytes) {
+  Sc r = sc_zero();
+  // Most-significant byte first.
+  for (size_t i = bytes.size(); i-- > 0;) {
+    const uint8_t byte = bytes[i];
+    for (int bit = 7; bit >= 0; --bit) {
+      shl1_add_mod(r.v, (byte >> bit) & 1);
+    }
+  }
+  return r;
+}
+
+Sc sc_add(const Sc& a, const Sc& b) {
+  uint64_t r[4];
+  u128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 sum = (u128)a.v[i] + b.v[i] + (uint64_t)carry;
+    r[i] = (uint64_t)sum;
+    carry = sum >> 64;
+  }
+  // a, b < L < 2^253 so the sum fits in 254 bits (no carry out).
+  if (ge_l(r)) sub_l(r);
+  Sc out;
+  std::memcpy(out.v, r, sizeof(r));
+  return out;
+}
+
+Sc sc_muladd(const Sc& a, const Sc& b, const Sc& c) {
+  // 512-bit schoolbook product.
+  uint64_t wide[8] = {0};
+  for (int i = 0; i < 4; ++i) {
+    u128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const u128 t = (u128)a.v[i] * b.v[j] + wide[i + j] + (uint64_t)carry;
+      wide[i + j] = (uint64_t)t;
+      carry = t >> 64;
+    }
+    wide[i + 4] += (uint64_t)carry;
+  }
+  // Add c.
+  u128 carry = 0;
+  for (int i = 0; i < 8; ++i) {
+    const u128 t = (u128)wide[i] + (i < 4 ? c.v[i] : 0) + (uint64_t)carry;
+    wide[i] = (uint64_t)t;
+    carry = t >> 64;
+  }
+  // Reduce the 512-bit value mod L, MSB first.
+  Sc r = sc_zero();
+  for (int limb = 7; limb >= 0; --limb) {
+    for (int bit = 63; bit >= 0; --bit) {
+      shl1_add_mod(r.v, (wide[limb] >> bit) & 1);
+    }
+  }
+  return r;
+}
+
+void sc_tobytes(uint8_t out[32], const Sc& s) {
+  for (int i = 0; i < 4; ++i) {
+    for (int b = 0; b < 8; ++b) {
+      out[8 * i + b] = static_cast<uint8_t>(s.v[i] >> (8 * b));
+    }
+  }
+}
+
+bool sc_is_canonical(const uint8_t bytes[32]) {
+  uint64_t limbs[4];
+  for (int i = 0; i < 4; ++i) {
+    uint64_t limb = 0;
+    for (int b = 7; b >= 0; --b) limb = (limb << 8) | bytes[8 * i + b];
+    limbs[i] = limb;
+  }
+  return !ge_l(limbs);
+}
+
+}  // namespace sgxmig::crypto

@@ -1,0 +1,35 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/bytes.h"
+
+namespace sgxmig::crypto {
+
+using Sha256Digest = std::array<uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(ByteView data);
+  Sha256Digest finish();
+
+  /// One-shot convenience.
+  static Sha256Digest hash(ByteView data);
+
+  static constexpr size_t kBlockSize = 64;
+  static constexpr size_t kDigestSize = 32;
+
+ private:
+  void process_block(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[kBlockSize];
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace sgxmig::crypto

@@ -1,0 +1,34 @@
+// SHA-512 (FIPS 180-4), implemented from scratch.  Used by Ed25519.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/bytes.h"
+
+namespace sgxmig::crypto {
+
+using Sha512Digest = std::array<uint8_t, 64>;
+
+class Sha512 {
+ public:
+  Sha512();
+
+  void update(ByteView data);
+  Sha512Digest finish();
+
+  static Sha512Digest hash(ByteView data);
+
+  static constexpr size_t kBlockSize = 128;
+  static constexpr size_t kDigestSize = 64;
+
+ private:
+  void process_block(const uint8_t* block);
+
+  uint64_t state_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[kBlockSize];
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace sgxmig::crypto

@@ -1,0 +1,22 @@
+// X25519 Diffie-Hellman function (RFC 7748).
+//
+// Used for every key agreement in the system: SDK-style local-attestation
+// DH sessions, remote-attestation channels between Migration Enclaves, and
+// the proxied secure channels.
+#pragma once
+
+#include <array>
+
+#include "support/bytes.h"
+
+namespace sgxmig::crypto {
+
+using X25519Key = std::array<uint8_t, 32>;
+
+/// out = scalar * point (u-coordinate), per RFC 7748 §5.
+X25519Key x25519(const X25519Key& scalar, const X25519Key& point);
+
+/// out = scalar * base point (u = 9).
+X25519Key x25519_base(const X25519Key& scalar);
+
+}  // namespace sgxmig::crypto

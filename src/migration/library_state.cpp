@@ -1,0 +1,50 @@
+#include "migration/library_state.h"
+
+#include "support/serde.h"
+
+namespace sgxmig::migration {
+
+namespace {
+constexpr char kMagic[] = "SGXMIG-LIBSTATE-v1";
+}  // namespace
+
+Bytes LibraryState::serialize() const {
+  BinaryWriter w;
+  w.str(kMagic);
+  w.u8(frozen);
+  for (bool active : counters_active) w.u8(active ? 1 : 0);
+  for (const auto& uuid : counter_uuids) sgx::serialize_uuid(w, uuid);
+  for (uint32_t offset : counter_offsets) w.u32(offset);
+  w.fixed(msk);
+  return w.take();
+}
+
+Result<LibraryState> LibraryState::deserialize(ByteView bytes) {
+  BinaryReader r(bytes);
+  if (r.str(64) != kMagic) return Status::kTampered;
+  LibraryState state;
+  state.frozen = r.u8();
+  for (auto& active : state.counters_active) active = r.u8() != 0;
+  for (auto& uuid : state.counter_uuids) uuid = sgx::deserialize_uuid(r);
+  for (auto& offset : state.counter_offsets) offset = r.u32();
+  state.msk = r.fixed<16>();
+  if (!r.done()) return Status::kTampered;
+  return state;
+}
+
+size_t LibraryState::active_count() const {
+  size_t n = 0;
+  for (bool active : counters_active) {
+    if (active) ++n;
+  }
+  return n;
+}
+
+size_t LibraryState::free_slot() const {
+  for (size_t i = 0; i < counters_active.size(); ++i) {
+    if (!counters_active[i]) return i;
+  }
+  return kMaxCounters;
+}
+
+}  // namespace sgxmig::migration

@@ -1,0 +1,41 @@
+// The Migration Library's persistent internals — paper Table II.
+//
+//   Name             Type               Description
+//   frozen           uint8              Freeze flag for migration
+//   counters active  bool[256]          Shows used counters
+//   counter uuids    SGX counter[256]   UUIDs of the SGX counters
+//   counter offsets  uint32[256]        Offsets of the counters
+//   MSK              128-bit key        Used by migratable seal
+//
+// The library seals this buffer (with the host enclave's standard sealing
+// key) and hands it to the untrusted application for storage; on every
+// enclave start the application passes it back to migration_init().  If
+// `frozen` is set — the enclave was migrated away — the library refuses to
+// operate (§VI-B "Persistent data").
+#pragma once
+
+#include <array>
+
+#include "migration/migration_data.h"
+#include "sgx/pse.h"
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace sgxmig::migration {
+
+struct LibraryState {
+  uint8_t frozen = 0;
+  std::array<bool, kMaxCounters> counters_active{};
+  std::array<sgx::CounterUuid, kMaxCounters> counter_uuids{};
+  std::array<uint32_t, kMaxCounters> counter_offsets{};
+  sgx::Key128 msk{};
+
+  Bytes serialize() const;
+  static Result<LibraryState> deserialize(ByteView bytes);
+
+  size_t active_count() const;
+  /// Lowest free slot, or kMaxCounters when full.
+  size_t free_slot() const;
+};
+
+}  // namespace sgxmig::migration

@@ -1,0 +1,98 @@
+// A ready-to-use migratable enclave: an sgx::Enclave embedding the
+// Migration Library and exposing the paper's Listing 1 / Listing 2 API as
+// its ECALL surface.  Application enclaves (examples/, apps/) either use
+// this directly or subclass it and add their own ECALLs.
+#pragma once
+
+#include "migration/migration_library.h"
+#include "sgx/enclave.h"
+
+namespace sgxmig::migration {
+
+class MigratableEnclave : public sgx::Enclave {
+ public:
+  MigratableEnclave(sgx::PlatformIface& platform,
+                    std::shared_ptr<const sgx::EnclaveImage> image)
+      : Enclave(platform, std::move(image)), library_(*this) {}
+
+  // ----- Listing 1 (untrusted application interface) -----
+  Status ecall_migration_init(ByteView state_buffer, InitState init_state,
+                              const std::string& me_address) {
+    auto scope = enter_ecall();
+    return library_.migration_init(state_buffer, init_state, me_address);
+  }
+
+  Status ecall_migration_start(const std::string& destination_address) {
+    auto scope = enter_ecall();
+    return library_.migration_start(destination_address);
+  }
+
+  /// Convenience overload: restrict the destination to a region list.
+  Status ecall_migration_start(const std::string& destination_address,
+                               std::vector<std::string> allowed_regions) {
+    MigrationPolicy policy;
+    policy.allowed_regions = std::move(allowed_regions);
+    return ecall_migration_start_with_policy(destination_address, policy);
+  }
+
+  Status ecall_migration_start_with_policy(
+      const std::string& destination_address, const MigrationPolicy& policy) {
+    auto scope = enter_ecall();
+    return library_.migration_start(destination_address, policy);
+  }
+
+  Result<OutgoingState> ecall_query_migration_status() {
+    auto scope = enter_ecall();
+    return library_.query_migration_status();
+  }
+
+  // ----- Listing 2 (in-enclave API, exposed for tests/benches) -----
+  Result<Bytes> ecall_seal_migratable_data(ByteView additional_mac_text,
+                                           ByteView text_to_encrypt) {
+    auto scope = enter_ecall();
+    return library_.seal_migratable_data(additional_mac_text, text_to_encrypt);
+  }
+
+  Result<sgx::UnsealedData> ecall_unseal_migratable_data(ByteView blob) {
+    auto scope = enter_ecall();
+    return library_.unseal_migratable_data(blob);
+  }
+
+  Result<CreatedMigratableCounter> ecall_create_migratable_counter() {
+    auto scope = enter_ecall();
+    return library_.create_migratable_counter();
+  }
+
+  Status ecall_destroy_migratable_counter(uint32_t counter_id) {
+    auto scope = enter_ecall();
+    return library_.destroy_migratable_counter(counter_id);
+  }
+
+  Result<uint32_t> ecall_increment_migratable_counter(uint32_t counter_id) {
+    auto scope = enter_ecall();
+    return library_.increment_migratable_counter(counter_id);
+  }
+
+  Result<uint32_t> ecall_read_migratable_counter(uint32_t counter_id) {
+    auto scope = enter_ecall();
+    return library_.read_migratable_counter(counter_id);
+  }
+
+  // ----- untrusted-side plumbing -----
+  void set_persist_callback(MigrationLibrary::PersistCallback callback) {
+    library_.set_persist_callback(std::move(callback));
+  }
+  const Bytes& sealed_state() const { return library_.sealed_state(); }
+  bool migration_frozen() const { return library_.frozen(); }
+  size_t active_counters() const { return library_.active_counters(); }
+
+ protected:
+  /// Subclasses (application enclaves) use the library from inside their
+  /// own ECALLs.
+  MigrationLibrary& library() { return library_; }
+
+ private:
+  MigrationLibrary library_;
+};
+
+}  // namespace sgxmig::migration

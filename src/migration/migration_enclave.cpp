@@ -1,0 +1,504 @@
+#include "migration/migration_enclave.h"
+
+#include "net/network.h"
+
+namespace sgxmig::migration {
+
+namespace {
+constexpr char kDoneMarker[] = "SGXMIG-DONE";
+constexpr char kAcceptedMarker[] = "SGXMIG-ACCEPTED";
+
+MeResponse error_response(Status status) {
+  MeResponse resp;
+  resp.status = status;
+  return resp;
+}
+}  // namespace
+
+MigrationEnclave::MigrationEnclave(sgx::PlatformIface& platform,
+                                   std::shared_ptr<const sgx::EnclaveImage> image,
+                                   platform::ProviderCa& provider)
+    : Enclave(platform, std::move(image)),
+      machine_key_(crypto::Ed25519KeyPair::from_seed(
+          to_array<32>(rng().bytes(32)))),
+      credential_(provider.issue(platform.address(), platform.region(),
+                                 platform.cpu_cores(),
+                                 machine_key_.public_key())),
+      provider_ca_key_(provider.public_key()) {
+  if (auto* net = this->platform().network()) {
+    net->register_endpoint(this->platform().address() + "/me",
+                           [this](ByteView raw) { return handle_request(raw); });
+  }
+}
+
+MigrationEnclave::~MigrationEnclave() {
+  if (auto* net = platform().network()) {
+    net->unregister_endpoint(platform().address() + "/me");
+  }
+}
+
+std::shared_ptr<const sgx::EnclaveImage> MigrationEnclave::standard_image() {
+  static const std::shared_ptr<const sgx::EnclaveImage> image =
+      sgx::EnclaveImage::create("migration-enclave", /*code_version=*/1,
+                                /*signer_name=*/"cloud-provider",
+                                /*isv_prod_id=*/0x00e0, /*isv_svn=*/1);
+  return image;
+}
+
+uint64_t MigrationEnclave::fresh_id() {
+  const Bytes b = rng().bytes(8);
+  uint64_t id = 0;
+  for (int i = 0; i < 8; ++i) id = (id << 8) | b[i];
+  return id == 0 ? 1 : id;
+}
+
+OutgoingState MigrationEnclave::outgoing_state(
+    const sgx::Measurement& mr) const {
+  // Report the most recent transfer for this enclave identity (the same
+  // enclave may migrate away repeatedly over its lifetime).
+  const OutgoingTransfer* latest = nullptr;
+  for (const auto& [id, transfer] : outgoing_) {
+    if (transfer.source_mr == mr &&
+        (latest == nullptr || transfer.sequence > latest->sequence)) {
+      latest = &transfer;
+    }
+  }
+  return latest == nullptr ? OutgoingState::kNone : latest->state;
+}
+
+Result<Bytes> MigrationEnclave::handle_request(ByteView raw) {
+  auto scope = enter_ecall();
+  auto parsed = MeRequest::deserialize(raw);
+  if (!parsed.ok()) return error_response(Status::kTampered).serialize();
+  const MeRequest& req = parsed.value();
+
+  MeResponse resp;
+  switch (req.type) {
+    case MeMsgType::kLaStart: resp = on_la_start(req); break;
+    case MeMsgType::kLaMsg2: resp = on_la_msg2(req); break;
+    case MeMsgType::kLaRecord: resp = on_la_record(req); break;
+    case MeMsgType::kRaMsg1: resp = on_ra_msg1(req); break;
+    case MeMsgType::kRaMsg3: resp = on_ra_msg3(req); break;
+    case MeMsgType::kTransfer: resp = on_transfer(req); break;
+    case MeMsgType::kDone: resp = on_done(req); break;
+  }
+  return resp.serialize();
+}
+
+// ----- local attestation service -----
+
+MeResponse MigrationEnclave::on_la_start(const MeRequest& req) {
+  LaSessionState session;
+  session.dh = std::make_unique<sgx::DhSession>(platform(), identity(),
+                                                sgx::DhSession::Role::kResponder);
+  MeResponse resp;
+  resp.status = Status::kOk;
+  resp.payload = session.dh->create_msg1().serialize();
+  la_sessions_[req.id] = std::move(session);
+  return resp;
+}
+
+MeResponse MigrationEnclave::on_la_msg2(const MeRequest& req) {
+  const auto it = la_sessions_.find(req.id);
+  if (it == la_sessions_.end()) return error_response(Status::kInvalidState);
+  auto msg2 = sgx::DhMsg2::deserialize(req.payload);
+  if (!msg2.ok()) return error_response(Status::kTampered);
+  auto msg3 = it->second.dh->handle_msg2(msg2.value());
+  if (!msg3.ok()) {
+    la_sessions_.erase(it);
+    return error_response(msg3.status());
+  }
+  // Record the attested identity of the calling enclave: this MRENCLAVE is
+  // what migration data is matched against (paper §VI-A).
+  it->second.peer = it->second.dh->peer_identity();
+  it->second.channel.emplace(it->second.dh->session_key(),
+                             net::SecureChannel::Role::kResponder);
+  MeResponse resp;
+  resp.status = Status::kOk;
+  resp.payload = msg3.value().serialize();
+  return resp;
+}
+
+MeResponse MigrationEnclave::on_la_record(const MeRequest& req) {
+  const auto it = la_sessions_.find(req.id);
+  if (it == la_sessions_.end() || !it->second.channel.has_value()) {
+    return error_response(Status::kInvalidState);
+  }
+  LaSessionState& session = it->second;
+  auto plaintext = session.channel->open_record(req.payload);
+  if (!plaintext.ok()) return error_response(plaintext.status());
+  auto msg = LibMsg::deserialize(plaintext.value());
+  if (!msg.ok()) return error_response(Status::kTampered);
+
+  LibMsg reply;
+  switch (msg.value().type) {
+    case LibMsgType::kMigrateRequest:
+      reply = on_migrate_request(session, msg.value());
+      break;
+    case LibMsgType::kFetchIncoming:
+      reply = on_fetch_incoming(req.id, session);
+      break;
+    case LibMsgType::kConfirmMigration:
+      reply = on_confirm_migration(req.id, session);
+      break;
+    case LibMsgType::kQueryStatus:
+      reply = on_query_status(session);
+      break;
+    default:
+      reply.type = LibMsgType::kError;
+      reply.status = Status::kInvalidParameter;
+      break;
+  }
+  MeResponse resp;
+  resp.status = Status::kOk;
+  resp.payload = session.channel->seal_record(reply.serialize());
+  return resp;
+}
+
+// ----- inner LibMsg handlers -----
+
+LibMsg MigrationEnclave::on_migrate_request(LaSessionState& session,
+                                            const LibMsg& msg) {
+  LibMsg reply;
+  auto request = MigrateRequestPayload::deserialize(msg.payload);
+  if (!request.ok()) {
+    reply.type = LibMsgType::kError;
+    reply.status = Status::kTampered;
+    return reply;
+  }
+  const Status status =
+      run_outgoing(session.peer.mr_enclave, request.value());
+  if (status != Status::kOk) {
+    reply.type = LibMsgType::kError;
+    reply.status = status;
+    return reply;
+  }
+  reply.type = LibMsgType::kMigrateAccepted;
+  reply.status = Status::kOk;
+  return reply;
+}
+
+LibMsg MigrationEnclave::on_fetch_incoming(uint64_t session_id,
+                                           LaSessionState& session) {
+  LibMsg reply;
+  const auto it = pending_.find(session.peer.mr_enclave);
+  if (it == pending_.end()) {
+    reply.type = LibMsgType::kError;
+    reply.status = Status::kNoPendingMigration;
+    return reply;
+  }
+  // Deliver to exactly one enclave instance: once handed to a session, no
+  // other session may fetch it (prevents forking the migration data into
+  // two concurrently-running destination enclaves).
+  if (it->second.delivering_session != 0 &&
+      it->second.delivering_session != session_id) {
+    reply.type = LibMsgType::kError;
+    reply.status = Status::kMigrationInProgress;
+    return reply;
+  }
+  it->second.delivering_session = session_id;
+  reply.type = LibMsgType::kIncomingData;
+  reply.status = Status::kOk;
+  reply.payload = it->second.data.serialize();
+  return reply;
+}
+
+LibMsg MigrationEnclave::on_confirm_migration(uint64_t session_id,
+                                              LaSessionState& session) {
+  LibMsg reply;
+  const auto it = pending_.find(session.peer.mr_enclave);
+  if (it == pending_.end() || it->second.delivering_session != session_id) {
+    reply.type = LibMsgType::kError;
+    reply.status = Status::kInvalidState;
+    return reply;
+  }
+  const uint64_t transfer_id = it->second.transfer_id;
+  const std::string source_address = it->second.source_me_address;
+  pending_.erase(it);
+
+  // Relay DONE to the source ME so it can delete its retained copy
+  // (fire-and-forget: if the source is unreachable it simply keeps the
+  // data as "pending", per §V-D's error handling).
+  const auto inbound_it = inbound_.find(transfer_id);
+  if (inbound_it != inbound_.end() && inbound_it->second.channel.has_value()) {
+    BinaryWriter done;
+    done.str(kDoneMarker);
+    done.u64(transfer_id);
+    MeRequest done_req;
+    done_req.type = MeMsgType::kDone;
+    done_req.id = transfer_id;
+    done_req.payload = inbound_it->second.channel->seal_record(done.data());
+    if (auto* net = platform().network()) {
+      net->rpc(source_address + "/me", done_req.serialize());
+    }
+    inbound_.erase(inbound_it);
+  }
+
+  reply.type = LibMsgType::kConfirmAck;
+  reply.status = Status::kOk;
+  return reply;
+}
+
+LibMsg MigrationEnclave::on_query_status(LaSessionState& session) {
+  LibMsg reply;
+  reply.type = LibMsgType::kStatusReport;
+  reply.status = Status::kOk;
+  BinaryWriter w;
+  w.u8(static_cast<uint8_t>(outgoing_state(session.peer.mr_enclave)));
+  reply.payload = w.take();
+  return reply;
+}
+
+// ----- outgoing migration (source side, paper Fig. 2 steps 3-4) -----
+
+Status MigrationEnclave::run_outgoing(const sgx::Measurement& source_mr,
+                                      const MigrateRequestPayload& request) {
+  auto* net = platform().network();
+  if (net == nullptr) return Status::kNetworkUnreachable;
+  if (request.destination_address == platform().address()) {
+    return Status::kInvalidParameter;
+  }
+  const std::string dest_endpoint = request.destination_address + "/me";
+  const uint64_t transfer_id = fresh_id();
+
+  // --- mutual remote attestation ---
+  sgx::RaSession ra(platform(), identity(), sgx::RaSession::Role::kInitiator);
+  MeRequest m1;
+  m1.type = MeMsgType::kRaMsg1;
+  m1.id = transfer_id;
+  m1.payload = ra.create_msg1().serialize();
+  auto raw2 = net->rpc(dest_endpoint, m1.serialize());
+  if (!raw2.ok()) return raw2.status();
+  auto resp2 = MeResponse::deserialize(raw2.value());
+  if (!resp2.ok()) return Status::kTampered;
+  if (resp2.value().status != Status::kOk) return resp2.value().status;
+  auto msg2 = sgx::RaMsg2::deserialize(resp2.value().payload);
+  if (!msg2.ok()) return Status::kTampered;
+  auto msg3 = ra.handle_msg2(msg2.value());
+  if (!msg3.ok()) return msg3.status();
+
+  // The destination ME must run exactly this ME's code (paper §VI-A).
+  if (!(ra.peer_identity().mr_enclave == identity().mr_enclave)) {
+    return Status::kIdentityMismatch;
+  }
+
+  // --- provider authentication (both directions) ---
+  BinaryWriter m3_payload;
+  m3_payload.bytes(msg3.value().serialize());
+  m3_payload.bytes(make_provider_auth(ra.transcript_hash()).serialize());
+  MeRequest m3;
+  m3.type = MeMsgType::kRaMsg3;
+  m3.id = transfer_id;
+  m3.payload = m3_payload.take();
+  auto raw3 = net->rpc(dest_endpoint, m3.serialize());
+  if (!raw3.ok()) return raw3.status();
+  auto resp3 = MeResponse::deserialize(raw3.value());
+  if (!resp3.ok()) return Status::kTampered;
+  if (resp3.value().status != Status::kOk) return resp3.value().status;
+  auto peer_auth = ProviderAuth::deserialize(resp3.value().payload);
+  if (!peer_auth.ok()) return Status::kTampered;
+  std::string peer_region;
+  const Status auth_status =
+      verify_provider_auth(peer_auth.value(), ra.transcript_hash(),
+                           request.destination_address, &peer_region);
+  if (auth_status != Status::kOk) return auth_status;
+
+  // --- migration policy (paper §X extension): evaluated against the
+  // destination's provider-CERTIFIED attributes, not self-claimed ones ---
+  const Status policy_status =
+      request.policy.evaluate(peer_auth.value().credential);
+  if (policy_status != Status::kOk) return policy_status;
+  (void)peer_region;
+
+  // --- transfer over the attestation-derived channel ---
+  net::SecureChannel channel(ra.session_key(),
+                             net::SecureChannel::Role::kInitiator);
+  TransferPayload payload;
+  payload.source_mr_enclave = source_mr;
+  payload.source_me_address = platform().address();
+  payload.data = request.data;
+  const Bytes payload_bytes = payload.serialize();
+  charge_gcm(payload_bytes.size());
+  MeRequest t;
+  t.type = MeMsgType::kTransfer;
+  t.id = transfer_id;
+  t.payload = channel.seal_record(payload_bytes);
+  auto raw_t = net->rpc(dest_endpoint, t.serialize());
+  if (!raw_t.ok()) return raw_t.status();
+  auto resp_t = MeResponse::deserialize(raw_t.value());
+  if (!resp_t.ok()) return Status::kTampered;
+  if (resp_t.value().status != Status::kOk) return resp_t.value().status;
+  auto ack = channel.open_record(resp_t.value().payload);
+  if (!ack.ok()) return ack.status();
+  if (to_string(ack.value()) != kAcceptedMarker) return Status::kTampered;
+
+  // Retain the data until the destination confirms delivery (paper §V-D).
+  OutgoingTransfer transfer;
+  transfer.source_mr = source_mr;
+  transfer.destination_address = request.destination_address;
+  transfer.retained_data = request.data.serialize();
+  transfer.channel = std::move(channel);
+  transfer.state = OutgoingState::kPending;
+  transfer.sequence = next_outgoing_sequence_++;
+  outgoing_[transfer_id] = std::move(transfer);
+  return Status::kOk;
+}
+
+// ----- incoming migration (destination side) -----
+
+MeResponse MigrationEnclave::on_ra_msg1(const MeRequest& req) {
+  auto msg1 = sgx::RaMsg1::deserialize(req.payload);
+  if (!msg1.ok()) return error_response(Status::kTampered);
+  InboundTransfer inbound;
+  inbound.ra = std::make_unique<sgx::RaSession>(
+      platform(), identity(), sgx::RaSession::Role::kResponder);
+  auto msg2 = inbound.ra->handle_msg1(msg1.value());
+  if (!msg2.ok()) return error_response(msg2.status());
+  MeResponse resp;
+  resp.status = Status::kOk;
+  resp.payload = msg2.value().serialize();
+  inbound_[req.id] = std::move(inbound);
+  return resp;
+}
+
+MeResponse MigrationEnclave::on_ra_msg3(const MeRequest& req) {
+  const auto it = inbound_.find(req.id);
+  if (it == inbound_.end()) return error_response(Status::kInvalidState);
+  InboundTransfer& inbound = it->second;
+
+  BinaryReader r(req.payload);
+  const Bytes msg3_bytes = r.bytes(1u << 16);
+  const Bytes auth_bytes = r.bytes(1u << 16);
+  if (!r.done()) return error_response(Status::kTampered);
+  auto msg3 = sgx::RaMsg3::deserialize(msg3_bytes);
+  if (!msg3.ok()) return error_response(Status::kTampered);
+  const Status ra_status = inbound.ra->handle_msg3(msg3.value());
+  if (ra_status != Status::kOk) {
+    inbound_.erase(it);
+    return error_response(ra_status);
+  }
+  // Peer ME identity check (mirror of the outgoing side).
+  if (!(inbound.ra->peer_identity().mr_enclave == identity().mr_enclave)) {
+    inbound_.erase(it);
+    return error_response(Status::kIdentityMismatch);
+  }
+  // Source provider authentication.
+  auto auth = ProviderAuth::deserialize(auth_bytes);
+  if (!auth.ok()) {
+    inbound_.erase(it);
+    return error_response(Status::kTampered);
+  }
+  std::string source_region;
+  const Status auth_status = verify_provider_auth(
+      auth.value(), inbound.ra->transcript_hash(),
+      /*expected_address=*/auth.value().credential.address, &source_region);
+  if (auth_status != Status::kOk) {
+    inbound_.erase(it);
+    return error_response(auth_status);
+  }
+  // Machine-level incoming policy.
+  if (!allowed_source_regions_.empty()) {
+    bool allowed = false;
+    for (const auto& region : allowed_source_regions_) {
+      if (region == source_region) allowed = true;
+    }
+    if (!allowed) {
+      inbound_.erase(it);
+      return error_response(Status::kPolicyViolation);
+    }
+  }
+  inbound.source_region = source_region;
+  inbound.authenticated = true;
+  inbound.channel.emplace(inbound.ra->session_key(),
+                          net::SecureChannel::Role::kResponder);
+
+  MeResponse resp;
+  resp.status = Status::kOk;
+  resp.payload = make_provider_auth(inbound.ra->transcript_hash()).serialize();
+  return resp;
+}
+
+MeResponse MigrationEnclave::on_transfer(const MeRequest& req) {
+  const auto it = inbound_.find(req.id);
+  if (it == inbound_.end() || !it->second.authenticated) {
+    return error_response(Status::kInvalidState);
+  }
+  InboundTransfer& inbound = it->second;
+  auto plaintext = inbound.channel->open_record(req.payload);
+  if (!plaintext.ok()) return error_response(plaintext.status());
+  charge_gcm(plaintext.value().size());
+  auto payload = TransferPayload::deserialize(plaintext.value());
+  if (!payload.ok()) return error_response(Status::kTampered);
+
+  // One pending migration per enclave identity at a time.
+  if (pending_.count(payload.value().source_mr_enclave) != 0) {
+    return error_response(Status::kAlreadyExists);
+  }
+  PendingIncoming pending;
+  pending.transfer_id = req.id;
+  pending.data = payload.value().data;
+  pending.source_me_address = payload.value().source_me_address;
+  pending_[payload.value().source_mr_enclave] = std::move(pending);
+
+  MeResponse resp;
+  resp.status = Status::kOk;
+  resp.payload =
+      inbound.channel->seal_record(to_bytes(std::string_view(kAcceptedMarker)));
+  return resp;
+}
+
+MeResponse MigrationEnclave::on_done(const MeRequest& req) {
+  const auto it = outgoing_.find(req.id);
+  if (it == outgoing_.end()) return error_response(Status::kInvalidState);
+  OutgoingTransfer& transfer = it->second;
+  auto plaintext = transfer.channel->open_record(req.payload);
+  if (!plaintext.ok()) return error_response(plaintext.status());
+  BinaryReader r(plaintext.value());
+  const std::string marker = r.str(64);
+  const uint64_t confirmed_id = r.u64();
+  if (!r.done() || marker != kDoneMarker || confirmed_id != req.id) {
+    return error_response(Status::kTampered);
+  }
+  // Destination confirmed: delete the retained migration data.
+  secure_wipe(transfer.retained_data);
+  transfer.retained_data.clear();
+  transfer.state = OutgoingState::kCompleted;
+  MeResponse resp;
+  resp.status = Status::kOk;
+  return resp;
+}
+
+// ----- provider authentication helpers -----
+
+ProviderAuth MigrationEnclave::make_provider_auth(
+    const std::array<uint8_t, 32>& transcript) {
+  ProviderAuth auth;
+  auth.credential = credential_;
+  auth.transcript_signature =
+      machine_key_.sign(provider_auth_message(transcript));
+  return auth;
+}
+
+Status MigrationEnclave::verify_provider_auth(
+    const ProviderAuth& auth, const std::array<uint8_t, 32>& transcript,
+    const std::string& expected_address, std::string* region_out) {
+  // 1. The credential must be issued by our cloud provider's CA.
+  if (!platform::ProviderCa::verify(provider_ca_key_, auth.credential)) {
+    return Status::kProviderAuthFailure;
+  }
+  // 2. It must be bound to the machine we think we are talking to.
+  if (auth.credential.address != expected_address) {
+    return Status::kProviderAuthFailure;
+  }
+  // 3. The certified machine key must have signed THIS session transcript
+  //    (freshness: no replaying certificates from other sessions).
+  if (!crypto::ed25519_verify(auth.credential.machine_public_key,
+                              provider_auth_message(transcript),
+                              auth.transcript_signature)) {
+    return Status::kProviderAuthFailure;
+  }
+  if (region_out != nullptr) *region_out = auth.credential.region;
+  return Status::kOk;
+}
+
+}  // namespace sgxmig::migration

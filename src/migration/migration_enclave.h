@@ -1,0 +1,131 @@
+// The Migration Enclave (ME) — paper §V-B / §VI-A.
+//
+// One ME runs in the management VM of every physical machine.  It:
+//  * accepts local attestations from Migration Libraries and records the
+//    attested MRENCLAVE of each session;
+//  * for OUTGOING migrations: performs mutual remote attestation with the
+//    destination ME, checks that the peer has *exactly its own* MRENCLAVE,
+//    authenticates the peer as a machine of the same cloud provider (via
+//    the operator-issued certificate + a signature over the attestation
+//    transcript), enforces region policies, transfers the migration data
+//    over the derived secure channel, and retains a copy until the
+//    destination confirms (DONE);
+//  * for INCOMING migrations: verifies the same things in the other
+//    direction, stores the data until a local enclave with the matching
+//    MRENCLAVE attests and fetches it, and relays the DONE confirmation
+//    back to the source ME so it can delete its copy.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "migration/protocol.h"
+#include "net/channel.h"
+#include "platform/provider.h"
+#include "sgx/dh.h"
+#include "sgx/enclave.h"
+#include "sgx/remote_attestation.h"
+
+namespace sgxmig::migration {
+
+class MigrationEnclave : public sgx::Enclave {
+ public:
+  /// Secure setup phase (paper §V-B): the ME generates its machine
+  /// authentication key and the cloud operator certifies it for this
+  /// machine's address and region.  Also registers the ME's network
+  /// endpoint ("<address>/me").
+  MigrationEnclave(sgx::PlatformIface& platform,
+                   std::shared_ptr<const sgx::EnclaveImage> image,
+                   platform::ProviderCa& provider);
+  ~MigrationEnclave() override;
+
+  /// The standard ME image every machine of the provider deploys.  MEs
+  /// only cooperate with peers measuring to the same MRENCLAVE.
+  static std::shared_ptr<const sgx::EnclaveImage> standard_image();
+
+  /// Untrusted dispatcher entry point: raw request from the network.
+  Result<Bytes> handle_request(ByteView raw);
+
+  /// Optional machine-level policy: if non-empty, incoming migrations are
+  /// only accepted from source machines in these regions.
+  void set_allowed_source_regions(std::vector<std::string> regions) {
+    allowed_source_regions_ = std::move(regions);
+  }
+
+  // ----- introspection (used by tests and the bench harness) -----
+  size_t pending_incoming_count() const { return pending_.size(); }
+  size_t outgoing_count() const { return outgoing_.size(); }
+  OutgoingState outgoing_state(const sgx::Measurement& mr) const;
+
+ private:
+  struct LaSessionState {
+    std::unique_ptr<sgx::DhSession> dh;
+    std::optional<net::SecureChannel> channel;
+    sgx::EnclaveIdentity peer;
+  };
+  struct InboundTransfer {
+    std::unique_ptr<sgx::RaSession> ra;
+    std::optional<net::SecureChannel> channel;
+    bool authenticated = false;
+    std::string source_region;
+  };
+  struct OutgoingTransfer {
+    sgx::Measurement source_mr{};
+    std::string destination_address;
+    Bytes retained_data;  // kept until DONE (paper §V-D)
+    std::optional<net::SecureChannel> channel;
+    OutgoingState state = OutgoingState::kPending;
+    uint64_t sequence = 0;  // creation order, for status queries
+  };
+  struct PendingIncoming {
+    uint64_t transfer_id = 0;
+    MigrationData data;
+    std::string source_me_address;
+    uint64_t delivering_session = 0;  // LA session the data was handed to
+  };
+
+  // outer-envelope handlers
+  MeResponse on_la_start(const MeRequest& req);
+  MeResponse on_la_msg2(const MeRequest& req);
+  MeResponse on_la_record(const MeRequest& req);
+  MeResponse on_ra_msg1(const MeRequest& req);
+  MeResponse on_ra_msg3(const MeRequest& req);
+  MeResponse on_transfer(const MeRequest& req);
+  MeResponse on_done(const MeRequest& req);
+
+  // inner LibMsg handlers (already authenticated via the LA channel)
+  LibMsg on_migrate_request(LaSessionState& session, const LibMsg& msg);
+  LibMsg on_fetch_incoming(uint64_t session_id, LaSessionState& session);
+  LibMsg on_confirm_migration(uint64_t session_id, LaSessionState& session);
+  LibMsg on_query_status(LaSessionState& session);
+
+  /// Runs the whole outgoing side: RA + provider auth + policy + transfer.
+  Status run_outgoing(const sgx::Measurement& source_mr,
+                      const MigrateRequestPayload& request);
+
+  /// Verifies the peer ME's provider authentication for a transcript.
+  Status verify_provider_auth(const ProviderAuth& auth,
+                              const std::array<uint8_t, 32>& transcript,
+                              const std::string& expected_address,
+                              std::string* region_out);
+
+  ProviderAuth make_provider_auth(const std::array<uint8_t, 32>& transcript);
+
+  uint64_t fresh_id();
+
+  crypto::Ed25519KeyPair machine_key_;
+  platform::MachineCredential credential_;
+  crypto::Ed25519PublicKey provider_ca_key_{};
+  std::vector<std::string> allowed_source_regions_;
+
+  std::map<uint64_t, LaSessionState> la_sessions_;
+  std::map<uint64_t, InboundTransfer> inbound_;
+  std::map<uint64_t, OutgoingTransfer> outgoing_;
+  std::map<sgx::Measurement, PendingIncoming> pending_;
+  uint64_t next_outgoing_sequence_ = 1;
+};
+
+}  // namespace sgxmig::migration

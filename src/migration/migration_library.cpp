@@ -1,0 +1,455 @@
+#include "migration/migration_library.h"
+
+#include <limits>
+
+#include "crypto/gcm.h"
+#include "migration/migration_enclave.h"
+#include "net/network.h"
+#include "support/serde.h"
+
+namespace sgxmig::migration {
+
+namespace {
+constexpr char kStateAad[] = "SGXMIG-ML-STATE";
+constexpr char kMskBlobMagic[] = "SGXMIG-MSK-SEALED-v1";
+}  // namespace
+
+MigrationLibrary::MigrationLibrary(sgx::Enclave& host)
+    : host_(host),
+      expected_me_mr_(MigrationEnclave::standard_image()->mr_enclave()) {}
+
+Status MigrationLibrary::check_operational() const {
+  if (!initialized_) return Status::kNotInitialized;
+  if (runtime_frozen_) return Status::kMigrationFrozen;
+  return Status::kOk;
+}
+
+// ----- persistence -----
+
+Status MigrationLibrary::persist(bool invoke_callback) {
+  auto sealed = host_.seal(sgx::KeyPolicy::kMrEnclave,
+                           to_bytes(std::string_view(kStateAad)),
+                           state_.serialize());
+  if (!sealed.ok()) return sealed.status();
+  sealed_state_ = std::move(sealed).value();
+  if (invoke_callback && persist_callback_) {
+    // OCALL to the untrusted application, which writes the buffer to disk.
+    host_.platform().charge(host_.platform().costs().ocall);
+    persist_callback_(sealed_state_);
+  }
+  return Status::kOk;
+}
+
+// ----- initialization (paper Fig. 1 / §VI-B "Persistent data") -----
+
+Status MigrationLibrary::migration_init(ByteView state_buffer,
+                                        InitState init_state,
+                                        const std::string& me_address) {
+  if (initialized_) return Status::kInvalidState;
+  me_address_ = me_address;
+
+  switch (init_state) {
+    case InitState::kNew: {
+      state_ = LibraryState{};
+      host_.platform().charge(host_.platform().costs().drbg_fixed);
+      host_.rng().generate(state_.msk.data(), state_.msk.size());
+      // The fresh buffer is sealed and handed back via sealed_state();
+      // there is nothing irrecoverable in it yet, so storing it is left
+      // to the application (keeps init fast, Fig. 4).
+      const Status status = persist(/*invoke_callback=*/false);
+      if (status != Status::kOk) return status;
+      initialized_ = true;
+      return Status::kOk;
+    }
+    case InitState::kRestore: {
+      auto unsealed = host_.unseal(state_buffer);
+      if (!unsealed.ok()) return unsealed.status();
+      if (to_string(unsealed.value().aad) != kStateAad) {
+        return Status::kTampered;
+      }
+      auto state = LibraryState::deserialize(unsealed.value().plaintext);
+      if (!state.ok()) return state.status();
+      // Freeze flag check: if this enclave's state was migrated away, the
+      // library refuses to operate (prevents the §III-B fork).
+      if (state.value().frozen != 0) return Status::kMigrationFrozen;
+      state_ = std::move(state).value();
+      const Status status = persist(/*invoke_callback=*/false);
+      if (status != Status::kOk) return status;
+      initialized_ = true;
+      return Status::kOk;
+    }
+    case InitState::kMigrate: {
+      const Status channel_status = ensure_me_channel();
+      if (channel_status != Status::kOk) return channel_status;
+      LibMsg fetch;
+      fetch.type = LibMsgType::kFetchIncoming;
+      auto reply = me_exchange(fetch);
+      if (!reply.ok()) return reply.status();
+      if (reply.value().type != LibMsgType::kIncomingData) {
+        return reply.value().status == Status::kOk ? Status::kUnexpected
+                                                   : reply.value().status;
+      }
+      auto data = MigrationData::deserialize(reply.value().payload);
+      if (!data.ok()) return data.status();
+      const Status apply_status = apply_incoming(data.value());
+      if (apply_status != Status::kOk) return apply_status;
+      initialized_ = true;
+      // Confirm so the source ME can delete its retained copy.
+      LibMsg confirm;
+      confirm.type = LibMsgType::kConfirmMigration;
+      auto ack = me_exchange(confirm);
+      if (!ack.ok()) return ack.status();
+      if (ack.value().type != LibMsgType::kConfirmAck) {
+        return Status::kUnexpected;
+      }
+      return Status::kOk;
+    }
+  }
+  return Status::kInvalidParameter;
+}
+
+Status MigrationLibrary::apply_incoming(const MigrationData& data) {
+  state_ = LibraryState{};
+  state_.msk = data.msk;
+  for (size_t i = 0; i < kMaxCounters; ++i) {
+    if (!data.counters_active[i]) continue;
+    // Effective value of the source becomes the offset over a fresh
+    // hardware counter starting at zero (§VI-B): constant-time per
+    // counter, regardless of its value.
+    auto created = host_.counter_create();
+    if (!created.ok()) return created.status();
+    state_.counters_active[i] = true;
+    state_.counter_uuids[i] = created.value().uuid;
+    state_.counter_offsets[i] = data.counter_values[i];
+    cached_hw_values_[i] = created.value().value;
+  }
+  // UUIDs of the fresh counters are irrecoverable: persist synchronously.
+  return persist(/*invoke_callback=*/true);
+}
+
+// ----- migratable sealing (§VI-B "Sealing") -----
+
+Result<Bytes> MigrationLibrary::seal_migratable_data(
+    ByteView additional_mac_text, ByteView text_to_encrypt) {
+  const Status op = check_operational();
+  if (op != Status::kOk) return op;
+  // No EGETKEY here — the MSK is already in enclave memory, which is why
+  // migratable sealing is marginally FASTER than standard sealing (Fig. 4).
+  host_.charge_gcm(text_to_encrypt.size() + additional_mac_text.size());
+  Bytes iv(crypto::kGcmIvSize);
+  host_.rng().generate(iv.data(), iv.size());
+  const auto ct = crypto::gcm_encrypt(
+      ByteView(state_.msk.data(), state_.msk.size()), iv, additional_mac_text,
+      text_to_encrypt);
+  BinaryWriter w;
+  w.str(kMskBlobMagic);
+  w.fixed(ct.iv);
+  w.fixed(ct.tag);
+  w.bytes(additional_mac_text);
+  w.bytes(ct.ciphertext);
+  return w.take();
+}
+
+Result<sgx::UnsealedData> MigrationLibrary::unseal_migratable_data(
+    ByteView sealed_blob) {
+  const Status op = check_operational();
+  if (op != Status::kOk) return op;
+  BinaryReader r(sealed_blob);
+  if (r.str(64) != kMskBlobMagic) return Status::kTampered;
+  const auto iv = r.fixed<12>();
+  const auto tag = r.fixed<16>();
+  const Bytes aad = r.bytes();
+  const Bytes ciphertext = r.bytes();
+  if (!r.done()) return Status::kTampered;
+  host_.charge_gcm(ciphertext.size() + aad.size());
+  auto plaintext = crypto::gcm_decrypt(
+      ByteView(state_.msk.data(), state_.msk.size()),
+      ByteView(iv.data(), iv.size()), aad, ciphertext,
+      ByteView(tag.data(), tag.size()));
+  if (!plaintext.ok()) return plaintext.status();
+  sgx::UnsealedData out;
+  out.plaintext = std::move(plaintext).value();
+  out.aad = aad;
+  return out;
+}
+
+// ----- migratable counters (§VI-B "Monotonic counters") -----
+
+Result<CreatedMigratableCounter> MigrationLibrary::create_migratable_counter() {
+  const Status op = check_operational();
+  if (op != Status::kOk) return op;
+  const size_t slot = state_.free_slot();
+  if (slot == kMaxCounters) return Status::kCounterQuotaExceeded;
+  auto created = host_.counter_create();
+  if (!created.ok()) return created.status();
+  state_.counters_active[slot] = true;
+  state_.counter_uuids[slot] = created.value().uuid;
+  state_.counter_offsets[slot] = 0;
+  cached_hw_values_[slot] = created.value().value;
+  const Status status = persist(/*invoke_callback=*/true);
+  if (status != Status::kOk) return status;
+  CreatedMigratableCounter out;
+  out.counter_id = static_cast<uint32_t>(slot);
+  out.value = created.value().value;  // 0 + offset 0
+  return out;
+}
+
+Status MigrationLibrary::destroy_migratable_counter(uint32_t counter_id) {
+  const Status op = check_operational();
+  if (op != Status::kOk) return op;
+  if (counter_id >= kMaxCounters || !state_.counters_active[counter_id]) {
+    return Status::kCounterNotFound;
+  }
+  const Status status = host_.counter_destroy(state_.counter_uuids[counter_id]);
+  if (status != Status::kOk) return status;
+  state_.counters_active[counter_id] = false;
+  state_.counter_uuids[counter_id] = {};
+  state_.counter_offsets[counter_id] = 0;
+  cached_hw_values_[counter_id].reset();
+  return persist(/*invoke_callback=*/true);
+}
+
+Result<uint32_t> MigrationLibrary::increment_migratable_counter(
+    uint32_t counter_id) {
+  const Status op = check_operational();
+  if (op != Status::kOk) return op;
+  if (counter_id >= kMaxCounters || !state_.counters_active[counter_id]) {
+    return Status::kCounterNotFound;
+  }
+  // Overflow check: the offset plus the post-increment hardware value must
+  // stay within uint32 (§VI-B).  Uses the cached hardware value when
+  // available; after a restore the first increment refreshes the cache
+  // with one read.
+  if (!cached_hw_values_[counter_id].has_value()) {
+    auto current = host_.counter_read(state_.counter_uuids[counter_id]);
+    if (!current.ok()) return current.status();
+    cached_hw_values_[counter_id] = current.value();
+  }
+  const uint64_t next_effective =
+      static_cast<uint64_t>(state_.counter_offsets[counter_id]) +
+      static_cast<uint64_t>(*cached_hw_values_[counter_id]) + 1;
+  if (next_effective > std::numeric_limits<uint32_t>::max()) {
+    return Status::kCounterOverflow;
+  }
+  auto incremented = host_.counter_increment(state_.counter_uuids[counter_id]);
+  if (!incremented.ok()) return incremented.status();
+  cached_hw_values_[counter_id] = incremented.value();
+  const Status status = persist(/*invoke_callback=*/true);
+  if (status != Status::kOk) return status;
+  return state_.counter_offsets[counter_id] + incremented.value();
+}
+
+Result<uint32_t> MigrationLibrary::read_migratable_counter(uint32_t counter_id) {
+  const Status op = check_operational();
+  if (op != Status::kOk) return op;
+  if (counter_id >= kMaxCounters || !state_.counters_active[counter_id]) {
+    return Status::kCounterNotFound;
+  }
+  auto value = host_.counter_read(state_.counter_uuids[counter_id]);
+  if (!value.ok()) return value.status();
+  cached_hw_values_[counter_id] = value.value();
+  const uint64_t effective =
+      static_cast<uint64_t>(state_.counter_offsets[counter_id]) +
+      static_cast<uint64_t>(value.value());
+  if (effective > std::numeric_limits<uint32_t>::max()) {
+    return Status::kCounterOverflow;
+  }
+  return static_cast<uint32_t>(effective);
+}
+
+// ----- ME communication -----
+
+Status MigrationLibrary::ensure_me_channel() {
+  if (me_channel_.has_value()) return Status::kOk;
+  auto* net = host_.platform().network();
+  if (net == nullptr) return Status::kNetworkUnreachable;
+  if (me_address_.empty()) return Status::kInvalidParameter;
+
+  const Bytes id_bytes = host_.rng().bytes(8);
+  la_session_id_ = 0;
+  for (int i = 0; i < 8; ++i) la_session_id_ = (la_session_id_ << 8) | id_bytes[i];
+
+  sgx::DhSession session(host_.platform(), host_.identity(),
+                         sgx::DhSession::Role::kInitiator);
+  // msg1
+  MeRequest start;
+  start.type = MeMsgType::kLaStart;
+  start.id = la_session_id_;
+  auto raw1 = net->rpc(me_address_ + "/me", start.serialize());
+  if (!raw1.ok()) return raw1.status();
+  auto resp1 = MeResponse::deserialize(raw1.value());
+  if (!resp1.ok()) return Status::kTampered;
+  if (resp1.value().status != Status::kOk) return resp1.value().status;
+  auto msg1 = sgx::DhMsg1::deserialize(resp1.value().payload);
+  if (!msg1.ok()) return Status::kTampered;
+  // msg2
+  auto msg2 = session.handle_msg1(msg1.value());
+  if (!msg2.ok()) return msg2.status();
+  MeRequest m2;
+  m2.type = MeMsgType::kLaMsg2;
+  m2.id = la_session_id_;
+  m2.payload = msg2.value().serialize();
+  auto raw3 = net->rpc(me_address_ + "/me", m2.serialize());
+  if (!raw3.ok()) return raw3.status();
+  auto resp3 = MeResponse::deserialize(raw3.value());
+  if (!resp3.ok()) return Status::kTampered;
+  if (resp3.value().status != Status::kOk) return resp3.value().status;
+  auto msg3 = sgx::DhMsg3::deserialize(resp3.value().payload);
+  if (!msg3.ok()) return Status::kTampered;
+  const Status status = session.handle_msg3(msg3.value());
+  if (status != Status::kOk) return status;
+
+  // Verify we attested the genuine Migration Enclave (paper §V-C: the
+  // library "performs local attestation of the Migration Enclave").
+  if (!(session.peer_identity().mr_enclave == expected_me_mr_)) {
+    return Status::kIdentityMismatch;
+  }
+  me_channel_.emplace(session.session_key(),
+                      net::SecureChannel::Role::kInitiator);
+  return Status::kOk;
+}
+
+Result<LibMsg> MigrationLibrary::me_exchange(const LibMsg& request) {
+  auto* net = host_.platform().network();
+  if (net == nullptr || !me_channel_.has_value()) {
+    return Status::kInvalidState;
+  }
+  MeRequest req;
+  req.type = MeMsgType::kLaRecord;
+  req.id = la_session_id_;
+  req.payload = me_channel_->seal_record(request.serialize());
+  auto raw = net->rpc(me_address_ + "/me", req.serialize());
+  if (!raw.ok()) return raw.status();
+  auto resp = MeResponse::deserialize(raw.value());
+  if (!resp.ok()) return Status::kTampered;
+  if (resp.value().status != Status::kOk) return resp.value().status;
+  auto record = me_channel_->open_record(resp.value().payload);
+  if (!record.ok()) return record.status();
+  auto msg = LibMsg::deserialize(record.value());
+  if (!msg.ok()) return Status::kTampered;
+  return msg;
+}
+
+Result<LibMsg> MigrationLibrary::me_exchange_reattest(const LibMsg& request) {
+  auto reply = me_exchange(request);
+  const Status status = reply.ok() ? Status::kOk : reply.status();
+  if (status == Status::kInvalidState || status == Status::kChannelError ||
+      status == Status::kReplayDetected || status == Status::kMacMismatch) {
+    // The ME lost our LA session (management VM restart): attest afresh
+    // and retry once.
+    me_channel_.reset();
+    const Status channel_status = ensure_me_channel();
+    if (channel_status != Status::kOk) return channel_status;
+    return me_exchange(request);
+  }
+  return reply;
+}
+
+// ----- outgoing migration (paper §V-D) -----
+
+Result<MigrationData> MigrationLibrary::collect_values() {
+  MigrationData data;
+  data.msk = state_.msk;
+  for (size_t i = 0; i < kMaxCounters; ++i) {
+    if (!state_.counters_active[i]) continue;
+    auto value = host_.counter_read(state_.counter_uuids[i]);
+    if (!value.ok()) return value.status();
+    const uint64_t effective =
+        static_cast<uint64_t>(state_.counter_offsets[i]) +
+        static_cast<uint64_t>(value.value());
+    if (effective > std::numeric_limits<uint32_t>::max()) {
+      return Status::kCounterOverflow;
+    }
+    data.counters_active[i] = true;
+    data.counter_values[i] = static_cast<uint32_t>(effective);
+  }
+  return data;
+}
+
+Status MigrationLibrary::destroy_active_counters() {
+  for (size_t i = 0; i < kMaxCounters; ++i) {
+    if (!state_.counters_active[i]) continue;
+    const Status status = host_.counter_destroy(state_.counter_uuids[i]);
+    // kCounterNotFound on a retry pass means this one is already gone.
+    if (status != Status::kOk && status != Status::kCounterNotFound) {
+      return status;
+    }
+  }
+  return Status::kOk;
+}
+
+Status MigrationLibrary::migration_start(
+    const std::string& destination_address, MigrationPolicy policy) {
+  if (!initialized_) return Status::kNotInitialized;
+  if (runtime_frozen_ && !staged_outgoing_.has_value()) {
+    return Status::kMigrationFrozen;  // already migrated away
+  }
+  const Status channel_status = ensure_me_channel();
+  if (channel_status != Status::kOk) return channel_status;
+
+  if (!staged_outgoing_.has_value()) {
+    // Freeze first: no further operations may mutate persistent state
+    // while (or after) the migration is in flight (§V-A step 2).
+    runtime_frozen_ = true;
+    auto collected = collect_values();
+    if (!collected.ok()) {
+      // Nothing destructive happened yet: the enclave may resume normal
+      // operation and retry the migration later.
+      runtime_frozen_ = false;
+      return collected.status();
+    }
+    staged_outgoing_ = std::move(collected).value();
+  }
+  if (!counters_destroyed_) {
+    // Destroy the hardware counters BEFORE any data leaves the machine
+    // (§VI-B): whatever happens later, the source's counters are gone, so
+    // stale persistent state cannot be replayed into a working fork.  If
+    // this pass fails half-way the library stays frozen and a retry
+    // resumes it (already-destroyed counters report kCounterNotFound).
+    const Status destroyed = destroy_active_counters();
+    if (destroyed != Status::kOk) return destroyed;
+    counters_destroyed_ = true;
+    // Persist the freeze flag so a restarted instance refuses to operate
+    // (§VI-B, Table II).
+    state_.frozen = 1;
+    const Status persist_status = persist(/*invoke_callback=*/true);
+    if (persist_status != Status::kOk) return persist_status;
+  }
+
+  MigrateRequestPayload payload;
+  payload.destination_address = destination_address;
+  payload.policy = std::move(policy);
+  payload.data = *staged_outgoing_;
+  LibMsg request;
+  request.type = LibMsgType::kMigrateRequest;
+  request.payload = payload.serialize();
+  auto reply = me_exchange_reattest(request);
+  if (!reply.ok()) return reply.status();
+  if (reply.value().type != LibMsgType::kMigrateAccepted) {
+    // Keep the staged data: the application may retry, possibly with a
+    // different destination (§V-D error handling).
+    return reply.value().status != Status::kOk ? reply.value().status
+                                               : Status::kMigrationAborted;
+  }
+  staged_outgoing_.reset();
+  return Status::kOk;
+}
+
+Result<OutgoingState> MigrationLibrary::query_migration_status() {
+  if (!initialized_) return Status::kNotInitialized;
+  const Status channel_status = ensure_me_channel();
+  if (channel_status != Status::kOk) return channel_status;
+  LibMsg request;
+  request.type = LibMsgType::kQueryStatus;
+  auto reply = me_exchange_reattest(request);
+  if (!reply.ok()) return reply.status();
+  if (reply.value().type != LibMsgType::kStatusReport) {
+    return Status::kUnexpected;
+  }
+  BinaryReader r(reply.value().payload);
+  const uint8_t state = r.u8();
+  if (!r.done() || state > 2) return Status::kTampered;
+  return static_cast<OutgoingState>(state);
+}
+
+}  // namespace sgxmig::migration

@@ -1,0 +1,153 @@
+// The Migration Library (ML) — paper §V-C / §VI-B.
+//
+// Linked into every migratable enclave (same protection domain — the host
+// enclave grants it friend access to its trusted runtime).  It provides:
+//
+//  * MIGRATABLE SEALING: instead of the CPU-bound sealing key, data is
+//    sealed under a Migration Sealing Key (MSK) generated once per enclave
+//    lifetime.  The MSK itself is sealed with the standard (machine-bound)
+//    sealing key inside the library's persistent buffer and travels to the
+//    destination only through attested Migration Enclaves.
+//
+//  * MIGRATABLE COUNTERS: wrappers over the SGX monotonic counters that
+//    add a per-counter OFFSET.  effective = offset + hardware value.  On
+//    migration the source sends effective values; the destination stores
+//    them as offsets over fresh (zero) hardware counters — constant-time
+//    counter migration regardless of counter value (§VI-B), the design
+//    choice benchmarked in bench/ablation_counter_offset.cpp.
+//    Application code addresses counters by a small library-assigned id
+//    instead of the SGX UUID (the only API change vs. the SDK).
+//
+//  * THE MIGRATION PROTOCOL CLIENT: local attestation of the ME, the
+//    freeze flag, counter destruction before data leaves the machine, and
+//    the incoming-migration restore path.
+//
+// Crash-consistency note: the library re-seals and persists its internal
+// buffer (Table II) synchronously inside every *mutating* counter
+// operation — losing the UUID table or offsets would permanently strand
+// the enclave's counters.  This synchronous persist is the mechanistic
+// source of the small overhead on create/increment/destroy in Fig. 3
+// (≤ ~12%); reads touch no state and show no significant overhead.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "migration/library_state.h"
+#include "migration/protocol.h"
+#include "net/channel.h"
+#include "sgx/enclave.h"
+
+namespace sgxmig::migration {
+
+/// Paper Fig. 1: how the enclave is being initialized.
+enum class InitState : uint8_t {
+  kNew = 1,      // first-ever start: generate a fresh MSK
+  kRestore = 2,  // restart on the same machine: reload the sealed buffer
+  kMigrate = 3,  // start on the destination machine: fetch incoming data
+};
+
+struct CreatedMigratableCounter {
+  uint32_t counter_id = 0;  // library-assigned id (not the SGX UUID)
+  uint32_t value = 0;       // effective value (starts at 0)
+};
+
+class MigrationLibrary {
+ public:
+  /// `host` is the enclave embedding this library.
+  explicit MigrationLibrary(sgx::Enclave& host);
+
+  /// OCALL the library uses to hand its sealed persistent buffer to the
+  /// untrusted application for storage (invoked on mutating counter ops
+  /// and migration events; after migration_init the application should
+  /// store sealed_state() itself).
+  using PersistCallback = std::function<void(ByteView sealed_state)>;
+  void set_persist_callback(PersistCallback callback) {
+    persist_callback_ = std::move(callback);
+  }
+
+  /// Overrides the MRENCLAVE the library expects the local ME to attest
+  /// with (defaults to MigrationEnclave::standard_image()).
+  void set_expected_me_measurement(const sgx::Measurement& mr) {
+    expected_me_mr_ = mr;
+  }
+
+  // ----- Listing 1: interface for the untrusted application -----
+
+  /// Initializes the library.  `state_buffer` is the previously stored
+  /// sealed buffer for kRestore (ignored otherwise).  Refuses to operate
+  /// if the restored buffer carries the freeze flag (the enclave was
+  /// migrated away).  For kMigrate, contacts the local ME and applies the
+  /// incoming migration data.
+  Status migration_init(ByteView state_buffer, InitState init_state,
+                        const std::string& me_address);
+
+  /// Starts a migration to `destination_address`: freezes the library,
+  /// collects effective counter values, DESTROYS the hardware counters,
+  /// sets + persists the freeze flag, and hands the migration data to the
+  /// local ME.  `policy` optionally constrains the destination (§X
+  /// extension); it is enforced by the source ME against the
+  /// destination's certified attributes.  On failure the collected data
+  /// stays staged so the application can retry with another destination.
+  Status migration_start(const std::string& destination_address,
+                         MigrationPolicy policy = {});
+
+  /// Asks the local ME for the state of this enclave's outgoing migration.
+  Result<OutgoingState> query_migration_status();
+
+  // ----- Listing 2: interface for the application enclave -----
+
+  Result<Bytes> seal_migratable_data(ByteView additional_mac_text,
+                                     ByteView text_to_encrypt);
+  Result<sgx::UnsealedData> unseal_migratable_data(ByteView sealed_blob);
+
+  Result<CreatedMigratableCounter> create_migratable_counter();
+  Status destroy_migratable_counter(uint32_t counter_id);
+  Result<uint32_t> increment_migratable_counter(uint32_t counter_id);
+  Result<uint32_t> read_migratable_counter(uint32_t counter_id);
+
+  // ----- state inspection -----
+  bool initialized() const { return initialized_; }
+  bool frozen() const { return runtime_frozen_; }
+  /// Latest sealed persistent buffer (Table II) for the application to
+  /// store.
+  const Bytes& sealed_state() const { return sealed_state_; }
+  size_t active_counters() const { return state_.active_count(); }
+
+ private:
+  Status ensure_me_channel();
+  /// Sends one LibMsg over the LA channel and returns the reply.
+  Result<LibMsg> me_exchange(const LibMsg& request);
+  /// Like me_exchange, but re-runs local attestation once if the ME lost
+  /// the session (e.g. the management VM restarted) and retries.
+  Result<LibMsg> me_exchange_reattest(const LibMsg& request);
+  /// Seals the internal buffer and (optionally) OCALLs it out.
+  Status persist(bool invoke_callback);
+  Status apply_incoming(const MigrationData& data);
+  Result<MigrationData> collect_values();
+  Status destroy_active_counters();
+  Status check_operational() const;
+
+  sgx::Enclave& host_;
+  LibraryState state_;
+  // In-memory cache of the hardware counter values (filled by create/
+  // read/increment).  Lets the increment overflow check run without an
+  // extra Platform Services round trip; safe because this library
+  // instance is the counter's only user (the UUID nonce is sealed in the
+  // library state).
+  std::array<std::optional<uint32_t>, kMaxCounters> cached_hw_values_{};
+  Bytes sealed_state_;
+  PersistCallback persist_callback_;
+  sgx::Measurement expected_me_mr_{};
+  std::string me_address_;
+  bool initialized_ = false;
+  bool runtime_frozen_ = false;
+  uint64_t la_session_id_ = 0;
+  std::optional<net::SecureChannel> me_channel_;
+  std::optional<MigrationData> staged_outgoing_;
+  bool counters_destroyed_ = false;
+};
+
+}  // namespace sgxmig::migration

@@ -1,0 +1,123 @@
+#include "migration/protocol.h"
+
+namespace sgxmig::migration {
+
+Bytes MeRequest::serialize() const {
+  BinaryWriter w;
+  w.u8(static_cast<uint8_t>(type));
+  w.u64(id);
+  w.bytes(payload);
+  return w.take();
+}
+
+Result<MeRequest> MeRequest::deserialize(ByteView bytes) {
+  BinaryReader r(bytes);
+  MeRequest req;
+  const uint8_t type = r.u8();
+  if (type < 1 || type > 7) return Status::kTampered;
+  req.type = static_cast<MeMsgType>(type);
+  req.id = r.u64();
+  req.payload = r.bytes(1u << 22);
+  if (!r.done()) return Status::kTampered;
+  return req;
+}
+
+Bytes MeResponse::serialize() const {
+  BinaryWriter w;
+  w.u32(static_cast<uint32_t>(status));
+  w.bytes(payload);
+  return w.take();
+}
+
+Result<MeResponse> MeResponse::deserialize(ByteView bytes) {
+  BinaryReader r(bytes);
+  MeResponse resp;
+  resp.status = static_cast<Status>(r.u32());
+  resp.payload = r.bytes(1u << 22);
+  if (!r.done()) return Status::kTampered;
+  return resp;
+}
+
+Bytes LibMsg::serialize() const {
+  BinaryWriter w;
+  w.u8(static_cast<uint8_t>(type));
+  w.u32(static_cast<uint32_t>(status));
+  w.bytes(payload);
+  return w.take();
+}
+
+Result<LibMsg> LibMsg::deserialize(ByteView bytes) {
+  BinaryReader r(bytes);
+  LibMsg msg;
+  msg.type = static_cast<LibMsgType>(r.u8());
+  msg.status = static_cast<Status>(r.u32());
+  msg.payload = r.bytes(1u << 22);
+  if (!r.done()) return Status::kTampered;
+  return msg;
+}
+
+Bytes MigrateRequestPayload::serialize() const {
+  BinaryWriter w;
+  w.str(destination_address);
+  policy.serialize(w);
+  w.bytes(data.serialize());
+  return w.take();
+}
+
+Result<MigrateRequestPayload> MigrateRequestPayload::deserialize(
+    ByteView bytes) {
+  BinaryReader r(bytes);
+  MigrateRequestPayload p;
+  p.destination_address = r.str(256);
+  auto policy = MigrationPolicy::deserialize(r);
+  if (!policy.ok()) return Status::kTampered;
+  p.policy = std::move(policy).value();
+  auto data = MigrationData::deserialize(r.bytes(1u << 20));
+  if (!r.done() || !data.ok()) return Status::kTampered;
+  p.data = std::move(data).value();
+  return p;
+}
+
+Bytes TransferPayload::serialize() const {
+  BinaryWriter w;
+  w.fixed(source_mr_enclave);
+  w.str(source_me_address);
+  w.bytes(data.serialize());
+  return w.take();
+}
+
+Result<TransferPayload> TransferPayload::deserialize(ByteView bytes) {
+  BinaryReader r(bytes);
+  TransferPayload p;
+  p.source_mr_enclave = r.fixed<32>();
+  p.source_me_address = r.str(256);
+  auto data = MigrationData::deserialize(r.bytes(1u << 20));
+  if (!r.done() || !data.ok()) return Status::kTampered;
+  p.data = std::move(data).value();
+  return p;
+}
+
+Bytes ProviderAuth::serialize() const {
+  BinaryWriter w;
+  credential.serialize(w);
+  w.fixed(transcript_signature);
+  return w.take();
+}
+
+Result<ProviderAuth> ProviderAuth::deserialize(ByteView bytes) {
+  BinaryReader r(bytes);
+  ProviderAuth auth;
+  auth.credential = platform::MachineCredential::deserialize(r);
+  auth.transcript_signature = r.fixed<64>();
+  if (!r.done()) return Status::kTampered;
+  return auth;
+}
+
+Bytes provider_auth_message(const std::array<uint8_t, 32>& transcript_hash) {
+  BinaryWriter w;
+  w.str("SGXMIG-PROVIDER-AUTH-v1");
+  w.fixed(transcript_hash);
+  return w.take();
+}
+
+}  // namespace sgxmig::migration

@@ -1,0 +1,125 @@
+// Wire messages of the migration protocol (paper Fig. 2).
+//
+// Two layers:
+//  * the OUTER envelope (MeRequest/MeResponse) travels over the untrusted
+//    network to a Migration Enclave's endpoint and carries attestation
+//    handshake messages or encrypted channel records;
+//  * the INNER messages travel as plaintext of SecureChannel records and
+//    are only visible to the attested endpoints:
+//      - LibMsg between a Migration Library and its local ME,
+//      - TransferPayload / DONE between source and destination MEs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "migration/migration_data.h"
+#include "migration/policy.h"
+#include "platform/provider.h"
+#include "sgx/types.h"
+#include "support/bytes.h"
+#include "support/serde.h"
+#include "support/status.h"
+
+namespace sgxmig::migration {
+
+// ----- outer envelope -----
+
+enum class MeMsgType : uint8_t {
+  kLaStart = 1,   // ML -> ME: begin local attestation (payload empty)
+  kLaMsg2 = 2,    // ML -> ME: DH msg2 (payload = DhMsg2)
+  kLaRecord = 3,  // ML -> ME: encrypted LibMsg record
+  kRaMsg1 = 4,    // ME_src -> ME_dst: RA msg1
+  kRaMsg3 = 5,    // ME_src -> ME_dst: RA msg3 + provider auth
+  kTransfer = 6,  // ME_src -> ME_dst: encrypted TransferPayload record
+  kDone = 7,      // ME_dst -> ME_src: encrypted DONE record
+};
+
+struct MeRequest {
+  MeMsgType type = MeMsgType::kLaStart;
+  uint64_t id = 0;  // LA session id or transfer id
+  Bytes payload;
+
+  Bytes serialize() const;
+  static Result<MeRequest> deserialize(ByteView bytes);
+};
+
+struct MeResponse {
+  Status status = Status::kUnexpected;
+  Bytes payload;
+
+  Bytes serialize() const;
+  static Result<MeResponse> deserialize(ByteView bytes);
+};
+
+// ----- inner ML <-> ME messages -----
+
+enum class LibMsgType : uint8_t {
+  // requests (ML -> ME)
+  kMigrateRequest = 1,
+  kFetchIncoming = 2,
+  kConfirmMigration = 3,
+  kQueryStatus = 4,
+  // responses (ME -> ML)
+  kMigrateAccepted = 10,
+  kIncomingData = 11,
+  kConfirmAck = 12,
+  kStatusReport = 13,
+  kError = 14,
+};
+
+struct LibMsg {
+  LibMsgType type = LibMsgType::kError;
+  Status status = Status::kOk;
+  Bytes payload;
+
+  Bytes serialize() const;
+  static Result<LibMsg> deserialize(ByteView bytes);
+};
+
+/// Payload of kMigrateRequest.
+struct MigrateRequestPayload {
+  std::string destination_address;
+  /// Migration policy (paper §X extension), enforced by the source ME
+  /// against the destination machine's certified attributes.
+  MigrationPolicy policy;
+  MigrationData data;
+
+  Bytes serialize() const;
+  static Result<MigrateRequestPayload> deserialize(ByteView bytes);
+};
+
+/// Payload of kStatusReport.
+enum class OutgoingState : uint8_t {
+  kNone = 0,       // no outgoing migration known for this enclave
+  kPending = 1,    // data transferred, waiting for destination confirm
+  kCompleted = 2,  // destination confirmed; source data deleted
+};
+
+// ----- inner ME <-> ME messages -----
+
+/// Payload of the kTransfer record.
+struct TransferPayload {
+  sgx::Measurement source_mr_enclave{};
+  std::string source_me_address;
+  MigrationData data;
+
+  Bytes serialize() const;
+  static Result<TransferPayload> deserialize(ByteView bytes);
+};
+
+/// Provider authentication attached to RA msg3 and its response: the
+/// machine credential plus a signature over the attestation transcript
+/// with the certified machine key (paper §V-B).
+struct ProviderAuth {
+  platform::MachineCredential credential;
+  crypto::Ed25519Signature transcript_signature{};
+
+  Bytes serialize() const;
+  static Result<ProviderAuth> deserialize(ByteView bytes);
+};
+
+/// Message a machine key signs to authenticate an RA transcript.
+Bytes provider_auth_message(const std::array<uint8_t, 32>& transcript_hash);
+
+}  // namespace sgxmig::migration

@@ -1,0 +1,126 @@
+#include "migration/sdk_api.h"
+
+#include <cstring>
+
+#include "crypto/gcm.h"
+
+namespace sgxmig::migration {
+
+namespace {
+// magic(str) + iv + tag + aad + ciphertext with u32 length prefixes, as
+// produced by MigrationLibrary::seal_migratable_data.
+constexpr uint32_t kBlobOverhead = 4 + 20 /*magic*/ + 12 + 16 + 4 + 4;
+}  // namespace
+
+uint32_t sgx_calc_migratable_sealed_data_size(
+    uint32_t additional_MACtext_length, uint32_t text2encrypt_length) {
+  return kBlobOverhead + additional_MACtext_length + text2encrypt_length;
+}
+
+Status sgx_seal_migratable_data(MigrationLibrary& lib,
+                                uint32_t additional_MACtext_length,
+                                const uint8_t* p_additional_MACtext,
+                                uint32_t text2encrypt_length,
+                                const uint8_t* p_text2encrypt,
+                                uint32_t sealed_data_size,
+                                uint8_t* p_sealed_data) {
+  if ((additional_MACtext_length != 0 && p_additional_MACtext == nullptr) ||
+      (text2encrypt_length != 0 && p_text2encrypt == nullptr) ||
+      p_sealed_data == nullptr) {
+    return Status::kInvalidParameter;
+  }
+  auto sealed = lib.seal_migratable_data(
+      ByteView(p_additional_MACtext, additional_MACtext_length),
+      ByteView(p_text2encrypt, text2encrypt_length));
+  if (!sealed.ok()) return sealed.status();
+  if (sealed.value().size() > sealed_data_size) {
+    return Status::kInvalidParameter;  // buffer too small
+  }
+  std::memcpy(p_sealed_data, sealed.value().data(), sealed.value().size());
+  return Status::kOk;
+}
+
+Status sgx_unseal_migratable_data(MigrationLibrary& lib,
+                                  const uint8_t* p_sealed_data,
+                                  uint32_t sealed_data_size,
+                                  uint8_t* p_additional_MACtext,
+                                  uint32_t* p_additional_MACtext_length,
+                                  uint8_t* p_decrypted_text,
+                                  uint32_t* p_decrypted_text_length) {
+  if (p_sealed_data == nullptr || p_additional_MACtext_length == nullptr ||
+      p_decrypted_text_length == nullptr) {
+    return Status::kInvalidParameter;
+  }
+  auto unsealed =
+      lib.unseal_migratable_data(ByteView(p_sealed_data, sealed_data_size));
+  if (!unsealed.ok()) return unsealed.status();
+  const Bytes& aad = unsealed.value().aad;
+  const Bytes& plaintext = unsealed.value().plaintext;
+  if (aad.size() > *p_additional_MACtext_length ||
+      plaintext.size() > *p_decrypted_text_length) {
+    // Report required sizes, as the SDK does.
+    *p_additional_MACtext_length = static_cast<uint32_t>(aad.size());
+    *p_decrypted_text_length = static_cast<uint32_t>(plaintext.size());
+    return Status::kInvalidParameter;
+  }
+  if (!aad.empty()) std::memcpy(p_additional_MACtext, aad.data(), aad.size());
+  if (!plaintext.empty()) {
+    std::memcpy(p_decrypted_text, plaintext.data(), plaintext.size());
+  }
+  *p_additional_MACtext_length = static_cast<uint32_t>(aad.size());
+  *p_decrypted_text_length = static_cast<uint32_t>(plaintext.size());
+  return Status::kOk;
+}
+
+Status sgx_create_migratable_counter(MigrationLibrary& lib,
+                                     uint32_t* p_counter_id,
+                                     uint32_t* p_counter_value) {
+  if (p_counter_id == nullptr || p_counter_value == nullptr) {
+    return Status::kInvalidParameter;
+  }
+  auto created = lib.create_migratable_counter();
+  if (!created.ok()) return created.status();
+  *p_counter_id = created.value().counter_id;
+  *p_counter_value = created.value().value;
+  return Status::kOk;
+}
+
+Status sgx_destroy_migratable_counter(MigrationLibrary& lib,
+                                      uint32_t counter_id) {
+  return lib.destroy_migratable_counter(counter_id);
+}
+
+Status sgx_increment_migratable_counter(MigrationLibrary& lib,
+                                        uint32_t counter_id,
+                                        uint32_t* p_counter_value) {
+  if (p_counter_value == nullptr) return Status::kInvalidParameter;
+  auto value = lib.increment_migratable_counter(counter_id);
+  if (!value.ok()) return value.status();
+  *p_counter_value = value.value();
+  return Status::kOk;
+}
+
+Status sgx_read_migratable_counter(MigrationLibrary& lib, uint32_t counter_id,
+                                   uint32_t* p_counter_value) {
+  if (p_counter_value == nullptr) return Status::kInvalidParameter;
+  auto value = lib.read_migratable_counter(counter_id);
+  if (!value.ok()) return value.status();
+  *p_counter_value = value.value();
+  return Status::kOk;
+}
+
+Status migration_init(MigrationLibrary& lib, const uint8_t* p_data_buffer,
+                      uint32_t data_buffer_length, InitState init_state,
+                      const char* me_address) {
+  if (me_address == nullptr) return Status::kInvalidParameter;
+  return lib.migration_init(ByteView(p_data_buffer, data_buffer_length),
+                            init_state, me_address);
+}
+
+Status migration_start(MigrationLibrary& lib,
+                       const char* destination_address) {
+  if (destination_address == nullptr) return Status::kInvalidParameter;
+  return lib.migration_start(destination_address);
+}
+
+}  // namespace sgxmig::migration

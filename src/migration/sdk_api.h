@@ -1,0 +1,82 @@
+// The paper's exact API surface — Listings 1 and 2 — as C-style wrapper
+// functions over MigrationLibrary.
+//
+// The §VII-C usability claim is that porting an enclave takes minimal
+// effort: "For sealing, only the function name changes as the other
+// function parameters are identical to the standard SGX Library
+// functions.  For the monotonic counter operations, the developer only
+// has to change the function name and switch from using the SGX UUIDs to
+// the counter id."  These wrappers reproduce that surface literally so
+// the usability comparison in tests/test_sdk_api.cpp is against the real
+// signatures:
+//
+//   Listing 1 (untrusted application):
+//     migration_init(p_data_buffer, init_state, ME_address);
+//     migration_start(destination_address);
+//
+//   Listing 2 (application enclave):
+//     sgx_seal_migratable_data(additional_MACtext_length,
+//         p_additional_MACtext, text2encrypt_length, p_text2encrypt,
+//         sealed_data_size, p_sealed_data);
+//     sgx_unseal_migratable_data(p_sealed_data, p_additional_MACtext,
+//         p_additional_MACtext_length, p_decrypted_text,
+//         p_decrypted_text_length);
+//     sgx_create_migratable_counter(p_counter_id, p_counter_value);
+//     sgx_destroy_migratable_counter(counter_id);
+//     sgx_increment_migratable_counter(counter_id, p_counter_value);
+//     sgx_read_migratable_counter(counter_id, p_counter_value);
+#pragma once
+
+#include <cstdint>
+
+#include "migration/migration_library.h"
+
+namespace sgxmig::migration {
+
+/// Sealed-blob size for a given payload (like sgx_calc_sealed_data_size);
+/// use it to size the p_sealed_data buffer.
+uint32_t sgx_calc_migratable_sealed_data_size(uint32_t additional_MACtext_length,
+                                              uint32_t text2encrypt_length);
+
+// ----- Listing 2: in-enclave API -----
+
+Status sgx_seal_migratable_data(MigrationLibrary& lib,
+                                uint32_t additional_MACtext_length,
+                                const uint8_t* p_additional_MACtext,
+                                uint32_t text2encrypt_length,
+                                const uint8_t* p_text2encrypt,
+                                uint32_t sealed_data_size,
+                                uint8_t* p_sealed_data);
+
+Status sgx_unseal_migratable_data(MigrationLibrary& lib,
+                                  const uint8_t* p_sealed_data,
+                                  uint32_t sealed_data_size,
+                                  uint8_t* p_additional_MACtext,
+                                  uint32_t* p_additional_MACtext_length,
+                                  uint8_t* p_decrypted_text,
+                                  uint32_t* p_decrypted_text_length);
+
+Status sgx_create_migratable_counter(MigrationLibrary& lib,
+                                     uint32_t* p_counter_id,
+                                     uint32_t* p_counter_value);
+
+Status sgx_destroy_migratable_counter(MigrationLibrary& lib,
+                                      uint32_t counter_id);
+
+Status sgx_increment_migratable_counter(MigrationLibrary& lib,
+                                        uint32_t counter_id,
+                                        uint32_t* p_counter_value);
+
+Status sgx_read_migratable_counter(MigrationLibrary& lib, uint32_t counter_id,
+                                   uint32_t* p_counter_value);
+
+// ----- Listing 1: untrusted-application API -----
+
+Status migration_init(MigrationLibrary& lib, const uint8_t* p_data_buffer,
+                      uint32_t data_buffer_length, InitState init_state,
+                      const char* me_address);
+
+Status migration_start(MigrationLibrary& lib,
+                       const char* destination_address);
+
+}  // namespace sgxmig::migration

@@ -1,0 +1,41 @@
+// Authenticated-encryption record channel over an attestation-derived key.
+//
+// Every enclave-to-enclave conversation (Migration Library <-> Migration
+// Enclave after local attestation; Migration Enclave <-> Migration Enclave
+// after remote attestation) runs over one of these.  Records are AES-GCM
+// with direction-tagged deterministic IVs and strictly increasing sequence
+// numbers, so reflection, reordering, and replay of records within a
+// session are all detected.
+#pragma once
+
+#include "crypto/gcm.h"
+#include "sgx/types.h"
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace sgxmig::net {
+
+class SecureChannel {
+ public:
+  enum class Role { kInitiator, kResponder };
+
+  SecureChannel(const sgx::Key128& key, Role role);
+
+  /// Encrypts and frames one record.
+  Bytes seal_record(ByteView plaintext);
+
+  /// Opens the next record; enforces the expected sequence number.
+  Result<Bytes> open_record(ByteView record);
+
+  uint64_t records_sent() const { return send_seq_; }
+  uint64_t records_received() const { return recv_seq_; }
+
+ private:
+  sgx::Key128 key_;
+  uint32_t send_dir_;
+  uint32_t recv_dir_;
+  uint64_t send_seq_ = 0;
+  uint64_t recv_seq_ = 0;
+};
+
+}  // namespace sgxmig::net

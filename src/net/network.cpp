@@ -1,0 +1,61 @@
+#include "net/network.h"
+
+namespace sgxmig::net {
+
+Network::Network(VirtualClock& clock, Rng& rng, const CostModel& costs)
+    : clock_(clock), rng_(rng), costs_(costs) {}
+
+void Network::register_endpoint(const std::string& address,
+                                RpcHandler handler) {
+  endpoints_[address] = std::move(handler);
+}
+
+void Network::unregister_endpoint(const std::string& address) {
+  endpoints_.erase(address);
+  down_.erase(address);
+}
+
+bool Network::has_endpoint(const std::string& address) const {
+  return endpoints_.count(address) != 0;
+}
+
+void Network::charge(Duration base) {
+  clock_.advance(Duration(static_cast<int64_t>(
+      static_cast<double>(base.count()) * rng_.jitter(costs_.jitter_sigma))));
+}
+
+Result<Bytes> Network::rpc(const std::string& to, ByteView request) {
+  const auto it = endpoints_.find(to);
+  if (it == endpoints_.end()) return Status::kNetworkUnreachable;
+  const auto down_it = down_.find(to);
+  if (down_it != down_.end() && down_it->second) {
+    return Status::kNetworkUnreachable;
+  }
+
+  Bytes in_flight = to_bytes(request);
+  if (tamper_ != nullptr && !tamper_(to, in_flight)) {
+    // Dropped by the adversary; the caller observes a network failure.
+    charge(costs_.net_latency);
+    return Status::kNetworkUnreachable;
+  }
+
+  ++rpcs_sent_;
+  bytes_sent_ += in_flight.size();
+  charge(costs_.net_latency + costs_.transfer_time(in_flight.size()));
+
+  Result<Bytes> response = it->second(in_flight);
+
+  if (response.ok()) {
+    bytes_sent_ += response.value().size();
+    charge(costs_.net_latency + costs_.transfer_time(response.value().size()));
+  } else {
+    charge(costs_.net_latency);
+  }
+  return response;
+}
+
+void Network::set_endpoint_down(const std::string& address, bool down) {
+  down_[address] = down;
+}
+
+}  // namespace sgxmig::net

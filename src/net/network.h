@@ -1,0 +1,64 @@
+// Simulated data-center network.
+//
+// Synchronous RPC between named endpoints, charging virtual time for
+// latency and bandwidth.  The network is UNTRUSTED: the adversary hooks
+// let tests and attack harnesses observe, tamper with, or drop any
+// message, matching the paper's threat model ("the ability to monitor and
+// manipulate all network traffic").  Security must come from the
+// attestation-derived secure channels layered on top (net/channel.h).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "support/bytes.h"
+#include "support/cost_model.h"
+#include "support/rng.h"
+#include "support/sim_clock.h"
+#include "support/status.h"
+
+namespace sgxmig::net {
+
+using RpcHandler = std::function<Result<Bytes>(ByteView request)>;
+
+/// Inspect/modify a request in flight; return false to drop it.
+using TamperHook =
+    std::function<bool(const std::string& to, Bytes& request)>;
+
+class Network {
+ public:
+  Network(VirtualClock& clock, Rng& rng, const CostModel& costs);
+
+  void register_endpoint(const std::string& address, RpcHandler handler);
+  void unregister_endpoint(const std::string& address);
+  bool has_endpoint(const std::string& address) const;
+
+  /// Synchronous request/response.  Charges 2x one-way latency plus
+  /// transfer time for both directions.  Returns kNetworkUnreachable for
+  /// unknown or downed endpoints and for dropped messages.
+  Result<Bytes> rpc(const std::string& to, ByteView request);
+
+  // ----- fault & adversary injection -----
+  void set_endpoint_down(const std::string& address, bool down);
+  void set_tamper_hook(TamperHook hook) { tamper_ = std::move(hook); }
+  void clear_tamper_hook() { tamper_ = nullptr; }
+
+  // ----- accounting -----
+  uint64_t rpcs_sent() const { return rpcs_sent_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  void charge(Duration base);
+
+  VirtualClock& clock_;
+  Rng& rng_;
+  const CostModel& costs_;
+  std::map<std::string, RpcHandler> endpoints_;
+  std::map<std::string, bool> down_;
+  TamperHook tamper_;
+  uint64_t rpcs_sent_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace sgxmig::net

@@ -1,0 +1,25 @@
+#include "net/proxy.h"
+
+namespace sgxmig::net {
+
+GuestUdsProxy::GuestUdsProxy(Network& network, std::string uds_address,
+                             std::string mgmt_tcp_address)
+    : network_(network),
+      uds_address_(std::move(uds_address)),
+      mgmt_tcp_address_(std::move(mgmt_tcp_address)) {
+  network_.register_endpoint(uds_address_, [this](ByteView request) {
+    return network_.rpc(mgmt_tcp_address_, request);
+  });
+}
+
+GuestUdsProxy::~GuestUdsProxy() { network_.unregister_endpoint(uds_address_); }
+
+MgmtTcpProxy::MgmtTcpProxy(Network& network, std::string tcp_address,
+                           RpcHandler target)
+    : network_(network), tcp_address_(std::move(tcp_address)) {
+  network_.register_endpoint(tcp_address_, std::move(target));
+}
+
+MgmtTcpProxy::~MgmtTcpProxy() { network_.unregister_endpoint(tcp_address_); }
+
+}  // namespace sgxmig::net

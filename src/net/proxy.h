@@ -1,0 +1,52 @@
+// The Unix-socket <-> TCP proxy pair from paper §VI-C.
+//
+// The SGX SDK talks to Platform Services over a Unix socket; with enclaves
+// confined to guest VMs and Platform Services in the management VM, the
+// paper bridges the gap with two proxies: one inside the guest VM
+// (listening where the SDK expects the Unix socket, forwarding over TCP)
+// and one in the management VM (accepting TCP, forwarding to the real Unix
+// socket).  Both legs are untrusted; this changes nothing security-wise
+// because PSE sessions are protected end to end.
+#pragma once
+
+#include <string>
+
+#include "net/network.h"
+
+namespace sgxmig::net {
+
+/// Guest-VM side: the simulated Unix socket endpoint that forwards every
+/// request over "TCP" (a network RPC) to the management VM endpoint.
+class GuestUdsProxy {
+ public:
+  GuestUdsProxy(Network& network, std::string uds_address,
+                std::string mgmt_tcp_address);
+  ~GuestUdsProxy();
+
+  GuestUdsProxy(const GuestUdsProxy&) = delete;
+  GuestUdsProxy& operator=(const GuestUdsProxy&) = delete;
+
+  const std::string& uds_address() const { return uds_address_; }
+
+ private:
+  Network& network_;
+  std::string uds_address_;
+  std::string mgmt_tcp_address_;
+};
+
+/// Management-VM side: accepts the "TCP" connection and forwards to the
+/// local Platform Services handler (the real Unix socket in the paper).
+class MgmtTcpProxy {
+ public:
+  MgmtTcpProxy(Network& network, std::string tcp_address, RpcHandler target);
+  ~MgmtTcpProxy();
+
+  MgmtTcpProxy(const MgmtTcpProxy&) = delete;
+  MgmtTcpProxy& operator=(const MgmtTcpProxy&) = delete;
+
+ private:
+  Network& network_;
+  std::string tcp_address_;
+};
+
+}  // namespace sgxmig::net

@@ -1,0 +1,129 @@
+#include "platform/machine.h"
+
+#include "platform/world.h"
+#include "sgx/pse_wire.h"
+
+namespace sgxmig::platform {
+
+Machine::Machine(World& world, std::string address, std::string region,
+                 uint32_t cpu_cores, uint64_t seed)
+    : world_(world),
+      address_(std::move(address)),
+      region_(std::move(region)),
+      cpu_cores_(cpu_cores),
+      rng_(seed),
+      cpu_(to_array<32>(rng_.bytes(32))) {
+  rng_.fill(pse_session_secret_.data(), pse_session_secret_.size());
+  storage_ = std::make_unique<UntrustedStore>(world_.clock(), world_.costs());
+  quoting_enclave_ = std::make_unique<sgx::QuotingEnclave>(
+      *this, world_.epid_authority().provision_member());
+  // §VI-C deployment: Platform Services live in the management VM; guest
+  // enclaves reach them via the Unix-socket -> TCP proxy chain.
+  pse_tcp_proxy_ = std::make_unique<net::MgmtTcpProxy>(
+      world_.network(), pse_tcp_endpoint(),
+      [this](ByteView request) { return pse_service_handler(request); });
+  pse_uds_proxy_ = std::make_unique<net::GuestUdsProxy>(
+      world_.network(), pse_uds_endpoint(), pse_tcp_endpoint());
+}
+
+Machine::~Machine() = default;
+
+VirtualClock& Machine::clock() { return world_.clock(); }
+
+const CostModel& Machine::costs() const { return world_.costs(); }
+
+void Machine::charge(Duration base) {
+  clock().advance(Duration(static_cast<int64_t>(
+      static_cast<double>(base.count()) *
+      rng_.jitter(world_.costs().jitter_sigma))));
+}
+
+Bytes Machine::draw_entropy(size_t len) { return rng_.bytes(len); }
+
+net::Network* Machine::network() { return &world_.network(); }
+
+sgx::IntelAttestationService& Machine::attestation_service() {
+  return world_.ias();
+}
+
+Result<Bytes> Machine::pse_call(const sgx::Measurement& caller,
+                                ByteView request) {
+  // The trusted runtime attaches the session token before the request
+  // leaves the enclave; the proxies in between only see ciphertext-like
+  // opaque bytes they cannot mint themselves.
+  auto parsed = sgx::PseRequest::deserialize(request);
+  if (!parsed.ok()) return Status::kInvalidParameter;
+  sgx::PseRequest req = std::move(parsed).value();
+  req.owner = caller;
+  req.session_token = sgx::pse_session_token(pse_session_secret_, caller);
+  return world_.network().rpc(pse_uds_endpoint(), req.serialize());
+}
+
+Result<Bytes> Machine::pse_service_handler(ByteView request) {
+  auto parsed = sgx::PseRequest::deserialize(request);
+  sgx::PseResponse resp;
+  if (!parsed.ok()) {
+    resp.status = Status::kTampered;
+    return resp.serialize();
+  }
+  const sgx::PseRequest& req = parsed.value();
+
+  // Session check: only callers that obtained a token from this machine's
+  // trusted path (i.e. genuine local enclaves) are served.
+  const auto expected =
+      sgx::pse_session_token(pse_session_secret_, req.owner);
+  if (!constant_time_eq(ByteView(expected.data(), expected.size()),
+                        ByteView(req.session_token.data(),
+                                 req.session_token.size()))) {
+    resp.status = Status::kCounterNotOwned;
+    return resp.serialize();
+  }
+
+  const CostModel& cm = world_.costs();
+  switch (req.op) {
+    case sgx::PseOp::kCreate: {
+      charge(cm.counter_create);
+      auto created = counters_.create(req.owner, req.nonce_entropy);
+      if (!created.ok()) {
+        resp.status = created.status();
+      } else {
+        resp.status = Status::kOk;
+        resp.uuid = created.value().uuid;
+        resp.value = created.value().value;
+      }
+      break;
+    }
+    case sgx::PseOp::kRead: {
+      charge(cm.counter_read);
+      auto value = counters_.read(req.owner, req.uuid);
+      resp.status = value.ok() ? Status::kOk : value.status();
+      resp.value = value.value_or(0);
+      resp.uuid = req.uuid;
+      break;
+    }
+    case sgx::PseOp::kIncrement: {
+      charge(cm.counter_increment);
+      auto value = counters_.increment(req.owner, req.uuid);
+      resp.status = value.ok() ? Status::kOk : value.status();
+      resp.value = value.value_or(0);
+      resp.uuid = req.uuid;
+      break;
+    }
+    case sgx::PseOp::kDestroy: {
+      charge(cm.counter_destroy);
+      resp.status = counters_.destroy(req.owner, req.uuid);
+      resp.uuid = req.uuid;
+      break;
+    }
+  }
+  return resp.serialize();
+}
+
+void Machine::reboot() {
+  // CPU secret, counters (ME flash), and disk all survive a reboot; the
+  // session secret also survives (it models a persistent platform key).
+  // Nothing to do in the simulation — the method exists so scenarios read
+  // naturally and as a place to hook reboot costs if ever needed.
+}
+
+}  // namespace sgxmig::platform

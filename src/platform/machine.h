@@ -1,0 +1,85 @@
+// A physical machine in the simulated data center.
+//
+// Owns everything that is machine-bound on real hardware: the CPU key
+// hierarchy, the Management Engine's monotonic counter store, untrusted
+// disk, the Quoting Enclave (provisioned with an EPID member key), and the
+// Unix-socket/TCP proxy pair that lets guest-VM enclaves reach Platform
+// Services in the management VM (paper §VI-C).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/proxy.h"
+#include "platform/storage.h"
+#include "sgx/platform_iface.h"
+#include "sgx/pse.h"
+#include "sgx/quote.h"
+#include "support/rng.h"
+
+namespace sgxmig::platform {
+
+class World;
+
+class Machine final : public sgx::PlatformIface {
+ public:
+  Machine(World& world, std::string address, std::string region,
+          uint32_t cpu_cores, uint64_t seed);
+  ~Machine() override;
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // ----- sgx::PlatformIface -----
+  sgx::SimCpu& cpu() override { return cpu_; }
+  VirtualClock& clock() override;
+  const CostModel& costs() const override;
+  void charge(Duration base) override;
+  Bytes draw_entropy(size_t len) override;
+  Result<Bytes> pse_call(const sgx::Measurement& caller,
+                         ByteView request) override;
+  const std::string& address() const override { return address_; }
+  const std::string& region() const override { return region_; }
+  uint32_t cpu_cores() const override { return cpu_cores_; }
+  net::Network* network() override;
+  sgx::QuotingEnclave& quoting_enclave() override { return *quoting_enclave_; }
+  sgx::IntelAttestationService& attestation_service() override;
+
+  // ----- machine services -----
+  World& world() { return world_; }
+  UntrustedStore& storage() { return *storage_; }
+  sgx::MonotonicCounterService& counter_service() { return counters_; }
+  Rng& rng() { return rng_; }
+
+  /// Endpoint name of the guest-side PSE Unix socket.
+  std::string pse_uds_endpoint() const { return address_ + "/pse-uds"; }
+  /// Endpoint name of the management-VM PSE TCP service.
+  std::string pse_tcp_endpoint() const { return address_ + "/pse-tcp"; }
+  /// Endpoint name of this machine's Migration Enclave service.
+  std::string me_endpoint() const { return address_ + "/me"; }
+
+  /// Simulates a machine reboot: counters and disk survive (flash/disk);
+  /// the caller is responsible for having destroyed enclave objects, whose
+  /// memory does not survive.  Re-seeds nothing — the CPU secret is fused.
+  void reboot();
+
+ private:
+  /// The management-VM side of Platform Services: validates the session
+  /// token, charges the ME-flash latency, executes the counter op.
+  Result<Bytes> pse_service_handler(ByteView request);
+
+  World& world_;
+  std::string address_;
+  std::string region_;
+  uint32_t cpu_cores_;
+  Rng rng_;
+  sgx::SimCpu cpu_;
+  sgx::MonotonicCounterService counters_;
+  sgx::Key128 pse_session_secret_{};
+  std::unique_ptr<UntrustedStore> storage_;
+  std::unique_ptr<sgx::QuotingEnclave> quoting_enclave_;
+  std::unique_ptr<net::MgmtTcpProxy> pse_tcp_proxy_;
+  std::unique_ptr<net::GuestUdsProxy> pse_uds_proxy_;
+};
+
+}  // namespace sgxmig::platform

@@ -1,0 +1,33 @@
+#include "platform/storage.h"
+
+namespace sgxmig::platform {
+
+UntrustedStore::UntrustedStore(VirtualClock& clock, const CostModel& costs)
+    : clock_(clock), costs_(costs) {}
+
+void UntrustedStore::put(const std::string& name, ByteView blob) {
+  clock_.advance(costs_.disk_write);
+  blobs_[name] = to_bytes(blob);
+}
+
+Result<Bytes> UntrustedStore::get(const std::string& name) const {
+  clock_.advance(costs_.disk_read);
+  const auto it = blobs_.find(name);
+  if (it == blobs_.end()) return Status::kStorageMissing;
+  return it->second;
+}
+
+bool UntrustedStore::exists(const std::string& name) const {
+  return blobs_.count(name) != 0;
+}
+
+void UntrustedStore::remove(const std::string& name) { blobs_.erase(name); }
+
+bool UntrustedStore::corrupt(const std::string& name, size_t offset) {
+  auto it = blobs_.find(name);
+  if (it == blobs_.end() || it->second.empty()) return false;
+  it->second[offset % it->second.size()] ^= 0x80;
+  return true;
+}
+
+}  // namespace sgxmig::platform

@@ -1,0 +1,46 @@
+// Untrusted persistent storage of a machine (the "disk").
+//
+// Sealed blobs live here between enclave restarts.  Per the threat model,
+// the OS owns this storage: the adversary API lets tests snapshot the
+// whole store and restore it later — the primitive behind every replay /
+// roll-back attack in paper §III.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "support/bytes.h"
+#include "support/cost_model.h"
+#include "support/sim_clock.h"
+#include "support/status.h"
+
+namespace sgxmig::platform {
+
+class UntrustedStore {
+ public:
+  UntrustedStore(VirtualClock& clock, const CostModel& costs);
+
+  /// Write + fsync (charges disk_write).
+  void put(const std::string& name, ByteView blob);
+
+  /// Read (charges disk_read); kStorageMissing when absent.
+  Result<Bytes> get(const std::string& name) const;
+
+  bool exists(const std::string& name) const;
+  void remove(const std::string& name);
+  size_t size() const { return blobs_.size(); }
+
+  // ----- adversary API (the OS can do all of this) -----
+  using Snapshot = std::map<std::string, Bytes>;
+  Snapshot snapshot() const { return blobs_; }
+  void restore(const Snapshot& snapshot) { blobs_ = snapshot; }
+  /// Flips one byte of a stored blob; returns false if absent/empty.
+  bool corrupt(const std::string& name, size_t offset);
+
+ private:
+  VirtualClock& clock_;
+  const CostModel& costs_;
+  std::map<std::string, Bytes> blobs_;
+};
+
+}  // namespace sgxmig::platform

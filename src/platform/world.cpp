@@ -1,0 +1,34 @@
+#include "platform/world.h"
+
+#include <stdexcept>
+
+namespace sgxmig::platform {
+
+World::World(uint64_t seed, const CostModel& costs)
+    : rng_(seed), costs_(costs) {
+  network_ = std::make_unique<net::Network>(clock_, rng_, costs_);
+  epid_ = std::make_unique<sgx::EpidAuthority>(seed ^ 0xe91d);
+  ias_ = std::make_unique<sgx::IntelAttestationService>(*epid_, clock_, costs_,
+                                                        seed ^ 0x1a5);
+  provider_ = std::make_unique<ProviderCa>(seed ^ 0xca);
+}
+
+Machine& World::add_machine(const std::string& address,
+                            const std::string& region, uint32_t cpu_cores) {
+  if (machine(address) != nullptr) {
+    throw std::invalid_argument("World::add_machine: duplicate address " +
+                                address);
+  }
+  machines_.push_back(std::make_unique<Machine>(*this, address, region,
+                                                cpu_cores, rng_.next_u64()));
+  return *machines_.back();
+}
+
+Machine* World::machine(const std::string& address) {
+  for (auto& m : machines_) {
+    if (m->address() == address) return m.get();
+  }
+  return nullptr;
+}
+
+}  // namespace sgxmig::platform

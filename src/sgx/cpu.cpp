@@ -1,0 +1,43 @@
+#include "sgx/cpu.h"
+
+#include "crypto/hmac.h"
+#include "support/serde.h"
+
+namespace sgxmig::sgx {
+
+SimCpu::SimCpu(const std::array<uint8_t, 32>& secret_seed)
+    : cpu_secret_(secret_seed) {}
+
+Key128 SimCpu::get_key(KeyName name, KeyPolicy policy,
+                       const EnclaveIdentity& id, const KeyId& key_id) const {
+  BinaryWriter w;
+  w.str("SGXMIG-EGETKEY-v1");
+  w.u16(static_cast<uint16_t>(name));
+  w.u16(static_cast<uint16_t>(policy));
+  switch (policy) {
+    case KeyPolicy::kMrEnclave:
+      w.fixed(id.mr_enclave);
+      break;
+    case KeyPolicy::kMrSigner:
+      w.fixed(id.mr_signer);
+      w.u16(id.isv_prod_id);
+      break;
+  }
+  w.fixed(key_id);
+  const auto mac =
+      crypto::hmac_sha256(ByteView(cpu_secret_.data(), cpu_secret_.size()),
+                          w.data());
+  return to_array<16>(ByteView(mac.data(), mac.size()));
+}
+
+Key128 SimCpu::report_key(const Measurement& target_mr_enclave) const {
+  BinaryWriter w;
+  w.str("SGXMIG-REPORTKEY-v1");
+  w.fixed(target_mr_enclave);
+  const auto mac =
+      crypto::hmac_sha256(ByteView(cpu_secret_.data(), cpu_secret_.size()),
+                          w.data());
+  return to_array<16>(ByteView(mac.data(), mac.size()));
+}
+
+}  // namespace sgxmig::sgx

@@ -1,0 +1,39 @@
+// The per-machine CPU key hierarchy (the root of everything machine-bound).
+//
+// Real SGX derives all enclave keys from fuse keys burned into the CPU at
+// manufacturing; the simulation gives every machine a random 256-bit CPU
+// secret and derives keys with HMAC-SHA256.  The property the paper's whole
+// problem statement rests on — sealing keys and counters are useless on any
+// other physical machine — follows directly: a different Machine has a
+// different cpu_secret, so EGETKEY returns unrelated keys for the very same
+// enclave identity.
+#pragma once
+
+#include "sgx/types.h"
+#include "support/bytes.h"
+
+namespace sgxmig::sgx {
+
+class SimCpu {
+ public:
+  /// `secret_seed` plays the role of the manufacturing-time fuse values.
+  explicit SimCpu(const std::array<uint8_t, 32>& secret_seed);
+
+  /// EGETKEY: derives a 128-bit key bound to this CPU, the requested key
+  /// name, the policy-selected identity fields, and the key id.
+  /// Per SGX semantics, kMrEnclave policy binds mr_enclave; kMrSigner
+  /// policy binds (mr_signer, isv_prod_id) so newer versions of the same
+  /// signed enclave can unseal.
+  Key128 get_key(KeyName name, KeyPolicy policy, const EnclaveIdentity& id,
+                 const KeyId& key_id) const;
+
+  /// The REPORT key of a (target) enclave: used by EREPORT to MAC reports
+  /// and by the target to verify them.  Only code running on this CPU can
+  /// obtain it, which is what makes local attestation machine-bound.
+  Key128 report_key(const Measurement& target_mr_enclave) const;
+
+ private:
+  std::array<uint8_t, 32> cpu_secret_;
+};
+
+}  // namespace sgxmig::sgx

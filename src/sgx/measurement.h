@@ -1,0 +1,51 @@
+// Enclave images and measurement.
+//
+// On real SGX, loading an enclave hashes every page's content and layout
+// into MRENCLAVE — the same binary measures to the same value on any
+// machine.  The simulation captures exactly that property: an EnclaveImage
+// is a (name, version, content descriptor) triple whose MRENCLAVE is a
+// SHA-256 over the descriptor, plus the developer's signing key whose hash
+// is MRSIGNER.  Two machines instantiating the same image get identical
+// identities; bumping the version models a patched (different) enclave.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "crypto/ed25519.h"
+#include "sgx/types.h"
+
+namespace sgxmig::sgx {
+
+class EnclaveImage {
+ public:
+  EnclaveImage(std::string name, uint64_t code_version,
+               const crypto::Ed25519PublicKey& signer_public_key,
+               uint16_t isv_prod_id, uint16_t isv_svn);
+
+  const std::string& name() const { return name_; }
+  uint64_t code_version() const { return code_version_; }
+  const Measurement& mr_enclave() const { return mr_enclave_; }
+  const Measurement& mr_signer() const { return mr_signer_; }
+
+  EnclaveIdentity identity() const;
+
+  /// Convenience: builds an image signed with a key derived from
+  /// `signer_name` (deterministic developer identity).
+  static std::shared_ptr<const EnclaveImage> create(
+      std::string name, uint64_t code_version, const std::string& signer_name,
+      uint16_t isv_prod_id = 1, uint16_t isv_svn = 1);
+
+ private:
+  std::string name_;
+  uint64_t code_version_;
+  uint16_t isv_prod_id_;
+  uint16_t isv_svn_;
+  Measurement mr_enclave_{};
+  Measurement mr_signer_{};
+};
+
+/// MRSIGNER = SHA-256 of the signing public key (as on real SGX).
+Measurement measure_signer(const crypto::Ed25519PublicKey& key);
+
+}  // namespace sgxmig::sgx

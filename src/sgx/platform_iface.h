@@ -1,0 +1,66 @@
+// The services a physical machine exposes to enclaves running on it.
+//
+// platform::Machine implements this interface; the sgx layer only depends
+// on the abstraction so that enclaves can also be unit-tested against a
+// bare-bones fake.
+#pragma once
+
+#include <string>
+
+#include "sgx/cpu.h"
+#include "sgx/types.h"
+#include "support/bytes.h"
+#include "support/cost_model.h"
+#include "support/sim_clock.h"
+#include "support/status.h"
+
+namespace sgxmig::net {
+class Network;
+}  // namespace sgxmig::net
+
+namespace sgxmig::sgx {
+
+class QuotingEnclave;
+class IntelAttestationService;
+
+class PlatformIface {
+ public:
+  virtual ~PlatformIface() = default;
+
+  virtual SimCpu& cpu() = 0;
+  virtual VirtualClock& clock() = 0;
+  virtual const CostModel& costs() const = 0;
+
+  /// Advances virtual time by `base` with the model's multiplicative jitter.
+  virtual void charge(Duration base) = 0;
+
+  /// RDRAND stand-in: machine entropy for seeding enclave DRBGs.
+  virtual Bytes draw_entropy(size_t len) = 0;
+
+  /// Platform Services call on behalf of the enclave identified by
+  /// `caller`.  Routed through the simulated Unix-socket/TCP proxy pair to
+  /// the management VM (paper §VI-C); the request format is sgx/pse_wire.h.
+  virtual Result<Bytes> pse_call(const Measurement& caller,
+                                 ByteView request) = 0;
+
+  /// Network address of this machine ("m0", "m1", ...).
+  virtual const std::string& address() const = 0;
+
+  /// Geographic/administrative region of this machine (for migration
+  /// policies, paper §X).
+  virtual const std::string& region() const = 0;
+
+  /// Certified CPU core count (for computational-requirement policies).
+  virtual uint32_t cpu_cores() const = 0;
+
+  /// The simulated data-center network; null in minimal unit-test fakes.
+  virtual net::Network* network() = 0;
+
+  /// This machine's Quoting Enclave (for remote attestation).
+  virtual QuotingEnclave& quoting_enclave() = 0;
+
+  /// The Intel Attestation Service reachable from this machine.
+  virtual IntelAttestationService& attestation_service() = 0;
+};
+
+}  // namespace sgxmig::sgx

@@ -1,0 +1,55 @@
+#include "sgx/report.h"
+
+namespace sgxmig::sgx {
+
+Bytes ReportBody::serialize() const {
+  BinaryWriter w;
+  serialize_identity(w, identity);
+  w.fixed(report_data);
+  return w.take();
+}
+
+ReportBody ReportBody::deserialize(BinaryReader& r) {
+  ReportBody body;
+  body.identity = deserialize_identity(r);
+  body.report_data = r.fixed<64>();
+  return body;
+}
+
+Bytes Report::serialize() const {
+  BinaryWriter w;
+  w.raw(body.serialize());
+  w.fixed(mac);
+  return w.take();
+}
+
+Result<Report> Report::deserialize(ByteView bytes) {
+  BinaryReader r(bytes);
+  Report report;
+  report.body = ReportBody::deserialize(r);
+  report.mac = r.fixed<16>();
+  if (!r.done()) return Status::kTampered;
+  return report;
+}
+
+Report create_report(const SimCpu& cpu, const EnclaveIdentity& self,
+                     const TargetInfo& target, const ReportData& data) {
+  Report report;
+  report.body.identity = self;
+  report.body.report_data = data;
+  const Key128 key = cpu.report_key(target.mr_enclave);
+  report.mac = crypto::aes_cmac(ByteView(key.data(), key.size()),
+                                report.body.serialize());
+  return report;
+}
+
+bool verify_report(const SimCpu& cpu, const Measurement& self_mr_enclave,
+                   const Report& report) {
+  const Key128 key = cpu.report_key(self_mr_enclave);
+  const crypto::CmacTag expected = crypto::aes_cmac(
+      ByteView(key.data(), key.size()), report.body.serialize());
+  return constant_time_eq(ByteView(expected.data(), expected.size()),
+                          ByteView(report.mac.data(), report.mac.size()));
+}
+
+}  // namespace sgxmig::sgx

@@ -1,0 +1,84 @@
+#include "sgx/sealing.h"
+
+#include "crypto/gcm.h"
+#include "support/serde.h"
+
+namespace sgxmig::sgx {
+
+namespace {
+constexpr char kMagic[] = "SGXMIG-SEALED-v1";
+
+// The AAD fed to GCM covers the key request so it cannot be swapped.
+Bytes gcm_aad(KeyPolicy policy, const KeyId& key_id, ByteView user_aad) {
+  BinaryWriter w;
+  w.u16(static_cast<uint16_t>(policy));
+  w.fixed(key_id);
+  w.bytes(user_aad);
+  return w.take();
+}
+}  // namespace
+
+size_t sealed_blob_size(size_t aad_len, size_t plaintext_len) {
+  // magic(str) + policy + key_id + aad + iv + tag + ciphertext, with the
+  // u32 length prefixes from the serialization format.
+  return 4 + sizeof(kMagic) - 1 + 2 + 32 + 4 + aad_len + 12 + 16 + 4 +
+         plaintext_len;
+}
+
+Result<Bytes> seal_data(const SimCpu& cpu, const EnclaveIdentity& self,
+                        crypto::CtrDrbg& drbg, KeyPolicy policy, ByteView aad,
+                        ByteView plaintext) {
+  KeyId key_id{};
+  drbg.generate(key_id.data(), key_id.size());
+  const Key128 key = cpu.get_key(KeyName::kSeal, policy, self, key_id);
+
+  Bytes iv(crypto::kGcmIvSize);
+  drbg.generate(iv.data(), iv.size());
+
+  const crypto::GcmCiphertext ct =
+      crypto::gcm_encrypt(ByteView(key.data(), key.size()), iv,
+                          gcm_aad(policy, key_id, aad), plaintext);
+
+  BinaryWriter w;
+  w.str(kMagic);
+  w.u16(static_cast<uint16_t>(policy));
+  w.fixed(key_id);
+  w.bytes(aad);
+  w.fixed(ct.iv);
+  w.fixed(ct.tag);
+  w.bytes(ct.ciphertext);
+  return w.take();
+}
+
+Result<UnsealedData> unseal_data(const SimCpu& cpu,
+                                 const EnclaveIdentity& self,
+                                 ByteView sealed_blob) {
+  BinaryReader r(sealed_blob);
+  const std::string magic = r.str(64);
+  const uint16_t policy_raw = r.u16();
+  const KeyId key_id = r.fixed<32>();
+  const Bytes aad = r.bytes();
+  const auto iv = r.fixed<12>();
+  const auto tag = r.fixed<16>();
+  const Bytes ciphertext = r.bytes();
+  if (!r.done() || magic != kMagic) return Status::kTampered;
+  if (policy_raw != static_cast<uint16_t>(KeyPolicy::kMrEnclave) &&
+      policy_raw != static_cast<uint16_t>(KeyPolicy::kMrSigner)) {
+    return Status::kTampered;
+  }
+  const auto policy = static_cast<KeyPolicy>(policy_raw);
+
+  const Key128 key = cpu.get_key(KeyName::kSeal, policy, self, key_id);
+  auto plaintext = crypto::gcm_decrypt(
+      ByteView(key.data(), key.size()), ByteView(iv.data(), iv.size()),
+      gcm_aad(policy, key_id, aad), ciphertext,
+      ByteView(tag.data(), tag.size()));
+  if (!plaintext.ok()) return plaintext.status();
+
+  UnsealedData out;
+  out.plaintext = std::move(plaintext).value();
+  out.aad = aad;
+  return out;
+}
+
+}  // namespace sgxmig::sgx

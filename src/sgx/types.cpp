@@ -1,0 +1,21 @@
+#include "sgx/types.h"
+
+namespace sgxmig::sgx {
+
+void serialize_identity(BinaryWriter& w, const EnclaveIdentity& id) {
+  w.fixed(id.mr_enclave);
+  w.fixed(id.mr_signer);
+  w.u16(id.isv_prod_id);
+  w.u16(id.isv_svn);
+}
+
+EnclaveIdentity deserialize_identity(BinaryReader& r) {
+  EnclaveIdentity id;
+  id.mr_enclave = r.fixed<32>();
+  id.mr_signer = r.fixed<32>();
+  id.isv_prod_id = r.u16();
+  id.isv_svn = r.u16();
+  return id;
+}
+
+}  // namespace sgxmig::sgx

@@ -1,0 +1,88 @@
+// Minimal binary serialization for protocol messages and persisted blobs.
+//
+// Encoding rules: integers are little-endian; variable-length byte strings
+// are length-prefixed with a u32.  `BinaryReader` uses a sticky failure
+// flag: any out-of-bounds read marks the reader failed and all subsequent
+// reads return zero values, so callers validate once via `ok()` after
+// decoding a whole message.  This is the recommended pattern for parsing
+// adversary-controlled input without exceptions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/bytes.h"
+
+namespace sgxmig {
+
+class BinaryWriter {
+ public:
+  void u8(uint8_t v);
+  void u16(uint16_t v);
+  void u32(uint32_t v);
+  void u64(uint64_t v);
+  void boolean(bool v);
+
+  /// Length-prefixed byte string (u32 length).
+  void bytes(ByteView v);
+  /// Length-prefixed UTF-8 string.
+  void str(std::string_view v);
+  /// Raw bytes with no length prefix (fixed-width fields).
+  void raw(ByteView v);
+
+  template <size_t N>
+  void fixed(const std::array<uint8_t, N>& a) {
+    raw(ByteView(a.data(), a.size()));
+  }
+
+  const Bytes& data() const { return buffer_; }
+  Bytes take() { return std::move(buffer_); }
+
+ private:
+  Bytes buffer_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(ByteView data) : data_(data) {}
+
+  uint8_t u8();
+  uint16_t u16();
+  uint32_t u32();
+  uint64_t u64();
+  bool boolean();
+
+  /// Length-prefixed byte string; enforces `max_len` to bound allocations
+  /// driven by adversarial length fields.
+  Bytes bytes(size_t max_len = kDefaultMaxLen);
+  std::string str(size_t max_len = kDefaultMaxLen);
+  /// Raw bytes with no length prefix.
+  Bytes raw(size_t len);
+
+  template <size_t N>
+  std::array<uint8_t, N> fixed() {
+    std::array<uint8_t, N> out{};
+    if (!take(N)) return out;
+    for (size_t i = 0; i < N; ++i) out[i] = data_[pos_ - N + i];
+    return out;
+  }
+
+  /// True iff no read so far ran past the end of the buffer.
+  bool ok() const { return !failed_; }
+  /// True iff the whole buffer was consumed and no read failed.
+  bool done() const { return !failed_ && pos_ == data_.size(); }
+  size_t remaining() const { return failed_ ? 0 : data_.size() - pos_; }
+
+  static constexpr size_t kDefaultMaxLen = 1u << 30;
+
+ private:
+  bool take(size_t n);
+
+  ByteView data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace sgxmig

@@ -1,0 +1,13 @@
+#include "support/sim_clock.h"
+
+namespace sgxmig {
+
+double to_seconds(Duration d) {
+  return static_cast<double>(d.count()) / 1e9;
+}
+
+double to_milliseconds(Duration d) {
+  return static_cast<double>(d.count()) / 1e6;
+}
+
+}  // namespace sgxmig

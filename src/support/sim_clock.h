@@ -1,0 +1,51 @@
+// Deterministic virtual time.
+//
+// All modeled hardware and network latencies advance a shared VirtualClock
+// instead of sleeping, so the benchmark harnesses reproduce the paper's
+// timing figures deterministically and run in milliseconds of wall time.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace sgxmig {
+
+using Duration = std::chrono::nanoseconds;
+
+constexpr Duration nanoseconds(uint64_t n) { return Duration(n); }
+constexpr Duration microseconds(uint64_t n) { return Duration(n * 1000); }
+constexpr Duration milliseconds(uint64_t n) { return Duration(n * 1000000); }
+constexpr Duration seconds(double s) {
+  return Duration(static_cast<int64_t>(s * 1e9));
+}
+
+/// Converts to floating-point seconds for reporting.
+double to_seconds(Duration d);
+double to_milliseconds(Duration d);
+
+class VirtualClock {
+ public:
+  /// Monotonic virtual timestamp since world creation.
+  Duration now() const { return now_; }
+
+  /// Models the passage of `d` of real time.
+  void advance(Duration d) { now_ += d; }
+
+ private:
+  Duration now_{0};
+};
+
+/// RAII stopwatch over a VirtualClock.
+class VirtualStopwatch {
+ public:
+  explicit VirtualStopwatch(const VirtualClock& clock)
+      : clock_(clock), start_(clock.now()) {}
+
+  Duration elapsed() const { return clock_.now() - start_; }
+
+ private:
+  const VirtualClock& clock_;
+  Duration start_;
+};
+
+}  // namespace sgxmig

@@ -1,0 +1,126 @@
+#include "support/stats.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sgxmig {
+
+namespace {
+
+double ln_gamma(double x) { return std::lgamma(x); }
+
+// Continued-fraction evaluation for the incomplete beta function
+// (Lentz's algorithm, as in Numerical Recipes betacf).
+double beta_continued_fraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEpsilon = 3e-14;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double regularized_incomplete_beta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) +
+                          a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_continued_fraction(a, b, x) / a;
+  }
+  return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, double df) {
+  if (df <= 0.0) throw std::invalid_argument("student_t_cdf: df must be > 0");
+  const double x = df / (df + t * t);
+  const double p = 0.5 * regularized_incomplete_beta(df / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - p : p;
+}
+
+double student_t_quantile(double p, double df) {
+  if (p <= 0.0 || p >= 1.0) {
+    throw std::invalid_argument("student_t_quantile: p must be in (0,1)");
+  }
+  double lo = -1e6;
+  double hi = 1e6;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (student_t_cdf(mid, df) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  s.n = samples.size();
+  if (s.n == 0) return s;
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n < 2) return s;
+  double ss = 0.0;
+  for (double v : samples) {
+    const double d = v - s.mean;
+    ss += d * d;
+  }
+  s.stddev = std::sqrt(ss / static_cast<double>(s.n - 1));
+  const double sem = s.stddev / std::sqrt(static_cast<double>(s.n));
+  const double t995 = student_t_quantile(0.995, static_cast<double>(s.n - 1));
+  s.ci99_half = t995 * sem;
+  return s;
+}
+
+double welch_one_tailed_p(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  const Summary sa = summarize(a);
+  const Summary sb = summarize(b);
+  if (sa.n < 2 || sb.n < 2) return std::numeric_limits<double>::quiet_NaN();
+  const double va = sa.stddev * sa.stddev / static_cast<double>(sa.n);
+  const double vb = sb.stddev * sb.stddev / static_cast<double>(sb.n);
+  const double se = std::sqrt(va + vb);
+  if (se == 0.0) return sa.mean > sb.mean ? 0.0 : 1.0;
+  const double t = (sa.mean - sb.mean) / se;
+  const double df_num = (va + vb) * (va + vb);
+  const double df_den =
+      va * va / static_cast<double>(sa.n - 1) + vb * vb / static_cast<double>(sb.n - 1);
+  const double df = df_num / df_den;
+  // One-tailed: P(T >= t) under H0.
+  return 1.0 - student_t_cdf(t, df);
+}
+
+}  // namespace sgxmig

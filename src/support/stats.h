@@ -1,0 +1,38 @@
+// Statistics used by the benchmark harnesses to reproduce the paper's
+// reporting: mean with a 99% confidence interval over 1000 trials, and a
+// one-tailed Welch t-test for "is the migratable variant slower than the
+// baseline" (the paper reports p ~ 0 for increment and p ~ 0.12 for read).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sgxmig {
+
+struct Summary {
+  size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;       // sample standard deviation (n-1)
+  double ci99_half = 0.0;    // half-width of the 99% CI of the mean
+};
+
+/// Computes n/mean/stddev and the 99% confidence interval of the mean using
+/// the Student t quantile for n-1 degrees of freedom.
+Summary summarize(const std::vector<double>& samples);
+
+/// One-tailed Welch t-test for H1: mean(a) > mean(b).
+/// Returns the p-value (probability of observing the data under H0).
+double welch_one_tailed_p(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+double student_t_cdf(double t, double df);
+
+/// Quantile (inverse CDF) of Student's t distribution, via bisection on the
+/// CDF.  `p` in (0,1).
+double student_t_quantile(double p, double df);
+
+/// Regularized incomplete beta function I_x(a, b) (continued fraction).
+double regularized_incomplete_beta(double a, double b, double x);
+
+}  // namespace sgxmig

@@ -1,0 +1,41 @@
+#include "support/status.h"
+
+namespace sgxmig {
+
+std::string_view status_name(Status status) {
+  switch (status) {
+    case Status::kOk: return "kOk";
+    case Status::kUnexpected: return "kUnexpected";
+    case Status::kInvalidParameter: return "kInvalidParameter";
+    case Status::kInvalidState: return "kInvalidState";
+    case Status::kNotInitialized: return "kNotInitialized";
+    case Status::kAlreadyExists: return "kAlreadyExists";
+    case Status::kOutOfMemory: return "kOutOfMemory";
+    case Status::kMacMismatch: return "kMacMismatch";
+    case Status::kSealFailure: return "kSealFailure";
+    case Status::kUnsealFailure: return "kUnsealFailure";
+    case Status::kSignatureInvalid: return "kSignatureInvalid";
+    case Status::kCounterNotFound: return "kCounterNotFound";
+    case Status::kCounterQuotaExceeded: return "kCounterQuotaExceeded";
+    case Status::kCounterOverflow: return "kCounterOverflow";
+    case Status::kCounterNotOwned: return "kCounterNotOwned";
+    case Status::kServiceUnavailable: return "kServiceUnavailable";
+    case Status::kAttestationFailure: return "kAttestationFailure";
+    case Status::kQuoteVerificationFailure: return "kQuoteVerificationFailure";
+    case Status::kIdentityMismatch: return "kIdentityMismatch";
+    case Status::kProviderAuthFailure: return "kProviderAuthFailure";
+    case Status::kMigrationFrozen: return "kMigrationFrozen";
+    case Status::kMigrationInProgress: return "kMigrationInProgress";
+    case Status::kNoPendingMigration: return "kNoPendingMigration";
+    case Status::kMigrationAborted: return "kMigrationAborted";
+    case Status::kNetworkUnreachable: return "kNetworkUnreachable";
+    case Status::kChannelError: return "kChannelError";
+    case Status::kReplayDetected: return "kReplayDetected";
+    case Status::kStorageMissing: return "kStorageMissing";
+    case Status::kTampered: return "kTampered";
+    case Status::kPolicyViolation: return "kPolicyViolation";
+  }
+  return "kUnknown";
+}
+
+}  // namespace sgxmig

@@ -1,0 +1,89 @@
+// Error model for the whole library.
+//
+// The SGX SDK (and the paper's API listings) communicate failures through
+// status codes rather than exceptions, so the public API surface of this
+// reproduction does the same: every fallible operation returns a `Status`
+// or a `Result<T>`.  Exceptions are reserved for programmer errors.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+namespace sgxmig {
+
+enum class Status : uint32_t {
+  kOk = 0,
+
+  // Generic / SDK-style errors.
+  kUnexpected,
+  kInvalidParameter,
+  kInvalidState,
+  kNotInitialized,
+  kAlreadyExists,
+  kOutOfMemory,
+
+  // Cryptographic / sealing errors.
+  kMacMismatch,        // AES-GCM tag or report MAC check failed
+  kSealFailure,
+  kUnsealFailure,
+  kSignatureInvalid,
+
+  // Monotonic counter (Platform Services) errors.
+  kCounterNotFound,    // UUID unknown or already destroyed
+  kCounterQuotaExceeded,
+  kCounterOverflow,    // effective value would exceed uint32 range
+  kCounterNotOwned,    // UUID nonce does not match the calling enclave
+  kServiceUnavailable, // Platform Services not reachable (e.g. proxy down)
+
+  // Attestation errors.
+  kAttestationFailure,       // local attestation / report verification failed
+  kQuoteVerificationFailure, // IAS rejected the quote
+  kIdentityMismatch,         // MRENCLAVE/MRSIGNER does not match expectation
+  kProviderAuthFailure,      // peer not authorized by the cloud provider
+
+  // Migration-specific errors.
+  kMigrationFrozen,       // library refuses to operate: state was migrated
+  kMigrationInProgress,
+  kNoPendingMigration,
+  kMigrationAborted,
+
+  // Infrastructure errors.
+  kNetworkUnreachable,
+  kChannelError,       // secure channel framing/sequence error
+  kReplayDetected,
+  kStorageMissing,     // persisted blob not found in untrusted storage
+  kTampered,           // untrusted input failed validation
+  kPolicyViolation,    // migration policy forbids this migration
+};
+
+/// Human-readable name, e.g. "kMacMismatch".
+std::string_view status_name(Status status);
+
+/// A value-or-status result in the spirit of std::expected (not available
+/// in libstdc++ 12).  A `Result` constructed from a non-kOk status carries
+/// no value; a `Result` constructed from a value has status kOk.
+template <typename T>
+class Result {
+ public:
+  Result(Status status) : status_(status) {}  // NOLINT(google-explicit-constructor)
+  Result(T value) : status_(Status::kOk), value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_ == Status::kOk; }
+  Status status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace sgxmig

@@ -1,0 +1,76 @@
+#include "vm/live_migration.h"
+
+#include <algorithm>
+
+namespace sgxmig::vm {
+
+Result<VmMigrationReport> LiveMigrationEngine::migrate(
+    Hypervisor& source, Hypervisor& destination, const std::string& vm_name) {
+  Vm* vm = source.find_vm(vm_name);
+  if (vm == nullptr) return Status::kInvalidParameter;
+  if (&source.machine() == &destination.machine()) {
+    return Status::kInvalidParameter;
+  }
+
+  VirtualClock& clock = world_.clock();
+  const CostModel& costs = world_.costs();
+  const double bandwidth_bytes_per_s = costs.net_bandwidth_gbps * 1e9 / 8.0;
+  const double dirty_rate = vm->dirty_bytes_per_second();
+
+  VmMigrationReport report;
+  const Duration start = clock.now();
+
+  // --- enclave pre-migration (non-transparent, paper §VIII) ---
+  {
+    const Duration t0 = clock.now();
+    for (GuestApplication* app : vm->applications()) {
+      const Status status = app->on_pre_migration(
+          source.machine(), destination.machine().address());
+      if (status != Status::kOk) return status;
+    }
+    report.enclave_pre_time = clock.now() - t0;
+  }
+
+  // --- iterative pre-copy ---
+  {
+    const Duration t0 = clock.now();
+    double to_copy = static_cast<double>(vm->memory_bytes());
+    for (int round = 0; round < kMaxPrecopyRounds; ++round) {
+      if (to_copy <= static_cast<double>(kStopAndCopyThreshold)) break;
+      const double round_seconds = to_copy / bandwidth_bytes_per_s;
+      clock.advance(seconds(round_seconds));
+      report.bytes_copied += static_cast<uint64_t>(to_copy);
+      ++report.precopy_rounds;
+      // Pages dirtied while this round was copying form the next round.
+      const double dirtied = dirty_rate * round_seconds;
+      to_copy = std::min(dirtied, static_cast<double>(vm->memory_bytes()));
+      if (dirty_rate >= bandwidth_bytes_per_s) break;  // cannot converge
+    }
+    // Stop-and-copy: pause the guest and transfer the rest.
+    const double down_seconds = to_copy / bandwidth_bytes_per_s;
+    clock.advance(seconds(down_seconds));
+    report.bytes_copied += static_cast<uint64_t>(to_copy);
+    report.downtime = seconds(down_seconds);
+    report.memory_copy_time = clock.now() - t0;
+  }
+
+  // --- switch execution to the destination ---
+  std::unique_ptr<Vm> moved = source.detach_vm(vm_name);
+  destination.adopt_vm(std::move(moved));
+
+  // --- enclave post-migration ---
+  {
+    const Duration t0 = clock.now();
+    for (GuestApplication* app :
+         destination.find_vm(vm_name)->applications()) {
+      const Status status = app->on_post_migration(destination.machine());
+      if (status != Status::kOk) return status;
+    }
+    report.enclave_post_time = clock.now() - t0;
+  }
+
+  report.total_time = clock.now() - start;
+  return report;
+}
+
+}  // namespace sgxmig::vm

@@ -1,0 +1,46 @@
+// Pre-copy live VM migration (Nelson et al. [10]) with enclave hooks.
+//
+// Timing model: iterative pre-copy — round 0 transfers all memory at the
+// network bandwidth while the guest keeps dirtying pages; each subsequent
+// round transfers the pages dirtied during the previous round; when the
+// remaining dirty set is small enough (or a round cap is hit) the VM is
+// paused and the remainder copied (the downtime).  This gives the
+// multi-second VM migration baseline against which the paper's ~0.5 s
+// enclave-migration overhead is compared (§VII-B).
+#pragma once
+
+#include "platform/world.h"
+#include "support/sim_clock.h"
+#include "vm/vm.h"
+
+namespace sgxmig::vm {
+
+struct VmMigrationReport {
+  Duration total_time{0};       // wall time of the whole migration
+  Duration memory_copy_time{0}; // pre-copy + stop-and-copy
+  Duration downtime{0};         // stop-and-copy phase
+  Duration enclave_pre_time{0};  // migration_start() etc. on the source
+  Duration enclave_post_time{0}; // init(kMigrate) etc. on the destination
+  uint64_t bytes_copied = 0;
+  int precopy_rounds = 0;
+};
+
+class LiveMigrationEngine {
+ public:
+  /// Stops pre-copying when the remaining dirty set is below this.
+  static constexpr uint64_t kStopAndCopyThreshold = 16ull << 20;  // 16 MiB
+  static constexpr int kMaxPrecopyRounds = 8;
+
+  explicit LiveMigrationEngine(platform::World& world) : world_(world) {}
+
+  /// Migrates `vm_name` from `source` to `destination`, invoking the
+  /// guest applications' enclave hooks around the memory copy.
+  Result<VmMigrationReport> migrate(Hypervisor& source,
+                                    Hypervisor& destination,
+                                    const std::string& vm_name);
+
+ private:
+  platform::World& world_;
+};
+
+}  // namespace sgxmig::vm

@@ -1,0 +1,34 @@
+#include "vm/vm.h"
+
+namespace sgxmig::vm {
+
+Vm& Hypervisor::create_vm(const std::string& name, uint64_t memory_bytes,
+                          double dirty_bytes_per_second) {
+  vms_.push_back(
+      std::make_unique<Vm>(name, memory_bytes, dirty_bytes_per_second));
+  return *vms_.back();
+}
+
+Vm* Hypervisor::find_vm(const std::string& name) {
+  for (auto& vm : vms_) {
+    if (vm->name() == name) return vm.get();
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Vm> Hypervisor::detach_vm(const std::string& name) {
+  for (auto it = vms_.begin(); it != vms_.end(); ++it) {
+    if ((*it)->name() == name) {
+      std::unique_ptr<Vm> vm = std::move(*it);
+      vms_.erase(it);
+      return vm;
+    }
+  }
+  return nullptr;
+}
+
+void Hypervisor::adopt_vm(std::unique_ptr<Vm> vm) {
+  vms_.push_back(std::move(vm));
+}
+
+}  // namespace sgxmig::vm

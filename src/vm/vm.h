@@ -1,0 +1,80 @@
+// Virtual machines and the per-machine hypervisor.
+//
+// VMs are containers for guest applications (which own enclaves).  Because
+// SGX enclave migration cannot be transparent (paper §VIII), applications
+// register hooks that the live-migration engine calls around the memory
+// copy: the pre-hook triggers migration_start() on every migratable
+// enclave, the post-hook restarts them with init(kMigrate) on the
+// destination.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/machine.h"
+
+namespace sgxmig::vm {
+
+/// Non-transparent migration hooks for one guest application.
+class GuestApplication {
+ public:
+  virtual ~GuestApplication() = default;
+
+  /// Called on the source before the VM memory copy; the application
+  /// must persist enclave state and call migration_start().
+  virtual Status on_pre_migration(platform::Machine& source,
+                                  const std::string& destination_address) = 0;
+
+  /// Called on the destination after the copy; the application restarts
+  /// its enclaves with init(kMigrate).
+  virtual Status on_post_migration(platform::Machine& destination) = 0;
+};
+
+class Vm {
+ public:
+  Vm(std::string name, uint64_t memory_bytes, double dirty_bytes_per_second)
+      : name_(std::move(name)),
+        memory_bytes_(memory_bytes),
+        dirty_bytes_per_second_(dirty_bytes_per_second) {}
+
+  const std::string& name() const { return name_; }
+  uint64_t memory_bytes() const { return memory_bytes_; }
+  double dirty_bytes_per_second() const { return dirty_bytes_per_second_; }
+
+  /// The application does not take ownership; it must outlive the VM.
+  void attach_application(GuestApplication* application) {
+    applications_.push_back(application);
+  }
+  const std::vector<GuestApplication*>& applications() const {
+    return applications_;
+  }
+
+ private:
+  std::string name_;
+  uint64_t memory_bytes_;
+  double dirty_bytes_per_second_;
+  std::vector<GuestApplication*> applications_;
+};
+
+class Hypervisor {
+ public:
+  explicit Hypervisor(platform::Machine& machine) : machine_(machine) {}
+
+  platform::Machine& machine() { return machine_; }
+
+  Vm& create_vm(const std::string& name, uint64_t memory_bytes,
+                double dirty_bytes_per_second);
+  Vm* find_vm(const std::string& name);
+  /// Removes and returns the VM (used by the migration engine).
+  std::unique_ptr<Vm> detach_vm(const std::string& name);
+  void adopt_vm(std::unique_ptr<Vm> vm);
+  size_t vm_count() const { return vms_.size(); }
+
+ private:
+  platform::Machine& machine_;
+  std::vector<std::unique_ptr<Vm>> vms_;
+};
+
+}  // namespace sgxmig::vm

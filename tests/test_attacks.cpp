@@ -1,0 +1,108 @@
+// The paper's §III attacks, run against each migration mechanism.  The
+// expected matrix (also printed by bench/attack_matrix):
+//
+//   mechanism            fork        roll-back   migrate-back
+//   Gu, volatile flag    SUCCEEDS    SUCCEEDS    possible
+//   Gu, persisted flag   blocked     SUCCEEDS    impossible
+//   this paper           blocked     blocked     possible
+#include <gtest/gtest.h>
+
+#include "attacks/attacks.h"
+#include "platform/world.h"
+
+namespace sgxmig {
+namespace {
+
+using attacks::Mechanism;
+
+TEST(ForkAttack, SucceedsAgainstGuVolatileFlag) {
+  platform::World world(/*seed=*/1);
+  const auto report =
+      attacks::run_fork_attack(world, Mechanism::kGuVolatileFlag);
+  EXPECT_TRUE(report.attack_succeeded) << report.detail;
+}
+
+TEST(ForkAttack, BlockedByGuPersistedFlag) {
+  platform::World world(/*seed=*/2);
+  const auto report =
+      attacks::run_fork_attack(world, Mechanism::kGuPersistedFlag);
+  EXPECT_FALSE(report.attack_succeeded) << report.detail;
+}
+
+TEST(ForkAttack, BlockedByOurScheme) {
+  platform::World world(/*seed=*/3);
+  const auto report = attacks::run_fork_attack(world, Mechanism::kOurScheme);
+  EXPECT_FALSE(report.attack_succeeded) << report.detail;
+}
+
+TEST(RollbackAttack, SucceedsAgainstGuVolatileFlag) {
+  platform::World world(/*seed=*/4);
+  const auto report =
+      attacks::run_rollback_attack(world, Mechanism::kGuVolatileFlag);
+  EXPECT_TRUE(report.attack_succeeded) << report.detail;
+}
+
+TEST(RollbackAttack, SucceedsAgainstGuPersistedFlag) {
+  // Persisting the spin flag does not migrate counters: the §III-C
+  // roll-back still works against KDC-encrypted persistent state.
+  platform::World world(/*seed=*/5);
+  const auto report =
+      attacks::run_rollback_attack(world, Mechanism::kGuPersistedFlag);
+  EXPECT_TRUE(report.attack_succeeded) << report.detail;
+}
+
+TEST(RollbackAttack, BlockedByOurScheme) {
+  platform::World world(/*seed=*/6);
+  const auto report =
+      attacks::run_rollback_attack(world, Mechanism::kOurScheme);
+  EXPECT_FALSE(report.attack_succeeded) << report.detail;
+}
+
+TEST(MigrateBack, PossibleWithGuVolatileFlag) {
+  platform::World world(/*seed=*/7);
+  const auto report =
+      attacks::check_migrate_back(world, Mechanism::kGuVolatileFlag);
+  EXPECT_TRUE(report.migrate_back_possible) << report.detail;
+}
+
+TEST(MigrateBack, ImpossibleWithGuPersistedFlag) {
+  // The cost of fixing the fork with a persisted flag: the enclave can
+  // never return to the source machine (§III-B).
+  platform::World world(/*seed=*/8);
+  const auto report =
+      attacks::check_migrate_back(world, Mechanism::kGuPersistedFlag);
+  EXPECT_FALSE(report.migrate_back_possible) << report.detail;
+}
+
+TEST(MigrateBack, PossibleWithOurScheme) {
+  platform::World world(/*seed=*/9);
+  const auto report =
+      attacks::check_migrate_back(world, Mechanism::kOurScheme);
+  EXPECT_TRUE(report.migrate_back_possible) << report.detail;
+}
+
+TEST(DataLoss, StandardSealedDataLostWithoutMsk) {
+  platform::World world(/*seed=*/10);
+  EXPECT_TRUE(attacks::check_sealed_data_loss_without_msk(world));
+}
+
+// Determinism: the attack outcomes do not depend on the seed.
+class AttackMatrixSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AttackMatrixSweep, OutcomesStableAcrossSeeds) {
+  platform::World world(GetParam());
+  EXPECT_TRUE(
+      attacks::run_fork_attack(world, Mechanism::kGuVolatileFlag).attack_succeeded);
+  EXPECT_FALSE(
+      attacks::run_fork_attack(world, Mechanism::kOurScheme).attack_succeeded);
+  EXPECT_TRUE(attacks::run_rollback_attack(world, Mechanism::kGuPersistedFlag)
+                  .attack_succeeded);
+  EXPECT_FALSE(attacks::run_rollback_attack(world, Mechanism::kOurScheme)
+                   .attack_succeeded);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AttackMatrixSweep,
+                         ::testing::Values(11, 222, 3333, 44444));
+
+}  // namespace
+}  // namespace sgxmig

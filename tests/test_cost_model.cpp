@@ -1,0 +1,67 @@
+// Tests for the cost model arithmetic and the calibration facts the
+// benchmark harness depends on.
+#include <gtest/gtest.h>
+
+#include "support/cost_model.h"
+
+namespace sgxmig {
+namespace {
+
+TEST(CostModel, TransferTimeScalesWithBytes) {
+  CostModel costs;
+  costs.net_bandwidth_gbps = 10.0;
+  // 1 GB at 10 Gbit/s = 0.8 s.
+  EXPECT_NEAR(to_seconds(costs.transfer_time(1'000'000'000)), 0.8, 1e-9);
+  EXPECT_EQ(costs.transfer_time(0).count(), 0);
+  // Linearity.
+  EXPECT_NEAR(to_seconds(costs.transfer_time(2'000'000)),
+              2 * to_seconds(costs.transfer_time(1'000'000)), 1e-12);
+}
+
+TEST(CostModel, GcmTimeHasFixedAndLinearParts) {
+  CostModel costs;
+  const Duration empty = costs.gcm_time(0);
+  EXPECT_EQ(empty, costs.aes_gcm_fixed);
+  const Duration small = costs.gcm_time(1000);
+  const Duration large = costs.gcm_time(1'000'000);
+  EXPECT_GT(small, empty);
+  // The linear part dominates for large payloads: ~0.85 ms per MB.
+  EXPECT_NEAR(to_seconds(large - empty), 0.85e-3, 0.05e-3);
+}
+
+TEST(CostModel, CalibrationMatchesFig3Baselines) {
+  // These constants are the contract with EXPERIMENTS.md; moving them
+  // requires re-validating every figure.
+  CostModel costs;
+  EXPECT_EQ(costs.counter_create, milliseconds(250));
+  EXPECT_EQ(costs.counter_increment, milliseconds(160));
+  EXPECT_EQ(costs.counter_read, milliseconds(60));
+  EXPECT_EQ(costs.counter_destroy, milliseconds(280));
+}
+
+TEST(CostModel, PersistOverheadIsInPaperBand) {
+  // disk_write / counter_increment is what bounds the Fig. 3 increment
+  // overhead: it must sit near the paper's 12.3%.
+  CostModel costs;
+  const double ratio = static_cast<double>(costs.disk_write.count()) /
+                       static_cast<double>(costs.counter_increment.count());
+  EXPECT_GT(ratio, 0.08);
+  EXPECT_LT(ratio, 0.16);
+}
+
+TEST(CostModel, EgetkeyDwarfsGcmForSmallPayloads) {
+  // The Fig. 4 "migratable sealing is faster" effect requires EGETKEY to
+  // be the dominant difference for 100 B payloads.
+  CostModel costs;
+  EXPECT_GT(costs.egetkey, costs.gcm_time(100) * 3);
+}
+
+TEST(CostModel, DurationHelpers) {
+  EXPECT_EQ(milliseconds(1), microseconds(1000));
+  EXPECT_EQ(microseconds(1), nanoseconds(1000));
+  EXPECT_EQ(seconds(1.5), milliseconds(1500));
+  EXPECT_DOUBLE_EQ(to_milliseconds(seconds(0.25)), 250.0);
+}
+
+}  // namespace
+}  // namespace sgxmig

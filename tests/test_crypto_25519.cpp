@@ -1,0 +1,282 @@
+// X25519 (RFC 7748) and Ed25519 (RFC 8032) tests against the RFC vectors,
+// plus negative tests and field/scalar arithmetic properties.
+#include <gtest/gtest.h>
+
+#include "crypto/ed25519.h"
+#include "crypto/fe25519.h"
+#include "crypto/sc25519.h"
+#include "crypto/x25519.h"
+#include "support/bytes.h"
+
+namespace sgxmig::crypto {
+namespace {
+
+X25519Key key_from_hex(std::string_view hex) {
+  bool ok = false;
+  const Bytes b = hex_decode(hex, &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(b.size(), 32u);
+  return to_array<32>(b);
+}
+
+std::string key_to_hex(const X25519Key& k) {
+  return hex_encode(ByteView(k.data(), k.size()));
+}
+
+TEST(Fe25519, AddSubRoundTrip) {
+  const Fe a = fe_from_u64(123456789);
+  const Fe b = fe_from_u64(987654321);
+  const Fe sum = fe_add(a, b);
+  EXPECT_TRUE(fe_equal(fe_sub(sum, b), a));
+  EXPECT_TRUE(fe_equal(fe_sub(sum, a), b));
+}
+
+TEST(Fe25519, MulCommutesAndDistributes) {
+  const Fe a = fe_from_u64(0xdeadbeefcafeULL);
+  const Fe b = fe_from_u64(0x123456789abcULL);
+  const Fe c = fe_from_u64(0x42);
+  EXPECT_TRUE(fe_equal(fe_mul(a, b), fe_mul(b, a)));
+  EXPECT_TRUE(fe_equal(fe_mul(a, fe_add(b, c)),
+                       fe_add(fe_mul(a, b), fe_mul(a, c))));
+}
+
+TEST(Fe25519, InvertGivesOne) {
+  const Fe a = fe_from_u64(0x1234567890abcdefULL);
+  EXPECT_TRUE(fe_equal(fe_mul(a, fe_invert(a)), fe_one()));
+}
+
+TEST(Fe25519, SqrtM1SquaresToMinusOne) {
+  const Fe& s = fe_sqrtm1();
+  EXPECT_TRUE(fe_equal(fe_sq(s), fe_neg(fe_one())));
+}
+
+TEST(Fe25519, ToBytesIsCanonical) {
+  // p encodes as 0, p+1 encodes as 1.
+  Fe p = fe_zero();
+  p.v[0] = 0x7ffffffffffedULL;  // 2^51 - 19
+  for (int i = 1; i < 5; ++i) p.v[i] = 0x7ffffffffffffULL;
+  uint8_t out[32];
+  fe_tobytes(out, p);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(out[i], 0) << i;
+  p.v[0] += 1;
+  fe_tobytes(out, p);
+  EXPECT_EQ(out[0], 1);
+  for (int i = 1; i < 32; ++i) EXPECT_EQ(out[i], 0) << i;
+}
+
+TEST(Fe25519, FromBytesToBytesRoundTrip) {
+  uint8_t in[32];
+  for (int i = 0; i < 32; ++i) in[i] = static_cast<uint8_t>(3 * i + 1);
+  in[31] &= 0x7f;  // canonical (below p)
+  const Fe f = fe_frombytes(in);
+  uint8_t out[32];
+  fe_tobytes(out, f);
+  EXPECT_EQ(hex_encode(ByteView(out, 32)), hex_encode(ByteView(in, 32)));
+}
+
+TEST(Fe25519, CswapSwapsExactlyWhenAsked) {
+  Fe a = fe_from_u64(1);
+  Fe b = fe_from_u64(2);
+  fe_cswap(a, b, 0);
+  EXPECT_TRUE(fe_equal(a, fe_from_u64(1)));
+  fe_cswap(a, b, 1);
+  EXPECT_TRUE(fe_equal(a, fe_from_u64(2)));
+  EXPECT_TRUE(fe_equal(b, fe_from_u64(1)));
+}
+
+TEST(X25519, Rfc7748Vector1) {
+  const auto scalar = key_from_hex(
+      "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+  const auto point = key_from_hex(
+      "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+  EXPECT_EQ(key_to_hex(x25519(scalar, point)),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+}
+
+TEST(X25519, Rfc7748Vector2) {
+  const auto scalar = key_from_hex(
+      "4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+  const auto point = key_from_hex(
+      "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+  EXPECT_EQ(key_to_hex(x25519(scalar, point)),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+}
+
+TEST(X25519, Rfc7748DiffieHellman) {
+  const auto alice_priv = key_from_hex(
+      "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+  const auto bob_priv = key_from_hex(
+      "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+  const auto alice_pub = x25519_base(alice_priv);
+  const auto bob_pub = x25519_base(bob_priv);
+  EXPECT_EQ(key_to_hex(alice_pub),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+  EXPECT_EQ(key_to_hex(bob_pub),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
+  const auto shared_a = x25519(alice_priv, bob_pub);
+  const auto shared_b = x25519(bob_priv, alice_pub);
+  EXPECT_EQ(shared_a, shared_b);
+  EXPECT_EQ(key_to_hex(shared_a),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+}
+
+TEST(X25519, Rfc7748IteratedOnce) {
+  X25519Key k{};
+  k[0] = 9;
+  X25519Key u = k;
+  const X25519Key r = x25519(k, u);
+  EXPECT_EQ(key_to_hex(r),
+            "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079");
+}
+
+TEST(X25519, Rfc7748Iterated1000) {
+  X25519Key k{};
+  k[0] = 9;
+  X25519Key u = k;
+  for (int i = 0; i < 1000; ++i) {
+    const X25519Key r = x25519(k, u);
+    u = k;
+    k = r;
+  }
+  EXPECT_EQ(key_to_hex(k),
+            "684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51");
+}
+
+TEST(Sc25519, ReduceKnownValues) {
+  // L reduces to 0.
+  const Bytes l_bytes = hex_decode(
+      "edd3f55c1a631258d69cf7a2def9de1400000000000000000000000000000010");
+  const Sc r = sc_from_bytes(l_bytes);
+  uint8_t out[32];
+  sc_tobytes(out, r);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(out[i], 0) << i;
+}
+
+TEST(Sc25519, SmallValuesUntouched) {
+  const Bytes five = {5};
+  const Sc r = sc_from_bytes(five);
+  uint8_t out[32];
+  sc_tobytes(out, r);
+  EXPECT_EQ(out[0], 5);
+  for (int i = 1; i < 32; ++i) EXPECT_EQ(out[i], 0);
+}
+
+TEST(Sc25519, MulAddMatchesSchoolbook) {
+  // (3 * 7 + 5) mod L = 26.
+  const Sc a = sc_from_bytes(Bytes{3});
+  const Sc b = sc_from_bytes(Bytes{7});
+  const Sc c = sc_from_bytes(Bytes{5});
+  uint8_t out[32];
+  sc_tobytes(out, sc_muladd(a, b, c));
+  EXPECT_EQ(out[0], 26);
+}
+
+TEST(Sc25519, AddWrapsModL) {
+  // (L - 1) + 2 = 1 mod L.
+  const Bytes l_minus_1 = hex_decode(
+      "ecd3f55c1a631258d69cf7a2def9de1400000000000000000000000000000010");
+  const Sc a = sc_from_bytes(l_minus_1);
+  const Sc b = sc_from_bytes(Bytes{2});
+  uint8_t out[32];
+  sc_tobytes(out, sc_add(a, b));
+  EXPECT_EQ(out[0], 1);
+  for (int i = 1; i < 32; ++i) EXPECT_EQ(out[i], 0);
+}
+
+TEST(Sc25519, CanonicalCheck) {
+  uint8_t zero[32] = {0};
+  EXPECT_TRUE(sc_is_canonical(zero));
+  const Bytes l_bytes = hex_decode(
+      "edd3f55c1a631258d69cf7a2def9de1400000000000000000000000000000010");
+  EXPECT_FALSE(sc_is_canonical(l_bytes.data()));
+  uint8_t max[32];
+  for (auto& b : max) b = 0xff;
+  EXPECT_FALSE(sc_is_canonical(max));
+}
+
+struct Rfc8032Vector {
+  const char* seed;
+  const char* public_key;
+  const char* message;
+  const char* signature;
+};
+
+const Rfc8032Vector kEd25519Vectors[] = {
+    {"9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+     "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a", "",
+     "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+     "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"},
+    {"4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+     "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c", "72",
+     "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+     "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"},
+    {"c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+     "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025",
+     "af82",
+     "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac"
+     "18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a"},
+};
+
+class Ed25519Rfc8032 : public ::testing::TestWithParam<Rfc8032Vector> {};
+
+TEST_P(Ed25519Rfc8032, KeyGenSignVerify) {
+  const auto& v = GetParam();
+  const auto seed = to_array<32>(hex_decode(v.seed));
+  const Bytes message = hex_decode(v.message);
+  const auto kp = Ed25519KeyPair::from_seed(seed);
+  EXPECT_EQ(hex_encode(ByteView(kp.public_key().data(), 32)), v.public_key);
+  const Ed25519Signature sig = kp.sign(message);
+  EXPECT_EQ(hex_encode(ByteView(sig.data(), sig.size())), v.signature);
+  EXPECT_TRUE(ed25519_verify(kp.public_key(), message, sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(Rfc8032, Ed25519Rfc8032,
+                         ::testing::ValuesIn(kEd25519Vectors));
+
+TEST(Ed25519, RejectsTamperedSignature) {
+  const auto seed = to_array<32>(Bytes(32, 0x42));
+  const auto kp = Ed25519KeyPair::from_seed(seed);
+  const Bytes msg = to_bytes(std::string_view("migrate me"));
+  Ed25519Signature sig = kp.sign(msg);
+  sig[0] ^= 1;
+  EXPECT_FALSE(ed25519_verify(kp.public_key(), msg, sig));
+}
+
+TEST(Ed25519, RejectsTamperedMessage) {
+  const auto seed = to_array<32>(Bytes(32, 0x42));
+  const auto kp = Ed25519KeyPair::from_seed(seed);
+  const Ed25519Signature sig = kp.sign(to_bytes(std::string_view("v1")));
+  EXPECT_FALSE(
+      ed25519_verify(kp.public_key(), to_bytes(std::string_view("v2")), sig));
+}
+
+TEST(Ed25519, RejectsWrongPublicKey) {
+  const auto kp1 = Ed25519KeyPair::from_seed(to_array<32>(Bytes(32, 1)));
+  const auto kp2 = Ed25519KeyPair::from_seed(to_array<32>(Bytes(32, 2)));
+  const Bytes msg = to_bytes(std::string_view("hello"));
+  EXPECT_FALSE(ed25519_verify(kp2.public_key(), msg, kp1.sign(msg)));
+}
+
+TEST(Ed25519, RejectsNonCanonicalS) {
+  const auto kp = Ed25519KeyPair::from_seed(to_array<32>(Bytes(32, 3)));
+  const Bytes msg = to_bytes(std::string_view("msg"));
+  Ed25519Signature sig = kp.sign(msg);
+  // Force S >= L by setting the top bytes.
+  for (int i = 32; i < 64; ++i) sig[i] = 0xff;
+  EXPECT_FALSE(ed25519_verify(kp.public_key(), msg, sig));
+}
+
+TEST(Ed25519, DifferentSeedsDifferentKeys) {
+  const auto kp1 = Ed25519KeyPair::from_seed(to_array<32>(Bytes(32, 7)));
+  const auto kp2 = Ed25519KeyPair::from_seed(to_array<32>(Bytes(32, 8)));
+  EXPECT_NE(kp1.public_key(), kp2.public_key());
+}
+
+TEST(Ed25519, SignatureDeterministic) {
+  const auto kp = Ed25519KeyPair::from_seed(to_array<32>(Bytes(32, 9)));
+  const Bytes msg = to_bytes(std::string_view("deterministic"));
+  EXPECT_EQ(kp.sign(msg), kp.sign(msg));
+}
+
+}  // namespace
+}  // namespace sgxmig::crypto

@@ -1,0 +1,110 @@
+// Tests for the Hybster-style replication harness built on TrInX.
+#include <gtest/gtest.h>
+
+#include "apps/hybster.h"
+#include "migration/migration_enclave.h"
+#include "platform/world.h"
+
+namespace sgxmig {
+namespace {
+
+using apps::HybsterCluster;
+using apps::HybsterFollower;
+using apps::HybsterLeader;
+using apps::OrderedRequest;
+using migration::MigrationEnclave;
+using platform::World;
+using sgx::EnclaveImage;
+
+class HybsterTest : public ::testing::Test {
+ protected:
+  HybsterTest() {
+    me0_ = std::make_unique<MigrationEnclave>(
+        m0_, MigrationEnclave::standard_image(), world_.provider());
+    me1_ = std::make_unique<MigrationEnclave>(
+        m1_, MigrationEnclave::standard_image(), world_.provider());
+  }
+
+  World world_{/*seed=*/616};
+  platform::Machine& m0_ = world_.add_machine("m0");
+  platform::Machine& m1_ = world_.add_machine("m1");
+  std::unique_ptr<MigrationEnclave> me0_;
+  std::unique_ptr<MigrationEnclave> me1_;
+  std::shared_ptr<const EnclaveImage> image_ =
+      EnclaveImage::create("hybster", 1, "hybster-devs");
+};
+
+TEST_F(HybsterTest, OrdersAndCommits) {
+  HybsterCluster cluster(m0_, 3, image_);
+  EXPECT_EQ(cluster.submit("a"), Status::kOk);
+  EXPECT_EQ(cluster.submit("b"), Status::kOk);
+  EXPECT_EQ(cluster.submit("c"), Status::kOk);
+  EXPECT_EQ(cluster.committed(), 3u);
+  EXPECT_TRUE(cluster.logs_consistent());
+  EXPECT_EQ(cluster.leader().ordered_count(), 3u);
+}
+
+TEST_F(HybsterTest, FollowerRejectsReplay) {
+  HybsterLeader leader(m0_, image_);
+  HybsterFollower follower("f0", leader.public_key());
+  const OrderedRequest r1 = leader.order("first").value();
+  ASSERT_EQ(follower.apply(r1), Status::kOk);
+  EXPECT_EQ(follower.apply(r1), Status::kReplayDetected);
+}
+
+TEST_F(HybsterTest, FollowerRejectsGaps) {
+  HybsterLeader leader(m0_, image_);
+  HybsterFollower follower("f0", leader.public_key());
+  leader.order("first").value();  // position 1 never delivered
+  const OrderedRequest r2 = leader.order("second").value();
+  EXPECT_EQ(follower.apply(r2), Status::kInvalidState);
+  EXPECT_EQ(follower.log().size(), 0u);
+}
+
+TEST_F(HybsterTest, FollowerRejectsSwappedRequestBody) {
+  // Equivocation attempt: reuse a certificate for a different request.
+  HybsterLeader leader(m0_, image_);
+  HybsterFollower follower("f0", leader.public_key());
+  OrderedRequest r1 = leader.order("transfer $1 to alice").value();
+  r1.request = "transfer $1000000 to mallory";
+  EXPECT_EQ(follower.apply(r1), Status::kTampered);
+}
+
+TEST_F(HybsterTest, FollowerRejectsForeignLeader) {
+  HybsterLeader leader(m0_, image_);
+  HybsterLeader impostor(m1_, image_);
+  HybsterFollower follower("f0", leader.public_key());
+  const OrderedRequest forged = impostor.order("evil").value();
+  EXPECT_EQ(follower.apply(forged), Status::kSignatureInvalid);
+}
+
+TEST_F(HybsterTest, LeaderMigratesWithoutGapOrReplayWindow) {
+  HybsterCluster cluster(m0_, 2, image_);
+  ASSERT_EQ(cluster.submit("pre-1"), Status::kOk);
+  ASSERT_EQ(cluster.submit("pre-2"), Status::kOk);
+  const auto key_before = cluster.leader().public_key();
+  ASSERT_EQ(cluster.migrate_leader(m1_), Status::kOk);
+  // Identity preserved: followers keep accepting without reconfiguration.
+  EXPECT_EQ(cluster.leader().public_key(), key_before);
+  ASSERT_EQ(cluster.submit("post-1"), Status::kOk);
+  EXPECT_EQ(cluster.committed(), 3u);
+  EXPECT_TRUE(cluster.logs_consistent());
+  // The counter continued exactly (no reuse of positions 1..2).
+  EXPECT_EQ(cluster.leader().ordered_count(), 3u);
+}
+
+TEST_F(HybsterTest, MigrationDoesNotAllowPositionReuse) {
+  // The §III fear: if counters reset on migration, the leader could
+  // certify two different requests for the same position.  With the
+  // migratable counter the position strictly advances.
+  HybsterLeader leader(m0_, image_);
+  HybsterFollower follower("f0", leader.public_key());
+  ASSERT_EQ(follower.apply(leader.order("pos-1").value()), Status::kOk);
+  ASSERT_EQ(leader.migrate_to(m1_), Status::kOk);
+  const OrderedRequest after = leader.order("pos-2").value();
+  EXPECT_EQ(after.certificate.value, 2u);
+  EXPECT_EQ(follower.apply(after), Status::kOk);
+}
+
+}  // namespace
+}  // namespace sgxmig

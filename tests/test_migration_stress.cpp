@@ -1,0 +1,168 @@
+// Stress and boundary tests for the Migration Library: counter quota,
+// many-counter migrations, repeated migrations, and determinism of the
+// whole protocol stack.
+#include <gtest/gtest.h>
+
+#include "migration/migratable_enclave.h"
+#include "migration/migration_enclave.h"
+#include "platform/world.h"
+
+namespace sgxmig {
+namespace {
+
+using migration::InitState;
+using migration::kMaxCounters;
+using migration::MigratableEnclave;
+using migration::MigrationEnclave;
+using platform::World;
+using sgx::EnclaveImage;
+
+class MigrationStressTest : public ::testing::Test {
+ protected:
+  MigrationStressTest() {
+    me0_ = std::make_unique<MigrationEnclave>(
+        m0_, MigrationEnclave::standard_image(), world_.provider());
+    me1_ = std::make_unique<MigrationEnclave>(
+        m1_, MigrationEnclave::standard_image(), world_.provider());
+  }
+
+  std::unique_ptr<MigratableEnclave> start_enclave(platform::Machine& m) {
+    auto enclave = std::make_unique<MigratableEnclave>(m, image_);
+    enclave->set_persist_callback(
+        [&m](ByteView s) { m.storage().put("ml", s); });
+    EXPECT_EQ(enclave->ecall_migration_init(ByteView(), InitState::kNew,
+                                            m.address()),
+              Status::kOk);
+    return enclave;
+  }
+
+  World world_{/*seed=*/4242};
+  platform::Machine& m0_ = world_.add_machine("m0");
+  platform::Machine& m1_ = world_.add_machine("m1");
+  std::unique_ptr<MigrationEnclave> me0_;
+  std::unique_ptr<MigrationEnclave> me1_;
+  std::shared_ptr<const EnclaveImage> image_ =
+      EnclaveImage::create("stress-app", 1, "acme");
+};
+
+TEST_F(MigrationStressTest, LibraryQuotaIs256Counters) {
+  auto enclave = start_enclave(m0_);
+  for (size_t i = 0; i < kMaxCounters; ++i) {
+    auto created = enclave->ecall_create_migratable_counter();
+    ASSERT_TRUE(created.ok()) << i;
+    EXPECT_EQ(created.value().counter_id, i);
+  }
+  // The 257th fails at the library level (slot table full).
+  EXPECT_EQ(enclave->ecall_create_migratable_counter().status(),
+            Status::kCounterQuotaExceeded);
+  // Destroying one frees its slot for reuse.
+  ASSERT_EQ(enclave->ecall_destroy_migratable_counter(100), Status::kOk);
+  auto recreated = enclave->ecall_create_migratable_counter();
+  ASSERT_TRUE(recreated.ok());
+  EXPECT_EQ(recreated.value().counter_id, 100u);
+}
+
+TEST_F(MigrationStressTest, MigrationWithManyCounters) {
+  auto enclave = start_enclave(m0_);
+  constexpr int kCounters = 40;
+  for (int i = 0; i < kCounters; ++i) {
+    const uint32_t id =
+        enclave->ecall_create_migratable_counter().value().counter_id;
+    for (int j = 0; j <= i % 5; ++j) {
+      enclave->ecall_increment_migratable_counter(id);
+    }
+  }
+  ASSERT_EQ(enclave->ecall_migration_start("m1"), Status::kOk);
+  enclave.reset();
+  auto moved = std::make_unique<MigratableEnclave>(m1_, image_);
+  moved->set_persist_callback(
+      [this](ByteView s) { m1_.storage().put("ml", s); });
+  ASSERT_EQ(moved->ecall_migration_init(ByteView(), InitState::kMigrate, "m1"),
+            Status::kOk);
+  EXPECT_EQ(moved->active_counters(), static_cast<size_t>(kCounters));
+  for (int i = 0; i < kCounters; ++i) {
+    EXPECT_EQ(moved->ecall_read_migratable_counter(static_cast<uint32_t>(i))
+                  .value(),
+              static_cast<uint32_t>(i % 5 + 1))
+        << i;
+  }
+  // All source-machine counters were destroyed.
+  EXPECT_EQ(m0_.counter_service().count_for(image_->mr_enclave()), 0u);
+}
+
+TEST_F(MigrationStressTest, PingPongMigrationsAccumulateCorrectly) {
+  platform::Machine* machines[2] = {&m0_, &m1_};
+  auto enclave = start_enclave(m0_);
+  const uint32_t id =
+      enclave->ecall_create_migratable_counter().value().counter_id;
+  uint32_t expected = 0;
+  int current = 0;
+  for (int round = 0; round < 6; ++round) {
+    enclave->ecall_increment_migratable_counter(id);
+    ++expected;
+    const int next = 1 - current;
+    ASSERT_EQ(enclave->ecall_migration_start(machines[next]->address()),
+              Status::kOk)
+        << "round " << round;
+    enclave.reset();
+    current = next;
+    enclave = std::make_unique<MigratableEnclave>(*machines[current], image_);
+    enclave->set_persist_callback([m = machines[current]](ByteView s) {
+      m->storage().put("ml", s);
+    });
+    ASSERT_EQ(enclave->ecall_migration_init(ByteView(), InitState::kMigrate,
+                                            machines[current]->address()),
+              Status::kOk)
+        << "round " << round;
+    EXPECT_EQ(enclave->ecall_read_migratable_counter(id).value(), expected);
+  }
+  // After 6 ping-pong rounds, the hardware counter on the current machine
+  // is small (1 per stay) but the effective value accumulated.
+  EXPECT_EQ(enclave->ecall_read_migratable_counter(id).value(), 6u);
+}
+
+TEST_F(MigrationStressTest, WholeProtocolDeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    World world(seed);
+    auto& a = world.add_machine("a");
+    auto& b = world.add_machine("b");
+    MigrationEnclave me_a(a, MigrationEnclave::standard_image(),
+                          world.provider());
+    MigrationEnclave me_b(b, MigrationEnclave::standard_image(),
+                          world.provider());
+    const auto image = EnclaveImage::create("det-app", 1, "acme");
+    auto enclave = std::make_unique<MigratableEnclave>(a, image);
+    enclave->set_persist_callback(
+        [&a](ByteView s) { a.storage().put("ml", s); });
+    enclave->ecall_migration_init(ByteView(), InitState::kNew, "a");
+    enclave->ecall_create_migratable_counter();
+    enclave->ecall_migration_start("b");
+    enclave.reset();
+    auto moved = std::make_unique<MigratableEnclave>(b, image);
+    moved->set_persist_callback(
+        [&b](ByteView s) { b.storage().put("ml", s); });
+    moved->ecall_migration_init(ByteView(), InitState::kMigrate, "b");
+    return std::pair{world.clock().now(), moved->sealed_state()};
+  };
+  const auto first = run(123);
+  const auto second = run(123);
+  EXPECT_EQ(first.first, second.first);    // identical virtual time
+  EXPECT_EQ(first.second, second.second);  // identical sealed state
+  const auto different = run(124);
+  EXPECT_NE(first.second, different.second);  // seeds matter
+}
+
+TEST_F(MigrationStressTest, LargeSealedPayloadsThroughSdk) {
+  auto enclave = start_enclave(m0_);
+  // 4 MB payload seals and unseals through the migratable path.
+  Rng rng(1);
+  const Bytes payload = rng.bytes(4u << 20);
+  auto blob = enclave->ecall_seal_migratable_data(ByteView(), payload);
+  ASSERT_TRUE(blob.ok());
+  auto back = enclave->ecall_unseal_migratable_data(blob.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().plaintext, payload);
+}
+
+}  // namespace
+}  // namespace sgxmig

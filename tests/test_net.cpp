@@ -1,0 +1,246 @@
+// Tests for the simulated network, secure channels, proxies, and untrusted
+// storage (including the adversary APIs the attack harness relies on).
+#include <gtest/gtest.h>
+
+#include "net/channel.h"
+#include "net/network.h"
+#include "net/proxy.h"
+#include "platform/provider.h"
+#include "platform/storage.h"
+#include "support/cost_model.h"
+#include "support/rng.h"
+
+namespace sgxmig {
+namespace {
+
+using net::Network;
+using net::SecureChannel;
+
+class NetTest : public ::testing::Test {
+ protected:
+  VirtualClock clock_;
+  Rng rng_{7};
+  CostModel costs_;
+  Network network_{clock_, rng_, costs_};
+};
+
+TEST_F(NetTest, RpcRoundTrip) {
+  network_.register_endpoint("svc", [](ByteView req) -> Result<Bytes> {
+    Bytes out = to_bytes(req);
+    out.push_back('!');
+    return out;
+  });
+  auto resp = network_.rpc("svc", to_bytes(std::string_view("ping")));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(to_string(resp.value()), "ping!");
+  EXPECT_EQ(network_.rpcs_sent(), 1u);
+}
+
+TEST_F(NetTest, UnknownEndpointUnreachable) {
+  EXPECT_EQ(network_.rpc("nope", ByteView()).status(),
+            Status::kNetworkUnreachable);
+}
+
+TEST_F(NetTest, DownedEndpointUnreachableAndRecovers) {
+  network_.register_endpoint("svc", [](ByteView) -> Result<Bytes> {
+    return Bytes{1};
+  });
+  network_.set_endpoint_down("svc", true);
+  EXPECT_EQ(network_.rpc("svc", ByteView()).status(),
+            Status::kNetworkUnreachable);
+  network_.set_endpoint_down("svc", false);
+  EXPECT_TRUE(network_.rpc("svc", ByteView()).ok());
+}
+
+TEST_F(NetTest, RpcChargesLatencyAndBandwidth) {
+  network_.register_endpoint("svc", [](ByteView) -> Result<Bytes> {
+    return Bytes(1000000, 0);  // 1 MB response
+  });
+  const Duration t0 = clock_.now();
+  network_.rpc("svc", Bytes(1000000, 0));
+  const Duration elapsed = clock_.now() - t0;
+  // 2 MB at 10 Gbit/s = 1.6 ms plus 2x 120 us latency.
+  EXPECT_GT(elapsed, microseconds(1500));
+  EXPECT_LT(elapsed, microseconds(3000));
+}
+
+TEST_F(NetTest, TamperHookCanModifyRequests) {
+  network_.register_endpoint("svc", [](ByteView req) -> Result<Bytes> {
+    return to_bytes(req);
+  });
+  network_.set_tamper_hook([](const std::string&, Bytes& req) {
+    if (!req.empty()) req[0] ^= 0xff;
+    return true;
+  });
+  auto resp = network_.rpc("svc", Bytes{0x00});
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value()[0], 0xff);
+  network_.clear_tamper_hook();
+}
+
+TEST_F(NetTest, TamperHookCanDropRequests) {
+  network_.register_endpoint("svc", [](ByteView) -> Result<Bytes> {
+    return Bytes{};
+  });
+  network_.set_tamper_hook([](const std::string&, Bytes&) { return false; });
+  EXPECT_EQ(network_.rpc("svc", ByteView()).status(),
+            Status::kNetworkUnreachable);
+}
+
+TEST_F(NetTest, ProxyPairForwards) {
+  int hits = 0;
+  net::MgmtTcpProxy mgmt(network_, "m0/tcp", [&](ByteView req) -> Result<Bytes> {
+    ++hits;
+    return to_bytes(req);
+  });
+  net::GuestUdsProxy guest(network_, "m0/uds", "m0/tcp");
+  auto resp = network_.rpc("m0/uds", to_bytes(std::string_view("op")));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(to_string(resp.value()), "op");
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(network_.rpcs_sent(), 2u);  // uds hop + tcp hop
+}
+
+TEST_F(NetTest, ProxyEndpointsUnregisterOnDestruction) {
+  {
+    net::MgmtTcpProxy mgmt(network_, "tmp/tcp",
+                           [](ByteView) -> Result<Bytes> { return Bytes{}; });
+    EXPECT_TRUE(network_.has_endpoint("tmp/tcp"));
+  }
+  EXPECT_FALSE(network_.has_endpoint("tmp/tcp"));
+}
+
+// ---- secure channel ----
+
+sgx::Key128 test_key() {
+  sgx::Key128 k{};
+  for (size_t i = 0; i < k.size(); ++i) k[i] = static_cast<uint8_t>(i + 1);
+  return k;
+}
+
+TEST(SecureChannelTest, DuplexRoundTrip) {
+  SecureChannel a(test_key(), SecureChannel::Role::kInitiator);
+  SecureChannel b(test_key(), SecureChannel::Role::kResponder);
+  const Bytes r1 = a.seal_record(to_bytes(std::string_view("hello")));
+  EXPECT_EQ(to_string(b.open_record(r1).value()), "hello");
+  const Bytes r2 = b.seal_record(to_bytes(std::string_view("world")));
+  EXPECT_EQ(to_string(a.open_record(r2).value()), "world");
+}
+
+TEST(SecureChannelTest, SequenceEnforced) {
+  SecureChannel a(test_key(), SecureChannel::Role::kInitiator);
+  SecureChannel b(test_key(), SecureChannel::Role::kResponder);
+  const Bytes r1 = a.seal_record(to_bytes(std::string_view("one")));
+  const Bytes r2 = a.seal_record(to_bytes(std::string_view("two")));
+  // Delivering r2 first fails (out of order), r1 then succeeds.
+  EXPECT_EQ(b.open_record(r2).status(), Status::kReplayDetected);
+  EXPECT_TRUE(b.open_record(r1).ok());
+  // Replaying r1 fails.
+  EXPECT_EQ(b.open_record(r1).status(), Status::kReplayDetected);
+  EXPECT_TRUE(b.open_record(r2).ok());
+}
+
+TEST(SecureChannelTest, ReflectionRejected) {
+  // A record sent by the initiator cannot be fed back to the initiator.
+  SecureChannel a(test_key(), SecureChannel::Role::kInitiator);
+  const Bytes r = a.seal_record(to_bytes(std::string_view("echo")));
+  EXPECT_FALSE(a.open_record(r).ok());
+}
+
+TEST(SecureChannelTest, TamperedRecordRejected) {
+  SecureChannel a(test_key(), SecureChannel::Role::kInitiator);
+  SecureChannel b(test_key(), SecureChannel::Role::kResponder);
+  Bytes r = a.seal_record(to_bytes(std::string_view("payload")));
+  r[r.size() - 1] ^= 1;
+  EXPECT_FALSE(b.open_record(r).ok());
+}
+
+TEST(SecureChannelTest, WrongKeyRejected) {
+  SecureChannel a(test_key(), SecureChannel::Role::kInitiator);
+  sgx::Key128 other = test_key();
+  other[0] ^= 1;
+  SecureChannel b(other, SecureChannel::Role::kResponder);
+  const Bytes r = a.seal_record(to_bytes(std::string_view("x")));
+  EXPECT_FALSE(b.open_record(r).ok());
+}
+
+TEST(SecureChannelTest, GarbageRecordRejected) {
+  SecureChannel b(test_key(), SecureChannel::Role::kResponder);
+  EXPECT_FALSE(b.open_record(Bytes{1, 2, 3}).ok());
+  EXPECT_FALSE(b.open_record(Bytes{}).ok());
+}
+
+// ---- untrusted storage ----
+
+TEST(StorageTest, PutGetRemove) {
+  VirtualClock clock;
+  CostModel costs;
+  platform::UntrustedStore store(clock, costs);
+  store.put("blob", to_bytes(std::string_view("data")));
+  EXPECT_TRUE(store.exists("blob"));
+  EXPECT_EQ(to_string(store.get("blob").value()), "data");
+  store.remove("blob");
+  EXPECT_EQ(store.get("blob").status(), Status::kStorageMissing);
+}
+
+TEST(StorageTest, SnapshotRestoreEnablesReplay) {
+  VirtualClock clock;
+  CostModel costs;
+  platform::UntrustedStore store(clock, costs);
+  store.put("state", to_bytes(std::string_view("v1")));
+  const auto old = store.snapshot();
+  store.put("state", to_bytes(std::string_view("v2")));
+  EXPECT_EQ(to_string(store.get("state").value()), "v2");
+  store.restore(old);  // the OS replays the old disk image
+  EXPECT_EQ(to_string(store.get("state").value()), "v1");
+}
+
+TEST(StorageTest, CorruptFlipsOneByte) {
+  VirtualClock clock;
+  CostModel costs;
+  platform::UntrustedStore store(clock, costs);
+  store.put("b", Bytes{0x00, 0x00});
+  EXPECT_TRUE(store.corrupt("b", 1));
+  EXPECT_EQ(store.get("b").value()[1], 0x80);
+  EXPECT_FALSE(store.corrupt("missing", 0));
+}
+
+TEST(StorageTest, WritesChargeDiskLatency) {
+  VirtualClock clock;
+  CostModel costs;
+  platform::UntrustedStore store(clock, costs);
+  const Duration t0 = clock.now();
+  store.put("b", Bytes(10, 1));
+  EXPECT_EQ(clock.now() - t0, costs.disk_write);
+}
+
+// ---- provider CA ----
+
+TEST(ProviderTest, IssueAndVerify) {
+  platform::ProviderCa ca(1);
+  const auto kp = crypto::Ed25519KeyPair::from_seed(to_array<32>(Bytes(32, 5)));
+  const auto cred = ca.issue("m0", "eu-central", 16, kp.public_key());
+  EXPECT_TRUE(platform::ProviderCa::verify(ca.public_key(), cred));
+}
+
+TEST(ProviderTest, RejectsForeignCa) {
+  platform::ProviderCa ca(1);
+  platform::ProviderCa other_ca(2);
+  const auto kp = crypto::Ed25519KeyPair::from_seed(to_array<32>(Bytes(32, 5)));
+  const auto cred = other_ca.issue("m0", "eu-central", 16, kp.public_key());
+  EXPECT_FALSE(platform::ProviderCa::verify(ca.public_key(), cred));
+}
+
+TEST(ProviderTest, RejectsModifiedFields) {
+  platform::ProviderCa ca(1);
+  const auto kp = crypto::Ed25519KeyPair::from_seed(to_array<32>(Bytes(32, 5)));
+  auto cred = ca.issue("m0", "eu-central", 16, kp.public_key());
+  cred.address = "attacker-machine";
+  EXPECT_FALSE(platform::ProviderCa::verify(ca.public_key(), cred));
+  cred = ca.issue("m0", "eu-central", 16, kp.public_key());
+  cred.region = "other-region";
+  EXPECT_FALSE(platform::ProviderCa::verify(ca.public_key(), cred));
+}
+
+}  // namespace
+}  // namespace sgxmig

@@ -1,0 +1,170 @@
+// Serialization tests for every protocol message type (docs/PROTOCOL.md):
+// round trips, boundary values, and rejection of malformed/truncated/
+// trailing-garbage encodings — the parsing layer faces the raw network.
+#include <gtest/gtest.h>
+
+#include "migration/protocol.h"
+#include "support/rng.h"
+
+namespace sgxmig::migration {
+namespace {
+
+TEST(ProtocolSerde, MeRequestRoundTrip) {
+  MeRequest req;
+  req.type = MeMsgType::kTransfer;
+  req.id = 0x0123456789abcdefULL;
+  req.payload = to_bytes(std::string_view("opaque record"));
+  auto back = MeRequest::deserialize(req.serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().type, req.type);
+  EXPECT_EQ(back.value().id, req.id);
+  EXPECT_EQ(back.value().payload, req.payload);
+}
+
+TEST(ProtocolSerde, MeRequestRejectsUnknownType) {
+  MeRequest req;
+  req.type = MeMsgType::kLaStart;
+  Bytes bytes = req.serialize();
+  bytes[0] = 0;  // type 0 invalid
+  EXPECT_FALSE(MeRequest::deserialize(bytes).ok());
+  bytes[0] = 8;  // type 8 invalid
+  EXPECT_FALSE(MeRequest::deserialize(bytes).ok());
+}
+
+TEST(ProtocolSerde, MeRequestRejectsTrailingGarbage) {
+  MeRequest req;
+  req.type = MeMsgType::kLaStart;
+  Bytes bytes = req.serialize();
+  bytes.push_back(0x00);
+  EXPECT_FALSE(MeRequest::deserialize(bytes).ok());
+}
+
+TEST(ProtocolSerde, MeResponseRoundTrip) {
+  MeResponse resp;
+  resp.status = Status::kPolicyViolation;
+  resp.payload = Bytes(300, 0x7a);
+  auto back = MeResponse::deserialize(resp.serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().status, Status::kPolicyViolation);
+  EXPECT_EQ(back.value().payload, resp.payload);
+}
+
+TEST(ProtocolSerde, LibMsgRoundTrip) {
+  LibMsg msg;
+  msg.type = LibMsgType::kIncomingData;
+  msg.status = Status::kOk;
+  msg.payload = Bytes(1500, 0x42);
+  auto back = LibMsg::deserialize(msg.serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().type, LibMsgType::kIncomingData);
+  EXPECT_EQ(back.value().payload, msg.payload);
+}
+
+TEST(ProtocolSerde, MigrateRequestPayloadRoundTrip) {
+  MigrateRequestPayload payload;
+  payload.destination_address = "machine-17";
+  payload.policy.allowed_regions = {"eu-central", "ap-south"};
+  payload.policy.denied_addresses = {"machine-3"};
+  payload.policy.min_cpu_cores = 12;
+  payload.data.counters_active[9] = true;
+  payload.data.counter_values[9] = 77;
+  payload.data.msk[0] = 0xaa;
+  auto back = MigrateRequestPayload::deserialize(payload.serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().destination_address, "machine-17");
+  EXPECT_EQ(back.value().policy.allowed_regions,
+            payload.policy.allowed_regions);
+  EXPECT_EQ(back.value().policy.min_cpu_cores, 12u);
+  EXPECT_EQ(back.value().data, payload.data);
+}
+
+TEST(ProtocolSerde, TransferPayloadRoundTrip) {
+  TransferPayload payload;
+  payload.source_mr_enclave[5] = 0x55;
+  payload.source_me_address = "m0";
+  payload.data.counters_active[0] = true;
+  payload.data.counter_values[0] = 0xffffffff;
+  auto back = TransferPayload::deserialize(payload.serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().source_mr_enclave, payload.source_mr_enclave);
+  EXPECT_EQ(back.value().source_me_address, "m0");
+  EXPECT_EQ(back.value().data, payload.data);
+}
+
+TEST(ProtocolSerde, ProviderAuthRoundTrip) {
+  ProviderAuth auth;
+  auth.credential.address = "m9";
+  auth.credential.region = "eu-west";
+  auth.credential.cpu_cores = 48;
+  auth.credential.machine_public_key[0] = 1;
+  auth.transcript_signature[63] = 9;
+  auto back = ProviderAuth::deserialize(auth.serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().credential.address, "m9");
+  EXPECT_EQ(back.value().credential.cpu_cores, 48u);
+  EXPECT_EQ(back.value().transcript_signature, auth.transcript_signature);
+}
+
+TEST(ProtocolSerde, ProviderAuthMessageBindsTranscript) {
+  std::array<uint8_t, 32> t1{};
+  std::array<uint8_t, 32> t2{};
+  t2[0] = 1;
+  EXPECT_NE(provider_auth_message(t1), provider_auth_message(t2));
+}
+
+class ProtocolFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ProtocolFuzz, TruncationsNeverParse) {
+  Rng rng(GetParam());
+  MigrateRequestPayload payload;
+  payload.destination_address = "dest";
+  payload.policy.allowed_regions = {"r1", "r2"};
+  payload.data.counters_active[3] = true;
+  const Bytes full = payload.serialize();
+  // Every truncation point must fail to parse (no partial acceptance).
+  for (int i = 0; i < 20; ++i) {
+    const size_t cut = 1 + rng.uniform(full.size() - 1);
+    Bytes truncated(full.begin(), full.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(MigrateRequestPayload::deserialize(truncated).ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST_P(ProtocolFuzz, RandomBytesNeverParseAsTransfer) {
+  Rng rng(GetParam() ^ 0xf00d);
+  for (int i = 0; i < 20; ++i) {
+    const Bytes junk = rng.bytes(1 + rng.uniform(2048));
+    // Either rejected, or (vanishingly unlikely) parsed — but never
+    // crashes or reads out of bounds (ASAN-clean by construction of
+    // BinaryReader).
+    auto r = TransferPayload::deserialize(junk);
+    if (r.ok()) {
+      // If it parsed, the serialization must round-trip identically.
+      EXPECT_EQ(r.value().serialize(), junk);
+    }
+  }
+}
+
+TEST_P(ProtocolFuzz, BitFlipsDetectedOrIsomorphic) {
+  Rng rng(GetParam() ^ 0xbeef);
+  ProviderAuth auth;
+  auth.credential.address = "m1";
+  auth.credential.region = "eu";
+  const Bytes original = auth.serialize();
+  for (int i = 0; i < 20; ++i) {
+    Bytes mutated = original;
+    mutated[rng.uniform(mutated.size())] ^=
+        static_cast<uint8_t>(1u << rng.uniform(8));
+    auto r = ProviderAuth::deserialize(mutated);
+    if (r.ok()) {
+      // Structure-level parse may succeed; the flipped field must show up
+      // so signature verification above this layer will catch it.
+      EXPECT_NE(r.value().serialize(), original);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzz, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace sgxmig::migration

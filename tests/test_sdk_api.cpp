@@ -1,0 +1,195 @@
+// Tests for the paper-literal C-style API (Listings 1 and 2) and the
+// §VII-C usability claim: switching from the standard SGX functions to
+// the migratable ones changes only the function name (sealing) or the
+// function name plus UUID->id (counters).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "migration/migratable_enclave.h"
+#include "migration/migration_enclave.h"
+#include "migration/sdk_api.h"
+#include "platform/world.h"
+
+namespace sgxmig {
+namespace {
+
+using migration::InitState;
+using migration::MigrationEnclave;
+using migration::MigrationLibrary;
+using platform::World;
+using sgx::EnclaveImage;
+
+/// An "application enclave" exposing its embedded library the way
+/// in-enclave code would see it (Listing 2 runs inside the enclave).
+class ListingEnclave : public migration::MigratableEnclave {
+ public:
+  using MigratableEnclave::MigratableEnclave;
+  MigrationLibrary& lib() { return library(); }
+};
+
+class SdkApiTest : public ::testing::Test {
+ protected:
+  SdkApiTest() {
+    me0_ = std::make_unique<MigrationEnclave>(
+        m0_, MigrationEnclave::standard_image(), world_.provider());
+    me1_ = std::make_unique<MigrationEnclave>(
+        m1_, MigrationEnclave::standard_image(), world_.provider());
+    enclave_ = std::make_unique<ListingEnclave>(m0_, image_);
+    enclave_->set_persist_callback(
+        [this](ByteView s) { m0_.storage().put("ml", s); });
+  }
+
+  World world_{/*seed=*/112};
+  platform::Machine& m0_ = world_.add_machine("m0");
+  platform::Machine& m1_ = world_.add_machine("m1");
+  std::unique_ptr<MigrationEnclave> me0_;
+  std::unique_ptr<MigrationEnclave> me1_;
+  std::shared_ptr<const EnclaveImage> image_ =
+      EnclaveImage::create("listing-app", 1, "acme");
+  std::unique_ptr<ListingEnclave> enclave_;
+};
+
+TEST_F(SdkApiTest, Listing1InitAndStart) {
+  // migration_init(p_data_buffer, init_state, ME_address);
+  ASSERT_EQ(migration::migration_init(enclave_->lib(), nullptr, 0,
+                                      InitState::kNew, "m0"),
+            Status::kOk);
+  // migration_start(destination_address);
+  EXPECT_EQ(migration::migration_start(enclave_->lib(), "m1"), Status::kOk);
+  EXPECT_TRUE(enclave_->lib().frozen());
+}
+
+TEST_F(SdkApiTest, Listing2SealUnsealRoundTrip) {
+  migration::migration_init(enclave_->lib(), nullptr, 0, InitState::kNew,
+                            "m0");
+  const uint8_t mac_text[] = "version=9";
+  const uint8_t secret[] = "the-secret-payload";
+  const uint32_t blob_size = migration::sgx_calc_migratable_sealed_data_size(
+      sizeof(mac_text), sizeof(secret));
+  std::vector<uint8_t> blob(blob_size);
+
+  ASSERT_EQ(migration::sgx_seal_migratable_data(
+                enclave_->lib(), sizeof(mac_text), mac_text, sizeof(secret),
+                secret, blob_size, blob.data()),
+            Status::kOk);
+
+  uint8_t mac_out[64];
+  uint32_t mac_len = sizeof(mac_out);
+  uint8_t text_out[64];
+  uint32_t text_len = sizeof(text_out);
+  ASSERT_EQ(migration::sgx_unseal_migratable_data(
+                enclave_->lib(), blob.data(), blob_size, mac_out, &mac_len,
+                text_out, &text_len),
+            Status::kOk);
+  ASSERT_EQ(mac_len, sizeof(mac_text));
+  ASSERT_EQ(text_len, sizeof(secret));
+  EXPECT_EQ(std::memcmp(mac_out, mac_text, mac_len), 0);
+  EXPECT_EQ(std::memcmp(text_out, secret, text_len), 0);
+}
+
+TEST_F(SdkApiTest, Listing2UnsealReportsRequiredSizes) {
+  migration::migration_init(enclave_->lib(), nullptr, 0, InitState::kNew,
+                            "m0");
+  const uint8_t secret[100] = {0};
+  const uint32_t blob_size =
+      migration::sgx_calc_migratable_sealed_data_size(0, sizeof(secret));
+  std::vector<uint8_t> blob(blob_size);
+  migration::sgx_seal_migratable_data(enclave_->lib(), 0, nullptr,
+                                      sizeof(secret), secret, blob_size,
+                                      blob.data());
+  uint8_t tiny[4];
+  uint32_t mac_len = 0;
+  uint32_t text_len = sizeof(tiny);  // too small
+  EXPECT_EQ(migration::sgx_unseal_migratable_data(
+                enclave_->lib(), blob.data(), blob_size, nullptr, &mac_len,
+                tiny, &text_len),
+            Status::kInvalidParameter);
+  EXPECT_EQ(text_len, sizeof(secret));  // required size reported
+}
+
+TEST_F(SdkApiTest, Listing2CounterLifecycle) {
+  migration::migration_init(enclave_->lib(), nullptr, 0, InitState::kNew,
+                            "m0");
+  uint32_t counter_id = 0;
+  uint32_t value = 99;
+  // sgx_create_migratable_counter(p_counter_id, p_counter_value);
+  ASSERT_EQ(migration::sgx_create_migratable_counter(enclave_->lib(),
+                                                     &counter_id, &value),
+            Status::kOk);
+  EXPECT_EQ(value, 0u);
+  // sgx_increment_migratable_counter(counter_id, p_counter_value);
+  ASSERT_EQ(migration::sgx_increment_migratable_counter(enclave_->lib(),
+                                                        counter_id, &value),
+            Status::kOk);
+  EXPECT_EQ(value, 1u);
+  // sgx_read_migratable_counter(counter_id, p_counter_value);
+  ASSERT_EQ(migration::sgx_read_migratable_counter(enclave_->lib(),
+                                                   counter_id, &value),
+            Status::kOk);
+  EXPECT_EQ(value, 1u);
+  // sgx_destroy_migratable_counter(counter_id);
+  EXPECT_EQ(migration::sgx_destroy_migratable_counter(enclave_->lib(),
+                                                      counter_id),
+            Status::kOk);
+  EXPECT_EQ(migration::sgx_read_migratable_counter(enclave_->lib(),
+                                                   counter_id, &value),
+            Status::kCounterNotFound);
+}
+
+TEST_F(SdkApiTest, NullPointerArgumentsRejected) {
+  migration::migration_init(enclave_->lib(), nullptr, 0, InitState::kNew,
+                            "m0");
+  uint32_t id = 0, value = 0;
+  EXPECT_EQ(migration::sgx_create_migratable_counter(enclave_->lib(), nullptr,
+                                                     &value),
+            Status::kInvalidParameter);
+  EXPECT_EQ(migration::sgx_create_migratable_counter(enclave_->lib(), &id,
+                                                     nullptr),
+            Status::kInvalidParameter);
+  EXPECT_EQ(migration::sgx_increment_migratable_counter(enclave_->lib(), 0,
+                                                        nullptr),
+            Status::kInvalidParameter);
+  EXPECT_EQ(migration::migration_start(enclave_->lib(), nullptr),
+            Status::kInvalidParameter);
+  const uint8_t payload[4] = {0};
+  EXPECT_EQ(migration::sgx_seal_migratable_data(enclave_->lib(), 0, nullptr,
+                                                4, payload, 64, nullptr),
+            Status::kInvalidParameter);
+}
+
+TEST_F(SdkApiTest, SealBufferTooSmallRejected) {
+  migration::migration_init(enclave_->lib(), nullptr, 0, InitState::kNew,
+                            "m0");
+  const uint8_t payload[64] = {0};
+  uint8_t blob[16];  // far too small
+  EXPECT_EQ(migration::sgx_seal_migratable_data(enclave_->lib(), 0, nullptr,
+                                                sizeof(payload), payload,
+                                                sizeof(blob), blob),
+            Status::kInvalidParameter);
+}
+
+TEST_F(SdkApiTest, FullMigrationThroughPaperApiOnly) {
+  // The entire lifecycle using nothing but the paper's listings.
+  ASSERT_EQ(migration::migration_init(enclave_->lib(), nullptr, 0,
+                                      InitState::kNew, "m0"),
+            Status::kOk);
+  uint32_t id = 0, value = 0;
+  migration::sgx_create_migratable_counter(enclave_->lib(), &id, &value);
+  migration::sgx_increment_migratable_counter(enclave_->lib(), id, &value);
+  ASSERT_EQ(migration::migration_start(enclave_->lib(), "m1"), Status::kOk);
+  enclave_.reset();
+
+  auto moved = std::make_unique<ListingEnclave>(m1_, image_);
+  moved->set_persist_callback(
+      [this](ByteView s) { m1_.storage().put("ml", s); });
+  ASSERT_EQ(migration::migration_init(moved->lib(), nullptr, 0,
+                                      InitState::kMigrate, "m1"),
+            Status::kOk);
+  ASSERT_EQ(migration::sgx_read_migratable_counter(moved->lib(), id, &value),
+            Status::kOk);
+  EXPECT_EQ(value, 1u);
+}
+
+}  // namespace
+}  // namespace sgxmig

@@ -1,0 +1,233 @@
+// Tests for the simulated SGX core: measurement, CPU key derivation,
+// sealing semantics (the machine-binding that motivates the paper), and
+// enclave lifecycle.
+#include <gtest/gtest.h>
+
+#include "platform/world.h"
+#include "sgx/enclave.h"
+#include "sgx/measurement.h"
+#include "sgx/sealing.h"
+
+namespace sgxmig {
+namespace {
+
+using platform::World;
+using sgx::EnclaveImage;
+using sgx::KeyName;
+using sgx::KeyPolicy;
+
+class SgxCoreTest : public ::testing::Test {
+ protected:
+  World world_{/*seed=*/1234};
+  platform::Machine& m0_ = world_.add_machine("m0");
+  platform::Machine& m1_ = world_.add_machine("m1");
+};
+
+TEST_F(SgxCoreTest, SameImageSameMeasurementEverywhere) {
+  const auto image_a = EnclaveImage::create("app", 1, "acme");
+  const auto image_b = EnclaveImage::create("app", 1, "acme");
+  EXPECT_EQ(image_a->mr_enclave(), image_b->mr_enclave());
+  EXPECT_EQ(image_a->mr_signer(), image_b->mr_signer());
+}
+
+TEST_F(SgxCoreTest, DifferentVersionDifferentMrenclave) {
+  const auto v1 = EnclaveImage::create("app", 1, "acme");
+  const auto v2 = EnclaveImage::create("app", 2, "acme");
+  EXPECT_NE(v1->mr_enclave(), v2->mr_enclave());
+  // Same signer: MRSIGNER unchanged (this is what allows upgrades with
+  // MRSIGNER sealing).
+  EXPECT_EQ(v1->mr_signer(), v2->mr_signer());
+}
+
+TEST_F(SgxCoreTest, DifferentSignerDifferentMrsigner) {
+  const auto a = EnclaveImage::create("app", 1, "acme");
+  const auto b = EnclaveImage::create("app", 1, "evil-corp");
+  EXPECT_NE(a->mr_signer(), b->mr_signer());
+}
+
+TEST_F(SgxCoreTest, SealingKeysDifferAcrossMachines) {
+  const auto image = EnclaveImage::create("app", 1, "acme");
+  const sgx::EnclaveIdentity id = image->identity();
+  sgx::KeyId key_id{};
+  const auto k0 = m0_.cpu().get_key(KeyName::kSeal, KeyPolicy::kMrEnclave, id,
+                                    key_id);
+  const auto k1 = m1_.cpu().get_key(KeyName::kSeal, KeyPolicy::kMrEnclave, id,
+                                    key_id);
+  EXPECT_NE(k0, k1);
+}
+
+TEST_F(SgxCoreTest, SealingKeysDifferAcrossPoliciesAndIdentities) {
+  const auto a = EnclaveImage::create("app-a", 1, "acme");
+  const auto b = EnclaveImage::create("app-b", 1, "acme");
+  sgx::KeyId key_id{};
+  const auto ka = m0_.cpu().get_key(KeyName::kSeal, KeyPolicy::kMrEnclave,
+                                    a->identity(), key_id);
+  const auto kb = m0_.cpu().get_key(KeyName::kSeal, KeyPolicy::kMrEnclave,
+                                    b->identity(), key_id);
+  EXPECT_NE(ka, kb);
+  // Same signer => same MRSIGNER key even for different code.
+  const auto sa = m0_.cpu().get_key(KeyName::kSeal, KeyPolicy::kMrSigner,
+                                    a->identity(), key_id);
+  const auto sb = m0_.cpu().get_key(KeyName::kSeal, KeyPolicy::kMrSigner,
+                                    b->identity(), key_id);
+  EXPECT_EQ(sa, sb);
+}
+
+// A minimal concrete enclave exposing the trusted runtime for testing.
+class TestEnclave : public sgx::Enclave {
+ public:
+  TestEnclave(sgx::PlatformIface& platform,
+              std::shared_ptr<const EnclaveImage> image)
+      : Enclave(platform, std::move(image)) {}
+
+  Result<Bytes> ecall_seal(KeyPolicy policy, ByteView aad, ByteView pt) {
+    auto scope = enter_ecall();
+    return seal(policy, aad, pt);
+  }
+  Result<sgx::UnsealedData> ecall_unseal(ByteView blob) {
+    auto scope = enter_ecall();
+    return unseal(blob);
+  }
+};
+
+TEST_F(SgxCoreTest, SealUnsealRoundTrip) {
+  const auto image = EnclaveImage::create("app", 1, "acme");
+  TestEnclave enclave(m0_, image);
+  const Bytes aad = to_bytes(std::string_view("version=7"));
+  const Bytes pt = to_bytes(std::string_view("the secret"));
+  auto sealed = enclave.ecall_seal(KeyPolicy::kMrEnclave, aad, pt);
+  ASSERT_TRUE(sealed.ok());
+  auto unsealed = enclave.ecall_unseal(sealed.value());
+  ASSERT_TRUE(unsealed.ok());
+  EXPECT_EQ(unsealed.value().plaintext, pt);
+  EXPECT_EQ(unsealed.value().aad, aad);
+}
+
+TEST_F(SgxCoreTest, SealedDataSurvivesEnclaveRestart) {
+  const auto image = EnclaveImage::create("app", 1, "acme");
+  Bytes sealed;
+  {
+    TestEnclave first(m0_, image);
+    sealed = first.ecall_seal(KeyPolicy::kMrEnclave, ByteView(),
+                              to_bytes(std::string_view("persist me")))
+                 .value();
+  }  // enclave destroyed: EPC contents gone
+  TestEnclave second(m0_, image);
+  auto unsealed = second.ecall_unseal(sealed);
+  ASSERT_TRUE(unsealed.ok());
+  EXPECT_EQ(to_string(unsealed.value().plaintext), "persist me");
+}
+
+TEST_F(SgxCoreTest, SealedDataDoesNotUnsealOnOtherMachine) {
+  // THE motivating failure of the paper: the same enclave identity on a
+  // different machine derives a different sealing key.
+  const auto image = EnclaveImage::create("app", 1, "acme");
+  TestEnclave src(m0_, image);
+  TestEnclave dst(m1_, image);
+  const auto sealed = src.ecall_seal(KeyPolicy::kMrEnclave, ByteView(),
+                                     to_bytes(std::string_view("secret")));
+  ASSERT_TRUE(sealed.ok());
+  auto unsealed = dst.ecall_unseal(sealed.value());
+  EXPECT_FALSE(unsealed.ok());
+  EXPECT_EQ(unsealed.status(), Status::kMacMismatch);
+}
+
+TEST_F(SgxCoreTest, MrenclaveSealingRejectsOtherEnclave) {
+  const auto image_a = EnclaveImage::create("app-a", 1, "acme");
+  const auto image_b = EnclaveImage::create("app-b", 1, "acme");
+  TestEnclave a(m0_, image_a);
+  TestEnclave b(m0_, image_b);
+  const auto sealed = a.ecall_seal(KeyPolicy::kMrEnclave, ByteView(),
+                                   to_bytes(std::string_view("mine")));
+  EXPECT_FALSE(b.ecall_unseal(sealed.value()).ok());
+}
+
+TEST_F(SgxCoreTest, MrsignerSealingAllowsUpgradedEnclave) {
+  const auto v1 = EnclaveImage::create("app", 1, "acme");
+  const auto v2 = EnclaveImage::create("app", 2, "acme");
+  TestEnclave old_version(m0_, v1);
+  TestEnclave new_version(m0_, v2);
+  const auto sealed = old_version.ecall_seal(
+      KeyPolicy::kMrSigner, ByteView(), to_bytes(std::string_view("carry")));
+  auto unsealed = new_version.ecall_unseal(sealed.value());
+  ASSERT_TRUE(unsealed.ok());
+  EXPECT_EQ(to_string(unsealed.value().plaintext), "carry");
+}
+
+TEST_F(SgxCoreTest, MrsignerSealingRejectsOtherSigner) {
+  const auto acme = EnclaveImage::create("app", 1, "acme");
+  const auto evil = EnclaveImage::create("app", 1, "evil-corp");
+  TestEnclave a(m0_, acme);
+  TestEnclave e(m0_, evil);
+  const auto sealed = a.ecall_seal(KeyPolicy::kMrSigner, ByteView(),
+                                   to_bytes(std::string_view("ours")));
+  EXPECT_FALSE(e.ecall_unseal(sealed.value()).ok());
+}
+
+TEST_F(SgxCoreTest, TamperedSealedBlobRejected) {
+  const auto image = EnclaveImage::create("app", 1, "acme");
+  TestEnclave enclave(m0_, image);
+  auto sealed = enclave.ecall_seal(KeyPolicy::kMrEnclave, ByteView(),
+                                   to_bytes(std::string_view("integrity")));
+  ASSERT_TRUE(sealed.ok());
+  for (size_t pos : {size_t{10}, sealed.value().size() / 2,
+                     sealed.value().size() - 1}) {
+    Bytes corrupted = sealed.value();
+    corrupted[pos] ^= 0x01;
+    EXPECT_FALSE(enclave.ecall_unseal(corrupted).ok()) << "pos=" << pos;
+  }
+}
+
+TEST_F(SgxCoreTest, TamperedAadRejectedButReadable) {
+  // AAD is plaintext in the blob (readable by the OS) yet authenticated.
+  const auto image = EnclaveImage::create("app", 1, "acme");
+  TestEnclave enclave(m0_, image);
+  const Bytes aad = to_bytes(std::string_view("counter=3"));
+  auto sealed = enclave.ecall_seal(KeyPolicy::kMrEnclave, aad,
+                                   to_bytes(std::string_view("x")));
+  ASSERT_TRUE(sealed.ok());
+  // Find and flip a byte of the AAD inside the blob.
+  auto& blob = sealed.value();
+  const std::string as_str(blob.begin(), blob.end());
+  const size_t pos = as_str.find("counter=3");
+  ASSERT_NE(pos, std::string::npos);
+  blob[pos + 8] = '4';  // counter=4
+  EXPECT_FALSE(enclave.ecall_unseal(blob).ok());
+}
+
+TEST_F(SgxCoreTest, SealingAdvancesVirtualClock) {
+  const auto image = EnclaveImage::create("app", 1, "acme");
+  TestEnclave enclave(m0_, image);
+  const Duration before = world_.clock().now();
+  enclave.ecall_seal(KeyPolicy::kMrEnclave, ByteView(), Bytes(100, 1)).value();
+  const Duration elapsed = world_.clock().now() - before;
+  // EGETKEY (~55us) dominates; the whole op should be well under 1ms.
+  EXPECT_GT(elapsed, microseconds(30));
+  EXPECT_LT(elapsed, milliseconds(1));
+}
+
+TEST_F(SgxCoreTest, SealedBlobSizeMatchesEstimate) {
+  const auto image = EnclaveImage::create("app", 1, "acme");
+  TestEnclave enclave(m0_, image);
+  const Bytes aad(17, 0xaa);
+  const Bytes pt(123, 0xbb);
+  const auto sealed = enclave.ecall_seal(KeyPolicy::kMrEnclave, aad, pt);
+  EXPECT_EQ(sealed.value().size(), sgx::sealed_blob_size(aad.size(), pt.size()));
+}
+
+TEST_F(SgxCoreTest, WorldDeterminismAcrossRuns) {
+  // Two worlds with the same seed produce identical sealed blobs for the
+  // same sequence of operations.
+  auto run = [] {
+    World w(/*seed=*/777);
+    auto& m = w.add_machine("m0");
+    const auto image = EnclaveImage::create("app", 1, "acme");
+    TestEnclave e(m, image);
+    return e.ecall_seal(KeyPolicy::kMrEnclave, ByteView(),
+                        to_bytes(std::string_view("det"))).value();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace sgxmig

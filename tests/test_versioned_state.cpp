@@ -1,0 +1,218 @@
+// Tests for the versioned-state persistence pattern (apps/versioned_state)
+// across its three modes, and for the Gu et al. baseline library.
+#include <gtest/gtest.h>
+
+#include "apps/versioned_state.h"
+#include "baseline/gu_migration.h"
+#include "migration/migration_enclave.h"
+#include "platform/world.h"
+
+namespace sgxmig {
+namespace {
+
+using apps::PersistenceMode;
+using apps::VersionedStateEnclave;
+using baseline::GuMigrationLibrary;
+using migration::InitState;
+using migration::MigrationEnclave;
+using platform::World;
+using sgx::EnclaveImage;
+
+sgx::Key128 test_kdc_key() {
+  sgx::Key128 key{};
+  for (size_t i = 0; i < key.size(); ++i) key[i] = static_cast<uint8_t>(i + 1);
+  return key;
+}
+
+class VersionedStateTest : public ::testing::Test {
+ protected:
+  World world_{/*seed=*/771};
+  platform::Machine& m0_ = world_.add_machine("m0");
+  platform::Machine& m1_ = world_.add_machine("m1");
+  std::shared_ptr<const EnclaveImage> image_ =
+      EnclaveImage::create("vs-app", 1, "acme");
+};
+
+TEST_F(VersionedStateTest, NativeModePersistRestore) {
+  VersionedStateEnclave enclave(m0_, image_, PersistenceMode::kNativeSeal);
+  enclave.ecall_set_state(to_bytes(std::string_view("v1")));
+  auto p = enclave.ecall_persist();
+  ASSERT_TRUE(p.ok());
+
+  VersionedStateEnclave restarted(m0_, image_, PersistenceMode::kNativeSeal);
+  ASSERT_EQ(restarted.ecall_restore(p.value().blob, p.value().counter_uuid),
+            Status::kOk);
+  EXPECT_EQ(to_string(restarted.ecall_get_state().value()), "v1");
+}
+
+TEST_F(VersionedStateTest, NativeModeRejectsStaleVersion) {
+  VersionedStateEnclave enclave(m0_, image_, PersistenceMode::kNativeSeal);
+  enclave.ecall_set_state(to_bytes(std::string_view("old")));
+  const auto stale = enclave.ecall_persist().value();
+  enclave.ecall_set_state(to_bytes(std::string_view("new")));
+  const auto fresh = enclave.ecall_persist().value();
+
+  VersionedStateEnclave restarted(m0_, image_, PersistenceMode::kNativeSeal);
+  EXPECT_EQ(restarted.ecall_restore(stale.blob, stale.counter_uuid),
+            Status::kReplayDetected);
+  EXPECT_EQ(restarted.ecall_restore(fresh.blob, fresh.counter_uuid),
+            Status::kOk);
+}
+
+TEST_F(VersionedStateTest, NativeModeBlobUselessOnOtherMachine) {
+  VersionedStateEnclave enclave(m0_, image_, PersistenceMode::kNativeSeal);
+  enclave.ecall_set_state(to_bytes(std::string_view("bound")));
+  const auto p = enclave.ecall_persist().value();
+  VersionedStateEnclave other(m1_, image_, PersistenceMode::kNativeSeal);
+  // Sealing key differs AND the counter does not exist there.
+  EXPECT_NE(other.ecall_restore(p.blob, p.counter_uuid), Status::kOk);
+}
+
+TEST_F(VersionedStateTest, KdcModeDecryptsAnywhereButCounterIsLocal) {
+  VersionedStateEnclave enclave(m0_, image_, PersistenceMode::kKdcSeal);
+  enclave.ecall_install_kdc_key(test_kdc_key());
+  enclave.ecall_set_state(to_bytes(std::string_view("roaming")));
+  const auto p = enclave.ecall_persist().value();
+
+  VersionedStateEnclave other(m1_, image_, PersistenceMode::kKdcSeal);
+  other.ecall_install_kdc_key(test_kdc_key());
+  // The ciphertext decrypts (KDC key is global) but the version check
+  // fails: m0's counter does not exist on m1.
+  EXPECT_EQ(other.ecall_restore(p.blob, p.counter_uuid),
+            Status::kCounterNotFound);
+}
+
+TEST_F(VersionedStateTest, KdcModeRequiresKey) {
+  VersionedStateEnclave enclave(m0_, image_, PersistenceMode::kKdcSeal);
+  enclave.ecall_set_state(to_bytes(std::string_view("x")));
+  EXPECT_EQ(enclave.ecall_persist().status(), Status::kNotInitialized);
+}
+
+TEST_F(VersionedStateTest, MigratableModeFullCycle) {
+  MigrationEnclave me0(m0_, MigrationEnclave::standard_image(),
+                       world_.provider());
+  VersionedStateEnclave enclave(m0_, image_, PersistenceMode::kMigratable);
+  enclave.set_persist_callback(
+      [this](ByteView s) { m0_.storage().put("ml", s); });
+  ASSERT_EQ(enclave.ecall_migration_init(ByteView(), InitState::kNew, "m0"),
+            Status::kOk);
+  enclave.ecall_set_state(to_bytes(std::string_view("m-state")));
+  const auto p = enclave.ecall_persist().value();
+  EXPECT_EQ(enclave.ecall_current_version().value(), 1u);
+  // Mode mismatch guards.
+  EXPECT_EQ(enclave.ecall_restore(p.blob, sgx::CounterUuid{}),
+            Status::kInvalidState);
+}
+
+TEST_F(VersionedStateTest, MemoryImageRoundTrip) {
+  VersionedStateEnclave enclave(m0_, image_, PersistenceMode::kKdcSeal);
+  enclave.ecall_install_kdc_key(test_kdc_key());
+  enclave.ecall_set_state(to_bytes(std::string_view("in-memory")));
+  const Bytes img = enclave.ecall_export_memory_image().value();
+  VersionedStateEnclave other(m1_, image_, PersistenceMode::kKdcSeal);
+  ASSERT_EQ(other.ecall_import_memory_image(img), Status::kOk);
+  EXPECT_EQ(to_string(other.ecall_get_state().value()), "in-memory");
+}
+
+// ----- Gu library unit behaviour -----
+
+TEST_F(VersionedStateTest, GuMigrateMemoryMovesState) {
+  VersionedStateEnclave src(m0_, image_, PersistenceMode::kKdcSeal);
+  VersionedStateEnclave dst(m1_, image_, PersistenceMode::kKdcSeal);
+  src.ecall_install_kdc_key(test_kdc_key());
+  dst.ecall_install_kdc_key(test_kdc_key());
+  src.ecall_set_state(to_bytes(std::string_view("moving")));
+  Bytes received;
+  ASSERT_EQ(GuMigrationLibrary::migrate_memory(
+                src.gu_library(), src.ecall_export_memory_image().value(),
+                dst.gu_library(), &received),
+            Status::kOk);
+  ASSERT_EQ(dst.ecall_import_memory_image(received), Status::kOk);
+  EXPECT_EQ(to_string(dst.ecall_get_state().value()), "moving");
+  // Source spin-locked afterwards.
+  EXPECT_TRUE(src.gu_library().spin_locked());
+  EXPECT_EQ(src.ecall_get_state().status(), Status::kMigrationFrozen);
+}
+
+TEST_F(VersionedStateTest, GuRejectsDifferentEnclaveIdentity) {
+  VersionedStateEnclave src(m0_, image_, PersistenceMode::kKdcSeal);
+  const auto other_image = EnclaveImage::create("other", 1, "acme");
+  VersionedStateEnclave dst(m1_, other_image, PersistenceMode::kKdcSeal);
+  Bytes received;
+  EXPECT_EQ(GuMigrationLibrary::migrate_memory(
+                src.gu_library(), Bytes(16, 1), dst.gu_library(), &received),
+            Status::kIdentityMismatch);
+}
+
+TEST_F(VersionedStateTest, GuDoubleMigrationBlocked) {
+  VersionedStateEnclave src(m0_, image_, PersistenceMode::kKdcSeal);
+  VersionedStateEnclave dst(m1_, image_, PersistenceMode::kKdcSeal);
+  Bytes received;
+  ASSERT_EQ(GuMigrationLibrary::migrate_memory(src.gu_library(), Bytes(8, 1),
+                                               dst.gu_library(), &received),
+            Status::kOk);
+  // The spin-locked source cannot export again.
+  EXPECT_EQ(GuMigrationLibrary::migrate_memory(src.gu_library(), Bytes(8, 1),
+                                               dst.gu_library(), &received),
+            Status::kMigrationFrozen);
+}
+
+TEST_F(VersionedStateTest, GuPersistedFlagSurvivesRestart) {
+  VersionedStateEnclave dst(m1_, image_, PersistenceMode::kKdcSeal);
+  Bytes flag_blob;
+  {
+    VersionedStateEnclave src(m0_, image_, PersistenceMode::kKdcSeal,
+                              GuMigrationLibrary::FlagMode::kPersisted);
+    src.gu_library().set_persist_callback(
+        [&flag_blob](ByteView b) { flag_blob = to_bytes(b); });
+    Bytes received;
+    ASSERT_EQ(GuMigrationLibrary::migrate_memory(
+                  src.gu_library(), Bytes(8, 1), dst.gu_library(), &received),
+              Status::kOk);
+    ASSERT_FALSE(flag_blob.empty());
+  }
+  // Restarted instance restores the flag and refuses to operate.
+  VersionedStateEnclave restarted(m0_, image_, PersistenceMode::kKdcSeal,
+                                  GuMigrationLibrary::FlagMode::kPersisted);
+  ASSERT_EQ(restarted.gu_library().restore(flag_blob), Status::kOk);
+  EXPECT_TRUE(restarted.gu_library().spin_locked());
+}
+
+TEST_F(VersionedStateTest, GuVolatileFlagClearedByRestart) {
+  VersionedStateEnclave dst(m1_, image_, PersistenceMode::kKdcSeal);
+  {
+    VersionedStateEnclave src(m0_, image_, PersistenceMode::kKdcSeal,
+                              GuMigrationLibrary::FlagMode::kVolatile);
+    Bytes received;
+    ASSERT_EQ(GuMigrationLibrary::migrate_memory(
+                  src.gu_library(), Bytes(8, 1), dst.gu_library(), &received),
+              Status::kOk);
+    EXPECT_TRUE(src.gu_library().spin_locked());
+  }
+  // The fresh instance has no memory of the migration — the §III-B hole.
+  VersionedStateEnclave restarted(m0_, image_, PersistenceMode::kKdcSeal,
+                                  GuMigrationLibrary::FlagMode::kVolatile);
+  ASSERT_EQ(restarted.gu_library().restore(ByteView()), Status::kOk);
+  EXPECT_FALSE(restarted.gu_library().spin_locked());
+}
+
+TEST_F(VersionedStateTest, GuTamperedFlagBlobRejected) {
+  VersionedStateEnclave enclave(m0_, image_, PersistenceMode::kKdcSeal,
+                                GuMigrationLibrary::FlagMode::kPersisted);
+  VersionedStateEnclave dst(m1_, image_, PersistenceMode::kKdcSeal);
+  Bytes flag_blob;
+  enclave.gu_library().set_persist_callback(
+      [&flag_blob](ByteView b) { flag_blob = to_bytes(b); });
+  Bytes received;
+  ASSERT_EQ(GuMigrationLibrary::migrate_memory(
+                enclave.gu_library(), Bytes(8, 1), dst.gu_library(),
+                &received),
+            Status::kOk);
+  flag_blob[flag_blob.size() / 2] ^= 1;
+  VersionedStateEnclave restarted(m0_, image_, PersistenceMode::kKdcSeal,
+                                  GuMigrationLibrary::FlagMode::kPersisted);
+  EXPECT_NE(restarted.gu_library().restore(flag_blob), Status::kOk);
+}
+
+}  // namespace
+}  // namespace sgxmig
