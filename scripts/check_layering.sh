@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Enforces the include-graph layering documented in CMakeLists.txt:
+#
+#   support -> crypto -> sgx -> net -> platform -> migration -> apps -> attacks
+#                         \-> baseline (net, sgx, support)      /
+#                          \-> vm (platform, support)
+#
+# A layer may only #include from itself and the layers listed for it
+# below.  Run from the repo root; exits non-zero (and lists offenders)
+# on any violation.  Wired into CI next to the build.
+set -u
+cd "$(dirname "$0")/.."
+
+declare -A allowed=(
+  [support]="support"
+  [crypto]="crypto support"
+  [sgx]="sgx crypto support"
+  [net]="net sgx crypto support"
+  [platform]="platform net sgx crypto support"
+  [baseline]="baseline net sgx crypto support"
+  [migration]="migration platform net sgx crypto support"
+  [apps]="apps migration baseline platform net sgx crypto support"
+  [attacks]="attacks apps migration baseline platform net sgx crypto support"
+  [vm]="vm platform net sgx crypto support"
+)
+
+layers="support crypto sgx net platform baseline migration apps attacks vm"
+failures=0
+
+for layer in $layers; do
+  for other in $layers; do
+    case " ${allowed[$layer]} " in
+      *" $other "*) continue ;;
+    esac
+    hits=$(grep -rn "#include \"$other/" "src/$layer" 2>/dev/null)
+    if [ -n "$hits" ]; then
+      echo "LAYERING VIOLATION: src/$layer must not include $other/:"
+      echo "$hits"
+      failures=1
+    fi
+  done
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "check_layering: FAILED"
+  exit 1
+fi
+echo "check_layering: OK ($(echo $layers | wc -w) layers clean)"

@@ -14,8 +14,9 @@ Bytes version_aad(uint32_t version) {
 }  // namespace
 
 KvStoreEnclave::KvStoreEnclave(sgx::PlatformIface& platform,
-                               std::shared_ptr<const sgx::EnclaveImage> image)
-    : MigratableEnclave(platform, std::move(image)) {}
+                               std::shared_ptr<const sgx::EnclaveImage> image,
+                               migration::PersistenceMode persistence)
+    : MigratableEnclave(platform, std::move(image), persistence) {}
 
 Status KvStoreEnclave::ecall_setup() {
   auto scope = enter_ecall();

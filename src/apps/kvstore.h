@@ -14,8 +14,13 @@ namespace sgxmig::apps {
 
 class KvStoreEnclave : public migration::MigratableEnclave {
  public:
+  /// `persistence` selects the Migration Library's PersistenceEngine
+  /// (sync / group-commit / write-behind); the default keeps the paper's
+  /// synchronous-persist semantics.
   KvStoreEnclave(sgx::PlatformIface& platform,
-                 std::shared_ptr<const sgx::EnclaveImage> image);
+                 std::shared_ptr<const sgx::EnclaveImage> image,
+                 migration::PersistenceMode persistence =
+                     migration::PersistenceMode::kSync);
 
   /// Creates the version counter (requires ecall_migration_init first).
   Status ecall_setup();

@@ -53,8 +53,9 @@ bool TrinxCertificate::verify() const {
 }
 
 TrinxEnclave::TrinxEnclave(sgx::PlatformIface& platform,
-                           std::shared_ptr<const sgx::EnclaveImage> image)
-    : MigratableEnclave(platform, std::move(image)) {}
+                           std::shared_ptr<const sgx::EnclaveImage> image,
+                           migration::PersistenceMode persistence)
+    : MigratableEnclave(platform, std::move(image), persistence) {}
 
 Status TrinxEnclave::ecall_setup() {
   auto scope = enter_ecall();

@@ -11,9 +11,16 @@ namespace sgxmig::migration {
 
 class MigratableEnclave : public sgx::Enclave {
  public:
+  /// `persistence` selects when the library's Table II buffer is sealed
+  /// and handed to the persist OCALL (persistence_engine.h); the default
+  /// is the paper-faithful synchronous persist.
   MigratableEnclave(sgx::PlatformIface& platform,
-                    std::shared_ptr<const sgx::EnclaveImage> image)
-      : Enclave(platform, std::move(image)), library_(*this) {}
+                    std::shared_ptr<const sgx::EnclaveImage> image,
+                    PersistenceMode persistence = PersistenceMode::kSync,
+                    const GroupCommitOptions& group_commit = {})
+      : Enclave(platform, std::move(image)),
+        library_(*this,
+                 make_persistence_engine(persistence, group_commit)) {}
 
   // ----- Listing 1 (untrusted application interface) -----
   Status ecall_migration_init(ByteView state_buffer, InitState init_state,
@@ -78,6 +85,13 @@ class MigratableEnclave : public sgx::Enclave {
     return library_.read_migratable_counter(counter_id);
   }
 
+  /// Batch-boundary fence for batching persistence engines (no-op under
+  /// the default SyncPersist).
+  Status ecall_persist_flush() {
+    auto scope = enter_ecall();
+    return library_.persist_flush();
+  }
+
   // ----- untrusted-side plumbing -----
   void set_persist_callback(MigrationLibrary::PersistCallback callback) {
     library_.set_persist_callback(std::move(callback));
@@ -85,6 +99,9 @@ class MigratableEnclave : public sgx::Enclave {
   const Bytes& sealed_state() const { return library_.sealed_state(); }
   bool migration_frozen() const { return library_.frozen(); }
   size_t active_counters() const { return library_.active_counters(); }
+  const PersistenceEngine& persistence_engine() const {
+    return library_.persistence();
+  }
 
  protected:
   /// Subclasses (application enclaves) use the library from inside their

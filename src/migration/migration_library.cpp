@@ -14,8 +14,11 @@ constexpr char kStateAad[] = "SGXMIG-ML-STATE";
 constexpr char kMskBlobMagic[] = "SGXMIG-MSK-SEALED-v1";
 }  // namespace
 
-MigrationLibrary::MigrationLibrary(sgx::Enclave& host)
+MigrationLibrary::MigrationLibrary(sgx::Enclave& host,
+                                   std::unique_ptr<PersistenceEngine> engine)
     : host_(host),
+      engine_(engine ? std::move(engine)
+                     : make_persistence_engine(PersistenceMode::kSync)),
       expected_me_mr_(MigrationEnclave::standard_image()->mr_enclave()) {}
 
 Status MigrationLibrary::check_operational() const {
@@ -27,9 +30,12 @@ Status MigrationLibrary::check_operational() const {
 // ----- persistence -----
 
 Status MigrationLibrary::persist(bool invoke_callback) {
-  auto sealed = host_.seal(sgx::KeyPolicy::kMrEnclave,
-                           to_bytes(std::string_view(kStateAad)),
-                           state_.serialize());
+  if (!seal_ctx_.has_value()) {
+    seal_ctx_.emplace(host_.make_seal_context(sgx::KeyPolicy::kMrEnclave));
+  }
+  auto sealed = host_.seal_with(*seal_ctx_,
+                                to_bytes(std::string_view(kStateAad)),
+                                state_.serialize());
   if (!sealed.ok()) return sealed.status();
   sealed_state_ = std::move(sealed).value();
   if (invoke_callback && persist_callback_) {
@@ -38,6 +44,27 @@ Status MigrationLibrary::persist(bool invoke_callback) {
     persist_callback_(sealed_state_);
   }
   return Status::kOk;
+}
+
+Status MigrationLibrary::commit_state() { return persist(/*invoke_callback=*/true); }
+
+Duration MigrationLibrary::now() const {
+  return host_.platform().clock().now();
+}
+
+Status MigrationLibrary::persist_after_mutation(MutationKind kind) {
+  return engine_->on_mutation(*this, kind);
+}
+
+Status MigrationLibrary::persist_mutation_durable(MutationKind kind) {
+  const Status status = engine_->on_mutation(*this, kind);
+  if (status != Status::kOk) return status;
+  return engine_->flush(*this);
+}
+
+Status MigrationLibrary::persist_flush() {
+  if (!initialized_) return Status::kNotInitialized;
+  return engine_->flush(*this);
 }
 
 // ----- initialization (paper Fig. 1 / §VI-B "Persistent data") -----
@@ -123,8 +150,9 @@ Status MigrationLibrary::apply_incoming(const MigrationData& data) {
     state_.counter_offsets[i] = data.counter_values[i];
     cached_hw_values_[i] = created.value().value;
   }
-  // UUIDs of the fresh counters are irrecoverable: persist synchronously.
-  return persist(/*invoke_callback=*/true);
+  // UUIDs of the fresh counters are irrecoverable: force durability here
+  // regardless of the configured engine.
+  return persist_mutation_durable(MutationKind::kRestoreApply);
 }
 
 // ----- migratable sealing (§VI-B "Sealing") -----
@@ -186,7 +214,10 @@ Result<CreatedMigratableCounter> MigrationLibrary::create_migratable_counter() {
   state_.counter_uuids[slot] = created.value().uuid;
   state_.counter_offsets[slot] = 0;
   cached_hw_values_[slot] = created.value().value;
-  const Status status = persist(/*invoke_callback=*/true);
+  // Batching engines may defer this commit: a crash in the window leaks
+  // the hardware counter (the restored state simply lacks the slot) but
+  // never corrupts the UUID table.
+  const Status status = persist_after_mutation(MutationKind::kCounterCreate);
   if (status != Status::kOk) return status;
   CreatedMigratableCounter out;
   out.counter_id = static_cast<uint32_t>(slot);
@@ -200,13 +231,27 @@ Status MigrationLibrary::destroy_migratable_counter(uint32_t counter_id) {
   if (counter_id >= kMaxCounters || !state_.counters_active[counter_id]) {
     return Status::kCounterNotFound;
   }
+  // Fence before the irreversible hardware destroy: any batched mutations
+  // must be durable first, or a crash right after the destroy would
+  // restore a Table II that references live state through a dead counter.
+  const Status fence = engine_->flush(*this);
+  if (fence != Status::kOk) return fence;
   const Status status = host_.counter_destroy(state_.counter_uuids[counter_id]);
-  if (status != Status::kOk) return status;
+  // kCounterNotFound: the hardware counter is already gone (crash between
+  // a destroy and its persist) — clearing the orphaned slot IS the
+  // recovery, so fall through and persist it.
+  if (status != Status::kOk && status != Status::kCounterNotFound) {
+    return status;
+  }
   state_.counters_active[counter_id] = false;
   state_.counter_uuids[counter_id] = {};
   state_.counter_offsets[counter_id] = 0;
   cached_hw_values_[counter_id].reset();
-  return persist(/*invoke_callback=*/true);
+  // The destroy record must be durable before returning: a lazily
+  // batched record would leave the stored Table II referencing the dead
+  // counter for an unbounded window, wedging collect_values() on any
+  // later migration.
+  return persist_mutation_durable(MutationKind::kCounterDestroy);
 }
 
 Result<uint32_t> MigrationLibrary::increment_migratable_counter(
@@ -234,7 +279,7 @@ Result<uint32_t> MigrationLibrary::increment_migratable_counter(
   auto incremented = host_.counter_increment(state_.counter_uuids[counter_id]);
   if (!incremented.ok()) return incremented.status();
   cached_hw_values_[counter_id] = incremented.value();
-  const Status status = persist(/*invoke_callback=*/true);
+  const Status status = persist_after_mutation(MutationKind::kCounterIncrement);
   if (status != Status::kOk) return status;
   return state_.counter_offsets[counter_id] + incremented.value();
 }
@@ -388,6 +433,12 @@ Status MigrationLibrary::migration_start(
   if (channel_status != Status::kOk) return channel_status;
 
   if (!staged_outgoing_.has_value()) {
+    // Fence any batched mutations before the freeze event: the buffer the
+    // application stored must reflect every completed operation before
+    // the library stops accepting them (Table II invariant under
+    // GroupCommit/WriteBehind engines).
+    const Status fence = engine_->flush(*this);
+    if (fence != Status::kOk) return fence;
     // Freeze first: no further operations may mutate persistent state
     // while (or after) the migration is in flight (§V-A step 2).
     runtime_frozen_ = true;
@@ -406,14 +457,23 @@ Status MigrationLibrary::migration_start(
     // stale persistent state cannot be replayed into a working fork.  If
     // this pass fails half-way the library stays frozen and a retry
     // resumes it (already-destroyed counters report kCounterNotFound).
+    // Once this guard flips, no retry path may reach counter_destroy
+    // again: the service recycles nothing today, but a double destroy
+    // against a recycled id would hit someone else's counter.
     const Status destroyed = destroy_active_counters();
     if (destroyed != Status::kOk) return destroyed;
     counters_destroyed_ = true;
+  }
+  if (!freeze_persisted_) {
     // Persist the freeze flag so a restarted instance refuses to operate
-    // (§VI-B, Table II).
+    // (§VI-B, Table II).  Durable regardless of engine, and guarded
+    // separately from counters_destroyed_: if this persist fails, a retry
+    // must redo it without re-destroying counters.
     state_.frozen = 1;
-    const Status persist_status = persist(/*invoke_callback=*/true);
+    const Status persist_status =
+        persist_mutation_durable(MutationKind::kFreeze);
     if (persist_status != Status::kOk) return persist_status;
+    freeze_persisted_ = true;
   }
 
   MigrateRequestPayload payload;

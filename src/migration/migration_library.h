@@ -23,19 +23,25 @@
 //    the incoming-migration restore path.
 //
 // Crash-consistency note: the library re-seals and persists its internal
-// buffer (Table II) synchronously inside every *mutating* counter
-// operation — losing the UUID table or offsets would permanently strand
-// the enclave's counters.  This synchronous persist is the mechanistic
-// source of the small overhead on create/increment/destroy in Fig. 3
-// (≤ ~12%); reads touch no state and show no significant overhead.
+// buffer (Table II) inside every *mutating* counter operation — losing
+// the UUID table or offsets would permanently strand the enclave's
+// counters.  WHEN that persist happens is delegated to a pluggable
+// PersistenceEngine (persistence_engine.h).  The default SyncPersist is
+// paper-faithful — one seal + OCALL per mutation, the mechanistic source
+// of the small overhead on create/increment/destroy in Fig. 3 (≤ ~12%);
+// reads touch no state and show no significant overhead.  Batching
+// engines defer the commit but are fenced (flush) before any
+// migration/freeze event and before a hardware counter is destroyed.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "migration/library_state.h"
+#include "migration/persistence_engine.h"
 #include "migration/protocol.h"
 #include "net/channel.h"
 #include "sgx/enclave.h"
@@ -54,10 +60,13 @@ struct CreatedMigratableCounter {
   uint32_t value = 0;       // effective value (starts at 0)
 };
 
-class MigrationLibrary {
+class MigrationLibrary : private PersistSink {
  public:
-  /// `host` is the enclave embedding this library.
-  explicit MigrationLibrary(sgx::Enclave& host);
+  /// `host` is the enclave embedding this library.  `engine` decides when
+  /// the Table II buffer is sealed + OCALLed out; nullptr selects the
+  /// paper-faithful SyncPersist.
+  explicit MigrationLibrary(sgx::Enclave& host,
+                            std::unique_ptr<PersistenceEngine> engine = nullptr);
 
   /// OCALL the library uses to hand its sealed persistent buffer to the
   /// untrusted application for storage (invoked on mutating counter ops
@@ -108,15 +117,34 @@ class MigrationLibrary {
   Result<uint32_t> increment_migratable_counter(uint32_t counter_id);
   Result<uint32_t> read_migratable_counter(uint32_t counter_id);
 
+  /// Fence for batching engines: on return every mutation so far is
+  /// sealed and handed to the persist OCALL.  No-op under SyncPersist.
+  /// Applications using WriteBehindPersist call this at operation-batch
+  /// boundaries; the library itself forces it before migration/freeze
+  /// events and before destroying a hardware counter.
+  Status persist_flush();
+
   // ----- state inspection -----
   bool initialized() const { return initialized_; }
   bool frozen() const { return runtime_frozen_; }
   /// Latest sealed persistent buffer (Table II) for the application to
-  /// store.
+  /// store.  Under a batching engine this may lag the in-memory state
+  /// until the next commit or persist_flush().
   const Bytes& sealed_state() const { return sealed_state_; }
   size_t active_counters() const { return state_.active_count(); }
+  const PersistenceEngine& persistence() const { return *engine_; }
 
  private:
+  // ----- PersistSink (the engine calls back into us to commit) -----
+  Status commit_state() override;
+  Duration now() const override;
+
+  /// Reports one completed mutation to the engine.
+  Status persist_after_mutation(MutationKind kind);
+  /// Mutation that must be durable before returning (freeze flag, fresh
+  /// counter UUIDs): report + fence, regardless of engine.
+  Status persist_mutation_durable(MutationKind kind);
+
   Status ensure_me_channel();
   /// Sends one LibMsg over the LA channel and returns the reply.
   Result<LibMsg> me_exchange(const LibMsg& request);
@@ -131,6 +159,10 @@ class MigrationLibrary {
   Status check_operational() const;
 
   sgx::Enclave& host_;
+  std::unique_ptr<PersistenceEngine> engine_;
+  // Sealing key derived once per library lifetime (one EGETKEY) and
+  // reused for every Table II re-seal; see sgx::SealContext.
+  std::optional<sgx::SealContext> seal_ctx_;
   LibraryState state_;
   // In-memory cache of the hardware counter values (filled by create/
   // read/increment).  Lets the increment overflow check run without an
@@ -148,6 +180,11 @@ class MigrationLibrary {
   std::optional<net::SecureChannel> me_channel_;
   std::optional<MigrationData> staged_outgoing_;
   bool counters_destroyed_ = false;
+  // Set once the freeze flag has been durably persisted during an
+  // outgoing migration.  Kept separate from counters_destroyed_ so a
+  // retry after a failed persist still writes the flag (and a retry after
+  // a failed ME exchange never re-destroys hardware counters).
+  bool freeze_persisted_ = false;
 };
 
 }  // namespace sgxmig::migration

@@ -1,0 +1,110 @@
+#include "migration/persistence_engine.h"
+
+namespace sgxmig::migration {
+
+const char* persistence_mode_name(PersistenceMode mode) {
+  switch (mode) {
+    case PersistenceMode::kSync:
+      return "sync";
+    case PersistenceMode::kGroupCommit:
+      return "group-commit";
+    case PersistenceMode::kWriteBehind:
+      return "write-behind";
+  }
+  return "unknown";
+}
+
+namespace {
+
+class SyncPersist final : public PersistenceEngine {
+ public:
+  PersistenceMode mode() const override { return PersistenceMode::kSync; }
+
+  Status on_mutation(PersistSink& sink, MutationKind /*kind*/) override {
+    note_mutation();
+    return commit(sink);
+  }
+
+  Status flush(PersistSink& /*sink*/) override { return Status::kOk; }
+
+  bool has_pending() const override { return false; }
+};
+
+class GroupCommitPersist final : public PersistenceEngine {
+ public:
+  explicit GroupCommitPersist(const GroupCommitOptions& options)
+      : options_(options) {}
+
+  PersistenceMode mode() const override {
+    return PersistenceMode::kGroupCommit;
+  }
+
+  Status on_mutation(PersistSink& sink, MutationKind /*kind*/) override {
+    note_mutation();
+    if (pending_ == 0) oldest_pending_ = sink.now();
+    ++pending_;
+    if (pending_ >= options_.max_batch ||
+        sink.now() - oldest_pending_ >= options_.window) {
+      return flush(sink);
+    }
+    return Status::kOk;
+  }
+
+  Status flush(PersistSink& sink) override {
+    if (pending_ == 0) return Status::kOk;
+    const Status status = commit(sink);
+    // On failure the mutations stay pending; the next mutation or fence
+    // retries the commit (the in-memory buffer still holds them).
+    if (status == Status::kOk) pending_ = 0;
+    return status;
+  }
+
+  bool has_pending() const override { return pending_ != 0; }
+
+ private:
+  GroupCommitOptions options_;
+  uint32_t pending_ = 0;
+  Duration oldest_pending_{0};
+};
+
+class WriteBehindPersist final : public PersistenceEngine {
+ public:
+  PersistenceMode mode() const override {
+    return PersistenceMode::kWriteBehind;
+  }
+
+  Status on_mutation(PersistSink& /*sink*/, MutationKind /*kind*/) override {
+    note_mutation();
+    dirty_ = true;
+    return Status::kOk;
+  }
+
+  Status flush(PersistSink& sink) override {
+    if (!dirty_) return Status::kOk;
+    const Status status = commit(sink);
+    if (status == Status::kOk) dirty_ = false;
+    return status;
+  }
+
+  bool has_pending() const override { return dirty_; }
+
+ private:
+  bool dirty_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<PersistenceEngine> make_persistence_engine(
+    PersistenceMode mode, const GroupCommitOptions& options) {
+  switch (mode) {
+    case PersistenceMode::kSync:
+      return std::make_unique<SyncPersist>();
+    case PersistenceMode::kGroupCommit:
+      return std::make_unique<GroupCommitPersist>(options);
+    case PersistenceMode::kWriteBehind:
+      return std::make_unique<WriteBehindPersist>();
+  }
+  return std::make_unique<SyncPersist>();
+}
+
+}  // namespace sgxmig::migration

@@ -1,6 +1,33 @@
 #include "platform/storage.h"
 
+#include <algorithm>
+
+#include "support/serde.h"
+
 namespace sgxmig::platform {
+
+namespace {
+constexpr char kSlotMagic[] = "SGXMIG-VSLOT-v1";
+
+std::string slot_name(const std::string& name, int slot) {
+  return name + "#" + std::to_string(slot);
+}
+
+// FNV-1a 64-bit over the framed payload: detects torn writes and the
+// single-byte corruptions the adversary API injects.  Integrity against a
+// *malicious* OS still comes from the sealed blob inside — this checksum
+// only distinguishes "torn/unreadable" from "intact" for crash recovery.
+uint64_t slot_checksum(uint64_t sequence, ByteView payload) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](uint8_t byte) {
+    h ^= byte;
+    h *= 0x100000001b3ull;
+  };
+  for (int i = 0; i < 8; ++i) mix(static_cast<uint8_t>(sequence >> (8 * i)));
+  for (uint8_t byte : payload) mix(byte);
+  return h;
+}
+}  // namespace
 
 UntrustedStore::UntrustedStore(VirtualClock& clock, const CostModel& costs)
     : clock_(clock), costs_(costs) {}
@@ -22,6 +49,63 @@ bool UntrustedStore::exists(const std::string& name) const {
 }
 
 void UntrustedStore::remove(const std::string& name) { blobs_.erase(name); }
+
+std::optional<UntrustedStore::SlotContents> UntrustedStore::read_slot(
+    const std::string& slot) const {
+  const auto it = blobs_.find(slot);
+  if (it == blobs_.end()) return std::nullopt;
+  BinaryReader r(it->second);
+  if (r.str(64) != kSlotMagic) return std::nullopt;
+  const uint64_t sequence = r.u64();
+  const uint64_t checksum = r.u64();
+  Bytes payload = r.bytes();
+  if (!r.done()) return std::nullopt;
+  if (slot_checksum(sequence, payload) != checksum) return std::nullopt;
+  SlotContents contents;
+  contents.sequence = sequence;
+  contents.payload = std::move(payload);
+  return contents;
+}
+
+void UntrustedStore::put_versioned(const std::string& name, ByteView blob) {
+  const auto slot0 = read_slot(slot_name(name, 0));
+  const auto slot1 = read_slot(slot_name(name, 1));
+  const uint64_t seq0 = slot0 ? slot0->sequence : 0;
+  const uint64_t seq1 = slot1 ? slot1->sequence : 0;
+  const uint64_t next = std::max(seq0, seq1) + 1;
+  // Overwrite the slot NOT holding the latest intact version, so the
+  // previous generation survives a torn write of this one.
+  const int target = seq0 >= seq1 ? 1 : 0;
+  BinaryWriter w;
+  w.str(kSlotMagic);
+  w.u64(next);
+  w.u64(slot_checksum(next, blob));
+  w.bytes(blob);
+  put(slot_name(name, target), w.take());
+}
+
+Result<Bytes> UntrustedStore::get_versioned(const std::string& name) const {
+  clock_.advance(costs_.disk_read);
+  const bool any_slot = blobs_.count(slot_name(name, 0)) != 0 ||
+                        blobs_.count(slot_name(name, 1)) != 0;
+  if (!any_slot) return Status::kStorageMissing;
+  const auto slot0 = read_slot(slot_name(name, 0));
+  const auto slot1 = read_slot(slot_name(name, 1));
+  if (!slot0 && !slot1) return Status::kTampered;
+  if (slot0 && slot1) {
+    return slot0->sequence >= slot1->sequence ? slot0->payload
+                                              : slot1->payload;
+  }
+  return slot0 ? slot0->payload : slot1->payload;
+}
+
+uint64_t UntrustedStore::versioned_sequence(const std::string& name) const {
+  const auto slot0 = read_slot(slot_name(name, 0));
+  const auto slot1 = read_slot(slot_name(name, 1));
+  const uint64_t seq0 = slot0 ? slot0->sequence : 0;
+  const uint64_t seq1 = slot1 ? slot1->sequence : 0;
+  return std::max(seq0, seq1);
+}
 
 bool UntrustedStore::corrupt(const std::string& name, size_t offset) {
   auto it = blobs_.find(name);

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
 
 #include "support/bytes.h"
@@ -30,6 +31,27 @@ class UntrustedStore {
   void remove(const std::string& name);
   size_t size() const { return blobs_.size(); }
 
+  // ----- versioned slots (torn-write detection) -----
+  //
+  // A batching persistence engine (GroupCommitPersist) turns many
+  // mutations into one blob write; a crash mid-write must not leave the
+  // only copy of the Migration Library's Table II buffer unparseable.
+  // put_versioned alternates between two physical slots ("<name>#0" /
+  // "<name>#1"), each framed with a sequence number and checksum; a torn
+  // or corrupted slot fails its checksum and get_versioned falls back to
+  // the other (older but intact) slot.
+
+  /// Write + fsync into the slot not holding the latest version.
+  void put_versioned(const std::string& name, ByteView blob);
+
+  /// Payload of the newest intact slot; kStorageMissing when no slot
+  /// exists, kTampered when slots exist but none verifies.
+  Result<Bytes> get_versioned(const std::string& name) const;
+
+  /// Sequence number of the newest intact slot (0 when none) — lets tests
+  /// assert which generation recovery picked.
+  uint64_t versioned_sequence(const std::string& name) const;
+
   // ----- adversary API (the OS can do all of this) -----
   using Snapshot = std::map<std::string, Bytes>;
   Snapshot snapshot() const { return blobs_; }
@@ -38,6 +60,14 @@ class UntrustedStore {
   bool corrupt(const std::string& name, size_t offset);
 
  private:
+  struct SlotContents {
+    uint64_t sequence = 0;
+    Bytes payload;
+  };
+  /// Parses + checksum-verifies one physical slot; nullopt when the slot
+  /// is absent, torn, or corrupted.
+  std::optional<SlotContents> read_slot(const std::string& slot_name) const;
+
   VirtualClock& clock_;
   const CostModel& costs_;
   std::map<std::string, Bytes> blobs_;

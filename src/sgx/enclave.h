@@ -69,6 +69,13 @@ class Enclave {
   Result<Bytes> seal(KeyPolicy policy, ByteView aad, ByteView plaintext);
   Result<UnsealedData> unseal(ByteView sealed_blob);
 
+  /// One-time EGETKEY for a reusable seal context: the derivation cost is
+  /// charged here, once; each seal_with() charges only the GCM work.  Used
+  /// by hot persist paths that re-seal the same state repeatedly.
+  SealContext make_seal_context(KeyPolicy policy);
+  Result<Bytes> seal_with(SealContext& context, ByteView aad,
+                          ByteView plaintext);
+
   // ----- local attestation (EREPORT) -----
   Report make_report(const TargetInfo& target, const ReportData& data);
   bool check_report(const Report& report);

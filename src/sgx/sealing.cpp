@@ -25,13 +25,12 @@ size_t sealed_blob_size(size_t aad_len, size_t plaintext_len) {
          plaintext_len;
 }
 
-Result<Bytes> seal_data(const SimCpu& cpu, const EnclaveIdentity& self,
-                        crypto::CtrDrbg& drbg, KeyPolicy policy, ByteView aad,
-                        ByteView plaintext) {
-  KeyId key_id{};
-  drbg.generate(key_id.data(), key_id.size());
-  const Key128 key = cpu.get_key(KeyName::kSeal, policy, self, key_id);
-
+namespace {
+// Shared by seal_data and SealContext::seal: everything after key
+// derivation, emitting the wire format unseal_data expects.
+Result<Bytes> seal_with_key(const Key128& key, const KeyId& key_id,
+                            KeyPolicy policy, crypto::CtrDrbg& drbg,
+                            ByteView aad, ByteView plaintext) {
   Bytes iv(crypto::kGcmIvSize);
   drbg.generate(iv.data(), iv.size());
 
@@ -48,6 +47,27 @@ Result<Bytes> seal_data(const SimCpu& cpu, const EnclaveIdentity& self,
   w.fixed(ct.tag);
   w.bytes(ct.ciphertext);
   return w.take();
+}
+}  // namespace
+
+Result<Bytes> seal_data(const SimCpu& cpu, const EnclaveIdentity& self,
+                        crypto::CtrDrbg& drbg, KeyPolicy policy, ByteView aad,
+                        ByteView plaintext) {
+  KeyId key_id{};
+  drbg.generate(key_id.data(), key_id.size());
+  const Key128 key = cpu.get_key(KeyName::kSeal, policy, self, key_id);
+  return seal_with_key(key, key_id, policy, drbg, aad, plaintext);
+}
+
+SealContext::SealContext(const SimCpu& cpu, const EnclaveIdentity& self,
+                         crypto::CtrDrbg& drbg, KeyPolicy policy)
+    : drbg_(drbg), policy_(policy) {
+  drbg.generate(key_id_.data(), key_id_.size());
+  key_ = cpu.get_key(KeyName::kSeal, policy, self, key_id_);
+}
+
+Result<Bytes> SealContext::seal(ByteView aad, ByteView plaintext) {
+  return seal_with_key(key_, key_id_, policy_, drbg_, aad, plaintext);
 }
 
 Result<UnsealedData> unseal_data(const SimCpu& cpu,

@@ -39,4 +39,27 @@ Result<UnsealedData> unseal_data(const SimCpu& cpu, const EnclaveIdentity& self,
 /// accounting and by callers sizing buffers, like sgx_calc_sealed_data_size).
 size_t sealed_blob_size(size_t aad_len, size_t plaintext_len);
 
+/// Reusable sealing context: derives the sealing key ONCE (one EGETKEY /
+/// key id) and reuses it for repeated seals.  Hot persist paths — the
+/// Migration Library re-seals its Table II buffer on every mutating
+/// counter op, and a batching PersistenceEngine flushes it repeatedly —
+/// would otherwise re-derive the key per flush.  Blobs are wire-identical
+/// to seal_data output, so unseal_data opens them; each seal still draws a
+/// fresh random IV.
+class SealContext {
+ public:
+  SealContext(const SimCpu& cpu, const EnclaveIdentity& self,
+              crypto::CtrDrbg& drbg, KeyPolicy policy);
+
+  Result<Bytes> seal(ByteView aad, ByteView plaintext);
+
+  KeyPolicy policy() const { return policy_; }
+
+ private:
+  crypto::CtrDrbg& drbg_;
+  KeyPolicy policy_;
+  KeyId key_id_{};
+  Key128 key_{};
+};
+
 }  // namespace sgxmig::sgx

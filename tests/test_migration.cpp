@@ -564,5 +564,62 @@ TEST_F(MigrationTest, MigrationDataRejectsTruncation) {
   EXPECT_FALSE(MigrationData::deserialize(bytes).ok());
 }
 
+// Regression: a failed migration followed by a retry must not run the
+// hardware-counter destruction pass again (guard on counters_destroyed_).
+// Counter ids are never recycled by the service, but a second destroy
+// pass against a recycling backend would hit a stranger's counter — so
+// the retry must not even attempt it — and the freeze flag must be
+// durable on disk after the FIRST attempt, before any retry.
+TEST_F(MigrationTest, FailedMigrationRetryDoesNotDoubleDestroyCounters) {
+  auto enclave = start_new(m0_);
+  const uint32_t c0 =
+      enclave->ecall_create_migratable_counter().value().counter_id;
+  const uint32_t c1 =
+      enclave->ecall_create_migratable_counter().value().counter_id;
+  enclave->ecall_increment_migratable_counter(c0);
+  enclave->ecall_increment_migratable_counter(c0);
+  enclave->ecall_increment_migratable_counter(c1);
+  const auto& mr = image_->mr_enclave();
+  ASSERT_EQ(m0_.counter_service().count_for(mr), 2u);
+
+  // Destination ME unreachable: the attempt fails AFTER the §VI-B
+  // point of no return (counters destroyed, freeze flag persisted).
+  world_.network().set_endpoint_down(m1_.me_endpoint(), true);
+  ASSERT_NE(enclave->ecall_migration_start("m1"), Status::kOk);
+  EXPECT_EQ(m0_.counter_service().count_for(mr), 0u);
+  EXPECT_TRUE(enclave->migration_frozen());
+  const uint32_t ids_after_destroy = m0_.counter_service().ids_allocated();
+
+  // Freeze flag already durable: a restarted instance refuses to operate
+  // even though the migration has not completed yet.
+  {
+    auto restarted = make_app(m0_);
+    const Bytes state = m0_.storage().get(kStateBlob).value();
+    EXPECT_EQ(
+        restarted->ecall_migration_init(state, InitState::kRestore, "m0"),
+        Status::kMigrationFrozen);
+  }
+
+  // Retry succeeds and performs no further counter-service mutations on
+  // the source: nothing left to destroy, nothing recreated.
+  world_.network().set_endpoint_down(m1_.me_endpoint(), false);
+  ASSERT_EQ(enclave->ecall_migration_start("m1"), Status::kOk);
+  EXPECT_EQ(m0_.counter_service().ids_allocated(), ids_after_destroy);
+  EXPECT_EQ(m0_.counter_service().count_for(mr), 0u);
+
+  // Staged data is consumed: a third start reports the frozen state
+  // instead of re-running the protocol.
+  EXPECT_EQ(enclave->ecall_migration_start("m1"), Status::kMigrationFrozen);
+
+  // The destination receives the effective values exactly once.
+  enclave.reset();
+  enclave = make_app(m1_);
+  ASSERT_EQ(enclave->ecall_migration_init(ByteView(), InitState::kMigrate,
+                                          m1_.address()),
+            Status::kOk);
+  EXPECT_EQ(enclave->ecall_read_migratable_counter(c0).value(), 2u);
+  EXPECT_EQ(enclave->ecall_read_migratable_counter(c1).value(), 1u);
+}
+
 }  // namespace
 }  // namespace sgxmig
