@@ -7,11 +7,13 @@
 // quotes (p ~ 0 for increment, p ~ 0.12 for read).
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "support/json.h"
 #include "support/sim_clock.h"
 #include "support/stats.h"
 
@@ -77,5 +79,63 @@ inline void print_single_row(const std::string& name, const Summary& s) {
   std::printf("%-22s %9.6f±%.6f %16s %9s %10s\n", name.c_str(), s.mean,
               s.ci99_half, "-", "-", "-");
 }
+
+// ----- machine-readable bench output (CI perf-trajectory artifacts) -----
+//
+// Benches that feed CI append rows of key/value fields and write one
+// BENCH_<name>.json next to the binary's working directory:
+//   {"bench": "<name>", "rows": [{...}, ...]}
+
+class JsonBench {
+ public:
+  explicit JsonBench(std::string name) : name_(std::move(name)) {}
+
+  JsonBench& begin_row() {
+    rows_.emplace_back();
+    return *this;
+  }
+  JsonBench& field(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", value);
+    return raw_field(key, buf);
+  }
+  JsonBench& field(const std::string& key, uint64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    return raw_field(key, buf);
+  }
+  JsonBench& field(const std::string& key, int value) {
+    return field(key, static_cast<uint64_t>(value));
+  }
+  JsonBench& field(const std::string& key, const std::string& value) {
+    return raw_field(key, json_string(value));
+  }
+
+  /// Writes {"bench": name, "rows": [...]}; returns false on I/O error.
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\"bench\": %s, \"rows\": [", json_string(name_).c_str());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s{%s}", i == 0 ? "" : ", ", rows_[i].c_str());
+    }
+    std::fprintf(f, "]}\n");
+    const bool ok = std::fclose(f) == 0;
+    if (ok) std::printf("\nwrote %s (%zu rows)\n", path.c_str(), rows_.size());
+    return ok;
+  }
+
+ private:
+  JsonBench& raw_field(const std::string& key, const std::string& rendered) {
+    std::string& row = rows_.back();
+    if (!row.empty()) row += ", ";
+    row += json_string(key) + ": " + rendered;
+    return *this;
+  }
+
+  std::string name_;
+  std::vector<std::string> rows_;
+};
 
 }  // namespace sgxmig::bench

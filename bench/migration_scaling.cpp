@@ -5,8 +5,10 @@
 // constant.  This quantifies the paper's implicit advice that enclaves
 // should keep few live hardware counters.
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
+#include "bench_common.h"
 #include "migration/migratable_enclave.h"
 #include "migration/migration_enclave.h"
 #include "platform/world.h"
@@ -59,16 +61,26 @@ void run() {
   std::printf("================================================================\n");
   std::printf("%10s %18s %22s %12s\n", "counters", "source side [s]",
               "destination side [s]", "total [s]");
+  bench::JsonBench json("migration_scaling");
   for (const int counters : {0, 1, 2, 4, 8, 16, 32}) {
     const Sample s = migrate_with_counters(counters);
     std::printf("%10d %18.3f %22.3f %12.3f\n", counters, s.source_seconds,
                 s.destination_seconds,
                 s.source_seconds + s.destination_seconds);
+    json.begin_row()
+        .field("counters", counters)
+        .field("source_seconds", s.source_seconds)
+        .field("destination_seconds", s.destination_seconds)
+        .field("total_seconds", s.source_seconds + s.destination_seconds);
   }
   std::printf(
       "\nexpected shape: ~0.28 s per counter on the source (destroy) and\n"
       "~0.25 s on the destination (create); the attestation + transfer\n"
       "floor (~0.2 s) dominates only for counter-free enclaves.\n");
+  if (!json.write_file("BENCH_scaling.json")) {
+    std::printf("FAILED to write BENCH_scaling.json\n");
+    std::exit(1);
+  }
 }
 
 }  // namespace

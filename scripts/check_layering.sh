@@ -2,7 +2,7 @@
 # Enforces the include-graph layering documented in CMakeLists.txt:
 #
 #   support -> crypto -> sgx -> net -> platform -> migration -> apps -> attacks
-#                         \-> baseline (net, sgx, support)      /
+#                         \-> baseline (net, sgx, support)   \-> orchestrator
 #                          \-> vm (platform, support)
 #
 # A layer may only #include from itself and the layers listed for it
@@ -19,12 +19,13 @@ declare -A allowed=(
   [platform]="platform net sgx crypto support"
   [baseline]="baseline net sgx crypto support"
   [migration]="migration platform net sgx crypto support"
+  [orchestrator]="orchestrator migration platform net sgx crypto support"
   [apps]="apps migration baseline platform net sgx crypto support"
   [attacks]="attacks apps migration baseline platform net sgx crypto support"
   [vm]="vm platform net sgx crypto support"
 )
 
-layers="support crypto sgx net platform baseline migration apps attacks vm"
+layers="support crypto sgx net platform baseline migration orchestrator apps attacks vm"
 failures=0
 
 for layer in $layers; do

@@ -48,6 +48,15 @@ class MigratableEnclave : public sgx::Enclave {
     return library_.migration_start(destination_address, policy);
   }
 
+  /// Structured-failure variant (class + failing-step message), for
+  /// callers with retry logic such as the fleet orchestrator.
+  MigrationStartResult ecall_migration_start_detailed(
+      const std::string& destination_address, MigrationPolicy policy = {}) {
+    auto scope = enter_ecall();
+    return library_.migration_start_detailed(destination_address,
+                                             std::move(policy));
+  }
+
   Result<OutgoingState> ecall_query_migration_status() {
     auto scope = enter_ecall();
     return library_.query_migration_status();

@@ -423,14 +423,85 @@ Status MigrationLibrary::destroy_active_counters() {
   return Status::kOk;
 }
 
+const char* migration_failure_class_name(MigrationFailureClass cls) {
+  switch (cls) {
+    case MigrationFailureClass::kNone: return "none";
+    case MigrationFailureClass::kRetryableNetwork: return "retryable-network";
+    case MigrationFailureClass::kRetryableBusy: return "retryable-busy";
+    case MigrationFailureClass::kFatalPolicy: return "fatal-policy";
+    case MigrationFailureClass::kFatalState: return "fatal-state";
+    case MigrationFailureClass::kFatalInternal: return "fatal-internal";
+  }
+  return "unknown";
+}
+
+bool migration_failure_is_retryable(MigrationFailureClass cls) {
+  return cls == MigrationFailureClass::kRetryableNetwork ||
+         cls == MigrationFailureClass::kRetryableBusy;
+}
+
+MigrationFailureClass classify_migration_failure(Status status) {
+  switch (status) {
+    case Status::kOk:
+      return MigrationFailureClass::kNone;
+    // Transport loss or in-flight corruption: the paper's threat model
+    // concedes availability to a network adversary, so these clear up when
+    // the interference stops — retry.
+    case Status::kNetworkUnreachable:
+    case Status::kChannelError:
+    case Status::kReplayDetected:
+    case Status::kMacMismatch:
+    case Status::kTampered:
+      return MigrationFailureClass::kRetryableNetwork;
+    // A service (PSE proxy, ME) exists but cannot take the work right now;
+    // kAlreadyExists is the destination ME refusing a second concurrent
+    // migration for the same MRENCLAVE (§V-D: one pending per identity).
+    case Status::kServiceUnavailable:
+    case Status::kMigrationInProgress:
+    case Status::kAlreadyExists:
+      return MigrationFailureClass::kRetryableBusy;
+    case Status::kPolicyViolation:
+      return MigrationFailureClass::kFatalPolicy;
+    case Status::kMigrationFrozen:
+    case Status::kNotInitialized:
+    case Status::kInvalidState:
+    case Status::kInvalidParameter:
+      return MigrationFailureClass::kFatalState;
+    default:
+      return MigrationFailureClass::kFatalInternal;
+  }
+}
+
+namespace {
+MigrationStartResult start_failure(Status status, const char* step) {
+  MigrationStartResult result;
+  result.status = status;
+  result.failure_class = classify_migration_failure(status);
+  result.message =
+      std::string(step) + ": " + std::string(status_name(status));
+  return result;
+}
+}  // namespace
+
 Status MigrationLibrary::migration_start(
     const std::string& destination_address, MigrationPolicy policy) {
-  if (!initialized_) return Status::kNotInitialized;
+  return migration_start_detailed(destination_address, std::move(policy))
+      .status;
+}
+
+MigrationStartResult MigrationLibrary::migration_start_detailed(
+    const std::string& destination_address, MigrationPolicy policy) {
+  if (!initialized_) {
+    return start_failure(Status::kNotInitialized, "library init check");
+  }
   if (runtime_frozen_ && !staged_outgoing_.has_value()) {
-    return Status::kMigrationFrozen;  // already migrated away
+    // Already migrated away.
+    return start_failure(Status::kMigrationFrozen, "freeze check");
   }
   const Status channel_status = ensure_me_channel();
-  if (channel_status != Status::kOk) return channel_status;
+  if (channel_status != Status::kOk) {
+    return start_failure(channel_status, "local ME attestation");
+  }
 
   if (!staged_outgoing_.has_value()) {
     // Fence any batched mutations before the freeze event: the buffer the
@@ -438,7 +509,9 @@ Status MigrationLibrary::migration_start(
     // the library stops accepting them (Table II invariant under
     // GroupCommit/WriteBehind engines).
     const Status fence = engine_->flush(*this);
-    if (fence != Status::kOk) return fence;
+    if (fence != Status::kOk) {
+      return start_failure(fence, "pre-freeze persistence fence");
+    }
     // Freeze first: no further operations may mutate persistent state
     // while (or after) the migration is in flight (§V-A step 2).
     runtime_frozen_ = true;
@@ -447,7 +520,7 @@ Status MigrationLibrary::migration_start(
       // Nothing destructive happened yet: the enclave may resume normal
       // operation and retry the migration later.
       runtime_frozen_ = false;
-      return collected.status();
+      return start_failure(collected.status(), "collecting counter values");
     }
     staged_outgoing_ = std::move(collected).value();
   }
@@ -461,7 +534,9 @@ Status MigrationLibrary::migration_start(
     // again: the service recycles nothing today, but a double destroy
     // against a recycled id would hit someone else's counter.
     const Status destroyed = destroy_active_counters();
-    if (destroyed != Status::kOk) return destroyed;
+    if (destroyed != Status::kOk) {
+      return start_failure(destroyed, "destroying source counters");
+    }
     counters_destroyed_ = true;
   }
   if (!freeze_persisted_) {
@@ -472,7 +547,9 @@ Status MigrationLibrary::migration_start(
     state_.frozen = 1;
     const Status persist_status =
         persist_mutation_durable(MutationKind::kFreeze);
-    if (persist_status != Status::kOk) return persist_status;
+    if (persist_status != Status::kOk) {
+      return start_failure(persist_status, "persisting freeze flag");
+    }
     freeze_persisted_ = true;
   }
 
@@ -484,15 +561,20 @@ Status MigrationLibrary::migration_start(
   request.type = LibMsgType::kMigrateRequest;
   request.payload = payload.serialize();
   auto reply = me_exchange_reattest(request);
-  if (!reply.ok()) return reply.status();
+  if (!reply.ok()) {
+    return start_failure(reply.status(), "ME exchange");
+  }
   if (reply.value().type != LibMsgType::kMigrateAccepted) {
     // Keep the staged data: the application may retry, possibly with a
     // different destination (§V-D error handling).
-    return reply.value().status != Status::kOk ? reply.value().status
-                                               : Status::kMigrationAborted;
+    const Status rejected = reply.value().status != Status::kOk
+                                ? reply.value().status
+                                : Status::kMigrationAborted;
+    return start_failure(rejected,
+                         "destination rejected by source ME protocol");
   }
   staged_outgoing_.reset();
-  return Status::kOk;
+  return MigrationStartResult{};
 }
 
 Result<OutgoingState> MigrationLibrary::query_migration_status() {

@@ -60,6 +60,37 @@ struct CreatedMigratableCounter {
   uint32_t value = 0;       // effective value (starts at 0)
 };
 
+/// Coarse classification of a migration_start failure, so callers driving
+/// many migrations (the fleet orchestrator) can decide mechanically
+/// whether retrying — possibly against another destination — can help.
+enum class MigrationFailureClass : uint8_t {
+  kNone = 0,          // no failure
+  kRetryableNetwork,  // transient transport loss/corruption: retry
+  kRetryableBusy,     // a service or the destination ME is busy: back off
+  kFatalPolicy,       // migration policy denied this destination
+  kFatalState,        // the library cannot migrate in its current state
+  kFatalInternal,     // attestation/crypto/internal failure: do not retry
+};
+
+const char* migration_failure_class_name(MigrationFailureClass cls);
+bool migration_failure_is_retryable(MigrationFailureClass cls);
+
+/// Maps a Status from the migration_start path to a failure class.
+MigrationFailureClass classify_migration_failure(Status status);
+
+/// Structured outcome of migration_start: the bare Status plus a failure
+/// class and a message naming the protocol step that failed.
+struct MigrationStartResult {
+  Status status = Status::kOk;
+  MigrationFailureClass failure_class = MigrationFailureClass::kNone;
+  std::string message;  // empty on success
+
+  bool ok() const { return status == Status::kOk; }
+  bool retryable() const {
+    return migration_failure_is_retryable(failure_class);
+  }
+};
+
 class MigrationLibrary : private PersistSink {
  public:
   /// `host` is the enclave embedding this library.  `engine` decides when
@@ -102,6 +133,11 @@ class MigrationLibrary : private PersistSink {
   /// stays staged so the application can retry with another destination.
   Status migration_start(const std::string& destination_address,
                          MigrationPolicy policy = {});
+
+  /// Like migration_start, but reports a structured failure (class +
+  /// message naming the failing protocol step) instead of a bare Status.
+  MigrationStartResult migration_start_detailed(
+      const std::string& destination_address, MigrationPolicy policy = {});
 
   /// Asks the local ME for the state of this enclave's outgoing migration.
   Result<OutgoingState> query_migration_status();

@@ -1,0 +1,157 @@
+#include "orchestrator/fleet_registry.h"
+
+namespace sgxmig::orchestrator {
+
+namespace {
+
+void install_persist_callback(migration::MigratableEnclave& enclave,
+                              platform::Machine& machine,
+                              const std::string& key) {
+  enclave.set_persist_callback([&machine, key](ByteView sealed_state) {
+    machine.storage().put(key, sealed_state);
+  });
+}
+
+}  // namespace
+
+FleetRegistry::~FleetRegistry() {
+  for (auto& [id, record] : records_) {
+    if (auto* m = world_.machine(record.machine)) m->note_enclave_detached();
+  }
+}
+
+Result<uint64_t> FleetRegistry::launch(
+    const std::string& machine_address, const std::string& name,
+    std::shared_ptr<const sgx::EnclaveImage> image,
+    const LaunchOptions& options) {
+  platform::Machine* machine = world_.machine(machine_address);
+  if (machine == nullptr || image == nullptr) {
+    return Status::kInvalidParameter;
+  }
+  for (const auto& [id, record] : records_) {
+    if (record.name == name) return Status::kAlreadyExists;
+  }
+
+  auto enclave = std::make_unique<migration::MigratableEnclave>(
+      *machine, image, options.persistence, options.group_commit);
+  install_persist_callback(*enclave, *machine, storage_key(name));
+  const Status init = enclave->ecall_migration_init(
+      ByteView(), migration::InitState::kNew, machine_address);
+  if (init != Status::kOk) return init;
+  machine->storage().put(storage_key(name), enclave->sealed_state());
+
+  EnclaveRecord record;
+  record.id = next_id_++;
+  record.name = name;
+  record.image = std::move(image);
+  record.machine = machine_address;
+  record.options = options;
+  record.enclave = std::move(enclave);
+  machine->note_enclave_attached();
+  const uint64_t id = record.id;
+  records_.emplace(id, std::move(record));
+  return id;
+}
+
+Status FleetRegistry::complete_move(uint64_t id,
+                                    const std::string& destination_address) {
+  auto it = records_.find(id);
+  if (it == records_.end()) return Status::kInvalidParameter;
+  EnclaveRecord& record = it->second;
+  platform::Machine* destination = world_.machine(destination_address);
+  if (destination == nullptr) return Status::kInvalidParameter;
+
+  // Bring the destination instance up BEFORE retiring the frozen source
+  // object: if fetching the incoming data fails (destination ME crashed
+  // and lost its pending copy, network partition, ...), nothing is lost —
+  // the source ME still retains the data (§V-D) and the caller decides
+  // what to do next.
+  auto next = std::make_unique<migration::MigratableEnclave>(
+      *destination, record.image, record.options.persistence,
+      record.options.group_commit);
+  install_persist_callback(*next, *destination, storage_key(record.name));
+  const Status init = next->ecall_migration_init(
+      ByteView(), migration::InitState::kMigrate, destination_address);
+  if (init != Status::kOk) return init;
+  destination->storage().put(storage_key(record.name), next->sealed_state());
+
+  if (auto* source = world_.machine(record.machine)) {
+    source->note_enclave_detached();
+  }
+  destination->note_enclave_attached();
+  record.enclave = std::move(next);  // destroys the frozen source instance
+  record.machine = destination_address;
+  ++record.completed_migrations;
+  if (completion_callback_) completion_callback_(record);
+  return Status::kOk;
+}
+
+Status FleetRegistry::retire(uint64_t id) {
+  auto it = records_.find(id);
+  if (it == records_.end()) return Status::kInvalidParameter;
+  if (auto* m = world_.machine(it->second.machine)) m->note_enclave_detached();
+  records_.erase(it);
+  return Status::kOk;
+}
+
+EnclaveRecord* FleetRegistry::find(uint64_t id) {
+  auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+const EnclaveRecord* FleetRegistry::find(uint64_t id) const {
+  auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+migration::MigratableEnclave* FleetRegistry::enclave(uint64_t id) {
+  EnclaveRecord* record = find(id);
+  return record == nullptr ? nullptr : record->enclave.get();
+}
+
+std::vector<uint64_t> FleetRegistry::all_ids() const {
+  std::vector<uint64_t> out;
+  out.reserve(records_.size());
+  for (const auto& [id, record] : records_) out.push_back(id);
+  return out;
+}
+
+std::vector<uint64_t> FleetRegistry::ids_on(
+    const std::string& machine_address) const {
+  std::vector<uint64_t> out;
+  for (const auto& [id, record] : records_) {
+    if (record.machine == machine_address) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<uint64_t> FleetRegistry::ids_in_region(
+    const std::string& region) const {
+  std::vector<uint64_t> out;
+  for (const auto& [id, record] : records_) {
+    platform::Machine* m = world_.machine(record.machine);
+    if (m != nullptr && m->region() == region) out.push_back(id);
+  }
+  return out;
+}
+
+size_t FleetRegistry::count_on(const std::string& machine_address) const {
+  size_t n = 0;
+  for (const auto& [id, record] : records_) {
+    if (record.machine == machine_address) ++n;
+  }
+  return n;
+}
+
+bool FleetRegistry::hosts_image(const std::string& machine_address,
+                                const sgx::Measurement& mr) const {
+  for (const auto& [id, record] : records_) {
+    if (record.machine == machine_address &&
+        record.image->mr_enclave() == mr) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace sgxmig::orchestrator

@@ -1,0 +1,117 @@
+// FleetRegistry — the orchestrator's view of every migratable enclave in
+// the world.
+//
+// The paper's protocol moves ONE enclave between two Migration Enclaves;
+// a data center runs thousands.  The registry owns the live
+// MigratableEnclave instances, remembers where each one runs (and with
+// which image, persistence engine, and migration policy), keeps the
+// per-machine load gauges on platform::Machine in sync, and provides the
+// placement queries (count per machine, image anti-affinity) the
+// Scheduler's policies rank destinations with.
+//
+// Placement changes flow through exactly two mutators so the registry can
+// never disagree with reality: launch() (a fresh enclave on a machine)
+// and complete_move() (the destination half of a migration whose source
+// half — migration_start — the Orchestrator already drove).  The
+// completion callback installed via set_completion_callback is how upper
+// layers (event logs, benches) observe registry-confirmed moves.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "migration/migratable_enclave.h"
+#include "platform/world.h"
+
+namespace sgxmig::orchestrator {
+
+/// Per-enclave launch configuration (everything complete_move() needs to
+/// re-instantiate the enclave on the destination machine).
+struct LaunchOptions {
+  migration::PersistenceMode persistence = migration::PersistenceMode::kSync;
+  migration::GroupCommitOptions group_commit = {};
+  /// Travels with every migrate request for this enclave (§X policies).
+  migration::MigrationPolicy policy = {};
+};
+
+struct EnclaveRecord {
+  uint64_t id = 0;
+  std::string name;  // unique; also the untrusted-storage key ("<name>.ml")
+  std::shared_ptr<const sgx::EnclaveImage> image;
+  std::string machine;  // current placement (machine address)
+  LaunchOptions options;
+  uint32_t completed_migrations = 0;
+  std::unique_ptr<migration::MigratableEnclave> enclave;
+};
+
+class FleetRegistry {
+ public:
+  explicit FleetRegistry(platform::World& world) : world_(world) {}
+  ~FleetRegistry();
+
+  FleetRegistry(const FleetRegistry&) = delete;
+  FleetRegistry& operator=(const FleetRegistry&) = delete;
+
+  /// Creates a MigratableEnclave on `machine_address`, runs
+  /// migration_init(kNew), wires its persist OCALL into the machine's
+  /// untrusted store under "<name>.ml", and registers it.  Returns the
+  /// fleet-assigned enclave id.
+  Result<uint64_t> launch(const std::string& machine_address,
+                          const std::string& name,
+                          std::shared_ptr<const sgx::EnclaveImage> image,
+                          const LaunchOptions& options = {});
+
+  /// Destination half of a migration: instantiates the enclave on
+  /// `destination_address`, fetches the incoming data from the local ME
+  /// (migration_init(kMigrate)), and only then retires the frozen source
+  /// instance and moves the record.  On failure the source instance (and
+  /// the source ME's retained copy) are left untouched for the caller to
+  /// retry or escalate.
+  Status complete_move(uint64_t id, const std::string& destination_address);
+
+  /// Destroys the instance and unregisters the record (enclave shutdown).
+  Status retire(uint64_t id);
+
+  // ----- lookups -----
+  EnclaveRecord* find(uint64_t id);
+  const EnclaveRecord* find(uint64_t id) const;
+  migration::MigratableEnclave* enclave(uint64_t id);
+
+  std::vector<uint64_t> all_ids() const;
+  std::vector<uint64_t> ids_on(const std::string& machine_address) const;
+  std::vector<uint64_t> ids_in_region(const std::string& region) const;
+
+  size_t size() const { return records_.size(); }
+  size_t count_on(const std::string& machine_address) const;
+  /// True when the machine hosts a registered enclave with this
+  /// MRENCLAVE (anti-affinity placement query).
+  bool hosts_image(const std::string& machine_address,
+                   const sgx::Measurement& mr) const;
+
+  /// Invoked after every registry-confirmed placement change
+  /// (complete_move success), with the record already updated.
+  using CompletionCallback = std::function<void(const EnclaveRecord&)>;
+  void set_completion_callback(CompletionCallback cb) {
+    completion_callback_ = std::move(cb);
+  }
+
+  /// The registry does not own the world; the reference stays usable from
+  /// const registry contexts (placement queries only read machine state).
+  platform::World& world() const { return world_; }
+
+ private:
+  std::string storage_key(const std::string& name) const {
+    return name + ".ml";
+  }
+
+  platform::World& world_;
+  std::map<uint64_t, EnclaveRecord> records_;  // ordered: deterministic scans
+  uint64_t next_id_ = 1;
+  CompletionCallback completion_callback_;
+};
+
+}  // namespace sgxmig::orchestrator

@@ -1,0 +1,331 @@
+#include "orchestrator/orchestrator.h"
+
+#include <algorithm>
+
+namespace sgxmig::orchestrator {
+
+using migration::MigrationFailureClass;
+
+Orchestrator::Orchestrator(FleetRegistry& fleet, Scheduler& scheduler,
+                           OrchestratorOptions options)
+    : fleet_(fleet), scheduler_(scheduler), options_(options) {}
+
+Duration Orchestrator::now() const { return fleet_.world().clock().now(); }
+
+void Orchestrator::log(const Task& task, EventKind kind, std::string detail) {
+  OrchestratorEvent event;
+  event.at = now();
+  event.enclave_id = task.enclave_id;
+  event.kind = kind;
+  event.detail = std::move(detail);
+  events_.push_back(std::move(event));
+}
+
+std::vector<Orchestrator::Task> Orchestrator::build_tasks(const Plan& plan) {
+  std::vector<Task> tasks;
+  auto make_task = [&](uint64_t id) {
+    Task task;
+    const EnclaveRecord* record = fleet_.find(id);
+    if (record == nullptr) return task;  // enclave_id stays 0: skipped
+    task.enclave_id = id;
+    task.name = record->name;
+    task.source = record->machine;
+    task.planned_at = now();
+    return task;
+  };
+
+  switch (plan.kind) {
+    case PlanKind::kDrainMachine: {
+      for (const uint64_t id : fleet_.ids_on(plan.machine)) {
+        Task task = make_task(id);
+        if (task.enclave_id != 0) tasks.push_back(std::move(task));
+      }
+      break;
+    }
+    case PlanKind::kEvacuateRegion: {
+      // No destination inside the evacuating region, ever.
+      std::vector<std::string> forbidden;
+      for (platform::Machine* m :
+           fleet_.world().machines_in_region(plan.region)) {
+        forbidden.push_back(m->address());
+      }
+      for (const uint64_t id : fleet_.ids_in_region(plan.region)) {
+        Task task = make_task(id);
+        if (task.enclave_id == 0) continue;
+        task.forbidden = forbidden;
+        tasks.push_back(std::move(task));
+      }
+      break;
+    }
+    case PlanKind::kRebalance: {
+      const auto machines = fleet_.world().machines();
+      if (machines.empty() || fleet_.size() == 0) break;
+      const uint32_t target = static_cast<uint32_t>(
+          (fleet_.size() + machines.size() - 1) / machines.size());
+      for (platform::Machine* m : machines) {
+        const auto ids = fleet_.ids_on(m->address());
+        if (ids.size() <= target) continue;
+        // Move the most recently launched enclaves first (highest ids):
+        // long-lived placements stay put.
+        for (size_t i = target; i < ids.size(); ++i) {
+          Task task = make_task(ids[i]);
+          if (task.enclave_id != 0) tasks.push_back(std::move(task));
+        }
+      }
+      break;
+    }
+    case PlanKind::kTargetedMove: {
+      for (const TargetedMove& move : plan.moves) {
+        Task task = make_task(move.enclave_id);
+        if (task.enclave_id == 0) continue;
+        task.fixed_destination = move.destination;
+        tasks.push_back(std::move(task));
+      }
+      break;
+    }
+  }
+  for (Task& task : tasks) {
+    log(task, EventKind::kPlanned, task.source);
+  }
+  return tasks;
+}
+
+std::map<std::string, uint32_t> Orchestrator::reserved_destinations() const {
+  return inflight_to_destination_;
+}
+
+bool Orchestrator::admit_and_start(Task& task) {
+  if (inflight_total_ >= options_.max_inflight_total) return false;
+  if (inflight_per_machine_[task.source] >=
+      options_.max_inflight_per_machine) {
+    return false;
+  }
+
+  // A resumed task (source side already done) keeps its destination: the
+  // data is pending at that ME.  Everything else (re-)selects one.
+  if (!task.transfer_done) {
+    if (!task.fixed_destination.empty()) {
+      task.destination = task.fixed_destination;
+    } else {
+      PlacementQuery query;
+      query.source = task.source;
+      query.excluded = task.forbidden;
+      query.avoid = task.failed_destinations;
+      query.reserved = reserved_destinations();
+      if (const EnclaveRecord* record = fleet_.find(task.enclave_id)) {
+        query.image = record->image.get();
+      }
+      auto picked = scheduler_.pick_destination(query);
+      if (!picked.ok()) {
+        handle_failure(task, picked.status(),
+                       MigrationFailureClass::kFatalState,
+                       "scheduler: no eligible destination",
+                       /*destination_specific=*/false);
+        return true;  // task consumed (terminal), not capacity-blocked
+      }
+      task.destination = picked.value();
+    }
+  }
+
+  ++inflight_total_;
+  ++inflight_per_machine_[task.source];
+  ++inflight_to_destination_[task.destination];
+  peak_inflight_total_ = std::max(peak_inflight_total_, inflight_total_);
+  peak_inflight_per_machine_[task.source] =
+      std::max(peak_inflight_per_machine_[task.source],
+               inflight_per_machine_[task.source]);
+  if (task.attempts == 0) task.admitted_at = now();
+  log(task, EventKind::kAdmitted,
+      task.source + " -> " + task.destination +
+          (task.attempts > 0 ? " (retry)" : ""));
+
+  if (task.transfer_done) {
+    // Source side done on a previous attempt; only the restore remains.
+    // Still counts against max_attempts so a permanently failing restore
+    // cannot retry forever.
+    ++task.attempts;
+    complete(task);
+    return true;
+  }
+
+  migration::MigratableEnclave* enclave = fleet_.enclave(task.enclave_id);
+  const EnclaveRecord* record = fleet_.find(task.enclave_id);
+  ++task.attempts;
+  const migration::MigrationStartResult result =
+      enclave->ecall_migration_start_detailed(task.destination,
+                                              record->options.policy);
+  if (!result.ok()) {
+    --inflight_total_;
+    --inflight_per_machine_[task.source];
+    --inflight_to_destination_[task.destination];
+    log(task, EventKind::kStartFailed,
+        std::string(migration::migration_failure_class_name(
+            result.failure_class)) +
+            ": " + result.message);
+    handle_failure(task, result.status, result.failure_class, result.message,
+                   /*destination_specific=*/true);
+    return true;
+  }
+  task.phase = TaskPhase::kStarted;
+  log(task, EventKind::kStartOk, task.destination);
+  return true;
+}
+
+void Orchestrator::complete(Task& task) {
+  const Status status = fleet_.complete_move(task.enclave_id,
+                                             task.destination);
+  --inflight_total_;
+  --inflight_per_machine_[task.source];
+  --inflight_to_destination_[task.destination];
+  if (status == Status::kOk) {
+    task.phase = TaskPhase::kDone;
+    task.finished_at = now();
+    log(task, EventKind::kRestored, task.destination);
+    log(task, EventKind::kDone,
+        task.source + " -> " + task.destination);
+    return;
+  }
+  task.transfer_done = true;  // the data still sits at the destination ME
+  handle_failure(task, status, migration::classify_migration_failure(status),
+                 "restoring on destination: " +
+                     std::string(status_name(status)),
+                 /*destination_specific=*/false);
+}
+
+void Orchestrator::handle_failure(Task& task, Status status,
+                                  MigrationFailureClass cls,
+                                  const std::string& message,
+                                  bool destination_specific) {
+  task.last_status = status;
+  task.last_class = cls;
+  task.last_message = message;
+  // A policy denial is fatal only for THAT destination: the source ME
+  // evaluated the enclave's policy against this machine's certified
+  // attributes.  The library keeps the staged data precisely so the
+  // caller can retry toward another destination (§V-D), so re-select —
+  // with the denied machine hard-excluded — instead of stranding a
+  // frozen enclave while an eligible destination exists.
+  const bool policy_denied_destination =
+      cls == MigrationFailureClass::kFatalPolicy && destination_specific &&
+      task.fixed_destination.empty();
+  const bool retryable =
+      (migration::migration_failure_is_retryable(cls) ||
+       policy_denied_destination) &&
+      task.attempts < options_.max_attempts;
+  if (!retryable) {
+    fail_task(task);
+    return;
+  }
+  if (destination_specific && task.fixed_destination.empty() &&
+      !task.destination.empty()) {
+    if (policy_denied_destination) {
+      // Hard exclusion: the certified attributes will not change.
+      if (std::find(task.forbidden.begin(), task.forbidden.end(),
+                    task.destination) == task.forbidden.end()) {
+        task.forbidden.push_back(task.destination);
+      }
+    } else if (std::find(task.failed_destinations.begin(),
+                         task.failed_destinations.end(),
+                         task.destination) ==
+               task.failed_destinations.end()) {
+      // Prefer another machine on the next attempt; soft exclusion, so a
+      // fleet with no alternative still retries this one.
+      task.failed_destinations.push_back(task.destination);
+    }
+  }
+  const uint32_t exponent = task.attempts > 0 ? task.attempts - 1 : 0;
+  const Duration backoff = options_.retry_backoff * (1u << exponent);
+  task.retry_at = now() + backoff;
+  task.phase = TaskPhase::kBackoff;
+  log(task, EventKind::kBackoff,
+      "retry at " + std::to_string(to_seconds(task.retry_at)) + "s");
+}
+
+void Orchestrator::fail_task(Task& task) {
+  task.phase = TaskPhase::kFailed;
+  task.finished_at = now();
+  log(task, EventKind::kFailed,
+      std::string(migration::migration_failure_class_name(task.last_class)) +
+          ": " + task.last_message);
+}
+
+OrchestratorReport Orchestrator::execute(const Plan& plan) {
+  events_.clear();
+  inflight_per_machine_.clear();
+  inflight_to_destination_.clear();
+  inflight_total_ = 0;
+  peak_inflight_total_ = 0;
+  peak_inflight_per_machine_.clear();
+
+  OrchestratorReport report;
+  report.plan = plan.kind;
+  report.started_at = now();
+
+  std::vector<Task> tasks = build_tasks(plan);
+  auto unfinished = [&] {
+    return std::any_of(tasks.begin(), tasks.end(), [](const Task& t) {
+      return t.phase != TaskPhase::kDone && t.phase != TaskPhase::kFailed;
+    });
+  };
+
+  while (unfinished()) {
+    bool progressed = false;
+
+    // Admission wave: start every ready task the caps allow.  Started
+    // tasks stay in flight (data pending at their destination MEs) until
+    // the completion wave below, so the in-flight gauges genuinely
+    // overlap up to the caps.
+    for (Task& task : tasks) {
+      const bool ready =
+          task.phase == TaskPhase::kQueued ||
+          (task.phase == TaskPhase::kBackoff && task.retry_at <= now());
+      if (!ready) continue;
+      if (admit_and_start(task)) progressed = true;
+    }
+
+    // Completion wave: restore every in-flight migration on its
+    // destination.
+    for (Task& task : tasks) {
+      if (task.phase != TaskPhase::kStarted) continue;
+      complete(task);
+      progressed = true;
+    }
+
+    if (progressed) continue;
+    // Everything left is backing off: jump the virtual clock to the
+    // earliest retry instead of spinning.
+    Duration earliest = Duration::max();
+    for (const Task& task : tasks) {
+      if (task.phase == TaskPhase::kBackoff) {
+        earliest = std::min(earliest, task.retry_at);
+      }
+    }
+    if (earliest == Duration::max()) break;  // defensive: nothing to wait on
+    VirtualClock& clock = fleet_.world().clock();
+    if (earliest > clock.now()) clock.advance(earliest - clock.now());
+  }
+
+  report.finished_at = now();
+  report.peak_inflight_total = peak_inflight_total_;
+  report.peak_inflight_per_machine = peak_inflight_per_machine_;
+  report.events = events_;
+  for (const Task& task : tasks) {
+    MigrationRecord record;
+    record.enclave_id = task.enclave_id;
+    record.name = task.name;
+    record.source = task.source;
+    record.destination = task.destination;
+    record.attempts = task.attempts;
+    record.success = task.phase == TaskPhase::kDone;
+    record.final_status = task.last_status;
+    record.failure_class = task.last_class;
+    record.failure_message = task.last_message;
+    record.planned_at = task.planned_at;
+    record.admitted_at = task.admitted_at;
+    record.finished_at = task.finished_at;
+    report.migrations.push_back(std::move(record));
+  }
+  return report;
+}
+
+}  // namespace sgxmig::orchestrator

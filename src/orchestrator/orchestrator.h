@@ -1,0 +1,110 @@
+// The fleet migration control plane.
+//
+// Expands a Plan (drain / evacuate / rebalance / targeted moves) into one
+// migration state machine per enclave and drives them all to a terminal
+// state on the virtual clock:
+//
+//   kQueued --admit--> (started) --complete_move--> kDone
+//      ^                   |
+//      |              retryable failure
+//      +-- kBackoff <------+          (fatal / attempts exhausted) -> kFailed
+//
+// Concurrency is bounded two ways, matching what would overload a real
+// deployment: at most `max_inflight_per_machine` migrations may be away
+// from one source machine but not yet restored (its ME handles every
+// source-side transfer), and at most `max_inflight_total` fleet-wide.
+// Each retry re-selects the destination through the Scheduler with the
+// failed destinations soft-excluded and backs off exponentially in
+// virtual time.  Every transition is appended to a timestamped event log;
+// execute() returns an OrchestratorReport with per-migration latency and
+// retry counts for the bench layer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "orchestrator/fleet_registry.h"
+#include "orchestrator/plan.h"
+#include "orchestrator/report.h"
+#include "orchestrator/scheduler.h"
+
+namespace sgxmig::orchestrator {
+
+struct OrchestratorOptions {
+  /// Max migrations simultaneously in flight per source machine.
+  uint32_t max_inflight_per_machine = 4;
+  /// Max migrations simultaneously in flight fleet-wide.
+  uint32_t max_inflight_total = 16;
+  /// migration_start attempts per enclave before giving up.
+  uint32_t max_attempts = 4;
+  /// Base retry backoff (virtual time); doubles per failed attempt.
+  Duration retry_backoff = milliseconds(50);
+};
+
+class Orchestrator {
+ public:
+  Orchestrator(FleetRegistry& fleet, Scheduler& scheduler,
+               OrchestratorOptions options = {});
+
+  /// Runs the plan to completion (every task kDone or kFailed) and
+  /// returns the report.  Deterministic per world seed.
+  OrchestratorReport execute(const Plan& plan);
+
+ private:
+  enum class TaskPhase : uint8_t {
+    kQueued,
+    kBackoff,
+    kStarted,  // source side done; data pending at the destination ME
+    kDone,
+    kFailed,
+  };
+
+  struct Task {
+    uint64_t enclave_id = 0;
+    std::string name;
+    std::string source;
+    std::string fixed_destination;        // targeted moves only
+    std::vector<std::string> forbidden;   // hard exclusions from the plan
+    std::vector<std::string> failed_destinations;  // soft-avoided on retry
+    std::string destination;              // current attempt
+    uint32_t attempts = 0;
+    TaskPhase phase = TaskPhase::kQueued;
+    /// Source side already succeeded; a retry resumes at complete_move.
+    bool transfer_done = false;
+    Duration planned_at{};
+    Duration admitted_at{};
+    Duration retry_at{};
+    Duration finished_at{};
+    Status last_status = Status::kOk;
+    migration::MigrationFailureClass last_class =
+        migration::MigrationFailureClass::kNone;
+    std::string last_message;
+  };
+
+  std::vector<Task> build_tasks(const Plan& plan);
+  bool admit_and_start(Task& task);  // false = task could not be admitted
+  void complete(Task& task);
+  void handle_failure(Task& task, Status status,
+                      migration::MigrationFailureClass cls,
+                      const std::string& message, bool destination_specific);
+  void fail_task(Task& task);
+  void log(const Task& task, EventKind kind, std::string detail);
+  std::map<std::string, uint32_t> reserved_destinations() const;
+  Duration now() const;
+
+  FleetRegistry& fleet_;
+  Scheduler& scheduler_;
+  OrchestratorOptions options_;
+
+  // Per-execute() working state.
+  std::vector<OrchestratorEvent> events_;
+  std::map<std::string, uint32_t> inflight_per_machine_;
+  std::map<std::string, uint32_t> inflight_to_destination_;
+  uint32_t inflight_total_ = 0;
+  uint32_t peak_inflight_total_ = 0;
+  std::map<std::string, uint32_t> peak_inflight_per_machine_;
+};
+
+}  // namespace sgxmig::orchestrator

@@ -1,0 +1,85 @@
+// Progress/event log and final report of one orchestrated plan run.
+//
+// Every state transition of every migration task lands in the event log
+// (virtual timestamped, append-only); the report aggregates per-migration
+// latency and retry counts for the bench layer and serializes to JSON so
+// CI can archive the perf trajectory (BENCH_fleet_drain.json).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "migration/migration_library.h"
+#include "orchestrator/plan.h"
+#include "support/sim_clock.h"
+#include "support/status.h"
+
+namespace sgxmig::orchestrator {
+
+enum class EventKind : uint8_t {
+  kPlanned = 0,    // task created from the plan
+  kAdmitted,       // passed the concurrency caps; destination selected
+  kStartOk,        // source-side protocol done; data pending at destination
+  kStartFailed,    // migration_start failed (detail = class + step)
+  kBackoff,        // retry scheduled (detail = retry time)
+  kRestored,       // destination instance fetched + confirmed the data
+  kDone,           // registry updated; migration complete
+  kFailed,         // terminal failure (fatal class or attempts exhausted)
+};
+
+const char* event_kind_name(EventKind kind);
+
+struct OrchestratorEvent {
+  Duration at{};
+  uint64_t enclave_id = 0;
+  EventKind kind = EventKind::kPlanned;
+  std::string detail;
+};
+
+/// Outcome of one per-enclave migration task.
+struct MigrationRecord {
+  uint64_t enclave_id = 0;
+  std::string name;
+  std::string source;
+  std::string destination;  // final destination (last attempted on failure)
+  uint32_t attempts = 0;    // migration_start invocations
+  bool success = false;
+  Status final_status = Status::kOk;
+  migration::MigrationFailureClass failure_class =
+      migration::MigrationFailureClass::kNone;
+  std::string failure_message;
+  Duration planned_at{};
+  Duration admitted_at{};
+  Duration finished_at{};
+
+  /// Queue + transfer + restore, in virtual time.
+  Duration latency() const { return finished_at - planned_at; }
+};
+
+struct OrchestratorReport {
+  PlanKind plan = PlanKind::kDrainMachine;
+  std::vector<MigrationRecord> migrations;
+  std::vector<OrchestratorEvent> events;
+  Duration started_at{};
+  Duration finished_at{};
+  /// Peak number of simultaneously in-flight migrations, total and per
+  /// source machine (the enforced caps' observable).
+  uint32_t peak_inflight_total = 0;
+  std::map<std::string, uint32_t> peak_inflight_per_machine;
+
+  Duration wall() const { return finished_at - started_at; }
+  size_t succeeded() const;
+  size_t failed() const;
+  /// Extra migration_start invocations beyond the first per task.
+  uint32_t total_retries() const;
+  double mean_latency_seconds() const;
+  double max_latency_seconds() const;
+
+  /// Machine-readable dump ({"plan":..., "migrations":[...], ...});
+  /// events included only when `include_events`.
+  std::string to_json(bool include_events = false) const;
+};
+
+}  // namespace sgxmig::orchestrator

@@ -1,0 +1,141 @@
+#include "orchestrator/scheduler.h"
+
+#include <algorithm>
+
+namespace sgxmig::orchestrator {
+
+namespace {
+
+bool contains(const std::vector<std::string>& haystack,
+              const std::string& needle) {
+  return std::find(haystack.begin(), haystack.end(), needle) !=
+         haystack.end();
+}
+
+/// Shared comparator scaffold: policies sort by (avoided, policy-specific
+/// group, effective load, address).  `group` maps a machine to a small
+/// integer where lower is better.  Sort keys are computed once per
+/// candidate, not per comparison: effective_load scans the registry.
+template <typename GroupFn>
+std::vector<platform::Machine*> rank_by(
+    const FleetRegistry& fleet, const PlacementQuery& query,
+    std::vector<platform::Machine*> candidates, GroupFn group) {
+  struct Keyed {
+    int avoided;
+    int group;
+    uint32_t load;
+    platform::Machine* machine;
+  };
+  std::vector<Keyed> keyed;
+  keyed.reserve(candidates.size());
+  for (platform::Machine* m : candidates) {
+    keyed.push_back({contains(query.avoid, m->address()) ? 1 : 0, group(*m),
+                     effective_load(fleet, query, *m), m});
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const Keyed& a, const Keyed& b) {
+                     if (a.avoided != b.avoided) return a.avoided < b.avoided;
+                     if (a.group != b.group) return a.group < b.group;
+                     if (a.load != b.load) return a.load < b.load;
+                     return a.machine->address() < b.machine->address();
+                   });
+  for (size_t i = 0; i < keyed.size(); ++i) candidates[i] = keyed[i].machine;
+  return candidates;
+}
+
+class LeastLoadedPolicy final : public PlacementPolicy {
+ public:
+  const char* name() const override { return "least-loaded"; }
+  std::vector<platform::Machine*> rank(
+      const FleetRegistry& fleet, const PlacementQuery& query,
+      std::vector<platform::Machine*> candidates) const override {
+    return rank_by(fleet, query, std::move(candidates),
+                   [](const platform::Machine&) { return 0; });
+  }
+};
+
+class SameRegionFirstPolicy final : public PlacementPolicy {
+ public:
+  const char* name() const override { return "same-region-first"; }
+  std::vector<platform::Machine*> rank(
+      const FleetRegistry& fleet, const PlacementQuery& query,
+      std::vector<platform::Machine*> candidates) const override {
+    std::string source_region;
+    if (auto* source = fleet.world().machine(query.source)) {
+      source_region = source->region();
+    }
+    return rank_by(fleet, query, std::move(candidates),
+                   [&source_region](const platform::Machine& m) {
+                     return m.region() == source_region ? 0 : 1;
+                   });
+  }
+};
+
+class AntiAffinityPolicy final : public PlacementPolicy {
+ public:
+  const char* name() const override { return "anti-affinity"; }
+  std::vector<platform::Machine*> rank(
+      const FleetRegistry& fleet, const PlacementQuery& query,
+      std::vector<platform::Machine*> candidates) const override {
+    return rank_by(fleet, query, std::move(candidates),
+                   [&](const platform::Machine& m) {
+                     if (query.image == nullptr) return 0;
+                     return fleet.hosts_image(m.address(),
+                                              query.image->mr_enclave())
+                                ? 1
+                                : 0;
+                   });
+  }
+};
+
+}  // namespace
+
+uint32_t effective_load(const FleetRegistry& fleet,
+                        const PlacementQuery& query,
+                        const platform::Machine& machine) {
+  uint32_t load = static_cast<uint32_t>(fleet.count_on(machine.address()));
+  const auto it = query.reserved.find(machine.address());
+  if (it != query.reserved.end()) load += it->second;
+  return load;
+}
+
+std::unique_ptr<PlacementPolicy> make_least_loaded_policy() {
+  return std::make_unique<LeastLoadedPolicy>();
+}
+std::unique_ptr<PlacementPolicy> make_same_region_first_policy() {
+  return std::make_unique<SameRegionFirstPolicy>();
+}
+std::unique_ptr<PlacementPolicy> make_anti_affinity_policy() {
+  return std::make_unique<AntiAffinityPolicy>();
+}
+
+Scheduler::Scheduler(FleetRegistry& fleet,
+                     std::unique_ptr<PlacementPolicy> policy)
+    : fleet_(fleet),
+      policy_(policy ? std::move(policy) : make_least_loaded_policy()) {}
+
+std::vector<std::string> Scheduler::rank_destinations(
+    const PlacementQuery& query) const {
+  std::vector<platform::Machine*> candidates;
+  for (platform::Machine* m : fleet_.world().machines()) {
+    if (m->address() == query.source) continue;
+    if (contains(query.excluded, m->address())) continue;
+    candidates.push_back(m);
+  }
+  std::vector<std::string> out;
+  if (candidates.empty()) return out;
+  for (platform::Machine* m :
+       policy_->rank(fleet_, query, std::move(candidates))) {
+    out.push_back(m->address());
+  }
+  return out;
+}
+
+Result<std::string> Scheduler::pick_destination(
+    const PlacementQuery& query) const {
+  auto ranked = rank_destinations(query);
+  if (ranked.empty()) return Status::kNoEligibleDestination;
+  return ranked.front();
+}
+
+}  // namespace sgxmig::orchestrator

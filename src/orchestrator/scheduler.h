@@ -1,0 +1,90 @@
+// Destination selection for fleet migrations.
+//
+// A PlacementPolicy ranks candidate destination machines for one enclave
+// about to leave its source; the Scheduler applies the hard constraints
+// (never the source, never a plan-forbidden machine) and hands the
+// survivors to the policy.  Policies see only platform-level queries
+// (Machine::enclave_load, Machine::region) plus the registry's
+// anti-affinity lookup, so new policies need no orchestrator internals.
+//
+// Built-in policies:
+//   * least-loaded       — fewest enclaves (registry count + in-flight
+//                          reservations) first; ties broken by address.
+//   * same-region-first  — destinations sharing the source's region
+//                          first, least-loaded within each group.
+//   * anti-affinity      — machines NOT already hosting an enclave of the
+//                          same MRENCLAVE first (spread replicas of one
+//                          app), least-loaded within each group.
+//
+// All orderings are total and deterministic, so fleet runs reproduce
+// exactly per seed.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "orchestrator/fleet_registry.h"
+
+namespace sgxmig::orchestrator {
+
+struct PlacementQuery {
+  /// Machine the enclave is leaving (never selected).
+  std::string source;
+  /// Hard exclusions (e.g. every machine of an evacuating region).
+  std::vector<std::string> excluded;
+  /// Soft exclusions: destinations that already failed for this
+  /// migration.  Ranked last rather than dropped, so a fleet with no
+  /// other options can still retry them once the interference clears.
+  std::vector<std::string> avoid;
+  /// In-flight migrations already headed to each machine (reservations
+  /// the registry cannot see yet).  Added to the registry load.
+  std::map<std::string, uint32_t> reserved;
+  /// Identity of the enclave being placed (anti-affinity).
+  const sgx::EnclaveImage* image = nullptr;
+};
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+  virtual const char* name() const = 0;
+  /// Candidate destinations ranked best-first.  `candidates` has the hard
+  /// constraints already applied and is non-empty.
+  virtual std::vector<platform::Machine*> rank(
+      const FleetRegistry& fleet, const PlacementQuery& query,
+      std::vector<platform::Machine*> candidates) const = 0;
+};
+
+std::unique_ptr<PlacementPolicy> make_least_loaded_policy();
+std::unique_ptr<PlacementPolicy> make_same_region_first_policy();
+std::unique_ptr<PlacementPolicy> make_anti_affinity_policy();
+
+class Scheduler {
+ public:
+  /// `policy` defaults to least-loaded.
+  Scheduler(FleetRegistry& fleet,
+            std::unique_ptr<PlacementPolicy> policy = nullptr);
+
+  /// Best destination for the query, or kNoEligibleDestination when no
+  /// machine survives the hard constraints.
+  Result<std::string> pick_destination(const PlacementQuery& query) const;
+
+  /// Full ranking (tests and rebalance planning).
+  std::vector<std::string> rank_destinations(
+      const PlacementQuery& query) const;
+
+  const PlacementPolicy& policy() const { return *policy_; }
+
+ private:
+  FleetRegistry& fleet_;
+  std::unique_ptr<PlacementPolicy> policy_;
+};
+
+/// Effective load used by every built-in policy: enclaves the registry
+/// places on the machine plus the query's in-flight reservations.
+uint32_t effective_load(const FleetRegistry& fleet,
+                        const PlacementQuery& query,
+                        const platform::Machine& machine);
+
+}  // namespace sgxmig::orchestrator

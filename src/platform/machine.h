@@ -51,6 +51,16 @@ class Machine final : public sgx::PlatformIface {
   sgx::MonotonicCounterService& counter_service() { return counters_; }
   Rng& rng() { return rng_; }
 
+  // ----- load accounting (fleet-level scheduling queries) -----
+  // The machine itself does not know which processes host enclaves; the
+  // fleet layer (orchestrator::FleetRegistry) reports placements so that
+  // schedulers can ask any machine for its current enclave load.
+  void note_enclave_attached() { ++enclave_load_; }
+  void note_enclave_detached() {
+    if (enclave_load_ > 0) --enclave_load_;
+  }
+  uint32_t enclave_load() const { return enclave_load_; }
+
   /// Endpoint name of the guest-side PSE Unix socket.
   std::string pse_uds_endpoint() const { return address_ + "/pse-uds"; }
   /// Endpoint name of the management-VM PSE TCP service.
@@ -72,6 +82,7 @@ class Machine final : public sgx::PlatformIface {
   std::string address_;
   std::string region_;
   uint32_t cpu_cores_;
+  uint32_t enclave_load_ = 0;
   Rng rng_;
   sgx::SimCpu cpu_;
   sgx::MonotonicCounterService counters_;

@@ -31,4 +31,19 @@ Machine* World::machine(const std::string& address) {
   return nullptr;
 }
 
+std::vector<Machine*> World::machines() {
+  std::vector<Machine*> out;
+  out.reserve(machines_.size());
+  for (auto& m : machines_) out.push_back(m.get());
+  return out;
+}
+
+std::vector<Machine*> World::machines_in_region(const std::string& region) {
+  std::vector<Machine*> out;
+  for (auto& m : machines_) {
+    if (m->region() == region) out.push_back(m.get());
+  }
+  return out;
+}
+
 }  // namespace sgxmig::platform

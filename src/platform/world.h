@@ -30,6 +30,13 @@ class World {
   /// Finds a machine by address; nullptr if unknown.
   Machine* machine(const std::string& address);
 
+  /// All machines, in creation order (stable across a run, so schedulers
+  /// iterating it stay deterministic per seed).
+  std::vector<Machine*> machines();
+
+  /// Machines whose provider-assigned region equals `region`.
+  std::vector<Machine*> machines_in_region(const std::string& region);
+
   VirtualClock& clock() { return clock_; }
   Rng& rng() { return rng_; }
   const CostModel& costs() const { return costs_; }

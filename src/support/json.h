@@ -1,0 +1,42 @@
+// Minimal JSON string escaping, shared by every JSON emitter in the
+// repo (orchestrator report, bench BENCH_*.json writers) so they cannot
+// drift apart on edge cases.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace sgxmig {
+
+/// Appends `value` to `out` as a JSON string literal (quotes included),
+/// escaping quotes, backslashes, and control characters.
+inline void append_json_string(std::string& out, std::string_view value) {
+  out += '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+inline std::string json_string(std::string_view value) {
+  std::string out;
+  append_json_string(out, value);
+  return out;
+}
+
+}  // namespace sgxmig

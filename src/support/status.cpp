@@ -34,6 +34,7 @@ std::string_view status_name(Status status) {
     case Status::kStorageMissing: return "kStorageMissing";
     case Status::kTampered: return "kTampered";
     case Status::kPolicyViolation: return "kPolicyViolation";
+    case Status::kNoEligibleDestination: return "kNoEligibleDestination";
   }
   return "kUnknown";
 }

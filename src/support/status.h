@@ -56,6 +56,7 @@ enum class Status : uint32_t {
   kStorageMissing,     // persisted blob not found in untrusted storage
   kTampered,           // untrusted input failed validation
   kPolicyViolation,    // migration policy forbids this migration
+  kNoEligibleDestination,  // no destination satisfies the placement constraints
 };
 
 /// Human-readable name, e.g. "kMacMismatch".

@@ -1,10 +1,11 @@
 // Stress and boundary tests for the Migration Library: counter quota,
-// many-counter migrations, repeated migrations, and determinism of the
-// whole protocol stack.
+// many-counter migrations, repeated migrations, determinism of the whole
+// protocol stack, and concurrent fleet drains sharing one destination ME.
 #include <gtest/gtest.h>
 
 #include "migration/migratable_enclave.h"
 #include "migration/migration_enclave.h"
+#include "orchestrator/orchestrator.h"
 #include "platform/world.h"
 
 namespace sgxmig {
@@ -150,6 +151,117 @@ TEST_F(MigrationStressTest, WholeProtocolDeterministicPerSeed) {
   EXPECT_EQ(first.second, second.second);  // identical sealed state
   const auto different = run(124);
   EXPECT_NE(first.second, different.second);  // seeds matter
+}
+
+// ----- concurrent migrations sharing one destination ME -----
+
+TEST_F(MigrationStressTest, ConcurrentDrainToSharedDestinationNoCrossTalk) {
+  // 12 enclaves (distinct images) leave m0 concurrently (cap 4) and all
+  // land on the single destination ME of m1.  Each must arrive with
+  // exactly its own counter table, and every persistence-engine fence
+  // must have fired: batching engines are configured so that ONLY fences
+  // commit, so any skipped fence shows up as pending mutations or a
+  // non-frozen stored buffer.
+  constexpr int kEnclaves = 12;
+  orchestrator::FleetRegistry fleet(world_);
+  orchestrator::LaunchOptions options;
+  options.persistence = migration::PersistenceMode::kGroupCommit;
+  options.group_commit.max_batch = 100000;           // never commits on count
+  options.group_commit.window = seconds(1000000.0);  // nor on time
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < kEnclaves; ++i) {
+    const std::string name = "shared-" + std::to_string(i);
+    auto launched = fleet.launch(
+        "m0", name, EnclaveImage::create(name, 1, "acme"), options);
+    ASSERT_TRUE(launched.ok()) << i;
+    ids.push_back(launched.value());
+    auto* enclave = fleet.enclave(ids.back());
+    const uint32_t counter =
+        enclave->ecall_create_migratable_counter().value().counter_id;
+    for (int j = 0; j <= i; ++j) {
+      enclave->ecall_increment_migratable_counter(counter);
+    }
+    // The batching engine really is deferring (nothing committed yet
+    // beyond what the fences forced).
+    EXPECT_TRUE(enclave->persistence_engine().has_pending()) << i;
+  }
+
+  orchestrator::Scheduler scheduler(fleet);
+  orchestrator::OrchestratorOptions orch_options;
+  orch_options.max_inflight_per_machine = 4;
+  orchestrator::Orchestrator orch(fleet, scheduler, orch_options);
+  const auto report = orch.execute(orchestrator::Plan::drain("m0"));
+
+  EXPECT_EQ(report.succeeded(), static_cast<size_t>(kEnclaves));
+  EXPECT_EQ(report.peak_inflight_per_machine.at("m0"), 4u);
+  EXPECT_EQ(me1_->pending_incoming_count(), 0u);  // all fetched + confirmed
+  for (int i = 0; i < kEnclaves; ++i) {
+    const auto* record = fleet.find(ids[i]);
+    EXPECT_EQ(record->machine, "m1") << i;
+    // No cross-talk: each enclave reads exactly its own effective value.
+    auto value = fleet.enclave(ids[i])->ecall_read_migratable_counter(0);
+    ASSERT_TRUE(value.ok()) << i;
+    EXPECT_EQ(value.value(), static_cast<uint32_t>(i + 1)) << i;
+    // Fence honored on the destination: the restore-apply was durable.
+    EXPECT_FALSE(
+        fleet.enclave(ids[i])->persistence_engine().has_pending())
+        << i;
+    // Fence honored on the source: the buffer stored on m0 carries the
+    // freeze flag, so restoring it refuses to operate.
+    auto stored = m0_.storage().get(record->name + ".ml");
+    ASSERT_TRUE(stored.ok()) << i;
+    MigratableEnclave replay(m0_, record->image);
+    EXPECT_EQ(replay.ecall_migration_init(stored.value(),
+                                          InitState::kRestore, "m0"),
+              Status::kMigrationFrozen)
+        << i;
+  }
+  // Every m0 hardware counter was destroyed before its data left.
+  for (int i = 0; i < kEnclaves; ++i) {
+    EXPECT_EQ(m0_.counter_service().count_for(
+                  fleet.find(ids[i])->image->mr_enclave()),
+              0u)
+        << i;
+  }
+}
+
+TEST_F(MigrationStressTest, SameImageEnclavesSerializeOnSharedDestination) {
+  // Two instances of the SAME image migrating to one destination ME: the
+  // ME accepts only one pending migration per MRENCLAVE (§V-D), so the
+  // second classifies as retryable-busy, backs off, and completes after
+  // the first restores — with both counter tables intact.
+  orchestrator::FleetRegistry fleet(world_);
+  const auto id_a = fleet.launch("m0", "twin-a", image_).value();
+  const auto id_b = fleet.launch("m0", "twin-b", image_).value();
+  ASSERT_TRUE(fleet.enclave(id_a)->ecall_create_migratable_counter().ok());
+  for (int i = 0; i < 3; ++i) {
+    fleet.enclave(id_a)->ecall_increment_migratable_counter(0);
+  }
+  ASSERT_TRUE(fleet.enclave(id_b)->ecall_create_migratable_counter().ok());
+  for (int i = 0; i < 5; ++i) {
+    fleet.enclave(id_b)->ecall_increment_migratable_counter(0);
+  }
+
+  orchestrator::Scheduler scheduler(fleet);
+  orchestrator::Orchestrator orch(fleet, scheduler, {});
+  const auto report = orch.execute(orchestrator::Plan::drain("m0"));
+
+  EXPECT_EQ(report.succeeded(), 2u);
+  EXPECT_GE(report.total_retries(), 1u);  // the busy-ME collision
+  bool saw_busy = false;
+  for (const auto& event : report.events) {
+    if (event.kind == orchestrator::EventKind::kStartFailed &&
+        event.detail.find("retryable-busy") != std::string::npos) {
+      saw_busy = true;
+    }
+  }
+  EXPECT_TRUE(saw_busy);
+  EXPECT_EQ(fleet.find(id_a)->machine, "m1");
+  EXPECT_EQ(fleet.find(id_b)->machine, "m1");
+  EXPECT_EQ(fleet.enclave(id_a)->ecall_read_migratable_counter(0).value(),
+            3u);
+  EXPECT_EQ(fleet.enclave(id_b)->ecall_read_migratable_counter(0).value(),
+            5u);
 }
 
 TEST_F(MigrationStressTest, LargeSealedPayloadsThroughSdk) {
