@@ -1,8 +1,10 @@
 // Orchestrated-drain scaling bench: virtual-time cost of evacuating a
 // whole machine through the fleet orchestrator as the number of hosted
-// enclaves grows, plus a failure-storm variant where the least-loaded
-// destination's ME is unreachable so every migration pointed at it must
-// re-select an alternate machine.
+// enclaves grows, plus two failure variants: a storm where the
+// least-loaded destination's ME is unreachable so every migration pointed
+// at it must re-select an alternate machine, and an ME crash/restart
+// mid-drain where the source ME loses its process state and the drain
+// resumes from the durable transfer queue.
 //
 // Emits BENCH_fleet_drain.json (one row per configuration) for the CI
 // perf-trajectory artifact.
@@ -19,7 +21,6 @@
 namespace sgxmig {
 namespace {
 
-using migration::MigrationEnclave;
 using orchestrator::FleetRegistry;
 using orchestrator::LaunchOptions;
 using orchestrator::Orchestrator;
@@ -33,14 +34,26 @@ struct DrainResult {
   Duration wall;
 };
 
-DrainResult drain(int enclaves, int machines, uint32_t cap,
-                  bool kill_one_destination) {
-  platform::World world(/*seed=*/9100 + enclaves + (kill_one_destination * 7));
-  std::vector<std::unique_ptr<MigrationEnclave>> mes;
+enum class Fault { kNone, kMeDown, kMeRestart };
+
+const char* fault_name(Fault fault) {
+  switch (fault) {
+    case Fault::kNone: return "none";
+    case Fault::kMeDown: return "me-down";
+    case Fault::kMeRestart: return "me-restart";
+  }
+  return "?";
+}
+
+DrainResult drain(int enclaves, int machines, uint32_t cap, Fault fault) {
+  platform::World world(/*seed=*/9100 + enclaves +
+                        (static_cast<int>(fault) * 7));
+  // Durable-queue MEs in every machine's management-enclave slot: the
+  // me-restart variant kills and revives them mid-drain.
+  world.install_management_enclaves(
+      migration::durable_me_factory(world.provider()));
   for (int i = 0; i < machines; ++i) {
-    auto& m = world.add_machine("m" + std::to_string(i));
-    mes.push_back(std::make_unique<MigrationEnclave>(
-        m, MigrationEnclave::standard_image(), world.provider()));
+    world.add_machine("m" + std::to_string(i));
   }
 
   FleetRegistry fleet(world);
@@ -54,7 +67,7 @@ DrainResult drain(int enclaves, int machines, uint32_t cap,
     enclave->ecall_increment_migratable_counter(counter);
   }
 
-  if (kill_one_destination) {
+  if (fault == Fault::kMeDown) {
     // The scheduler's first pick goes dark: every migration that selects
     // it fails the remote-attestation RPCs and must re-select.
     world.network().set_endpoint_down("m1/me", true);
@@ -64,7 +77,25 @@ DrainResult drain(int enclaves, int machines, uint32_t cap,
   OrchestratorOptions options;
   options.max_inflight_per_machine = cap;
   options.max_inflight_total = 2 * cap;
+  options.max_attempts = 6;
   Orchestrator orch(fleet, scheduler, options);
+  size_t completions = 0;
+  if (fault == Fault::kMeRestart) {
+    // The source ME crashes MID-completion-wave, while other admitted
+    // migrations still hold retained entries in its transfer queue (a
+    // wave-boundary kill would find the queue already drained), and is
+    // revived at the top of the next wave, restoring the sealed queue.
+    fleet.set_completion_callback(
+        [&world, &completions](const orchestrator::EnclaveRecord&) {
+          if (++completions == 2) world.machine("m0")->kill_management_enclave();
+        });
+    orch.set_wave_hook([&world, waves_down = 0u](uint32_t) mutable {
+      if (world.machine("m0")->has_management_enclave()) return;
+      // Stay dark for two waves so queued migrations genuinely fail
+      // against the dead ME before the revival restores the queue.
+      if (++waves_down >= 3) world.machine("m0")->restart_management_enclave();
+    });
+  }
 
   const Duration t0 = world.clock().now();
   DrainResult result;
@@ -83,11 +114,11 @@ void run() {
 
   bench::JsonBench json("fleet_drain");
   const auto row = [&](int enclaves, int machines, uint32_t cap,
-                       bool faults) {
-    const DrainResult r = drain(enclaves, machines, cap, faults);
+                       Fault fault) {
+    const DrainResult r = drain(enclaves, machines, cap, fault);
     const auto& rep = r.report;
-    std::printf("%9d %9d %5u %8s %10.3f %12.3f %12.3f %8u %13u\n", enclaves,
-                machines, cap, faults ? "me-down" : "none",
+    std::printf("%9d %9d %5u %10s %10.3f %12.3f %12.3f %8u %13u\n", enclaves,
+                machines, cap, fault_name(fault),
                 to_seconds(r.wall), rep.mean_latency_seconds(),
                 rep.max_latency_seconds(), rep.total_retries(),
                 rep.peak_inflight_total);
@@ -95,7 +126,7 @@ void run() {
         .field("enclaves", enclaves)
         .field("machines", machines)
         .field("cap", static_cast<uint64_t>(cap))
-        .field("faults", std::string(faults ? "me-down" : "none"))
+        .field("faults", std::string(fault_name(fault)))
         .field("wall_seconds", to_seconds(r.wall))
         .field("mean_latency_seconds", rep.mean_latency_seconds())
         .field("max_latency_seconds", rep.max_latency_seconds())
@@ -111,18 +142,22 @@ void run() {
   };
 
   for (const int enclaves : {8, 16, 32, 64}) {
-    row(enclaves, /*machines=*/5, /*cap=*/4, /*faults=*/false);
+    row(enclaves, /*machines=*/5, /*cap=*/4, Fault::kNone);
   }
   // Tighter cap: same work, less overlap — wall time stretches.
-  row(/*enclaves=*/32, /*machines=*/5, /*cap=*/1, /*faults=*/false);
+  row(/*enclaves=*/32, /*machines=*/5, /*cap=*/1, Fault::kNone);
   // Failure storm: m1's ME is down; drains re-route to m2..m4.
-  row(/*enclaves=*/16, /*machines=*/5, /*cap=*/4, /*faults=*/true);
+  row(/*enclaves=*/16, /*machines=*/5, /*cap=*/4, Fault::kMeDown);
+  // ME crash/restart mid-drain: the drain resumes from the source ME's
+  // durable transfer queue with zero failed migrations.
+  row(/*enclaves=*/32, /*machines=*/5, /*cap=*/4, Fault::kMeRestart);
 
   std::printf(
       "\nexpected shape: wall time grows ~linearly with the fleet (each\n"
       "migration pays the per-counter destroy/create plus attestation),\n"
-      "the cap bounds peak inflight, and the me-down row shows one retry\n"
-      "per migration initially routed at the dead machine.\n");
+      "the cap bounds peak inflight, the me-down row shows one retry per\n"
+      "migration initially routed at the dead machine, and the me-restart\n"
+      "row converges with zero failures from the durable transfer queue.\n");
   if (!json.write_file("BENCH_fleet_drain.json")) {
     std::printf("FAILED to write BENCH_fleet_drain.json\n");
     std::exit(1);

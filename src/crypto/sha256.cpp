@@ -72,6 +72,7 @@ void Sha256::process_block(const uint8_t* block) {
 
 void Sha256::update(ByteView data) {
   total_len_ += data.size();
+  if (data.empty()) return;  // empty views may carry a null data pointer
   size_t offset = 0;
   if (buffer_len_ > 0) {
     const size_t need = kBlockSize - buffer_len_;

@@ -62,6 +62,14 @@ class MigratableEnclave : public sgx::Enclave {
     return library_.query_migration_status();
   }
 
+  /// Fate of the currently staged migration attempt (nonce-scoped): lets
+  /// retry drivers detect that a "failed" start actually landed in the
+  /// ME's durable transfer queue and resume instead of re-sending.
+  Result<OutgoingState> ecall_query_staged_attempt_status() {
+    auto scope = enter_ecall();
+    return library_.query_staged_attempt_status();
+  }
+
   // ----- Listing 2 (in-enclave API, exposed for tests/benches) -----
   Result<Bytes> ecall_seal_migratable_data(ByteView additional_mac_text,
                                            ByteView text_to_encrypt) {

@@ -7,6 +7,11 @@ namespace sgxmig::migration {
 namespace {
 constexpr char kDoneMarker[] = "SGXMIG-DONE";
 constexpr char kAcceptedMarker[] = "SGXMIG-ACCEPTED";
+constexpr char kQueueAad[] = "SGXMIG-ME-QUEUE";
+constexpr char kQueueMagic[] = "SGXMIG-ME-QUEUE-v1";
+// Confirmed-transfer history bound: enough to absorb duplicate DONEs from
+// any realistic relay-retry window without growing with fleet lifetime.
+constexpr size_t kCompletedHistoryLimit = 4096;
 
 MeResponse error_response(Status status) {
   MeResponse resp;
@@ -17,14 +22,17 @@ MeResponse error_response(Status status) {
 
 MigrationEnclave::MigrationEnclave(sgx::PlatformIface& platform,
                                    std::shared_ptr<const sgx::EnclaveImage> image,
-                                   platform::ProviderCa& provider)
+                                   platform::ProviderCa& provider,
+                                   std::unique_ptr<PersistenceEngine> engine)
     : Enclave(platform, std::move(image)),
       machine_key_(crypto::Ed25519KeyPair::from_seed(
           to_array<32>(rng().bytes(32)))),
       credential_(provider.issue(platform.address(), platform.region(),
                                  platform.cpu_cores(),
                                  machine_key_.public_key())),
-      provider_ca_key_(provider.public_key()) {
+      provider_ca_key_(provider.public_key()),
+      engine_(engine ? std::move(engine)
+                     : make_persistence_engine(PersistenceMode::kSync)) {
   if (auto* net = this->platform().network()) {
     net->register_endpoint(this->platform().address() + "/me",
                            [this](ByteView raw) { return handle_request(raw); });
@@ -47,27 +55,57 @@ std::shared_ptr<const sgx::EnclaveImage> MigrationEnclave::standard_image() {
 
 uint64_t MigrationEnclave::fresh_id() {
   const Bytes b = rng().bytes(8);
-  uint64_t id = 0;
-  for (int i = 0; i < 8; ++i) id = (id << 8) | b[i];
+  const uint64_t id = load_be64(b.data());
   return id == 0 ? 1 : id;
 }
 
 OutgoingState MigrationEnclave::outgoing_state(
     const sgx::Measurement& mr) const {
-  // Report the most recent transfer for this enclave identity (the same
-  // enclave may migrate away repeatedly over its lifetime).
-  const OutgoingTransfer* latest = nullptr;
-  for (const auto& [id, transfer] : outgoing_) {
-    if (transfer.source_mr == mr &&
-        (latest == nullptr || transfer.sequence > latest->sequence)) {
-      latest = &transfer;
+  // The per-identity index tracks the most recent transfer (the same
+  // enclave may migrate away repeatedly over its lifetime), so status
+  // queries no longer scan every transfer ever retained.
+  const auto it = latest_outgoing_.find(mr);
+  return it == latest_outgoing_.end() ? OutgoingState::kNone
+                                      : it->second.second;
+}
+
+void MigrationEnclave::record_completed(uint64_t transfer_id,
+                                        const OutgoingTransfer& t) {
+  CompletedOutgoing record;
+  record.source_mr = t.source_mr;
+  record.request_nonce = t.request_nonce;
+  record.sequence = t.sequence;
+  completed_outgoing_[transfer_id] = record;
+  completed_order_.push_back(transfer_id);
+  while (completed_order_.size() > kCompletedHistoryLimit) {
+    completed_outgoing_.erase(completed_order_.front());
+    completed_order_.pop_front();
+  }
+}
+
+void MigrationEnclave::drop_sessions_for(const sgx::Measurement& mr) {
+  for (auto it = la_sessions_.begin(); it != la_sessions_.end();) {
+    // Never erase the session on_la_record is currently dispatching for:
+    // a DONE can arrive reentrantly (over a nested rpc) for the same
+    // MRENCLAVE while an instance of that image is mid-conversation.
+    if (it->second.peer.mr_enclave == mr && it->first != active_la_session_) {
+      it = la_sessions_.erase(it);
+    } else {
+      ++it;
     }
   }
-  return latest == nullptr ? OutgoingState::kNone : latest->state;
 }
 
 Result<Bytes> MigrationEnclave::handle_request(ByteView raw) {
   auto scope = enter_ecall();
+  // Opportunistic DONE-relay retry: any inbound traffic is evidence the
+  // network is back; try to clear the backlog before serving the request.
+  // Rate-limited so a long outage does not tax every request with one
+  // doomed rpc per backlog entry.
+  if (!done_relays_.empty() &&
+      platform().clock().now() - last_relay_retry_ >= relay_retry_interval_) {
+    retry_done_relays();
+  }
   auto parsed = MeRequest::deserialize(raw);
   if (!parsed.ok()) return error_response(Status::kTampered).serialize();
   const MeRequest& req = parsed.value();
@@ -88,9 +126,15 @@ Result<Bytes> MigrationEnclave::handle_request(ByteView raw) {
 // ----- local attestation service -----
 
 MeResponse MigrationEnclave::on_la_start(const MeRequest& req) {
+  // A replayed/colliding session id must not clobber a live session (its
+  // channel — and any delivery pinned to it — would be silently lost).
+  if (la_sessions_.count(req.id) != 0) {
+    return error_response(Status::kAlreadyExists);
+  }
   LaSessionState session;
   session.dh = std::make_unique<sgx::DhSession>(platform(), identity(),
                                                 sgx::DhSession::Role::kResponder);
+  session.last_used = platform().clock().now();
   MeResponse resp;
   resp.status = Status::kOk;
   resp.payload = session.dh->create_msg1().serialize();
@@ -113,6 +157,7 @@ MeResponse MigrationEnclave::on_la_msg2(const MeRequest& req) {
   it->second.peer = it->second.dh->peer_identity();
   it->second.channel.emplace(it->second.dh->session_key(),
                              net::SecureChannel::Role::kResponder);
+  it->second.last_used = platform().clock().now();
   MeResponse resp;
   resp.status = Status::kOk;
   resp.payload = msg3.value().serialize();
@@ -125,11 +170,17 @@ MeResponse MigrationEnclave::on_la_record(const MeRequest& req) {
     return error_response(Status::kInvalidState);
   }
   LaSessionState& session = it->second;
+  session.last_used = platform().clock().now();
   auto plaintext = session.channel->open_record(req.payload);
   if (!plaintext.ok()) return error_response(plaintext.status());
   auto msg = LibMsg::deserialize(plaintext.value());
   if (!msg.ok()) return error_response(Status::kTampered);
 
+  // Inner handlers can make nested rpcs whose peers re-enter
+  // handle_request (DONE-relay retries): shield this session from
+  // drop_sessions_for while it is being dispatched.
+  const uint64_t previous_active = active_la_session_;
+  active_la_session_ = req.id;
   LibMsg reply;
   switch (msg.value().type) {
     case LibMsgType::kMigrateRequest:
@@ -142,16 +193,27 @@ MeResponse MigrationEnclave::on_la_record(const MeRequest& req) {
       reply = on_confirm_migration(req.id, session);
       break;
     case LibMsgType::kQueryStatus:
-      reply = on_query_status(session);
+      reply = on_query_status(session, msg.value());
       break;
     default:
       reply.type = LibMsgType::kError;
       reply.status = Status::kInvalidParameter;
       break;
   }
+  active_la_session_ = previous_active;
+  // Re-resolve the session before touching the channel: belt over the
+  // shield above, in case a reentrant path erased it after all.
+  const auto after = la_sessions_.find(req.id);
+  if (after == la_sessions_.end() || !after->second.channel.has_value()) {
+    return error_response(Status::kInvalidState);
+  }
   MeResponse resp;
   resp.status = Status::kOk;
-  resp.payload = session.channel->seal_record(reply.serialize());
+  resp.payload = after->second.channel->seal_record(reply.serialize());
+  // A confirmed delivery ends the session's purpose: drop it so a long
+  // drain does not accumulate one dead session per migrated enclave.  (A
+  // library that outlives the confirm simply re-attests on its next call.)
+  if (reply.type == LibMsgType::kConfirmAck) la_sessions_.erase(after);
   return resp;
 }
 
@@ -189,12 +251,26 @@ LibMsg MigrationEnclave::on_fetch_incoming(uint64_t session_id,
   }
   // Deliver to exactly one enclave instance: once handed to a session, no
   // other session may fetch it (prevents forking the migration data into
-  // two concurrently-running destination enclaves).
+  // two concurrently-running destination enclaves).  The pin is released
+  // only when the pinned session is GONE — erased, lost to an ME restart,
+  // or idle past the takeover timeout (the destination instance died
+  // before confirming) — so a replacement instance of the same attested
+  // MRENCLAVE can re-fetch instead of the migration being stuck forever.
   if (it->second.delivering_session != 0 &&
       it->second.delivering_session != session_id) {
-    reply.type = LibMsgType::kError;
-    reply.status = Status::kMigrationInProgress;
-    return reply;
+    const auto pinned = la_sessions_.find(it->second.delivering_session);
+    const bool pinned_gone = pinned == la_sessions_.end();
+    const bool pinned_idle =
+        !pinned_gone && platform().clock().now() - pinned->second.last_used >=
+                            delivery_takeover_timeout_;
+    if (!pinned_gone && !pinned_idle) {
+      reply.type = LibMsgType::kError;
+      reply.status = Status::kMigrationInProgress;
+      return reply;
+    }
+    // Revoke the stale session so the presumed-dead instance cannot come
+    // back and race the new one for the confirm.
+    if (!pinned_gone) la_sessions_.erase(pinned);
   }
   it->second.delivering_session = session_id;
   reply.type = LibMsgType::kIncomingData;
@@ -208,58 +284,192 @@ LibMsg MigrationEnclave::on_confirm_migration(uint64_t session_id,
   LibMsg reply;
   const auto it = pending_.find(session.peer.mr_enclave);
   if (it == pending_.end() || it->second.delivering_session != session_id) {
+    // Idempotent re-confirm: if a migration for this identity was already
+    // confirmed (the previous ConfirmAck reply was lost and the library
+    // re-attested to retry), acknowledge again rather than failing the
+    // fully restored destination instance.  No state changes; an enclave
+    // that never fetched cannot reach its confirm step (its init fails at
+    // the fetch), so this leaks nothing.
+    if (it == pending_.end() &&
+        confirmed_incoming_.count(session.peer.mr_enclave) != 0) {
+      reply.type = LibMsgType::kConfirmAck;
+      reply.status = Status::kOk;
+      return reply;
+    }
     reply.type = LibMsgType::kError;
     reply.status = Status::kInvalidState;
     return reply;
   }
   const uint64_t transfer_id = it->second.transfer_id;
   const std::string source_address = it->second.source_me_address;
-  pending_.erase(it);
 
-  // Relay DONE to the source ME so it can delete its retained copy
-  // (fire-and-forget: if the source is unreachable it simply keeps the
-  // data as "pending", per §V-D's error handling).
+  // Seal the DONE record for the source ME while the inbound channel is
+  // still at hand, then retire both queue entries.  The erase of pending_
+  // MUST be durable before the ConfirmAck leaves this enclave: if an ME
+  // restart resurrected the pending entry after the destination enclave
+  // started running, a second instance could fetch it — the §III-B fork.
   const auto inbound_it = inbound_.find(transfer_id);
+  std::optional<DoneRelay> relay;
   if (inbound_it != inbound_.end() && inbound_it->second.channel.has_value()) {
     BinaryWriter done;
     done.str(kDoneMarker);
     done.u64(transfer_id);
-    MeRequest done_req;
-    done_req.type = MeMsgType::kDone;
-    done_req.id = transfer_id;
-    done_req.payload = inbound_it->second.channel->seal_record(done.data());
-    if (auto* net = platform().network()) {
-      net->rpc(source_address + "/me", done_req.serialize());
-    }
+    DoneRelay r;
+    r.source_me_address = source_address;
+    r.sealed_record = inbound_it->second.channel->seal_record(done.data());
+    relay = std::move(r);
     inbound_.erase(inbound_it);
   }
+  pending_.erase(it);
+  if (relay.has_value()) done_relays_[transfer_id] = std::move(*relay);
+  if (confirmed_incoming_.count(session.peer.mr_enclave) == 0) {
+    confirmed_incoming_order_.push_back(session.peer.mr_enclave);
+  }
+  confirmed_incoming_[session.peer.mr_enclave] = transfer_id;
+  while (confirmed_incoming_order_.size() > kCompletedHistoryLimit) {
+    confirmed_incoming_.erase(confirmed_incoming_order_.front());
+    confirmed_incoming_order_.pop_front();
+  }
+  const Status persisted = persist_queue();
+  if (persisted != Status::kOk) {
+    reply.type = LibMsgType::kError;
+    reply.status = persisted;
+    return reply;
+  }
+
+  // Relay DONE to the source ME so it can delete its retained copy.  If
+  // the source is unreachable the sealed record stays in the durable
+  // relay backlog and is retried (§V-D's error handling: the source
+  // simply keeps the data as "pending" until the DONE gets through).
+  retry_done_relays();
 
   reply.type = LibMsgType::kConfirmAck;
   reply.status = Status::kOk;
   return reply;
 }
 
-LibMsg MigrationEnclave::on_query_status(LaSessionState& session) {
+size_t MigrationEnclave::retry_done_relays() {
+  auto* net = platform().network();
+  if (net == nullptr) return done_relays_.size();
+  // Reentrancy guard: a relay rpc makes the peer ME handle a request,
+  // which opportunistically retries ITS backlog — two MEs with relays
+  // pointed at each other would otherwise recurse without bound.
+  if (retrying_relays_) return done_relays_.size();
+  retrying_relays_ = true;
+  last_relay_retry_ = platform().clock().now();
+  std::vector<uint64_t> ids;
+  ids.reserve(done_relays_.size());
+  for (const auto& [id, relay] : done_relays_) ids.push_back(id);
+  bool any_delivered = false;
+  for (const uint64_t id : ids) {
+    const DoneRelay& relay = done_relays_[id];
+    MeRequest done_req;
+    done_req.type = MeMsgType::kDone;
+    done_req.id = id;
+    done_req.payload = relay.sealed_record;
+    auto raw = net->rpc(relay.source_me_address + "/me", done_req.serialize());
+    if (!raw.ok()) continue;
+    auto resp = MeResponse::deserialize(raw.value());
+    if (!resp.ok()) continue;
+    const Status status = resp.value().status;
+    // kOk: the source acknowledged and deleted its copy.  kInvalidState:
+    // the source does not know the transfer at all — the completion
+    // record aged out of its bounded history, or it lost its queue —
+    // so re-sending can never succeed; the entry is spent either way.
+    // Anything else (transport loss, transient errors) keeps the entry
+    // for another round.  (A network adversary forging an ack can at
+    // worst make the source retain its copy forever — an availability
+    // cost, never a fork.)
+    if (status != Status::kOk && status != Status::kInvalidState) continue;
+    done_relays_.erase(id);
+    any_delivered = true;
+  }
+  retrying_relays_ = false;
+  if (any_delivered) persist_queue();
+  return done_relays_.size();
+}
+
+LibMsg MigrationEnclave::on_query_status(LaSessionState& session,
+                                         const LibMsg& msg) {
   LibMsg reply;
+  auto query = QueryStatusPayload::deserialize(msg.payload);
+  if (!query.ok()) {
+    reply.type = LibMsgType::kError;
+    reply.status = Status::kTampered;
+    return reply;
+  }
+  OutgoingState state = OutgoingState::kNone;
+  const uint64_t nonce = query.value().request_nonce;
+  if (nonce == 0) {
+    state = outgoing_state(session.peer.mr_enclave);
+  } else {
+    // Nonce-scoped query: the fate of exactly one migrate request — the
+    // resume path a library uses when its ME exchange died mid-flight.
+    for (const auto& [id, transfer] : outgoing_) {
+      if (transfer.source_mr == session.peer.mr_enclave &&
+          transfer.request_nonce == nonce) {
+        state = OutgoingState::kPending;
+        break;
+      }
+    }
+    if (state == OutgoingState::kNone) {
+      for (const auto& [id, record] : completed_outgoing_) {
+        if (record.source_mr == session.peer.mr_enclave &&
+            record.request_nonce == nonce) {
+          state = OutgoingState::kCompleted;
+          break;
+        }
+      }
+    }
+  }
   reply.type = LibMsgType::kStatusReport;
   reply.status = Status::kOk;
   BinaryWriter w;
-  w.u8(static_cast<uint8_t>(outgoing_state(session.peer.mr_enclave)));
+  w.u8(static_cast<uint8_t>(state));
   reply.payload = w.take();
   return reply;
 }
 
 // ----- outgoing migration (source side, paper Fig. 2 steps 3-4) -----
 
-Status MigrationEnclave::run_outgoing(const sgx::Measurement& source_mr,
+Status MigrationEnclave::run_outgoing(sgx::Measurement source_mr,
                                       const MigrateRequestPayload& request) {
   auto* net = platform().network();
   if (net == nullptr) return Status::kNetworkUnreachable;
   if (request.destination_address == platform().address()) {
     return Status::kInvalidParameter;
   }
+  // Exactly-once dedup: a library whose previous attempt's REPLY was lost
+  // re-sends the same request (same nonce, same destination — the library
+  // draws a fresh nonce when it re-routes).  If that attempt already
+  // retained (or even completed) a transfer, report success instead of
+  // shipping the data a second time.
+  if (request.request_nonce != 0) {
+    for (const auto& [id, transfer] : outgoing_) {
+      if (transfer.source_mr == source_mr &&
+          transfer.request_nonce == request.request_nonce &&
+          transfer.destination_address == request.destination_address) {
+        // Re-fence before acking: if the original attempt's persist
+        // failed, this success must not stand on a non-durable entry.
+        return persist_queue();
+      }
+    }
+    for (const auto& [id, record] : completed_outgoing_) {
+      if (record.source_mr == source_mr &&
+          record.request_nonce == request.request_nonce) {
+        return Status::kOk;
+      }
+    }
+  }
   const std::string dest_endpoint = request.destination_address + "/me";
   const uint64_t transfer_id = fresh_id();
+  // An id collision must never clobber a live retained transfer (or a
+  // completion record a duplicate DONE may still reference).  kAlreadyExists
+  // classifies retryable-busy: the caller retries and draws a fresh id.
+  if (outgoing_.count(transfer_id) != 0 ||
+      completed_outgoing_.count(transfer_id) != 0) {
+    return Status::kAlreadyExists;
+  }
 
   // --- mutual remote attestation ---
   sgx::RaSession ra(platform(), identity(), sgx::RaSession::Role::kInitiator);
@@ -316,6 +526,7 @@ Status MigrationEnclave::run_outgoing(const sgx::Measurement& source_mr,
   TransferPayload payload;
   payload.source_mr_enclave = source_mr;
   payload.source_me_address = platform().address();
+  payload.request_nonce = request.request_nonce;
   payload.data = request.data;
   const Bytes payload_bytes = payload.serialize();
   charge_gcm(payload_bytes.size());
@@ -332,21 +543,28 @@ Status MigrationEnclave::run_outgoing(const sgx::Measurement& source_mr,
   if (!ack.ok()) return ack.status();
   if (to_string(ack.value()) != kAcceptedMarker) return Status::kTampered;
 
-  // Retain the data until the destination confirms delivery (paper §V-D).
+  // Retain the data until the destination confirms delivery (paper §V-D),
+  // durably: the retained copy and the channel that will authenticate the
+  // DONE must both survive an ME restart.
   OutgoingTransfer transfer;
   transfer.source_mr = source_mr;
   transfer.destination_address = request.destination_address;
+  transfer.request_nonce = request.request_nonce;
   transfer.retained_data = request.data.serialize();
   transfer.channel = std::move(channel);
-  transfer.state = OutgoingState::kPending;
   transfer.sequence = next_outgoing_sequence_++;
+  latest_outgoing_[source_mr] = {transfer.sequence, OutgoingState::kPending};
   outgoing_[transfer_id] = std::move(transfer);
-  return Status::kOk;
+  return persist_queue();
 }
 
 // ----- incoming migration (destination side) -----
 
 MeResponse MigrationEnclave::on_ra_msg1(const MeRequest& req) {
+  // A colliding transfer id must not clobber a live inbound transfer.
+  if (inbound_.count(req.id) != 0) {
+    return error_response(Status::kAlreadyExists);
+  }
   auto msg1 = sgx::RaMsg1::deserialize(req.payload);
   if (!msg1.ok()) return error_response(Status::kTampered);
   InboundTransfer inbound;
@@ -363,7 +581,11 @@ MeResponse MigrationEnclave::on_ra_msg1(const MeRequest& req) {
 
 MeResponse MigrationEnclave::on_ra_msg3(const MeRequest& req) {
   const auto it = inbound_.find(req.id);
-  if (it == inbound_.end()) return error_response(Status::kInvalidState);
+  if (it == inbound_.end() || it->second.ra == nullptr) {
+    // Unknown id, or an entry restored from the durable queue (its RA
+    // handshake finished in a previous ME lifetime).
+    return error_response(Status::kInvalidState);
+  }
   InboundTransfer& inbound = it->second;
 
   BinaryReader r(req.payload);
@@ -430,24 +652,58 @@ MeResponse MigrationEnclave::on_transfer(const MeRequest& req) {
   auto payload = TransferPayload::deserialize(plaintext.value());
   if (!payload.ok()) return error_response(Status::kTampered);
 
-  // One pending migration per enclave identity at a time.
-  if (pending_.count(payload.value().source_mr_enclave) != 0) {
-    return error_response(Status::kAlreadyExists);
+  // One pending migration per enclave identity at a time — EXCEPT a
+  // re-transfer of the same logical migration (same source ME + nonce):
+  // if the previous attempt's ACCEPTED ack was lost, the source retained
+  // nothing and retries under a fresh transfer id; the orphaned entry it
+  // left here must be superseded, not allowed to block this
+  // enclave->machine pair forever.  Once a session has fetched the old
+  // entry, superseding is refused (the delivery pin's fork prevention
+  // outranks the retry).
+  const auto existing = pending_.find(payload.value().source_mr_enclave);
+  if (existing != pending_.end()) {
+    const bool same_migration =
+        payload.value().request_nonce != 0 &&
+        existing->second.request_nonce == payload.value().request_nonce &&
+        existing->second.source_me_address ==
+            payload.value().source_me_address;
+    if (!same_migration || existing->second.delivering_session != 0) {
+      return error_response(Status::kAlreadyExists);
+    }
+    inbound_.erase(existing->second.transfer_id);  // stale orphan channel
+    pending_.erase(existing);
   }
   PendingIncoming pending;
   pending.transfer_id = req.id;
   pending.data = payload.value().data;
   pending.source_me_address = payload.value().source_me_address;
+  pending.request_nonce = payload.value().request_nonce;
   pending_[payload.value().source_mr_enclave] = std::move(pending);
 
   MeResponse resp;
   resp.status = Status::kOk;
+  // Seal the ACCEPTED ack BEFORE snapshotting: the snapshot must capture
+  // the channel's post-ack sequence numbers, or a DONE sealed after a
+  // restart would fail the source's replay check.  The pending entry (and
+  // the inbound channel that will seal the DONE) are then made durable
+  // before the ack leaves this enclave and releases the source side.
   resp.payload =
       inbound.channel->seal_record(to_bytes(std::string_view(kAcceptedMarker)));
+  const Status persisted = persist_queue();
+  if (persisted != Status::kOk) return error_response(persisted);
   return resp;
 }
 
 MeResponse MigrationEnclave::on_done(const MeRequest& req) {
+  // Duplicate DONE for a transfer already confirmed (the destination
+  // retries its relay until acknowledged): idempotent success.  The
+  // channel was wiped with the entry, so the record cannot be re-checked;
+  // acknowledging reveals nothing and changes no state.
+  if (completed_outgoing_.count(req.id) != 0) {
+    MeResponse resp;
+    resp.status = Status::kOk;
+    return resp;
+  }
   const auto it = outgoing_.find(req.id);
   if (it == outgoing_.end()) return error_response(Status::kInvalidState);
   OutgoingTransfer& transfer = it->second;
@@ -459,13 +715,281 @@ MeResponse MigrationEnclave::on_done(const MeRequest& req) {
   if (!r.done() || marker != kDoneMarker || confirmed_id != req.id) {
     return error_response(Status::kTampered);
   }
-  // Destination confirmed: delete the retained migration data.
+  // Destination confirmed: wipe the retained migration data and retire
+  // the queue entry, keeping only the compact completion record (status
+  // queries + duplicate-DONE idempotency).  Erasing terminal transfers is
+  // what keeps the queue bounded over a long drain.
   secure_wipe(transfer.retained_data);
-  transfer.retained_data.clear();
-  transfer.state = OutgoingState::kCompleted;
+  const auto latest = latest_outgoing_.find(transfer.source_mr);
+  if (latest != latest_outgoing_.end() &&
+      latest->second.first == transfer.sequence) {
+    latest->second.second = OutgoingState::kCompleted;
+  }
+  // Bound the per-identity index: once it overflows, forget the
+  // longest-completed identity (a status query then reports kNone — the
+  // same answer a freshly deployed ME would give).  Pending identities
+  // are never evicted; they still hold retained data.
+  constexpr size_t kLatestOutgoingLimit = 4096;
+  if (latest_outgoing_.size() > kLatestOutgoingLimit) {
+    auto oldest = latest_outgoing_.end();
+    for (auto it2 = latest_outgoing_.begin(); it2 != latest_outgoing_.end();
+         ++it2) {
+      if (it2->second.second != OutgoingState::kCompleted) continue;
+      if (oldest == latest_outgoing_.end() ||
+          it2->second.first < oldest->second.first) {
+        oldest = it2;
+      }
+    }
+    if (oldest != latest_outgoing_.end()) latest_outgoing_.erase(oldest);
+  }
+  record_completed(req.id, transfer);
+  // The migrated-away instance behind this transfer is frozen for good;
+  // its LA sessions would otherwise linger until process exit.
+  drop_sessions_for(transfer.source_mr);
+  outgoing_.erase(it);
+  const Status persisted = persist_queue();
+  if (persisted != Status::kOk) return error_response(persisted);
   MeResponse resp;
   resp.status = Status::kOk;
   return resp;
+}
+
+// ----- durable transfer queue -----
+
+Duration MigrationEnclave::now() const {
+  // PlatformIface::clock() is non-const (it can advance); reading the
+  // current virtual time mutates nothing.
+  return const_cast<MigrationEnclave*>(this)->platform().clock().now();
+}
+
+Status MigrationEnclave::commit_state() {
+  if (!queue_seal_ctx_.has_value()) {
+    queue_seal_ctx_.emplace(make_seal_context(sgx::KeyPolicy::kMrEnclave));
+  }
+  Bytes plaintext = serialize_queue();
+  auto sealed = seal_with(*queue_seal_ctx_,
+                          to_bytes(std::string_view(kQueueAad)), plaintext);
+  // The plaintext snapshot embeds every live channel's raw session key.
+  secure_wipe(plaintext);
+  if (!sealed.ok()) return sealed.status();
+  sealed_queue_state_ = std::move(sealed).value();
+  if (queue_persist_callback_) {
+    // OCALL to the untrusted host, which writes the blob to disk.
+    platform().charge(platform().costs().ocall);
+    queue_persist_callback_(sealed_queue_state_);
+  }
+  return Status::kOk;
+}
+
+Status MigrationEnclave::persist_queue() {
+  // Every queue transition guards either retained migration data or a
+  // fork-preventing erase, so each one is fenced durable regardless of
+  // the configured engine (mirrors persist_mutation_durable in the ML).
+  const Status status = engine_->on_mutation(*this, MutationKind::kTransferQueue);
+  if (status != Status::kOk) return status;
+  return engine_->flush(*this);
+}
+
+Bytes MigrationEnclave::serialize_queue() const {
+  BinaryWriter w;
+  w.str(kQueueMagic);
+  w.u64(next_outgoing_sequence_);
+
+  w.u32(static_cast<uint32_t>(outgoing_.size()));
+  for (const auto& [id, t] : outgoing_) {
+    w.u64(id);
+    w.fixed(t.source_mr);
+    w.str(t.destination_address);
+    w.u64(t.request_nonce);
+    w.bytes(t.retained_data);
+    w.u64(t.sequence);
+    w.boolean(t.channel.has_value());
+    if (t.channel.has_value()) {
+      Bytes channel_state = t.channel->serialize_state();
+      w.bytes(channel_state);
+      secure_wipe(channel_state);  // contains the raw session key
+    }
+  }
+
+  w.u32(static_cast<uint32_t>(pending_.size()));
+  for (const auto& [mr, p] : pending_) {
+    w.fixed(mr);
+    w.u64(p.transfer_id);
+    w.bytes(p.data.serialize());
+    w.str(p.source_me_address);
+    w.u64(p.request_nonce);
+    // delivering_session is deliberately NOT persisted: LA sessions die
+    // with the ME process, so delivery re-arms after a restart.
+  }
+
+  // Inbound transfers that completed authentication: their channel is
+  // what decrypts the (re)sent transfer record and seals the DONE relay.
+  uint32_t inbound_count = 0;
+  for (const auto& [id, in] : inbound_) {
+    if (in.authenticated && in.channel.has_value()) ++inbound_count;
+  }
+  w.u32(inbound_count);
+  for (const auto& [id, in] : inbound_) {
+    if (!in.authenticated || !in.channel.has_value()) continue;
+    w.u64(id);
+    w.str(in.source_region);
+    Bytes channel_state = in.channel->serialize_state();
+    w.bytes(channel_state);
+    secure_wipe(channel_state);  // contains the raw session key
+  }
+
+  w.u32(static_cast<uint32_t>(latest_outgoing_.size()));
+  for (const auto& [mr, state] : latest_outgoing_) {
+    w.fixed(mr);
+    w.u64(state.first);
+    w.u8(static_cast<uint8_t>(state.second));
+  }
+
+  w.u32(static_cast<uint32_t>(completed_order_.size()));
+  for (const uint64_t id : completed_order_) {
+    const auto it = completed_outgoing_.find(id);
+    w.u64(id);
+    w.fixed(it->second.source_mr);
+    w.u64(it->second.request_nonce);
+    w.u64(it->second.sequence);
+  }
+
+  w.u32(static_cast<uint32_t>(confirmed_incoming_order_.size()));
+  for (const sgx::Measurement& mr : confirmed_incoming_order_) {
+    w.fixed(mr);
+    w.u64(confirmed_incoming_.at(mr));
+  }
+
+  w.u32(static_cast<uint32_t>(done_relays_.size()));
+  for (const auto& [id, relay] : done_relays_) {
+    w.u64(id);
+    w.str(relay.source_me_address);
+    w.bytes(relay.sealed_record);
+  }
+  return w.take();
+}
+
+Status MigrationEnclave::apply_queue(ByteView plaintext) {
+  BinaryReader r(plaintext);
+  if (r.str(64) != kQueueMagic) return Status::kTampered;
+  const uint64_t next_sequence = r.u64();
+
+  std::map<uint64_t, OutgoingTransfer> outgoing;
+  const uint32_t outgoing_count = r.u32();
+  for (uint32_t i = 0; i < outgoing_count && r.ok(); ++i) {
+    const uint64_t id = r.u64();
+    OutgoingTransfer t;
+    t.source_mr = r.fixed<32>();
+    t.destination_address = r.str(256);
+    t.request_nonce = r.u64();
+    t.retained_data = r.bytes(1u << 20);
+    t.sequence = r.u64();
+    if (r.boolean()) {
+      Bytes channel_state = r.bytes(64);
+      auto channel = net::SecureChannel::deserialize_state(channel_state);
+      secure_wipe(channel_state);
+      if (!channel.ok()) return Status::kTampered;
+      t.channel.emplace(std::move(channel).value());
+    }
+    outgoing[id] = std::move(t);
+  }
+
+  std::map<sgx::Measurement, PendingIncoming> pending;
+  const uint32_t pending_count = r.u32();
+  for (uint32_t i = 0; i < pending_count && r.ok(); ++i) {
+    const sgx::Measurement mr = r.fixed<32>();
+    PendingIncoming p;
+    p.transfer_id = r.u64();
+    auto data = MigrationData::deserialize(r.bytes(1u << 20));
+    if (!data.ok()) return Status::kTampered;
+    p.data = std::move(data).value();
+    p.source_me_address = r.str(256);
+    p.request_nonce = r.u64();
+    pending[mr] = std::move(p);
+  }
+
+  std::map<uint64_t, InboundTransfer> inbound;
+  const uint32_t inbound_count = r.u32();
+  for (uint32_t i = 0; i < inbound_count && r.ok(); ++i) {
+    const uint64_t id = r.u64();
+    InboundTransfer in;
+    in.authenticated = true;
+    in.source_region = r.str(256);
+    Bytes channel_state = r.bytes(64);
+    auto channel = net::SecureChannel::deserialize_state(channel_state);
+    secure_wipe(channel_state);
+    if (!channel.ok()) return Status::kTampered;
+    in.channel.emplace(std::move(channel).value());
+    inbound[id] = std::move(in);
+  }
+
+  std::map<sgx::Measurement, std::pair<uint64_t, OutgoingState>> latest;
+  const uint32_t latest_count = r.u32();
+  for (uint32_t i = 0; i < latest_count && r.ok(); ++i) {
+    const sgx::Measurement mr = r.fixed<32>();
+    const uint64_t sequence = r.u64();
+    const uint8_t state = r.u8();
+    if (state > 2) return Status::kTampered;
+    latest[mr] = {sequence, static_cast<OutgoingState>(state)};
+  }
+
+  std::map<uint64_t, CompletedOutgoing> completed;
+  std::deque<uint64_t> completed_order;
+  const uint32_t completed_count = r.u32();
+  if (completed_count > kCompletedHistoryLimit) return Status::kTampered;
+  for (uint32_t i = 0; i < completed_count && r.ok(); ++i) {
+    const uint64_t id = r.u64();
+    CompletedOutgoing record;
+    record.source_mr = r.fixed<32>();
+    record.request_nonce = r.u64();
+    record.sequence = r.u64();
+    completed[id] = record;
+    completed_order.push_back(id);
+  }
+
+  std::map<sgx::Measurement, uint64_t> confirmed_incoming;
+  std::deque<sgx::Measurement> confirmed_incoming_order;
+  const uint32_t confirmed_count = r.u32();
+  if (confirmed_count > kCompletedHistoryLimit) return Status::kTampered;
+  for (uint32_t i = 0; i < confirmed_count && r.ok(); ++i) {
+    const sgx::Measurement mr = r.fixed<32>();
+    confirmed_incoming[mr] = r.u64();
+    confirmed_incoming_order.push_back(mr);
+  }
+
+  std::map<uint64_t, DoneRelay> relays;
+  const uint32_t relay_count = r.u32();
+  for (uint32_t i = 0; i < relay_count && r.ok(); ++i) {
+    const uint64_t id = r.u64();
+    DoneRelay relay;
+    relay.source_me_address = r.str(256);
+    relay.sealed_record = r.bytes(1u << 16);
+    relays[id] = std::move(relay);
+  }
+
+  if (!r.done()) return Status::kTampered;
+  next_outgoing_sequence_ = next_sequence;
+  outgoing_ = std::move(outgoing);
+  pending_ = std::move(pending);
+  inbound_ = std::move(inbound);
+  latest_outgoing_ = std::move(latest);
+  completed_outgoing_ = std::move(completed);
+  completed_order_ = std::move(completed_order);
+  confirmed_incoming_ = std::move(confirmed_incoming);
+  confirmed_incoming_order_ = std::move(confirmed_incoming_order);
+  done_relays_ = std::move(relays);
+  return Status::kOk;
+}
+
+Status MigrationEnclave::restore_queue(ByteView sealed_queue) {
+  auto scope = enter_ecall();
+  auto unsealed = unseal(sealed_queue);
+  if (!unsealed.ok()) return unsealed.status();
+  if (to_string(unsealed.value().aad) != kQueueAad) return Status::kTampered;
+  const Status status = apply_queue(unsealed.value().plaintext);
+  // The unsealed snapshot embeds raw channel session keys.
+  secure_wipe(unsealed.value().plaintext);
+  return status;
 }
 
 // ----- provider authentication helpers -----
@@ -499,6 +1023,47 @@ Status MigrationEnclave::verify_provider_auth(
   }
   if (region_out != nullptr) *region_out = auth.credential.region;
   return Status::kOk;
+}
+
+// ----- durable-ME deployment helpers -----
+
+namespace {
+std::string me_queue_key(const platform::Machine& machine) {
+  return machine.address() + ".me-queue";
+}
+}  // namespace
+
+platform::Machine::MgmtEnclaveFactory durable_me_factory(
+    platform::ProviderCa& provider) {
+  return [&provider](platform::Machine& machine)
+             -> std::unique_ptr<sgx::Enclave> {
+    auto me = std::make_unique<MigrationEnclave>(
+        machine, MigrationEnclave::standard_image(), provider);
+    const std::string key = me_queue_key(machine);
+    me->set_queue_persist_callback([&machine, key](ByteView blob) {
+      // Versioned two-slot write: a crash mid-persist leaves the previous
+      // intact snapshot recoverable.
+      machine.storage().put_versioned(key, blob);
+    });
+    auto stored = machine.storage().get_versioned(key);
+    if (stored.ok()) {
+      // A snapshot that fails to unseal/parse leaves the ME with an empty
+      // queue (availability): retained copies at the peer MEs still hold
+      // every in-flight migration's data.
+      (void)me->restore_queue(stored.value());
+    }
+    return me;
+  };
+}
+
+MigrationEnclave* install_durable_me(platform::Machine& machine,
+                                     platform::ProviderCa& provider) {
+  machine.install_management_enclave(durable_me_factory(provider));
+  return me_on(machine);
+}
+
+MigrationEnclave* me_on(platform::Machine& machine) {
+  return dynamic_cast<MigrationEnclave*>(machine.management_enclave());
 }
 
 }  // namespace sgxmig::migration

@@ -14,16 +14,32 @@
 //    direction, stores the data until a local enclave with the matching
 //    MRENCLAVE attests and fetches it, and relays the DONE confirmation
 //    back to the source ME so it can delete its copy.
+//
+// DURABLE TRANSFER QUEUE (§V-D hardening): the retention guarantee above
+// is only worth anything if it survives the ME process itself.  Every
+// queue transition (retain outgoing / accept incoming / confirm / DONE)
+// seals the transfer queue — retained data, pending incoming entries, the
+// secure-channel key material needed to finish each conversation, and the
+// DONE-relay backlog — through the PersistenceEngine stack into an
+// untrusted-storage OCALL (set_queue_persist_callback).  A restarted ME
+// restores the queue via restore_queue() and resumes: it can still be
+// DONE-confirmed for transfers it retained, still delivers pending data,
+// and still re-relays unacknowledged DONEs.  Session state (local
+// attestation channels) is deliberately NOT durable: libraries re-attest.
 #pragma once
 
+#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "migration/persistence_engine.h"
 #include "migration/protocol.h"
 #include "net/channel.h"
+#include "platform/machine.h"
 #include "platform/provider.h"
 #include "sgx/dh.h"
 #include "sgx/enclave.h"
@@ -31,15 +47,17 @@
 
 namespace sgxmig::migration {
 
-class MigrationEnclave : public sgx::Enclave {
+class MigrationEnclave : public sgx::Enclave, private PersistSink {
  public:
   /// Secure setup phase (paper §V-B): the ME generates its machine
   /// authentication key and the cloud operator certifies it for this
   /// machine's address and region.  Also registers the ME's network
-  /// endpoint ("<address>/me").
+  /// endpoint ("<address>/me").  `engine` decides when the transfer queue
+  /// is sealed + OCALLed out; nullptr selects the synchronous default.
   MigrationEnclave(sgx::PlatformIface& platform,
                    std::shared_ptr<const sgx::EnclaveImage> image,
-                   platform::ProviderCa& provider);
+                   platform::ProviderCa& provider,
+                   std::unique_ptr<PersistenceEngine> engine = nullptr);
   ~MigrationEnclave() override;
 
   /// The standard ME image every machine of the provider deploys.  MEs
@@ -55,9 +73,52 @@ class MigrationEnclave : public sgx::Enclave {
     allowed_source_regions_ = std::move(regions);
   }
 
+  // ----- durable transfer queue -----
+
+  /// OCALL handing the sealed queue snapshot to the untrusted host for
+  /// storage (the host should write it with UntrustedStore::put_versioned
+  /// so a torn write cannot destroy the only copy).
+  using QueuePersistCallback = std::function<void(ByteView sealed_queue)>;
+  void set_queue_persist_callback(QueuePersistCallback callback) {
+    queue_persist_callback_ = std::move(callback);
+  }
+
+  /// Restores the transfer queue from a previously persisted snapshot.
+  /// Call once, right after construction of a restarted ME, before it
+  /// serves requests.  Delivery pins and LA sessions are not restored:
+  /// pending data is re-armed for whichever matching enclave attests next.
+  Status restore_queue(ByteView sealed_queue);
+
+  /// Latest sealed queue snapshot (what the persist OCALL last received).
+  const Bytes& sealed_queue_state() const { return sealed_queue_state_; }
+
+  /// Re-sends DONE confirmations whose delivery previously failed (source
+  /// ME unreachable / restarting).  Returns how many are still unrelayed.
+  /// Also retried opportunistically whenever the ME handles any request.
+  size_t retry_done_relays();
+
+  /// How long a delivery pin on pending incoming data survives without
+  /// the pinned LA session showing activity.  After the timeout a NEW
+  /// attested session of the same MRENCLAVE may re-arm the delivery (the
+  /// pinned destination instance is presumed dead — the re-fetch path of
+  /// a crashed destination enclave).  This is an explicit
+  /// availability-vs-fork dial: an instance that fetched but is merely
+  /// SLOW past the timeout still holds the data, so a takeover hands a
+  /// second copy to the replacement (the revoked session blocks the old
+  /// instance's confirm, not its memory).  Duration::max() restores the
+  /// paper-strict unconditional pin (never fork, possibly stuck forever).
+  void set_delivery_takeover_timeout(Duration timeout) {
+    delivery_takeover_timeout_ = timeout;
+  }
+
   // ----- introspection (used by tests and the bench harness) -----
   size_t pending_incoming_count() const { return pending_.size(); }
+  /// Live (retained, not yet confirmed) outgoing transfers.  Confirmed
+  /// transfers are erased from the queue; only a compact per-identity
+  /// completion record remains.
   size_t outgoing_count() const { return outgoing_.size(); }
+  size_t la_session_count() const { return la_sessions_.size(); }
+  size_t unrelayed_done_count() const { return done_relays_.size(); }
   OutgoingState outgoing_state(const sgx::Measurement& mr) const;
 
  private:
@@ -65,9 +126,10 @@ class MigrationEnclave : public sgx::Enclave {
     std::unique_ptr<sgx::DhSession> dh;
     std::optional<net::SecureChannel> channel;
     sgx::EnclaveIdentity peer;
+    Duration last_used{};  // virtual time; drives delivery-pin takeover
   };
   struct InboundTransfer {
-    std::unique_ptr<sgx::RaSession> ra;
+    std::unique_ptr<sgx::RaSession> ra;  // null once restored from disk
     std::optional<net::SecureChannel> channel;
     bool authenticated = false;
     std::string source_region;
@@ -75,16 +137,32 @@ class MigrationEnclave : public sgx::Enclave {
   struct OutgoingTransfer {
     sgx::Measurement source_mr{};
     std::string destination_address;
-    Bytes retained_data;  // kept until DONE (paper §V-D)
+    uint64_t request_nonce = 0;  // ties the transfer to one ML attempt
+    Bytes retained_data;         // kept until DONE (paper §V-D)
     std::optional<net::SecureChannel> channel;
-    OutgoingState state = OutgoingState::kPending;
     uint64_t sequence = 0;  // creation order, for status queries
   };
   struct PendingIncoming {
     uint64_t transfer_id = 0;
     MigrationData data;
     std::string source_me_address;
+    uint64_t request_nonce = 0;       // identifies the logical migration
     uint64_t delivering_session = 0;  // LA session the data was handed to
+  };
+  /// Compact durable record of a confirmed outgoing transfer: enough to
+  /// answer status queries and absorb duplicate DONEs idempotently after
+  /// the retained data itself has been wiped.  Bounded FIFO history.
+  struct CompletedOutgoing {
+    sgx::Measurement source_mr{};
+    uint64_t request_nonce = 0;
+    uint64_t sequence = 0;
+  };
+  /// A DONE confirmation the destination ME could not deliver: the exact
+  /// sealed record is kept (re-sealing would desync the channel sequence
+  /// numbers) and retried until the source ME acknowledges it.
+  struct DoneRelay {
+    std::string source_me_address;
+    Bytes sealed_record;
   };
 
   // outer-envelope handlers
@@ -100,10 +178,13 @@ class MigrationEnclave : public sgx::Enclave {
   LibMsg on_migrate_request(LaSessionState& session, const LibMsg& msg);
   LibMsg on_fetch_incoming(uint64_t session_id, LaSessionState& session);
   LibMsg on_confirm_migration(uint64_t session_id, LaSessionState& session);
-  LibMsg on_query_status(LaSessionState& session);
+  LibMsg on_query_status(LaSessionState& session, const LibMsg& msg);
 
   /// Runs the whole outgoing side: RA + provider auth + policy + transfer.
-  Status run_outgoing(const sgx::Measurement& source_mr,
+  /// `source_mr` is taken by value: the nested rpcs can re-enter
+  /// handle_request (a peer ME's DONE-relay retry) and erase the session
+  /// a reference would point into.
+  Status run_outgoing(sgx::Measurement source_mr,
                       const MigrateRequestPayload& request);
 
   /// Verifies the peer ME's provider authentication for a transcript.
@@ -115,6 +196,20 @@ class MigrationEnclave : public sgx::Enclave {
   ProviderAuth make_provider_auth(const std::array<uint8_t, 32>& transcript);
 
   uint64_t fresh_id();
+  /// Records a confirmed outgoing transfer in the bounded history.
+  void record_completed(uint64_t transfer_id, const OutgoingTransfer& t);
+  /// Drops LA sessions whose peer measurement matches `mr` (the instance
+  /// behind them is frozen/retired; a live library simply re-attests).
+  void drop_sessions_for(const sgx::Measurement& mr);
+
+  // ----- durable queue internals -----
+  // PersistSink: the engine calls back into us to commit.
+  Status commit_state() override;
+  Duration now() const override;
+  /// Reports one queue transition to the engine and fences it durable.
+  Status persist_queue();
+  Bytes serialize_queue() const;
+  Status apply_queue(ByteView plaintext);
 
   crypto::Ed25519KeyPair machine_key_;
   platform::MachineCredential credential_;
@@ -125,7 +220,59 @@ class MigrationEnclave : public sgx::Enclave {
   std::map<uint64_t, InboundTransfer> inbound_;
   std::map<uint64_t, OutgoingTransfer> outgoing_;
   std::map<sgx::Measurement, PendingIncoming> pending_;
+  // Per-identity latest outgoing state (sequence, state): O(log n) status
+  // queries instead of scanning every transfer ever made.
+  std::map<sgx::Measurement, std::pair<uint64_t, OutgoingState>>
+      latest_outgoing_;
+  std::map<uint64_t, CompletedOutgoing> completed_outgoing_;
+  std::deque<uint64_t> completed_order_;  // FIFO eviction of the history
+  // Durable record that an incoming migration for this identity was
+  // confirmed (pending_ erased, DONE queued), keyed by identity with the
+  // confirming transfer id as value.  Lets a RE-sent confirm — whose
+  // ConfirmAck reply was lost, forcing the library to re-attest and
+  // retry — succeed idempotently instead of stranding a fully restored
+  // destination instance.  FIFO-bounded like the completed history.
+  std::map<sgx::Measurement, uint64_t> confirmed_incoming_;
+  std::deque<sgx::Measurement> confirmed_incoming_order_;
+  std::map<uint64_t, DoneRelay> done_relays_;
   uint64_t next_outgoing_sequence_ = 1;
+
+  std::unique_ptr<PersistenceEngine> engine_;
+  std::optional<sgx::SealContext> queue_seal_ctx_;
+  Bytes sealed_queue_state_;
+  QueuePersistCallback queue_persist_callback_;
+  // Default above the worst-case legitimate fetch->confirm gap: a full
+  // restore creates up to 256 hardware counters at counter_create cost
+  // (~250ms each, see cost_model.h) before the confirm is sent, so only
+  // instances idle far beyond that are ever presumed dead.
+  Duration delivery_takeover_timeout_ = seconds(120);
+  // Opportunistic relay retries are rate-limited on the virtual clock so
+  // a down source ME does not tax every unrelated request with one
+  // doomed RPC per backlog entry.
+  Duration relay_retry_interval_ = milliseconds(250);
+  Duration last_relay_retry_{};
+  bool retrying_relays_ = false;
+  // LA session currently being serviced by on_la_record: protected from
+  // drop_sessions_for so a reentrant DONE (arriving over a nested rpc)
+  // cannot erase the session mid-dispatch.
+  uint64_t active_la_session_ = 0;
 };
+
+/// Builds a Machine management-enclave factory producing a standard-image
+/// ME with its durable transfer queue wired to the machine's untrusted
+/// store (versioned two-slot writes, key "<address>.me-queue").  A
+/// restarted ME restores the queue before serving; install fleet-wide via
+/// World::install_management_enclaves.
+platform::Machine::MgmtEnclaveFactory durable_me_factory(
+    platform::ProviderCa& provider);
+
+/// Installs a durable-queue ME on one machine and returns it (typed view
+/// of Machine::management_enclave()).
+MigrationEnclave* install_durable_me(platform::Machine& machine,
+                                     platform::ProviderCa& provider);
+
+/// Typed accessor for a machine's management enclave; nullptr when none
+/// is installed or it is not a MigrationEnclave.
+MigrationEnclave* me_on(platform::Machine& machine);
 
 }  // namespace sgxmig::migration

@@ -121,10 +121,20 @@ Status MigrationLibrary::migration_init(ByteView state_buffer,
       const Status apply_status = apply_incoming(data.value());
       if (apply_status != Status::kOk) return apply_status;
       initialized_ = true;
-      // Confirm so the source ME can delete its retained copy.
+      // Confirm so the source ME can delete its retained copy.  The
+      // confirm must tolerate a lost reply: the ME may have processed it
+      // (pending erased, DONE queued) while we saw a transport failure —
+      // failing here would discard a fully restored instance.  One extra
+      // attempt suffices: the retry either heals a dropped request, or
+      // desyncs the channel (reply was lost after processing), which
+      // me_exchange_reattest turns into a fresh session whose confirm the
+      // ME answers idempotently from its confirmed-incoming history.
       LibMsg confirm;
       confirm.type = LibMsgType::kConfirmMigration;
-      auto ack = me_exchange(confirm);
+      auto ack = me_exchange_reattest(confirm);
+      if (!ack.ok() || ack.value().type != LibMsgType::kConfirmAck) {
+        ack = me_exchange_reattest(confirm);
+      }
       if (!ack.ok()) return ack.status();
       if (ack.value().type != LibMsgType::kConfirmAck) {
         return Status::kUnexpected;
@@ -311,8 +321,7 @@ Status MigrationLibrary::ensure_me_channel() {
   if (me_address_.empty()) return Status::kInvalidParameter;
 
   const Bytes id_bytes = host_.rng().bytes(8);
-  la_session_id_ = 0;
-  for (int i = 0; i < 8; ++i) la_session_id_ = (la_session_id_ << 8) | id_bytes[i];
+  la_session_id_ = load_be64(id_bytes.data());
 
   sgx::DhSession session(host_.platform(), host_.identity(),
                          sgx::DhSession::Role::kInitiator);
@@ -523,6 +532,18 @@ MigrationStartResult MigrationLibrary::migration_start_detailed(
       return start_failure(collected.status(), "collecting counter values");
     }
     staged_outgoing_ = std::move(collected).value();
+    staged_destination_.clear();
+  }
+  if (staged_nonce_ == 0 || staged_destination_ != destination_address) {
+    // One nonce per (attempt, destination), reused verbatim across
+    // retries toward the same destination so the ME can deduplicate
+    // re-sends and answer "did my request land?".  A re-route to a
+    // different destination gets a fresh nonce — the fate of the old
+    // destination's transfer must not be confused with the new one's.
+    const Bytes nonce_bytes = host_.rng().bytes(8);
+    staged_nonce_ = load_be64(nonce_bytes.data());
+    if (staged_nonce_ == 0) staged_nonce_ = 1;
+    staged_destination_ = destination_address;
   }
   if (!counters_destroyed_) {
     // Destroy the hardware counters BEFORE any data leaves the machine
@@ -555,13 +576,33 @@ MigrationStartResult MigrationLibrary::migration_start_detailed(
 
   MigrateRequestPayload payload;
   payload.destination_address = destination_address;
+  payload.request_nonce = staged_nonce_;
   payload.policy = std::move(policy);
   payload.data = *staged_outgoing_;
   LibMsg request;
   request.type = LibMsgType::kMigrateRequest;
   request.payload = payload.serialize();
   auto reply = me_exchange_reattest(request);
+
+  // Resume check (§V-D hardening): an exchange that died mid-flight — the
+  // reply dropped by the network, or the ME restarting between accepting
+  // the request and answering — looks like a failure here even though the
+  // transfer may already sit, durably retained, in the ME's queue.  Before
+  // reporting failure, ask the ME (re-attesting if needed) for the fate of
+  // exactly THIS attempt; kPending/kCompleted means the source side is
+  // done and the migration proceeds at the destination.  A well-formed
+  // kError reply is a DEFINITIVE rejection (the retained path replies
+  // kMigrateAccepted, dedup'd re-sends included), so only transport-level
+  // failures are ambiguous enough to be worth the extra round trip.
   if (!reply.ok()) {
+    auto attempt = query_status_internal(staged_nonce_);
+    if (attempt.ok() && (attempt.value() == OutgoingState::kPending ||
+                         attempt.value() == OutgoingState::kCompleted)) {
+      staged_outgoing_.reset();
+      staged_nonce_ = 0;
+      staged_destination_.clear();
+      return MigrationStartResult{};
+    }
     return start_failure(reply.status(), "ME exchange");
   }
   if (reply.value().type != LibMsgType::kMigrateAccepted) {
@@ -574,15 +615,20 @@ MigrationStartResult MigrationLibrary::migration_start_detailed(
                          "destination rejected by source ME protocol");
   }
   staged_outgoing_.reset();
+  staged_nonce_ = 0;
+  staged_destination_.clear();
   return MigrationStartResult{};
 }
 
-Result<OutgoingState> MigrationLibrary::query_migration_status() {
+Result<OutgoingState> MigrationLibrary::query_status_internal(uint64_t nonce) {
   if (!initialized_) return Status::kNotInitialized;
   const Status channel_status = ensure_me_channel();
   if (channel_status != Status::kOk) return channel_status;
   LibMsg request;
   request.type = LibMsgType::kQueryStatus;
+  QueryStatusPayload query;
+  query.request_nonce = nonce;
+  request.payload = query.serialize();
   auto reply = me_exchange_reattest(request);
   if (!reply.ok()) return reply.status();
   if (reply.value().type != LibMsgType::kStatusReport) {
@@ -592,6 +638,15 @@ Result<OutgoingState> MigrationLibrary::query_migration_status() {
   const uint8_t state = r.u8();
   if (!r.done() || state > 2) return Status::kTampered;
   return static_cast<OutgoingState>(state);
+}
+
+Result<OutgoingState> MigrationLibrary::query_migration_status() {
+  return query_status_internal(/*nonce=*/0);
+}
+
+Result<OutgoingState> MigrationLibrary::query_staged_attempt_status() {
+  if (staged_nonce_ == 0) return OutgoingState::kNone;
+  return query_status_internal(staged_nonce_);
 }
 
 }  // namespace sgxmig::migration

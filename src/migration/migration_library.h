@@ -142,6 +142,14 @@ class MigrationLibrary : private PersistSink {
   /// Asks the local ME for the state of this enclave's outgoing migration.
   Result<OutgoingState> query_migration_status();
 
+  /// Asks the local ME for the fate of the CURRENT migration attempt
+  /// (identified by the request nonce staged by migration_start).  This is
+  /// how a caller — or migration_start itself — distinguishes "the ME
+  /// never saw my request" from "the ME accepted it but the reply (or the
+  /// ME process) died": the latter returns kPending/kCompleted from the
+  /// ME's durable transfer queue.  kNone when nothing is staged.
+  Result<OutgoingState> query_staged_attempt_status();
+
   // ----- Listing 2: interface for the application enclave -----
 
   Result<Bytes> seal_migratable_data(ByteView additional_mac_text,
@@ -182,6 +190,8 @@ class MigrationLibrary : private PersistSink {
   Status persist_mutation_durable(MutationKind kind);
 
   Status ensure_me_channel();
+  /// Shared body of the two status queries (nonce 0 = per-identity).
+  Result<OutgoingState> query_status_internal(uint64_t nonce);
   /// Sends one LibMsg over the LA channel and returns the reply.
   Result<LibMsg> me_exchange(const LibMsg& request);
   /// Like me_exchange, but re-runs local attestation once if the ME lost
@@ -215,6 +225,17 @@ class MigrationLibrary : private PersistSink {
   uint64_t la_session_id_ = 0;
   std::optional<net::SecureChannel> me_channel_;
   std::optional<MigrationData> staged_outgoing_;
+  // Random identifier of the in-flight migration attempt, generated when
+  // the data is staged and re-sent verbatim on retries TOWARD THE SAME
+  // DESTINATION.  The ME stores it durably with the retained transfer,
+  // which makes the migrate request exactly-once (re-sends are
+  // deduplicated) and resumable (a nonce-scoped status query reveals
+  // whether a lost reply — or a restarted ME — actually accepted the
+  // transfer).  Re-routing to a different destination draws a FRESH
+  // nonce: a transfer that landed at the old destination must never be
+  // mistaken for success toward the new one.
+  uint64_t staged_nonce_ = 0;
+  std::string staged_destination_;
   bool counters_destroyed_ = false;
   // Set once the freeze flag has been durably persisted during an
   // outgoing migration.  Kept separate from counters_destroyed_ so a

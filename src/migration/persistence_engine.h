@@ -53,6 +53,11 @@ enum class MutationKind : uint8_t {
   kCounterDestroy,
   kRestoreApply,
   kFreeze,
+  /// A Migration Enclave transfer-queue transition (retain / accept /
+  /// deliver / complete).  Always paired with a flush today — every queue
+  /// transition guards either retained data or the fork-prevention erase —
+  /// but routed through the engine so batching remains a knob.
+  kTransferQueue,
 };
 
 /// Library-side half of the contract: seals the current Table II buffer

@@ -59,6 +59,7 @@ Result<LibMsg> LibMsg::deserialize(ByteView bytes) {
 Bytes MigrateRequestPayload::serialize() const {
   BinaryWriter w;
   w.str(destination_address);
+  w.u64(request_nonce);
   policy.serialize(w);
   w.bytes(data.serialize());
   return w.take();
@@ -69,6 +70,7 @@ Result<MigrateRequestPayload> MigrateRequestPayload::deserialize(
   BinaryReader r(bytes);
   MigrateRequestPayload p;
   p.destination_address = r.str(256);
+  p.request_nonce = r.u64();
   auto policy = MigrationPolicy::deserialize(r);
   if (!policy.ok()) return Status::kTampered;
   p.policy = std::move(policy).value();
@@ -78,10 +80,27 @@ Result<MigrateRequestPayload> MigrateRequestPayload::deserialize(
   return p;
 }
 
+Bytes QueryStatusPayload::serialize() const {
+  if (request_nonce == 0) return Bytes{};  // legacy per-identity query
+  BinaryWriter w;
+  w.u64(request_nonce);
+  return w.take();
+}
+
+Result<QueryStatusPayload> QueryStatusPayload::deserialize(ByteView bytes) {
+  QueryStatusPayload p;
+  if (bytes.empty()) return p;
+  BinaryReader r(bytes);
+  p.request_nonce = r.u64();
+  if (!r.done()) return Status::kTampered;
+  return p;
+}
+
 Bytes TransferPayload::serialize() const {
   BinaryWriter w;
   w.fixed(source_mr_enclave);
   w.str(source_me_address);
+  w.u64(request_nonce);
   w.bytes(data.serialize());
   return w.take();
 }
@@ -91,6 +110,7 @@ Result<TransferPayload> TransferPayload::deserialize(ByteView bytes) {
   TransferPayload p;
   p.source_mr_enclave = r.fixed<32>();
   p.source_me_address = r.str(256);
+  p.request_nonce = r.u64();
   auto data = MigrationData::deserialize(r.bytes(1u << 20));
   if (!r.done() || !data.ok()) return Status::kTampered;
   p.data = std::move(data).value();

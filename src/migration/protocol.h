@@ -80,6 +80,13 @@ struct LibMsg {
 /// Payload of kMigrateRequest.
 struct MigrateRequestPayload {
   std::string destination_address;
+  /// Random per-migration-attempt identifier chosen by the Migration
+  /// Library.  The ME stores it in the durable transfer queue so that (a)
+  /// a re-sent request after a lost reply is deduplicated instead of
+  /// producing a second transfer, and (b) the library can re-query the
+  /// fate of exactly THIS attempt (kQueryStatus with a nonce) after the
+  /// ME restarted mid-exchange.  0 = legacy caller, no dedup/resume.
+  uint64_t request_nonce = 0;
   /// Migration policy (paper §X extension), enforced by the source ME
   /// against the destination machine's certified attributes.
   MigrationPolicy policy;
@@ -96,12 +103,30 @@ enum class OutgoingState : uint8_t {
   kCompleted = 2,  // destination confirmed; source data deleted
 };
 
+/// Payload of kQueryStatus.  An empty payload asks for the most recent
+/// outgoing migration of the calling enclave's MRENCLAVE; a nonce scopes
+/// the answer to the single migrate request that carried it (the resume
+/// path after an ME restart mid-exchange must not be confused by earlier
+/// migrations of the same identity through the same ME).
+struct QueryStatusPayload {
+  uint64_t request_nonce = 0;  // 0 = per-identity query
+
+  Bytes serialize() const;
+  static Result<QueryStatusPayload> deserialize(ByteView bytes);
+};
+
 // ----- inner ME <-> ME messages -----
 
 /// Payload of the kTransfer record.
 struct TransferPayload {
   sgx::Measurement source_mr_enclave{};
   std::string source_me_address;
+  /// The library's request nonce, forwarded ME-to-ME so the destination
+  /// can recognize a RE-transfer of the same logical migration: if the
+  /// ACCEPTED ack is lost, the source retains nothing and retries with a
+  /// fresh transfer id — without the nonce the orphaned pending entry
+  /// would block that enclave->machine pair with kAlreadyExists forever.
+  uint64_t request_nonce = 0;
   MigrationData data;
 
   Bytes serialize() const;

@@ -30,6 +30,16 @@ class SecureChannel {
   uint64_t records_sent() const { return send_seq_; }
   uint64_t records_received() const { return recv_seq_; }
 
+  // ----- durable snapshot (Migration Enclave transfer queue) -----
+  //
+  // A Migration Enclave must be able to resume a channel after a restart
+  // (e.g. open the destination's DONE record over the RA-derived channel
+  // that transferred the data).  The snapshot carries the RAW session key
+  // and both sequence counters; callers may only ever persist it inside a
+  // sealed blob — it must never touch untrusted storage in plaintext.
+  Bytes serialize_state() const;
+  static Result<SecureChannel> deserialize_state(ByteView blob);
+
  private:
   sgx::Key128 key_;
   uint32_t send_dir_;

@@ -45,6 +45,17 @@ Result<Bytes> Network::rpc(const std::string& to, ByteView request) {
 
   Result<Bytes> response = it->second(in_flight);
 
+  if (response.ok() && response_tamper_ != nullptr) {
+    Bytes reply = std::move(response).value();
+    if (!response_tamper_(to, reply)) {
+      // Reply dropped AFTER the handler ran: the caller sees a network
+      // failure but the remote side has already committed the request.
+      charge(costs_.net_latency);
+      return Status::kNetworkUnreachable;
+    }
+    response = std::move(reply);
+  }
+
   if (response.ok()) {
     bytes_sent_ += response.value().size();
     charge(costs_.net_latency + costs_.transfer_time(response.value().size()));

@@ -26,6 +26,13 @@ using RpcHandler = std::function<Result<Bytes>(ByteView request)>;
 using TamperHook =
     std::function<bool(const std::string& to, Bytes& request)>;
 
+/// Inspect/modify a RESPONSE in flight; return false to drop it.  The
+/// handler has already run when this fires, so dropping models the
+/// "request processed but reply lost" failure mode that the Migration
+/// Enclave's durable transfer queue must survive (§V-D error handling).
+using ResponseTamperHook =
+    std::function<bool(const std::string& to, Bytes& response)>;
+
 class Network {
  public:
   Network(VirtualClock& clock, Rng& rng, const CostModel& costs);
@@ -43,6 +50,10 @@ class Network {
   void set_endpoint_down(const std::string& address, bool down);
   void set_tamper_hook(TamperHook hook) { tamper_ = std::move(hook); }
   void clear_tamper_hook() { tamper_ = nullptr; }
+  void set_response_tamper_hook(ResponseTamperHook hook) {
+    response_tamper_ = std::move(hook);
+  }
+  void clear_response_tamper_hook() { response_tamper_ = nullptr; }
 
   // ----- accounting -----
   uint64_t rpcs_sent() const { return rpcs_sent_; }
@@ -57,6 +68,7 @@ class Network {
   std::map<std::string, RpcHandler> endpoints_;
   std::map<std::string, bool> down_;
   TamperHook tamper_;
+  ResponseTamperHook response_tamper_;
   uint64_t rpcs_sent_ = 0;
   uint64_t bytes_sent_ = 0;
 };

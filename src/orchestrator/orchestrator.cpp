@@ -151,6 +151,12 @@ bool Orchestrator::admit_and_start(Task& task) {
   migration::MigratableEnclave* enclave = fleet_.enclave(task.enclave_id);
   const EnclaveRecord* record = fleet_.find(task.enclave_id);
   ++task.attempts;
+  // A start whose reply path died (source ME killed or restarted
+  // mid-exchange) resumes inside migration_start itself: the library
+  // re-queries the fate of the staged attempt (nonce-scoped) from the
+  // ME's durable queue and reports success when the transfer landed, so
+  // the retry machinery here never double-ships or burns attempts on an
+  // already-accepted transfer.
   const migration::MigrationStartResult result =
       enclave->ecall_migration_start_detailed(task.destination,
                                               record->options.policy);
@@ -268,7 +274,10 @@ OrchestratorReport Orchestrator::execute(const Plan& plan) {
     });
   };
 
+  uint32_t wave = 0;
   while (unfinished()) {
+    if (wave_hook_) wave_hook_(wave);
+    ++wave;
     bool progressed = false;
 
     // Admission wave: start every ready task the caps allow.  Started

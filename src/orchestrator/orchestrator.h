@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -47,6 +48,13 @@ class Orchestrator {
  public:
   Orchestrator(FleetRegistry& fleet, Scheduler& scheduler,
                OrchestratorOptions options = {});
+
+  /// Chaos-injection hook: invoked at the top of every scheduling wave
+  /// with the wave index.  Tests and benches use it to kill/restart
+  /// machine services (e.g. Migration Enclaves) at deterministic points
+  /// MID-plan, exercising the durable-queue resume paths.
+  using WaveHook = std::function<void(uint32_t wave)>;
+  void set_wave_hook(WaveHook hook) { wave_hook_ = std::move(hook); }
 
   /// Runs the plan to completion (every task kDone or kFailed) and
   /// returns the report.  Deterministic per world seed.
@@ -97,6 +105,7 @@ class Orchestrator {
   FleetRegistry& fleet_;
   Scheduler& scheduler_;
   OrchestratorOptions options_;
+  WaveHook wave_hook_;
 
   // Per-execute() working state.
   std::vector<OrchestratorEvent> events_;

@@ -119,6 +119,19 @@ Result<Bytes> Machine::pse_service_handler(ByteView request) {
   return resp.serialize();
 }
 
+void Machine::install_management_enclave(MgmtEnclaveFactory factory) {
+  mgmt_factory_ = std::move(factory);
+  mgmt_enclave_.reset();  // kill any previous instance before rebuilding
+  if (mgmt_factory_) mgmt_enclave_ = mgmt_factory_(*this);
+}
+
+bool Machine::restart_management_enclave() {
+  if (!mgmt_factory_) return false;
+  mgmt_enclave_.reset();
+  mgmt_enclave_ = mgmt_factory_(*this);
+  return mgmt_enclave_ != nullptr;
+}
+
 void Machine::reboot() {
   // CPU secret, counters (ME flash), and disk all survive a reboot; the
   // session secret also survives (it models a persistent platform key).

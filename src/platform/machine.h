@@ -7,11 +7,13 @@
 // Services in the management VM (paper §VI-C).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 
 #include "net/proxy.h"
 #include "platform/storage.h"
+#include "sgx/enclave.h"
 #include "sgx/platform_iface.h"
 #include "sgx/pse.h"
 #include "sgx/quote.h"
@@ -61,6 +63,29 @@ class Machine final : public sgx::PlatformIface {
   }
   uint32_t enclave_load() const { return enclave_load_; }
 
+  // ----- management-enclave slot (ME crash/restart simulation) -----
+  //
+  // Each machine's management VM hosts one long-lived service enclave (the
+  // Migration Enclave).  The platform layer knows nothing about its
+  // concrete type — higher layers install a FACTORY, and the machine owns
+  // the instance so it can simulate the management VM crashing
+  // (kill_management_enclave: the enclave object — i.e. its EPC contents —
+  // is destroyed; anything not sealed to disk is gone) and restarting
+  // (restart_management_enclave: the factory rebuilds the enclave, whose
+  // constructor/restore path reloads whatever it sealed into storage()).
+  using MgmtEnclaveFactory =
+      std::function<std::unique_ptr<sgx::Enclave>(Machine&)>;
+
+  /// Installs the factory and immediately builds the instance.
+  void install_management_enclave(MgmtEnclaveFactory factory);
+  sgx::Enclave* management_enclave() { return mgmt_enclave_.get(); }
+  bool has_management_enclave() const { return mgmt_enclave_ != nullptr; }
+  /// Simulated management-VM crash: destroys the enclave object only.
+  /// Untrusted storage and counters survive; EPC contents do not.
+  void kill_management_enclave() { mgmt_enclave_.reset(); }
+  /// Rebuilds the enclave from the installed factory; false if none.
+  bool restart_management_enclave();
+
   /// Endpoint name of the guest-side PSE Unix socket.
   std::string pse_uds_endpoint() const { return address_ + "/pse-uds"; }
   /// Endpoint name of the management-VM PSE TCP service.
@@ -87,10 +112,14 @@ class Machine final : public sgx::PlatformIface {
   sgx::SimCpu cpu_;
   sgx::MonotonicCounterService counters_;
   sgx::Key128 pse_session_secret_{};
+  MgmtEnclaveFactory mgmt_factory_;
   std::unique_ptr<UntrustedStore> storage_;
   std::unique_ptr<sgx::QuotingEnclave> quoting_enclave_;
   std::unique_ptr<net::MgmtTcpProxy> pse_tcp_proxy_;
   std::unique_ptr<net::GuestUdsProxy> pse_uds_proxy_;
+  // Declared last: the management enclave uses every other machine
+  // service, so it must be destroyed first.
+  std::unique_ptr<sgx::Enclave> mgmt_enclave_;
 };
 
 }  // namespace sgxmig::platform

@@ -21,7 +21,13 @@ Machine& World::add_machine(const std::string& address,
   }
   machines_.push_back(std::make_unique<Machine>(*this, address, region,
                                                 cpu_cores, rng_.next_u64()));
+  if (mgmt_factory_) machines_.back()->install_management_enclave(mgmt_factory_);
   return *machines_.back();
+}
+
+void World::install_management_enclaves(Machine::MgmtEnclaveFactory factory) {
+  mgmt_factory_ = std::move(factory);
+  for (auto& m : machines_) m->install_management_enclave(mgmt_factory_);
 }
 
 Machine* World::machine(const std::string& address) {

@@ -37,6 +37,14 @@ class World {
   /// Machines whose provider-assigned region equals `region`.
   std::vector<Machine*> machines_in_region(const std::string& region);
 
+  /// Installs `factory` as the management-enclave factory on every
+  /// existing machine and remembers it for machines added later — the
+  /// deployment model of the paper's §VI-A (one Migration Enclave in the
+  /// management VM of every machine).  Individual machines can then be
+  /// crash/restart-cycled via Machine::kill_management_enclave() /
+  /// restart_management_enclave().
+  void install_management_enclaves(Machine::MgmtEnclaveFactory factory);
+
   VirtualClock& clock() { return clock_; }
   Rng& rng() { return rng_; }
   const CostModel& costs() const { return costs_; }
@@ -56,6 +64,7 @@ class World {
   std::unique_ptr<sgx::EpidAuthority> epid_;
   std::unique_ptr<sgx::IntelAttestationService> ias_;
   std::unique_ptr<ProviderCa> provider_;
+  Machine::MgmtEnclaveFactory mgmt_factory_;
   std::vector<std::unique_ptr<Machine>> machines_;
 };
 

@@ -1,0 +1,526 @@
+// Durable ME transfer-queue tests: the §V-D retention guarantee must
+// survive the Migration Enclave process itself.  Covers sealed
+// checkpoint/restore of the queue across ME kill/restart cycles, the
+// exactly-once migrate request (nonce dedup + resume after a lost reply),
+// the DONE-relay backlog, lifecycle hygiene (terminal transfers and stale
+// LA sessions are erased), duplicate-id rejection, delivery re-arming
+// after a destination-instance death, and a 32-enclave orchestrated drain
+// that converges through ME restarts with zero lost or forked enclaves.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "migration/migratable_enclave.h"
+#include "migration/migration_enclave.h"
+#include "orchestrator/orchestrator.h"
+#include "platform/world.h"
+
+namespace sgxmig {
+namespace {
+
+using migration::InitState;
+using migration::MeMsgType;
+using migration::MeRequest;
+using migration::MeResponse;
+using migration::MigratableEnclave;
+using migration::MigrationEnclave;
+using migration::OutgoingState;
+using platform::World;
+using sgx::EnclaveImage;
+
+class MeDurableQueueTest : public ::testing::Test {
+ protected:
+  MeDurableQueueTest() {
+    world_.install_management_enclaves(
+        migration::durable_me_factory(world_.provider()));
+  }
+
+  platform::Machine& machine(const std::string& address) {
+    return *world_.machine(address);
+  }
+  MigrationEnclave* me(const std::string& address) {
+    return migration::me_on(machine(address));
+  }
+  void restart_me(const std::string& address) {
+    machine(address).kill_management_enclave();
+    ASSERT_TRUE(machine(address).restart_management_enclave());
+  }
+
+  std::unique_ptr<MigratableEnclave> make_app(platform::Machine& m) {
+    auto enclave = std::make_unique<MigratableEnclave>(m, image_);
+    enclave->set_persist_callback(
+        [&m](ByteView s) { m.storage().put("ml", s); });
+    return enclave;
+  }
+  std::unique_ptr<MigratableEnclave> start_new(platform::Machine& m) {
+    auto enclave = make_app(m);
+    EXPECT_EQ(enclave->ecall_migration_init(ByteView(), InitState::kNew,
+                                            m.address()),
+              Status::kOk);
+    return enclave;
+  }
+
+  MeResponse raw_call(const std::string& endpoint, const MeRequest& req) {
+    auto resp = world_.network().rpc(endpoint, req.serialize());
+    EXPECT_TRUE(resp.ok());
+    auto parsed = MeResponse::deserialize(resp.value());
+    EXPECT_TRUE(parsed.ok());
+    return parsed.value();
+  }
+
+  World world_{/*seed=*/4242};
+  platform::Machine& m0_ = world_.add_machine("m0");
+  platform::Machine& m1_ = world_.add_machine("m1");
+  std::shared_ptr<const EnclaveImage> image_ =
+      EnclaveImage::create("dq-app", 1, "acme");
+};
+
+// ----- acceptance: ME restarts between transfer and DONE / fetch -----
+
+TEST_F(MeDurableQueueTest, SourceMeRestartKeepsRetainedCopyUntilDone) {
+  auto enclave = start_new(m0_);
+  const uint32_t id =
+      enclave->ecall_create_migratable_counter().value().counter_id;
+  enclave->ecall_increment_migratable_counter(id);
+  ASSERT_EQ(enclave->ecall_migration_start("m1"), Status::kOk);
+  enclave.reset();
+
+  // The source ME dies mid-drain, after the transfer but before DONE.
+  restart_me("m0");
+  EXPECT_EQ(me("m0")->outgoing_count(), 1u);
+  EXPECT_EQ(me("m0")->outgoing_state(image_->mr_enclave()),
+            OutgoingState::kPending);
+
+  // The destination completes; the DONE lands at the RESTARTED source ME
+  // over the restored RA channel and deletes the retained copy.
+  auto moved = make_app(m1_);
+  ASSERT_EQ(moved->ecall_migration_init(ByteView(), InitState::kMigrate, "m1"),
+            Status::kOk);
+  EXPECT_EQ(me("m0")->outgoing_state(image_->mr_enclave()),
+            OutgoingState::kCompleted);
+  EXPECT_EQ(me("m0")->outgoing_count(), 0u);
+  EXPECT_EQ(moved->ecall_read_migratable_counter(id).value(), 1u);
+}
+
+TEST_F(MeDurableQueueTest, DestinationMeRestartKeepsPendingUntilFetch) {
+  auto enclave = start_new(m0_);
+  const uint32_t id =
+      enclave->ecall_create_migratable_counter().value().counter_id;
+  enclave->ecall_increment_migratable_counter(id);
+  enclave->ecall_increment_migratable_counter(id);
+  ASSERT_EQ(enclave->ecall_migration_start("m1"), Status::kOk);
+  enclave.reset();
+
+  // The destination ME dies before any enclave fetched the data.
+  restart_me("m1");
+  EXPECT_EQ(me("m1")->pending_incoming_count(), 1u);
+
+  auto moved = make_app(m1_);
+  ASSERT_EQ(moved->ecall_migration_init(ByteView(), InitState::kMigrate, "m1"),
+            Status::kOk);
+  EXPECT_EQ(moved->ecall_read_migratable_counter(id).value(), 2u);
+  EXPECT_EQ(me("m1")->pending_incoming_count(), 0u);
+  // DONE still reached the source (relayed over the restored inbound
+  // channel that was sealed into the destination's queue snapshot).
+  EXPECT_EQ(me("m0")->outgoing_state(image_->mr_enclave()),
+            OutgoingState::kCompleted);
+}
+
+// ----- exactly-once migrate request -----
+
+TEST_F(MeDurableQueueTest, LostMigrateReplyResumesWithoutDoubleTransfer) {
+  auto enclave = start_new(m0_);
+  const uint32_t id =
+      enclave->ecall_create_migratable_counter().value().counter_id;
+  enclave->ecall_increment_migratable_counter(id);
+  // Pre-open the LA channel so the next m0/me exchange IS the migrate
+  // request record.
+  ASSERT_TRUE(enclave->ecall_query_migration_status().ok());
+
+  // Drop exactly one reply from the source ME: the request is processed
+  // (data retained + transferred) but the library never hears about it.
+  bool dropped = false;
+  world_.network().set_response_tamper_hook(
+      [&](const std::string& to, Bytes&) {
+        if (to == "m0/me" && !dropped) {
+          dropped = true;
+          return false;
+        }
+        return true;
+      });
+  // The nonce-scoped status re-query inside migration_start detects that
+  // the attempt landed in the durable queue and reports success.
+  EXPECT_EQ(enclave->ecall_migration_start("m1"), Status::kOk);
+  world_.network().clear_response_tamper_hook();
+  EXPECT_TRUE(dropped);
+
+  // Exactly one transfer exists on either side — no duplicate shipment —
+  // and the staged attempt was consumed by the resume (external retry
+  // drivers can make the same observation via the attempt-status ECALL).
+  EXPECT_EQ(me("m0")->outgoing_count(), 1u);
+  EXPECT_EQ(me("m1")->pending_incoming_count(), 1u);
+  EXPECT_EQ(enclave->ecall_query_staged_attempt_status().value(),
+            OutgoingState::kNone);
+
+  enclave.reset();
+  auto moved = make_app(m1_);
+  ASSERT_EQ(moved->ecall_migration_init(ByteView(), InitState::kMigrate, "m1"),
+            Status::kOk);
+  EXPECT_EQ(moved->ecall_read_migratable_counter(id).value(), 1u);
+}
+
+TEST_F(MeDurableQueueTest, LostAcceptedAckDoesNotStrandDestinationPending) {
+  auto enclave = start_new(m0_);
+  const uint32_t id =
+      enclave->ecall_create_migratable_counter().value().counter_id;
+  enclave->ecall_increment_migratable_counter(id);
+
+  // Drop the destination ME's reply to the kTransfer record (the 3rd
+  // m1/me response of the outgoing run: RaMsg1, RaMsg3, Transfer).  The
+  // destination commits a durable pending entry; the source retains
+  // nothing and reports failure.
+  uint32_t m1_responses = 0;
+  world_.network().set_response_tamper_hook(
+      [&](const std::string& to, Bytes&) {
+        return !(to == "m1/me" && ++m1_responses == 3);
+      });
+  EXPECT_NE(enclave->ecall_migration_start("m1"), Status::kOk);
+  world_.network().clear_response_tamper_hook();
+  EXPECT_EQ(me("m1")->pending_incoming_count(), 1u);
+  EXPECT_EQ(me("m0")->outgoing_count(), 0u);
+
+  // The retry (same nonce) supersedes the orphaned pending entry instead
+  // of being blocked by kAlreadyExists forever.
+  ASSERT_EQ(enclave->ecall_migration_start("m1"), Status::kOk);
+  EXPECT_EQ(me("m1")->pending_incoming_count(), 1u);
+  enclave.reset();
+  auto moved = make_app(m1_);
+  ASSERT_EQ(moved->ecall_migration_init(ByteView(), InitState::kMigrate, "m1"),
+            Status::kOk);
+  EXPECT_EQ(moved->ecall_read_migratable_counter(id).value(), 1u);
+  EXPECT_EQ(me("m0")->outgoing_state(image_->mr_enclave()),
+            OutgoingState::kCompleted);
+}
+
+TEST_F(MeDurableQueueTest, LostConfirmAckDoesNotStrandRestoredInstance) {
+  auto enclave = start_new(m0_);
+  const uint32_t id =
+      enclave->ecall_create_migratable_counter().value().counter_id;
+  enclave->ecall_increment_migratable_counter(id);
+  ASSERT_EQ(enclave->ecall_migration_start("m1"), Status::kOk);
+  enclave.reset();
+
+  // Drop the destination ME's reply to the CONFIRM (the 4th m1/me
+  // response of init(kMigrate): LaStart, LaMsg2, fetch, confirm).  The
+  // ME has already erased pending_ and queued the DONE; the library must
+  // not discard the fully restored instance over the lost ack — its
+  // retry re-attests and the ME re-acknowledges idempotently from the
+  // durable confirmed-incoming history.
+  uint32_t m1_responses = 0;
+  world_.network().set_response_tamper_hook(
+      [&](const std::string& to, Bytes&) {
+        return !(to == "m1/me" && ++m1_responses == 4);
+      });
+  auto moved = make_app(m1_);
+  ASSERT_EQ(moved->ecall_migration_init(ByteView(), InitState::kMigrate, "m1"),
+            Status::kOk);
+  world_.network().clear_response_tamper_hook();
+
+  EXPECT_EQ(moved->ecall_read_migratable_counter(id).value(), 1u);
+  EXPECT_EQ(me("m1")->pending_incoming_count(), 0u);
+  EXPECT_EQ(me("m0")->outgoing_state(image_->mr_enclave()),
+            OutgoingState::kCompleted);
+}
+
+// ----- DONE-relay backlog -----
+
+TEST_F(MeDurableQueueTest, UndeliverableDoneIsRetriedAcrossMeRestart) {
+  auto enclave = start_new(m0_);
+  enclave->ecall_create_migratable_counter();
+  ASSERT_EQ(enclave->ecall_migration_start("m1"), Status::kOk);
+  enclave.reset();
+
+  // The source ME is unreachable when the destination confirms: the DONE
+  // goes into the durable relay backlog instead of vanishing.
+  world_.network().set_endpoint_down("m0/me", true);
+  auto moved = make_app(m1_);
+  ASSERT_EQ(moved->ecall_migration_init(ByteView(), InitState::kMigrate, "m1"),
+            Status::kOk);
+  EXPECT_EQ(me("m1")->unrelayed_done_count(), 1u);
+  EXPECT_EQ(me("m0")->outgoing_state(image_->mr_enclave()),
+            OutgoingState::kPending);
+
+  // The backlog survives a destination-ME restart and drains once the
+  // source is reachable again.
+  restart_me("m1");
+  EXPECT_EQ(me("m1")->unrelayed_done_count(), 1u);
+  world_.network().set_endpoint_down("m0/me", false);
+  EXPECT_EQ(me("m1")->retry_done_relays(), 0u);
+  EXPECT_EQ(me("m0")->outgoing_state(image_->mr_enclave()),
+            OutgoingState::kCompleted);
+  EXPECT_EQ(me("m0")->outgoing_count(), 0u);
+}
+
+// ----- lifecycle hygiene (regression: unbounded growth over a drain) -----
+
+TEST_F(MeDurableQueueTest, TerminalTransfersAndStaleSessionsAreErased) {
+  auto enclave = start_new(m0_);
+  enclave->ecall_create_migratable_counter();
+  ASSERT_EQ(enclave->ecall_migration_start("m1"), Status::kOk);
+  enclave.reset();
+  auto moved = make_app(m1_);
+  ASSERT_EQ(moved->ecall_migration_init(ByteView(), InitState::kMigrate, "m1"),
+            Status::kOk);
+
+  // Source side: the confirmed transfer's retained copy is gone; only the
+  // compact completion record answers status queries.  The migrated-away
+  // instance's LA session was dropped with it.
+  EXPECT_EQ(me("m0")->outgoing_count(), 0u);
+  EXPECT_EQ(me("m0")->la_session_count(), 0u);
+  EXPECT_EQ(me("m0")->outgoing_state(image_->mr_enclave()),
+            OutgoingState::kCompleted);
+  // Destination side: pending entry consumed, confirm session dropped,
+  // no unrelayed DONE left behind.
+  EXPECT_EQ(me("m1")->pending_incoming_count(), 0u);
+  EXPECT_EQ(me("m1")->la_session_count(), 0u);
+  EXPECT_EQ(me("m1")->unrelayed_done_count(), 0u);
+  // The destination instance keeps operating (it just re-attests).
+  EXPECT_EQ(moved->ecall_query_migration_status().value(),
+            OutgoingState::kNone);
+}
+
+// ----- duplicate-id rejection (regression: silent clobbering) -----
+
+TEST_F(MeDurableQueueTest, DuplicateLaSessionIdRejected) {
+  MeRequest req;
+  req.type = MeMsgType::kLaStart;
+  req.id = 7;
+  EXPECT_EQ(raw_call("m0/me", req).status, Status::kOk);
+  EXPECT_EQ(me("m0")->la_session_count(), 1u);
+  // A second start with the same id must not clobber the live session.
+  EXPECT_EQ(raw_call("m0/me", req).status, Status::kAlreadyExists);
+  EXPECT_EQ(me("m0")->la_session_count(), 1u);
+}
+
+TEST_F(MeDurableQueueTest, ReplayedRaMsg1CannotClobberInboundTransfer) {
+  // Capture the genuine RaMsg1 of a migration, then replay it while the
+  // inbound transfer is still live (pre-confirm): the replay must be
+  // rejected instead of resetting the transfer state.
+  Bytes captured;
+  world_.network().set_tamper_hook(
+      [&](const std::string& to, Bytes& request) {
+        if (to == "m1/me" && captured.empty()) {
+          auto parsed = MeRequest::deserialize(request);
+          if (parsed.ok() && parsed.value().type == MeMsgType::kRaMsg1) {
+            captured = request;
+          }
+        }
+        return true;
+      });
+  auto enclave = start_new(m0_);
+  enclave->ecall_create_migratable_counter();
+  ASSERT_EQ(enclave->ecall_migration_start("m1"), Status::kOk);
+  world_.network().clear_tamper_hook();
+  ASSERT_FALSE(captured.empty());
+
+  auto resp = world_.network().rpc("m1/me", captured);
+  ASSERT_TRUE(resp.ok());
+  auto parsed = MeResponse::deserialize(resp.value());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().status, Status::kAlreadyExists);
+
+  // The migration still completes normally.
+  enclave.reset();
+  auto moved = make_app(m1_);
+  EXPECT_EQ(moved->ecall_migration_init(ByteView(), InitState::kMigrate, "m1"),
+            Status::kOk);
+}
+
+// ----- delivery re-arming (regression: permanently pinned delivery) -----
+
+TEST_F(MeDurableQueueTest, DeadDestinationInstanceReleasesDeliveryPin) {
+  auto enclave = start_new(m0_);
+  const uint32_t id =
+      enclave->ecall_create_migratable_counter().value().counter_id;
+  enclave->ecall_increment_migratable_counter(id);
+  ASSERT_EQ(enclave->ecall_migration_start("m1"), Status::kOk);
+  enclave.reset();
+  me("m1")->set_delivery_takeover_timeout(seconds(10));
+
+  // First destination instance fetches the data but dies before the
+  // confirm reaches the ME (its 2nd LA record is dropped).
+  uint32_t la_records_to_m1 = 0;
+  world_.network().set_tamper_hook(
+      [&](const std::string& to, Bytes& request) {
+        if (to != "m1/me") return true;
+        auto parsed = MeRequest::deserialize(request);
+        if (parsed.ok() && parsed.value().type == MeMsgType::kLaRecord) {
+          ++la_records_to_m1;
+          if (la_records_to_m1 == 2) return false;  // drop the confirm
+        }
+        return true;
+      });
+  auto first = make_app(m1_);
+  // The confirm (and its internal retry) cannot reach the pinned
+  // delivery: the instance is left unconfirmed and is abandoned.
+  EXPECT_NE(first->ecall_migration_init(ByteView(), InitState::kMigrate, "m1"),
+            Status::kOk);
+  world_.network().clear_tamper_hook();
+  first.reset();  // the instance is gone, its confirm never arrived
+  EXPECT_EQ(me("m1")->pending_incoming_count(), 1u);
+
+  // While the pinned session is fresh, a second instance is refused —
+  // the anti-fork pin holds.
+  auto second = make_app(m1_);
+  EXPECT_EQ(second->ecall_migration_init(ByteView(), InitState::kMigrate,
+                                         "m1"),
+            Status::kMigrationInProgress);
+  second.reset();
+
+  // Once the pinned session has been idle past the takeover timeout the
+  // delivery re-arms to a fresh attested session of the same MRENCLAVE.
+  world_.clock().advance(seconds(11));
+  auto third = make_app(m1_);
+  ASSERT_EQ(third->ecall_migration_init(ByteView(), InitState::kMigrate, "m1"),
+            Status::kOk);
+  EXPECT_EQ(third->ecall_read_migratable_counter(id).value(), 1u);
+  EXPECT_EQ(me("m1")->pending_incoming_count(), 0u);
+  EXPECT_EQ(me("m0")->outgoing_state(image_->mr_enclave()),
+            OutgoingState::kCompleted);
+}
+
+// ----- snapshot integrity -----
+
+TEST_F(MeDurableQueueTest, QueueSnapshotIsMachineBoundAndTornWriteSafe) {
+  auto a = start_new(m0_);
+  a->ecall_create_migratable_counter();
+  ASSERT_EQ(a->ecall_migration_start("m1"), Status::kOk);
+
+  // The snapshot on disk is sealed to m0's CPU + the ME identity: an ME
+  // on another machine cannot open it.
+  auto blob = m0_.storage().get_versioned("m0.me-queue");
+  ASSERT_TRUE(blob.ok());
+  EXPECT_NE(me("m1")->restore_queue(blob.value()), Status::kOk);
+
+  // Second transition so both versioned slots hold the retained entry,
+  // then tear the newest slot: restart must fall back to the older
+  // intact snapshot and still present the retained transfer.
+  auto b = std::make_unique<MigratableEnclave>(
+      m0_, EnclaveImage::create("dq-other", 1, "acme"));
+  b->set_persist_callback([this](ByteView s) { m0_.storage().put("ml2", s); });
+  ASSERT_EQ(b->ecall_migration_init(ByteView(), InitState::kNew, "m0"),
+            Status::kOk);
+  ASSERT_EQ(b->ecall_migration_start("m1"), Status::kOk);
+
+  // put_versioned writes seq N into slot N%2 (seq 1 -> "#1", 2 -> "#0").
+  const uint64_t newest = m0_.storage().versioned_sequence("m0.me-queue");
+  const std::string newest_slot =
+      "m0.me-queue#" + std::to_string(newest % 2 == 1 ? 1 : 0);
+  ASSERT_TRUE(m0_.storage().corrupt(newest_slot, 24));
+  restart_me("m0");
+  // At least the first enclave's retained transfer survived (whichever
+  // slot was corrupted, the other intact snapshot contains it).
+  EXPECT_GE(me("m0")->outgoing_count(), 1u);
+  EXPECT_EQ(me("m0")->outgoing_state(image_->mr_enclave()),
+            OutgoingState::kPending);
+}
+
+// ----- orchestrated drain through ME restarts -----
+
+TEST_F(MeDurableQueueTest, DrainConvergesThroughSourceAndDestinationMeRestarts) {
+  using orchestrator::FleetRegistry;
+  using orchestrator::Orchestrator;
+  using orchestrator::OrchestratorOptions;
+  using orchestrator::Plan;
+  using orchestrator::Scheduler;
+
+  for (const char* address : {"m2", "m3", "m4"}) {
+    world_.add_machine(address);
+  }
+  FleetRegistry fleet(world_);
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 32; ++i) {
+    const std::string name = "drain-" + std::to_string(i);
+    auto launched =
+        fleet.launch("m0", name, EnclaveImage::create(name, 1, "acme"));
+    ASSERT_TRUE(launched.ok());
+    ids.push_back(launched.value());
+    auto* enclave = fleet.enclave(ids.back());
+    const uint32_t counter =
+        enclave->ecall_create_migratable_counter().value().counter_id;
+    for (int j = 0; j <= i; ++j) {
+      enclave->ecall_increment_migratable_counter(counter);
+    }
+  }
+
+  Scheduler scheduler(fleet);
+  OrchestratorOptions options;
+  options.max_inflight_per_machine = 4;
+  options.max_inflight_total = 8;
+  options.max_attempts = 6;
+  Orchestrator orch(fleet, scheduler, options);
+  // Chaos: MID-completion-wave — while other admitted migrations still
+  // hold retained entries at the source ME and pending entries at their
+  // destination MEs — the source ME and the busiest destination ME both
+  // crash, losing every in-memory session.  (A wave-boundary kill would
+  // find the queues already drained: each wave completes what it
+  // admits.)  The wave hook then revives whichever ME is down at the
+  // next wave, restoring its durable queue.
+  size_t completions = 0;
+  fleet.set_completion_callback(
+      [&](const orchestrator::EnclaveRecord&) {
+        // Early in the first completion wave: later-admitted tasks are
+        // still kStarted, with retained copies at m0's ME and pending
+        // entries at their destination MEs (m1 among them).
+        if (++completions == 2) {
+          machine("m0").kill_management_enclave();
+          machine("m1").kill_management_enclave();
+        }
+      });
+  uint32_t waves_down = 0;
+  orch.set_wave_hook([&](uint32_t) {
+    if (!machine("m0").has_management_enclave() ||
+        !machine("m1").has_management_enclave()) {
+      // Stay dark for two full waves so queued and in-flight tasks
+      // genuinely fail against the dead MEs before the revival.
+      if (++waves_down < 3) return;
+      for (const char* address : {"m0", "m1"}) {
+        if (!machine(address).has_management_enclave()) {
+          machine(address).restart_management_enclave();
+        }
+      }
+    }
+  });
+  const auto report = orch.execute(Plan::drain("m0"));
+  EXPECT_GE(completions, 2u);  // the kill actually fired mid-drain
+
+  EXPECT_EQ(report.succeeded(), 32u);
+  EXPECT_EQ(report.failed(), 0u);
+  EXPECT_GT(report.total_retries(), 0u);  // the chaos was actually felt
+  EXPECT_EQ(fleet.count_on("m0"), 0u);
+
+  // No lost state: every counter survived with its exact value.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto value = fleet.enclave(ids[i])->ecall_read_migratable_counter(0);
+    ASSERT_TRUE(value.ok()) << "enclave " << ids[i];
+    EXPECT_EQ(value.value(), static_cast<uint32_t>(i + 1));
+  }
+  // No forks: every source hardware counter was destroyed, every queue
+  // drained, and every retained copy confirmed away once the DONE
+  // backlog (from confirms that raced the dead source ME) is flushed.
+  for (const uint64_t id : ids) {
+    EXPECT_EQ(machine("m0").counter_service().count_for(
+                  fleet.find(id)->image->mr_enclave()),
+              0u);
+  }
+  for (const char* address : {"m0", "m1", "m2", "m3", "m4"}) {
+    EXPECT_EQ(me(address)->retry_done_relays(), 0u) << address;
+    EXPECT_EQ(me(address)->pending_incoming_count(), 0u) << address;
+  }
+  EXPECT_EQ(me("m0")->outgoing_count(), 0u);
+}
+
+}  // namespace
+}  // namespace sgxmig
