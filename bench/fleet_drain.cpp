@@ -1,13 +1,13 @@
 // Orchestrated-drain scaling bench: virtual-time cost of evacuating a
 // whole machine through the fleet orchestrator as the number of hosted
-// enclaves grows, plus two failure variants: a storm where the
-// least-loaded destination's ME is unreachable so every migration pointed
-// at it must re-select an alternate machine, and an ME crash/restart
-// mid-drain where the source ME loses its process state and the drain
-// resumes from the durable transfer queue.
+// enclaves grows, plus failure variants (least-loaded destination's ME
+// dark; source-ME crash/restart mid-drain resuming from the durable
+// transfer queue), a max_inflight_per_machine cap sweep locating the knee
+// where source-ME contention stops paying, and live pre-copy drain rows
+// (including the ME-restart fault) that must converge with zero failures.
 //
-// Emits BENCH_fleet_drain.json (one row per configuration) for the CI
-// perf-trajectory artifact.
+// Emits BENCH_fleet_drain.json (one row per configuration + a cap-knee
+// summary row) for the CI perf-trajectory artifact.
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -28,6 +28,7 @@ using orchestrator::OrchestratorOptions;
 using orchestrator::OrchestratorReport;
 using orchestrator::Plan;
 using orchestrator::Scheduler;
+using orchestrator::TransferMode;
 
 struct DrainResult {
   OrchestratorReport report;
@@ -45,9 +46,11 @@ const char* fault_name(Fault fault) {
   return "?";
 }
 
-DrainResult drain(int enclaves, int machines, uint32_t cap, Fault fault) {
+DrainResult drain(int enclaves, int machines, uint32_t cap, Fault fault,
+                  TransferMode mode) {
   platform::World world(/*seed=*/9100 + enclaves +
-                        (static_cast<int>(fault) * 7));
+                        (static_cast<int>(fault) * 7) +
+                        (static_cast<int>(mode) * 31));
   // Durable-queue MEs in every machine's management-enclave slot: the
   // me-restart variant kills and revives them mid-drain.
   world.install_management_enclaves(
@@ -57,10 +60,12 @@ DrainResult drain(int enclaves, int machines, uint32_t cap, Fault fault) {
   }
 
   FleetRegistry fleet(world);
+  LaunchOptions launch;
+  launch.live_transfer = mode == TransferMode::kPrecopy;
   for (int i = 0; i < enclaves; ++i) {
     const std::string name = "drain-app-" + std::to_string(i);
     const auto image = sgx::EnclaveImage::create(name, 1, "bench");
-    const uint64_t id = fleet.launch("m0", name, image).value();
+    const uint64_t id = fleet.launch("m0", name, image, launch).value();
     auto* enclave = fleet.enclave(id);
     const uint32_t counter =
         enclave->ecall_create_migratable_counter().value().counter_id;
@@ -78,6 +83,7 @@ DrainResult drain(int enclaves, int machines, uint32_t cap, Fault fault) {
   options.max_inflight_per_machine = cap;
   options.max_inflight_total = 2 * cap;
   options.max_attempts = 6;
+  options.transfer_mode = mode;
   Orchestrator orch(fleet, scheduler, options);
   size_t completions = 0;
   if (fault == Fault::kMeRestart) {
@@ -108,28 +114,32 @@ void run() {
   std::printf("\n================================================================\n");
   std::printf("Fleet drain — orchestrated evacuation of one machine\n");
   std::printf("================================================================\n");
-  std::printf("%9s %9s %5s %8s %10s %12s %12s %8s %13s\n", "enclaves",
-              "machines", "cap", "faults", "wall [s]", "mean lat [s]",
-              "max lat [s]", "retries", "peak inflight");
+  std::printf("%9s %9s %5s %8s %14s %10s %12s %12s %8s %13s %11s\n",
+              "enclaves", "machines", "cap", "faults", "mode", "wall [s]",
+              "mean lat [s]", "max lat [s]", "retries", "peak inflight",
+              "freeze [s]");
 
   bench::JsonBench json("fleet_drain");
-  const auto row = [&](int enclaves, int machines, uint32_t cap,
-                       Fault fault) {
-    const DrainResult r = drain(enclaves, machines, cap, fault);
+  const auto row = [&](int enclaves, int machines, uint32_t cap, Fault fault,
+                       TransferMode mode) -> DrainResult {
+    const DrainResult r = drain(enclaves, machines, cap, fault, mode);
     const auto& rep = r.report;
-    std::printf("%9d %9d %5u %10s %10.3f %12.3f %12.3f %8u %13u\n", enclaves,
-                machines, cap, fault_name(fault),
-                to_seconds(r.wall), rep.mean_latency_seconds(),
-                rep.max_latency_seconds(), rep.total_retries(),
-                rep.peak_inflight_total);
+    std::printf("%9d %9d %5u %8s %14s %10.3f %12.3f %12.3f %8u %13u %11.3f\n",
+                enclaves, machines, cap, fault_name(fault),
+                orchestrator::transfer_mode_name(mode), to_seconds(r.wall),
+                rep.mean_latency_seconds(), rep.max_latency_seconds(),
+                rep.total_retries(), rep.peak_inflight_total,
+                rep.mean_freeze_window_seconds());
     json.begin_row()
         .field("enclaves", enclaves)
         .field("machines", machines)
         .field("cap", static_cast<uint64_t>(cap))
         .field("faults", std::string(fault_name(fault)))
+        .field("mode", std::string(orchestrator::transfer_mode_name(mode)))
         .field("wall_seconds", to_seconds(r.wall))
         .field("mean_latency_seconds", rep.mean_latency_seconds())
         .field("max_latency_seconds", rep.max_latency_seconds())
+        .field("mean_freeze_window_seconds", rep.mean_freeze_window_seconds())
         .field("retries", static_cast<uint64_t>(rep.total_retries()))
         .field("peak_inflight",
                static_cast<uint64_t>(rep.peak_inflight_total))
@@ -139,25 +149,63 @@ void run() {
       std::printf("UNEXPECTED: %zu migrations failed\n", rep.failed());
       std::exit(1);
     }
+    return r;
   };
 
   for (const int enclaves : {8, 16, 32, 64}) {
-    row(enclaves, /*machines=*/5, /*cap=*/4, Fault::kNone);
+    row(enclaves, /*machines=*/5, /*cap=*/4, Fault::kNone,
+        TransferMode::kFullSnapshot);
   }
-  // Tighter cap: same work, less overlap — wall time stretches.
-  row(/*enclaves=*/32, /*machines=*/5, /*cap=*/1, Fault::kNone);
   // Failure storm: m1's ME is down; drains re-route to m2..m4.
-  row(/*enclaves=*/16, /*machines=*/5, /*cap=*/4, Fault::kMeDown);
+  row(/*enclaves=*/16, /*machines=*/5, /*cap=*/4, Fault::kMeDown,
+      TransferMode::kFullSnapshot);
   // ME crash/restart mid-drain: the drain resumes from the source ME's
   // durable transfer queue with zero failed migrations.
-  row(/*enclaves=*/32, /*machines=*/5, /*cap=*/4, Fault::kMeRestart);
+  row(/*enclaves=*/32, /*machines=*/5, /*cap=*/4, Fault::kMeRestart,
+      TransferMode::kFullSnapshot);
+
+  // --- cap sweep (ROADMAP): where does source-ME contention stop paying?
+  std::printf("\ncap sweep, 32 enclaves / 5 machines (full snapshot):\n");
+  std::vector<std::pair<uint32_t, double>> sweep;
+  for (const uint32_t cap : {1u, 2u, 4u, 8u, 16u}) {
+    const DrainResult r = row(/*enclaves=*/32, /*machines=*/5, cap,
+                              Fault::kNone, TransferMode::kFullSnapshot);
+    sweep.emplace_back(cap, to_seconds(r.wall));
+  }
+  double best_wall = sweep.front().second;
+  for (const auto& [cap, wall] : sweep) best_wall = std::min(best_wall, wall);
+  // Knee = smallest cap within 5% of the best wall time: raising the cap
+  // past it buys no real overlap (the source ME serializes the transfers).
+  uint32_t knee_cap = sweep.back().first;
+  for (const auto& [cap, wall] : sweep) {
+    if (wall <= best_wall * 1.05) {
+      knee_cap = cap;
+      break;
+    }
+  }
+  std::printf("cap-sweep knee: cap=%u (within 5%% of best wall %.3fs)\n",
+              knee_cap, best_wall);
+  json.begin_row()
+      .field("sweep", std::string("max_inflight_per_machine"))
+      .field("knee_cap", static_cast<uint64_t>(knee_cap))
+      .field("best_wall_seconds", best_wall);
+
+  // --- live pre-copy drains: same fleet, freeze window shrinks to the
+  // final delta; the ME-restart variant must still converge cleanly from
+  // the durable queue (pre-copy attempts and staging are part of it).
+  row(/*enclaves=*/32, /*machines=*/5, /*cap=*/4, Fault::kNone,
+      TransferMode::kPrecopy);
+  row(/*enclaves=*/32, /*machines=*/5, /*cap=*/4, Fault::kMeRestart,
+      TransferMode::kPrecopy);
 
   std::printf(
       "\nexpected shape: wall time grows ~linearly with the fleet (each\n"
       "migration pays the per-counter destroy/create plus attestation),\n"
       "the cap bounds peak inflight, the me-down row shows one retry per\n"
-      "migration initially routed at the dead machine, and the me-restart\n"
-      "row converges with zero failures from the durable transfer queue.\n");
+      "migration initially routed at the dead machine, the me-restart\n"
+      "rows converge with zero failures from the durable transfer queue,\n"
+      "and the precopy rows report a mean freeze window orders of\n"
+      "magnitude below the full-snapshot rows.\n");
   if (!json.write_file("BENCH_fleet_drain.json")) {
     std::printf("FAILED to write BENCH_fleet_drain.json\n");
     std::exit(1);

@@ -1,4 +1,5 @@
-// Reproduces the §VII-B migration-overhead measurement:
+// Reproduces the §VII-B migration-overhead measurement and extends it
+// with the freeze-window matrix for live pre-copy migration.
 //
 //   "We migrated an enclave 1000 times and calculated the average time of
 //    one migration.  The extra time for local attestation, communicating
@@ -6,12 +7,24 @@
 //    Since migrating the VM usually takes in the order of seconds, the
 //    overhead of migrating an enclave is small by comparison."
 //
-// This harness measures (a) the enclave-migration protocol time (source
-// side: LA + counter collection/destruction + mutual RA with provider
-// auth + transfer), (b) the destination restore time, and (c) a plain
-// 2 GiB VM live migration for scale.
+// Sections:
+//   (a) the paper's 1000-trial protocol-time measurement (unchanged);
+//   (b) freeze window vs. Table II state size and live dirty rate, for
+//       every persistence engine, full-snapshot vs. iterative pre-copy —
+//       the full-snapshot freeze pays one read + one destroy per active
+//       counter, while pre-copy finalize ships only the last dirty delta
+//       and epoch-invalidates in constant time;
+//   (c) a plain 2 GiB VM live migration for scale.
+//
+// Emits BENCH_migration_overhead.json (paper series + freeze matrix) and
+// EXITS NON-ZERO if the pre-copy freeze window at the largest benched
+// state is not at least 5x smaller than the full-snapshot baseline — the
+// CI bench-smoke regression gate for this PR's headline number.
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "migration/migratable_enclave.h"
@@ -25,8 +38,12 @@ namespace {
 using migration::InitState;
 using migration::MigratableEnclave;
 using migration::MigrationEnclave;
+using migration::PersistenceMode;
+using migration::PrecopyOptions;
 
-void run() {
+constexpr double kRequiredFreezeShrink = 5.0;
+
+void run_paper_section(bench::JsonBench& json, int trials) {
   platform::World world(/*seed=*/20180603);
   auto& m0 = world.add_machine("m0");
   auto& m1 = world.add_machine("m1");
@@ -38,12 +55,11 @@ void run() {
   const auto& clock = world.clock();
 
   std::vector<double> outgoing, incoming, total;
-  constexpr int kTrials = 1000;
-  outgoing.reserve(kTrials);
+  outgoing.reserve(static_cast<size_t>(trials));
 
   platform::Machine* src = &m0;
   platform::Machine* dst = &m1;
-  for (int i = 0; i < kTrials; ++i) {
+  for (int i = 0; i < trials; ++i) {
     auto enclave = std::make_unique<MigratableEnclave>(*src, image);
     enclave->set_persist_callback([src](ByteView state) {
       src->storage().put("bench.mlstate", state);
@@ -61,7 +77,7 @@ void run() {
     if (status != Status::kOk) {
       std::printf("migration failed: %s\n",
                   std::string(status_name(status)).c_str());
-      return;
+      std::exit(1);
     }
     enclave.reset();
     auto moved = std::make_unique<MigratableEnclave>(*dst, image);
@@ -88,7 +104,7 @@ void run() {
   const Summary tot = summarize(total);
 
   std::printf("\n================================================================\n");
-  std::printf("§VII-B — enclave migration overhead (%d migrations)\n", kTrials);
+  std::printf("§VII-B — enclave migration overhead (%d migrations)\n", trials);
   std::printf("================================================================\n");
   std::printf("%-44s %9.3f ± %.3f s\n",
               "source side (LA + destroy counters + RA + transfer):", out.mean,
@@ -98,6 +114,18 @@ void run() {
               in.ci99_half);
   std::printf("%-44s %9.3f ± %.3f s\n", "end to end:", tot.mean, tot.ci99_half);
   std::printf("\npaper reports: 0.47 (±0.035) s for the source-side overhead\n");
+
+  const auto paper_row = [&](const char* metric, const Summary& s) {
+    json.begin_row()
+        .field("section", std::string("paper_vii_b"))
+        .field("metric", std::string(metric))
+        .field("mean_seconds", s.mean)
+        .field("ci99_half_seconds", s.ci99_half)
+        .field("trials", static_cast<uint64_t>(trials));
+  };
+  paper_row("source_side", out);
+  paper_row("destination_side", in);
+  paper_row("end_to_end", tot);
 
   // --- scale: plain VM migration of a 2 GiB guest ---
   vm::Hypervisor hv0(m0), hv1(m1);
@@ -113,10 +141,225 @@ void run() {
               out.mean / to_seconds(vm_report.total_time));
 }
 
+// ----- freeze-window matrix: state size x dirty rate x engine x mode ----
+
+struct FreezeResult {
+  double freeze_seconds = 0.0;    // source freeze -> transfer accepted
+  double protocol_seconds = 0.0;  // first round -> transfer accepted
+  double restore_seconds = 0.0;   // destination init(kMigrate)
+  uint64_t transfer_bytes = 0;
+  uint32_t rounds = 0;
+};
+
+/// Runs one migration of an enclave with `counters` active counters under
+/// a live workload that increments `dirty_per_round` counters between
+/// pre-copy rounds (full-snapshot mode has no between-round window; its
+/// workload happened before the freeze by construction).
+FreezeResult run_freeze_case(PersistenceMode engine, bool precopy,
+                             int counters, int dirty_per_round) {
+  platform::World world(/*seed=*/7100 + counters + (precopy ? 1 : 0) +
+                        static_cast<int>(engine) * 13 + dirty_per_round);
+  auto& m0 = world.add_machine("m0");
+  auto& m1 = world.add_machine("m1");
+  MigrationEnclave me0(m0, MigrationEnclave::standard_image(),
+                       world.provider());
+  MigrationEnclave me1(m1, MigrationEnclave::standard_image(),
+                       world.provider());
+  const auto image = sgx::EnclaveImage::create("freeze-app", 1, "bench");
+  const auto& clock = world.clock();
+
+  // Pre-copy enclaves carry the epoch guard; the full-snapshot baseline
+  // runs the exact paper configuration.
+  auto enclave = std::make_unique<MigratableEnclave>(
+      m0, image, engine, migration::GroupCommitOptions{},
+      /*live_transfer_capable=*/precopy);
+  enclave->set_persist_callback(
+      [&m0](ByteView state) { m0.storage().put("freeze.ml", state); });
+  enclave->ecall_migration_init(ByteView(), InitState::kNew, "m0");
+  for (int i = 0; i < counters; ++i) {
+    enclave->ecall_create_migratable_counter();
+  }
+  // Warm values: every counter has been incremented at least once.
+  for (int i = 0; i < counters; ++i) {
+    enclave->ecall_increment_migratable_counter(static_cast<uint32_t>(i));
+  }
+  enclave->ecall_persist_flush();
+
+  FreezeResult result;
+  const Duration protocol_start = clock.now();
+  uint32_t workload_cursor = 0;
+  const auto live_mutations = [&] {
+    // Stride across the counter array so the dirty set spans chunks, the
+    // way independent hot counters would.
+    for (int d = 0; d < dirty_per_round; ++d) {
+      const uint32_t id = (workload_cursor++ * 17u) %
+                          static_cast<uint32_t>(counters);
+      enclave->ecall_increment_migratable_counter(id);
+    }
+  };
+
+  if (precopy) {
+    const PrecopyOptions options;
+    while (true) {
+      auto round = enclave->ecall_migration_precopy_round("m1");
+      if (!round.ok()) {
+        std::printf("pre-copy round failed: %s\n",
+                    std::string(status_name(round.status())).c_str());
+        std::exit(1);
+      }
+      live_mutations();  // the enclave is NOT frozen between rounds
+      if (round.value().converged(options)) break;
+    }
+    const auto fin = enclave->ecall_migration_finalize_detailed("m1");
+    if (!fin.ok()) {
+      std::printf("finalize failed: %s\n", fin.message.c_str());
+      std::exit(1);
+    }
+  } else {
+    const Status status = enclave->ecall_migration_start("m1");
+    if (status != Status::kOk) {
+      std::printf("migration_start failed: %s\n",
+                  std::string(status_name(status)).c_str());
+      std::exit(1);
+    }
+  }
+  result.protocol_seconds = to_seconds(clock.now() - protocol_start);
+  result.freeze_seconds = to_seconds(enclave->last_freeze_window());
+  result.transfer_bytes = enclave->last_transfer_bytes();
+  result.rounds = enclave->last_precopy_rounds();
+  enclave.reset();
+
+  const Duration restore_start = clock.now();
+  auto moved = std::make_unique<MigratableEnclave>(
+      m1, image, engine, migration::GroupCommitOptions{},
+      /*live_transfer_capable=*/precopy);
+  moved->set_persist_callback(
+      [&m1](ByteView state) { m1.storage().put("freeze.ml", state); });
+  const Status restored =
+      moved->ecall_migration_init(ByteView(), InitState::kMigrate, "m1");
+  if (restored != Status::kOk) {
+    std::printf("destination restore failed: %s\n",
+                std::string(status_name(restored)).c_str());
+    std::exit(1);
+  }
+  result.restore_seconds = to_seconds(clock.now() - restore_start);
+  return result;
+}
+
+void run_freeze_matrix(bench::JsonBench& json) {
+  std::printf("\n================================================================\n");
+  std::printf("Freeze window — full snapshot vs. live pre-copy\n");
+  std::printf("(freeze = source freeze -> transfer accepted; live workload\n");
+  std::printf(" increments `dirty` counters between pre-copy rounds)\n");
+  std::printf("================================================================\n");
+  std::printf("%-13s %-13s %9s %6s %11s %13s %7s %10s %11s\n", "engine",
+              "mode", "counters", "dirty", "freeze [s]", "protocol [s]",
+              "rounds", "bytes", "restore [s]");
+
+  const PersistenceMode engines[] = {PersistenceMode::kSync,
+                                     PersistenceMode::kGroupCommit,
+                                     PersistenceMode::kWriteBehind};
+  const int sizes[] = {8, 64, 240};
+  const int kLargest = 240;
+  const int dirty_rates[] = {2, 8, 32};
+  const int kDefaultDirty = 8;
+
+  double worst_ratio = 1e9;
+  const char* worst_engine = "";
+  const auto row = [&](PersistenceMode engine, bool precopy, int counters,
+                       int dirty) -> FreezeResult {
+    const FreezeResult r = run_freeze_case(engine, precopy, counters, dirty);
+    std::printf("%-13s %-13s %9d %6d %11.3f %13.3f %7u %10llu %11.3f\n",
+                migration::persistence_mode_name(engine),
+                precopy ? "precopy" : "full-snapshot", counters, dirty,
+                r.freeze_seconds, r.protocol_seconds, r.rounds,
+                static_cast<unsigned long long>(r.transfer_bytes),
+                r.restore_seconds);
+    json.begin_row()
+        .field("section", std::string("freeze_matrix"))
+        .field("engine",
+               std::string(migration::persistence_mode_name(engine)))
+        .field("mode", std::string(precopy ? "precopy" : "full-snapshot"))
+        .field("counters", counters)
+        .field("dirty_per_round", dirty)
+        .field("freeze_seconds", r.freeze_seconds)
+        .field("protocol_seconds", r.protocol_seconds)
+        .field("restore_seconds", r.restore_seconds)
+        .field("rounds", static_cast<uint64_t>(r.rounds))
+        .field("transfer_bytes", r.transfer_bytes);
+    return r;
+  };
+
+  for (const PersistenceMode engine : engines) {
+    FreezeResult full_at_largest, precopy_at_largest;
+    for (const int counters : sizes) {
+      const FreezeResult full =
+          row(engine, /*precopy=*/false, counters, kDefaultDirty);
+      const FreezeResult pre =
+          row(engine, /*precopy=*/true, counters, kDefaultDirty);
+      if (counters == kLargest) {
+        full_at_largest = full;
+        precopy_at_largest = pre;
+      }
+    }
+    for (const int dirty : dirty_rates) {
+      if (dirty == kDefaultDirty) continue;
+      row(engine, /*precopy=*/true, kLargest, dirty);
+    }
+    const double ratio =
+        precopy_at_largest.freeze_seconds > 0.0
+            ? full_at_largest.freeze_seconds /
+                  precopy_at_largest.freeze_seconds
+            : 1e12;
+    std::printf("  -> %s: freeze-window shrink at %d counters = %.1fx\n",
+                migration::persistence_mode_name(engine), kLargest, ratio);
+    json.begin_row()
+        .field("section", std::string("freeze_gate"))
+        .field("engine",
+               std::string(migration::persistence_mode_name(engine)))
+        .field("counters", kLargest)
+        .field("full_freeze_seconds", full_at_largest.freeze_seconds)
+        .field("precopy_freeze_seconds", precopy_at_largest.freeze_seconds)
+        .field("shrink_factor", ratio);
+    if (ratio < worst_ratio) {
+      worst_ratio = ratio;
+      worst_engine = migration::persistence_mode_name(engine);
+    }
+  }
+
+  std::printf(
+      "\nexpected shape: the full-snapshot freeze window grows with the\n"
+      "active-counter count (one read + one 280ms destroy each), while\n"
+      "pre-copy freezes only for the final dirty delta plus one epoch\n"
+      "increment — flat in state size, mildly rising with dirty rate.\n");
+  if (worst_ratio < kRequiredFreezeShrink) {
+    std::printf(
+        "REGRESSION: pre-copy freeze window only %.2fx smaller than the\n"
+        "full-snapshot baseline under %s at the largest state (need %.1fx)\n",
+        worst_ratio, worst_engine, kRequiredFreezeShrink);
+    std::exit(1);
+  }
+}
+
+void run(int trials) {
+  bench::JsonBench json("migration_overhead");
+  run_paper_section(json, trials);
+  run_freeze_matrix(json);
+  if (!json.write_file("BENCH_migration_overhead.json")) {
+    std::printf("FAILED to write BENCH_migration_overhead.json\n");
+    std::exit(1);
+  }
+}
+
 }  // namespace
 }  // namespace sgxmig
 
-int main() {
-  sgxmig::run();
+int main(int argc, char** argv) {
+  // The paper runs 1000 trials; the CI smoke invocation passes a smaller
+  // count so the regression gate stays fast.
+  int trials = 1000;
+  if (argc > 1) trials = std::atoi(argv[1]);
+  if (trials <= 0) trials = 1000;
+  sgxmig::run(trials);
   return 0;
 }

@@ -30,6 +30,20 @@ struct LibraryState {
   std::array<uint32_t, kMaxCounters> counter_offsets{};
   sgx::Key128 msk{};
 
+  // ----- epoch guard (live-transfer capability, paper-plus) -----
+  //
+  // One extra hardware counter whose CURRENT value is recorded in every
+  // sealed buffer.  Restore refuses a buffer whose recorded value lags the
+  // hardware (kMigrationFrozen): ONE increment at migration_finalize
+  // invalidates every previously sealed Table II in constant time, which
+  // is what lets the per-counter hardware destroys run AFTER the
+  // destination is released instead of inside the freeze window.  Created
+  // at init only when the library is constructed live-transfer capable;
+  // legacy enclaves (epoch_active == 0) keep the paper's exact semantics.
+  uint8_t epoch_active = 0;
+  sgx::CounterUuid epoch_uuid{};
+  uint32_t epoch_value = 0;  // hardware value this buffer was sealed under
+
   Bytes serialize() const;
   static Result<LibraryState> deserialize(ByteView bytes);
 

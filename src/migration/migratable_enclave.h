@@ -13,14 +13,17 @@ class MigratableEnclave : public sgx::Enclave {
  public:
   /// `persistence` selects when the library's Table II buffer is sealed
   /// and handed to the persist OCALL (persistence_engine.h); the default
-  /// is the paper-faithful synchronous persist.
+  /// is the paper-faithful synchronous persist.  `live_transfer_capable`
+  /// equips the library with the epoch guard required for iterative
+  /// pre-copy migration (one extra hardware counter at init).
   MigratableEnclave(sgx::PlatformIface& platform,
                     std::shared_ptr<const sgx::EnclaveImage> image,
                     PersistenceMode persistence = PersistenceMode::kSync,
-                    const GroupCommitOptions& group_commit = {})
+                    const GroupCommitOptions& group_commit = {},
+                    bool live_transfer_capable = false)
       : Enclave(platform, std::move(image)),
-        library_(*this,
-                 make_persistence_engine(persistence, group_commit)) {}
+        library_(*this, make_persistence_engine(persistence, group_commit),
+                 live_transfer_capable) {}
 
   // ----- Listing 1 (untrusted application interface) -----
   Status ecall_migration_init(ByteView state_buffer, InitState init_state,
@@ -55,6 +58,34 @@ class MigratableEnclave : public sgx::Enclave {
     auto scope = enter_ecall();
     return library_.migration_start_detailed(destination_address,
                                              std::move(policy));
+  }
+
+  // ----- live pre-copy migration -----
+
+  /// One iterative pre-copy round: ships the Table II chunks dirtied
+  /// since the last round while counter operations keep running.
+  Result<PrecopyRoundReport> ecall_migration_precopy_round(
+      const std::string& destination_address, MigrationPolicy policy = {}) {
+    auto scope = enter_ecall();
+    return library_.migration_precopy_round(destination_address,
+                                            std::move(policy));
+  }
+
+  /// Freezes and ships only the final dirty delta (plus the MSK); the
+  /// destination ME assembles the authoritative snapshot from its staged
+  /// rounds.  See MigrationLibrary::migration_finalize_detailed.
+  MigrationStartResult ecall_migration_finalize_detailed(
+      const std::string& destination_address, MigrationPolicy policy = {}) {
+    auto scope = enter_ecall();
+    return library_.migration_finalize_detailed(destination_address,
+                                                std::move(policy));
+  }
+
+  Status ecall_migration_finalize(const std::string& destination_address,
+                                  MigrationPolicy policy = {}) {
+    auto scope = enter_ecall();
+    return library_.migration_finalize(destination_address,
+                                       std::move(policy));
   }
 
   Result<OutgoingState> ecall_query_migration_status() {
@@ -116,6 +147,20 @@ class MigratableEnclave : public sgx::Enclave {
   const Bytes& sealed_state() const { return library_.sealed_state(); }
   bool migration_frozen() const { return library_.frozen(); }
   size_t active_counters() const { return library_.active_counters(); }
+  bool live_transfer_capable() const {
+    return library_.live_transfer_capable();
+  }
+  /// Freeze-window / payload metrics of the last successful outgoing
+  /// migration (full-snapshot or pre-copy) — the bench observable.
+  Duration last_freeze_window() const {
+    return library_.last_freeze_window();
+  }
+  uint64_t last_transfer_bytes() const {
+    return library_.last_transfer_bytes();
+  }
+  uint32_t last_precopy_rounds() const {
+    return library_.last_precopy_rounds();
+  }
   const PersistenceEngine& persistence_engine() const {
     return library_.persistence();
   }

@@ -7,8 +7,12 @@ namespace sgxmig::migration {
 namespace {
 constexpr char kDoneMarker[] = "SGXMIG-DONE";
 constexpr char kAcceptedMarker[] = "SGXMIG-ACCEPTED";
+constexpr char kPrecopyAckMarker[] = "SGXMIG-PC-ACK";
+constexpr char kPrecopyFinMarker[] = "SGXMIG-PC-FIN";
+constexpr char kReconcileMarker[] = "SGXMIG-RECON";
 constexpr char kQueueAad[] = "SGXMIG-ME-QUEUE";
-constexpr char kQueueMagic[] = "SGXMIG-ME-QUEUE-v1";
+constexpr char kQueueMagicV1[] = "SGXMIG-ME-QUEUE-v1";
+constexpr char kQueueMagicV2[] = "SGXMIG-ME-QUEUE-v2";  // v1 + pre-copy state
 // Confirmed-transfer history bound: enough to absorb duplicate DONEs from
 // any realistic relay-retry window without growing with fleet lifetime.
 constexpr size_t kCompletedHistoryLimit = 4096;
@@ -119,6 +123,9 @@ Result<Bytes> MigrationEnclave::handle_request(ByteView raw) {
     case MeMsgType::kRaMsg3: resp = on_ra_msg3(req); break;
     case MeMsgType::kTransfer: resp = on_transfer(req); break;
     case MeMsgType::kDone: resp = on_done(req); break;
+    case MeMsgType::kPrecopyChunk: resp = on_precopy_chunk(req); break;
+    case MeMsgType::kPrecopyFinalize: resp = on_precopy_finalize(req); break;
+    case MeMsgType::kReconcile: resp = on_reconcile(req); break;
   }
   return resp.serialize();
 }
@@ -194,6 +201,12 @@ MeResponse MigrationEnclave::on_la_record(const MeRequest& req) {
       break;
     case LibMsgType::kQueryStatus:
       reply = on_query_status(session, msg.value());
+      break;
+    case LibMsgType::kPrecopyRound:
+      reply = on_precopy_round(session, msg.value());
+      break;
+    case LibMsgType::kPrecopyFinalizeReq:
+      reply = on_precopy_finalize_req(session, msg.value());
       break;
     default:
       reply.type = LibMsgType::kError;
@@ -432,44 +445,12 @@ LibMsg MigrationEnclave::on_query_status(LaSessionState& session,
 
 // ----- outgoing migration (source side, paper Fig. 2 steps 3-4) -----
 
-Status MigrationEnclave::run_outgoing(sgx::Measurement source_mr,
-                                      const MigrateRequestPayload& request) {
+Result<net::SecureChannel> MigrationEnclave::attest_peer_me(
+    const std::string& destination_address, uint64_t transfer_id,
+    const MigrationPolicy& policy) {
   auto* net = platform().network();
   if (net == nullptr) return Status::kNetworkUnreachable;
-  if (request.destination_address == platform().address()) {
-    return Status::kInvalidParameter;
-  }
-  // Exactly-once dedup: a library whose previous attempt's REPLY was lost
-  // re-sends the same request (same nonce, same destination — the library
-  // draws a fresh nonce when it re-routes).  If that attempt already
-  // retained (or even completed) a transfer, report success instead of
-  // shipping the data a second time.
-  if (request.request_nonce != 0) {
-    for (const auto& [id, transfer] : outgoing_) {
-      if (transfer.source_mr == source_mr &&
-          transfer.request_nonce == request.request_nonce &&
-          transfer.destination_address == request.destination_address) {
-        // Re-fence before acking: if the original attempt's persist
-        // failed, this success must not stand on a non-durable entry.
-        return persist_queue();
-      }
-    }
-    for (const auto& [id, record] : completed_outgoing_) {
-      if (record.source_mr == source_mr &&
-          record.request_nonce == request.request_nonce) {
-        return Status::kOk;
-      }
-    }
-  }
-  const std::string dest_endpoint = request.destination_address + "/me";
-  const uint64_t transfer_id = fresh_id();
-  // An id collision must never clobber a live retained transfer (or a
-  // completion record a duplicate DONE may still reference).  kAlreadyExists
-  // classifies retryable-busy: the caller retries and draws a fresh id.
-  if (outgoing_.count(transfer_id) != 0 ||
-      completed_outgoing_.count(transfer_id) != 0) {
-    return Status::kAlreadyExists;
-  }
+  const std::string dest_endpoint = destination_address + "/me";
 
   // --- mutual remote attestation ---
   sgx::RaSession ra(platform(), identity(), sgx::RaSession::Role::kInitiator);
@@ -510,19 +491,64 @@ Status MigrationEnclave::run_outgoing(sgx::Measurement source_mr,
   std::string peer_region;
   const Status auth_status =
       verify_provider_auth(peer_auth.value(), ra.transcript_hash(),
-                           request.destination_address, &peer_region);
+                           destination_address, &peer_region);
   if (auth_status != Status::kOk) return auth_status;
 
   // --- migration policy (paper §X extension): evaluated against the
   // destination's provider-CERTIFIED attributes, not self-claimed ones ---
-  const Status policy_status =
-      request.policy.evaluate(peer_auth.value().credential);
+  const Status policy_status = policy.evaluate(peer_auth.value().credential);
   if (policy_status != Status::kOk) return policy_status;
   (void)peer_region;
 
+  return net::SecureChannel(ra.session_key(),
+                            net::SecureChannel::Role::kInitiator);
+}
+
+Status MigrationEnclave::run_outgoing(sgx::Measurement source_mr,
+                                      const MigrateRequestPayload& request) {
+  auto* net = platform().network();
+  if (net == nullptr) return Status::kNetworkUnreachable;
+  if (request.destination_address == platform().address()) {
+    return Status::kInvalidParameter;
+  }
+  // Exactly-once dedup: a library whose previous attempt's REPLY was lost
+  // re-sends the same request (same nonce, same destination — the library
+  // draws a fresh nonce when it re-routes).  If that attempt already
+  // retained (or even completed) a transfer, report success instead of
+  // shipping the data a second time.
+  if (request.request_nonce != 0) {
+    for (const auto& [id, transfer] : outgoing_) {
+      if (transfer.source_mr == source_mr &&
+          transfer.request_nonce == request.request_nonce &&
+          transfer.destination_address == request.destination_address) {
+        // Re-fence before acking: if the original attempt's persist
+        // failed, this success must not stand on a non-durable entry.
+        return persist_queue();
+      }
+    }
+    for (const auto& [id, record] : completed_outgoing_) {
+      if (record.source_mr == source_mr &&
+          record.request_nonce == request.request_nonce) {
+        return Status::kOk;
+      }
+    }
+  }
+  const std::string dest_endpoint = request.destination_address + "/me";
+  const uint64_t transfer_id = fresh_id();
+  // An id collision must never clobber a live retained transfer (or a
+  // completion record a duplicate DONE may still reference).  kAlreadyExists
+  // classifies retryable-busy: the caller retries and draws a fresh id.
+  if (outgoing_.count(transfer_id) != 0 ||
+      completed_outgoing_.count(transfer_id) != 0) {
+    return Status::kAlreadyExists;
+  }
+
+  auto attested = attest_peer_me(request.destination_address, transfer_id,
+                                 request.policy);
+  if (!attested.ok()) return attested.status();
+
   // --- transfer over the attestation-derived channel ---
-  net::SecureChannel channel(ra.session_key(),
-                             net::SecureChannel::Role::kInitiator);
+  net::SecureChannel channel = std::move(attested).value();
   TransferPayload payload;
   payload.source_mr_enclave = source_mr;
   payload.source_me_address = platform().address();
@@ -556,6 +582,253 @@ Status MigrationEnclave::run_outgoing(sgx::Measurement source_mr,
   latest_outgoing_[source_mr] = {transfer.sequence, OutgoingState::kPending};
   outgoing_[transfer_id] = std::move(transfer);
   return persist_queue();
+}
+
+// ----- live pre-copy (source side) -----
+
+Result<MigrationEnclave::PrecopyOutgoing*> MigrationEnclave::precopy_attempt(
+    const sgx::Measurement& source_mr, const std::string& destination,
+    uint64_t nonce, const MigrationPolicy& policy) {
+  if (destination == platform().address() || nonce == 0) {
+    return Status::kInvalidParameter;
+  }
+  auto it = precopy_outgoing_.find(nonce);
+  if (it != precopy_outgoing_.end()) {
+    // The nonce identifies one (identity, destination) attempt: the
+    // library draws a fresh one on any re-route.
+    if (!(it->second.source_mr == source_mr) ||
+        it->second.destination_address != destination) {
+      return Status::kInvalidParameter;
+    }
+  } else {
+    PrecopyOutgoing attempt;
+    attempt.source_mr = source_mr;
+    attempt.destination_address = destination;
+    precopy_outgoing_[nonce] = std::move(attempt);
+    it = precopy_outgoing_.find(nonce);
+  }
+  if (!it->second.channel.has_value()) {
+    // First contact, or the previous channel was dropped after a failed
+    // send: attest afresh under a new transfer id and re-ship everything
+    // merged so far (the destination converges by chunk generation no
+    // matter which records were lost).
+    const uint64_t transfer_id = fresh_id();
+    if (inbound_.count(transfer_id) != 0 ||
+        outgoing_.count(transfer_id) != 0) {
+      return Status::kAlreadyExists;  // retryable-busy: draw a fresh id
+    }
+    auto channel = attest_peer_me(destination, transfer_id, policy);
+    if (!channel.ok()) return channel.status();
+    it->second.transfer_id = transfer_id;
+    it->second.channel.emplace(std::move(channel).value());
+    it->second.resync = it->second.rounds > 0;
+  }
+  return &it->second;
+}
+
+Status MigrationEnclave::precopy_send(
+    PrecopyOutgoing& attempt, uint64_t nonce,
+    const std::vector<CounterChunk>& fresh_chunks, uint32_t round,
+    bool finalize, const std::vector<ChunkManifestEntry>& manifest,
+    const sgx::Key128& msk) {
+  auto* net = platform().network();
+  if (net == nullptr) return Status::kNetworkUnreachable;
+  for (const CounterChunk& chunk : fresh_chunks) {
+    auto merged = attempt.merged.find(chunk.index);
+    if (merged == attempt.merged.end() ||
+        merged->second.generation <= chunk.generation) {
+      attempt.merged[chunk.index] = chunk;
+    }
+  }
+  std::vector<CounterChunk> to_send;
+  if (attempt.resync) {
+    for (const auto& [index, chunk] : attempt.merged) to_send.push_back(chunk);
+  } else {
+    to_send = fresh_chunks;
+  }
+
+  Bytes record;
+  if (finalize) {
+    PrecopyFinalizeRecord fin;
+    fin.source_mr_enclave = attempt.source_mr;
+    fin.source_me_address = platform().address();
+    fin.request_nonce = nonce;
+    fin.round = round;
+    fin.chunks = std::move(to_send);
+    fin.manifest = manifest;
+    fin.msk = msk;
+    record = fin.serialize();
+  } else {
+    PrecopyChunkRecord chunk_record;
+    chunk_record.source_mr_enclave = attempt.source_mr;
+    chunk_record.source_me_address = platform().address();
+    chunk_record.request_nonce = nonce;
+    chunk_record.round = round;
+    chunk_record.chunks = std::move(to_send);
+    record = chunk_record.serialize();
+  }
+  charge_gcm(record.size());
+  MeRequest req;
+  req.type = finalize ? MeMsgType::kPrecopyFinalize : MeMsgType::kPrecopyChunk;
+  req.id = attempt.transfer_id;
+  req.payload = attempt.channel->seal_record(record);
+  auto raw = net->rpc(attempt.destination_address + "/me", req.serialize());
+  Status failure = Status::kOk;
+  Bytes ack_payload;
+  if (!raw.ok()) {
+    failure = raw.status();
+  } else {
+    auto resp = MeResponse::deserialize(raw.value());
+    if (!resp.ok()) {
+      failure = Status::kTampered;
+    } else if (resp.value().status != Status::kOk) {
+      // An authenticated-looking error reply: kPrecopyIncomplete is a
+      // protocol answer (the ML re-ships the full set), everything else
+      // still desyncs the channel (our send advanced the sequence).
+      failure = resp.value().status;
+    } else {
+      ack_payload = resp.value().payload;
+    }
+  }
+  if (failure == Status::kOk) {
+    auto ack = attempt.channel->open_record(ack_payload);
+    if (!ack.ok()) {
+      failure = ack.status();
+    } else if (to_string(ack.value()) !=
+               (finalize ? kPrecopyFinMarker : kPrecopyAckMarker)) {
+      failure = Status::kTampered;
+    }
+  }
+  if (failure != Status::kOk) {
+    // The channel may have desynced (our seal advanced the send sequence,
+    // or the peer's ack advanced its own): drop it so the next attempt
+    // re-attests and re-ships the merged set.  The merged state itself is
+    // kept — and persisted — so an ME restart resumes the pre-copy.
+    attempt.channel.reset();
+    attempt.resync = true;
+    persist_queue();
+    return failure;
+  }
+  attempt.resync = false;
+  ++attempt.rounds;
+  return Status::kOk;
+}
+
+LibMsg MigrationEnclave::on_precopy_round(LaSessionState& session,
+                                          const LibMsg& msg) {
+  LibMsg reply;
+  reply.type = LibMsgType::kError;
+  auto parsed = PrecopyRoundPayload::deserialize(msg.payload);
+  if (!parsed.ok()) {
+    reply.status = Status::kTampered;
+    return reply;
+  }
+  const PrecopyRoundPayload& round = parsed.value();
+  auto attempt = precopy_attempt(session.peer.mr_enclave,
+                                 round.destination_address,
+                                 round.request_nonce, round.policy);
+  if (!attempt.ok()) {
+    reply.status = attempt.status();
+    return reply;
+  }
+  const Status sent =
+      precopy_send(*attempt.value(), round.request_nonce, round.chunks,
+                   round.round, /*finalize=*/false, {}, sgx::Key128{});
+  if (sent != Status::kOk) {
+    reply.status = sent;
+    return reply;
+  }
+  const Status persisted = persist_queue();
+  if (persisted != Status::kOk) {
+    reply.status = persisted;
+    return reply;
+  }
+  reply.type = LibMsgType::kPrecopyAck;
+  reply.status = Status::kOk;
+  return reply;
+}
+
+LibMsg MigrationEnclave::on_precopy_finalize_req(LaSessionState& session,
+                                                 const LibMsg& msg) {
+  LibMsg reply;
+  reply.type = LibMsgType::kError;
+  auto parsed = PrecopyFinalizePayload::deserialize(msg.payload);
+  if (!parsed.ok()) {
+    reply.status = Status::kTampered;
+    return reply;
+  }
+  const PrecopyFinalizePayload& fin = parsed.value();
+  // Idempotent re-finalize: if this attempt already became a retained (or
+  // completed) transfer — the previous reply was lost — acknowledge
+  // without shipping again (mirror of run_outgoing's nonce dedup).
+  for (const auto& [id, transfer] : outgoing_) {
+    if (transfer.source_mr == session.peer.mr_enclave &&
+        transfer.request_nonce == fin.request_nonce) {
+      reply.type = LibMsgType::kFinalizeAccepted;
+      reply.status = persist_queue();
+      if (reply.status != Status::kOk) reply.type = LibMsgType::kError;
+      return reply;
+    }
+  }
+  for (const auto& [id, record] : completed_outgoing_) {
+    if (record.source_mr == session.peer.mr_enclave &&
+        record.request_nonce == fin.request_nonce) {
+      reply.type = LibMsgType::kFinalizeAccepted;
+      reply.status = Status::kOk;
+      return reply;
+    }
+  }
+  auto attempt = precopy_attempt(session.peer.mr_enclave,
+                                 fin.destination_address, fin.request_nonce,
+                                 fin.policy);
+  if (!attempt.ok()) {
+    reply.status = attempt.status();
+    return reply;
+  }
+  PrecopyOutgoing& live = *attempt.value();
+  const Status sent =
+      precopy_send(live, fin.request_nonce, fin.chunks, fin.round,
+                   /*finalize=*/true, fin.manifest, fin.msk);
+  if (sent != Status::kOk) {
+    reply.status = sent;
+    return reply;
+  }
+
+  // The destination assembled the authoritative snapshot: retain the
+  // equivalent full copy until DONE, exactly like a full-snapshot
+  // transfer (§V-D), and retire the pre-copy attempt.
+  MigrationData assembled;
+  assembled.msk = fin.msk;
+  for (const ChunkManifestEntry& entry : fin.manifest) {
+    const auto chunk = live.merged.find(entry.index);
+    if (chunk == live.merged.end()) continue;  // empty chunk: all inactive
+    for (size_t s = 0; s < kPrecopyChunkSlots; ++s) {
+      const size_t slot = entry.index * kPrecopyChunkSlots + s;
+      assembled.counters_active[slot] = chunk->second.active[s];
+      assembled.counter_values[slot] =
+          chunk->second.active[s] ? chunk->second.values[s] : 0;
+    }
+  }
+  OutgoingTransfer transfer;
+  transfer.source_mr = session.peer.mr_enclave;
+  transfer.destination_address = live.destination_address;
+  transfer.request_nonce = fin.request_nonce;
+  transfer.retained_data = assembled.serialize();
+  transfer.channel = std::move(live.channel);
+  transfer.sequence = next_outgoing_sequence_++;
+  const uint64_t transfer_id = live.transfer_id;
+  latest_outgoing_[transfer.source_mr] = {transfer.sequence,
+                                          OutgoingState::kPending};
+  outgoing_[transfer_id] = std::move(transfer);
+  precopy_outgoing_.erase(fin.request_nonce);
+  const Status persisted = persist_queue();
+  if (persisted != Status::kOk) {
+    reply.status = persisted;
+    return reply;
+  }
+  reply.type = LibMsgType::kFinalizeAccepted;
+  reply.status = Status::kOk;
+  return reply;
 }
 
 // ----- incoming migration (destination side) -----
@@ -652,33 +925,22 @@ MeResponse MigrationEnclave::on_transfer(const MeRequest& req) {
   auto payload = TransferPayload::deserialize(plaintext.value());
   if (!payload.ok()) return error_response(Status::kTampered);
 
-  // One pending migration per enclave identity at a time — EXCEPT a
-  // re-transfer of the same logical migration (same source ME + nonce):
-  // if the previous attempt's ACCEPTED ack was lost, the source retained
-  // nothing and retries under a fresh transfer id; the orphaned entry it
-  // left here must be superseded, not allowed to block this
-  // enclave->machine pair forever.  Once a session has fetched the old
-  // entry, superseding is refused (the delivery pin's fork prevention
-  // outranks the retry).
-  const auto existing = pending_.find(payload.value().source_mr_enclave);
-  if (existing != pending_.end()) {
-    const bool same_migration =
-        payload.value().request_nonce != 0 &&
-        existing->second.request_nonce == payload.value().request_nonce &&
-        existing->second.source_me_address ==
-            payload.value().source_me_address;
-    if (!same_migration || existing->second.delivering_session != 0) {
-      return error_response(Status::kAlreadyExists);
-    }
-    inbound_.erase(existing->second.transfer_id);  // stale orphan channel
-    pending_.erase(existing);
-  }
+  // One pending migration per enclave identity at a time, with this
+  // migration's own lost-ACCEPTED orphan superseded and foreign
+  // undelivered orphans given a reconciliation sweep (free_pending_slot).
+  const Status slot = free_pending_slot(
+      payload.value().source_mr_enclave, payload.value().request_nonce,
+      payload.value().source_me_address, req.id);
+  if (slot != Status::kOk) return error_response(slot);
   PendingIncoming pending;
   pending.transfer_id = req.id;
   pending.data = payload.value().data;
   pending.source_me_address = payload.value().source_me_address;
   pending.request_nonce = payload.value().request_nonce;
   pending_[payload.value().source_mr_enclave] = std::move(pending);
+  // A full-snapshot transfer supersedes any abandoned pre-copy staging of
+  // the same identity (the library froze and shipped everything).
+  precopy_staging_.erase(payload.value().source_mr_enclave);
 
   MeResponse resp;
   resp.status = Status::kOk;
@@ -691,6 +953,307 @@ MeResponse MigrationEnclave::on_transfer(const MeRequest& req) {
       inbound.channel->seal_record(to_bytes(std::string_view(kAcceptedMarker)));
   const Status persisted = persist_queue();
   if (persisted != Status::kOk) return error_response(persisted);
+  return resp;
+}
+
+// ----- live pre-copy (destination side) -----
+
+MigrationEnclave::PrecopyStaging& MigrationEnclave::merge_precopy_staging(
+    const sgx::Measurement& mr, const std::string& source_me_address,
+    uint64_t nonce, uint64_t transfer_id,
+    const std::vector<CounterChunk>& chunks) {
+  auto staging = precopy_staging_.find(mr);
+  if (staging != precopy_staging_.end() &&
+      (staging->second.request_nonce != nonce ||
+       staging->second.source_me_address != source_me_address)) {
+    // A fresh nonce is a NEW logical migration attempt: the old staging
+    // was abandoned (re-route, restarted pre-copy).  Unlike a pending
+    // entry, staging is never handed to an enclave, so superseding it
+    // cannot fork — drop it with its orphaned channel.
+    if (staging->second.transfer_id != transfer_id) {
+      inbound_.erase(staging->second.transfer_id);
+    }
+    precopy_staging_.erase(staging);
+    staging = precopy_staging_.end();
+  }
+  if (staging == precopy_staging_.end()) {
+    PrecopyStaging fresh;
+    fresh.source_me_address = source_me_address;
+    fresh.request_nonce = nonce;
+    staging = precopy_staging_.emplace(mr, std::move(fresh)).first;
+  }
+  PrecopyStaging& entry = staging->second;
+  if (entry.transfer_id != transfer_id) {
+    // The source re-attested (lost ack / channel desync): the previous
+    // inbound channel for this attempt is dead.
+    if (entry.transfer_id != 0) inbound_.erase(entry.transfer_id);
+    entry.transfer_id = transfer_id;
+  }
+  // Merge by generation: replayed or re-shipped chunks are idempotent,
+  // later generations win.
+  for (const CounterChunk& chunk : chunks) {
+    const auto merged = entry.chunks.find(chunk.index);
+    if (merged == entry.chunks.end() ||
+        merged->second.generation <= chunk.generation) {
+      entry.chunks[chunk.index] = chunk;
+    }
+  }
+  return entry;
+}
+
+Status MigrationEnclave::free_pending_slot(const sgx::Measurement& mr,
+                                           uint64_t nonce,
+                                           const std::string& source_me_address,
+                                           uint64_t arriving_transfer_id) {
+  const auto existing = pending_.find(mr);
+  if (existing == pending_.end()) return Status::kOk;
+  // A re-transfer of the same logical migration (same source ME + nonce):
+  // the previous attempt's ACCEPTED ack was lost, the source retained
+  // nothing and retries under a fresh transfer id — supersede its own
+  // orphan.  Once a session has fetched the old entry, superseding is
+  // refused (the delivery pin's fork prevention outranks the retry).
+  const bool same_migration =
+      nonce != 0 && existing->second.request_nonce == nonce &&
+      existing->second.source_me_address == source_me_address;
+  if (same_migration && existing->second.delivering_session == 0) {
+    if (existing->second.transfer_id != arriving_transfer_id) {
+      inbound_.erase(existing->second.transfer_id);
+    }
+    pending_.erase(existing);
+    return Status::kOk;
+  }
+  // An undelivered entry from a DIFFERENT logical migration gets one
+  // (rate-limited) reconciliation sweep against its originating source
+  // ME before it is allowed to block: the lost-ACCEPTED re-route orphan
+  // case, where the identity completed elsewhere and this entry is
+  // stale.  reconcile_pending erases the expired entry itself.
+  if (!same_migration && existing->second.delivering_session == 0 &&
+      reconcile_pending(mr) == Status::kOk) {
+    return Status::kOk;
+  }
+  return Status::kAlreadyExists;
+}
+
+MeResponse MigrationEnclave::on_precopy_chunk(const MeRequest& req) {
+  const auto it = inbound_.find(req.id);
+  if (it == inbound_.end() || !it->second.authenticated) {
+    return error_response(Status::kInvalidState);
+  }
+  InboundTransfer& inbound = it->second;
+  auto plaintext = inbound.channel->open_record(req.payload);
+  if (!plaintext.ok()) return error_response(plaintext.status());
+  charge_gcm(plaintext.value().size());
+  auto parsed = PrecopyChunkRecord::deserialize(plaintext.value());
+  if (!parsed.ok()) return error_response(Status::kTampered);
+  const PrecopyChunkRecord& record = parsed.value();
+  if (record.request_nonce == 0) {
+    return error_response(Status::kInvalidParameter);
+  }
+
+  PrecopyStaging& entry = merge_precopy_staging(
+      record.source_mr_enclave, record.source_me_address,
+      record.request_nonce, req.id, record.chunks);
+  if (record.round + 1 > entry.rounds) entry.rounds = record.round + 1;
+
+  MeResponse resp;
+  resp.status = Status::kOk;
+  // Ack sealed BEFORE the snapshot so the persisted channel sequence
+  // numbers are post-ack (mirrors on_transfer).
+  resp.payload = inbound.channel->seal_record(
+      to_bytes(std::string_view(kPrecopyAckMarker)));
+  const Status persisted = persist_queue();
+  if (persisted != Status::kOk) return error_response(persisted);
+  return resp;
+}
+
+MeResponse MigrationEnclave::on_precopy_finalize(const MeRequest& req) {
+  const auto it = inbound_.find(req.id);
+  if (it == inbound_.end() || !it->second.authenticated) {
+    return error_response(Status::kInvalidState);
+  }
+  InboundTransfer& inbound = it->second;
+  auto plaintext = inbound.channel->open_record(req.payload);
+  if (!plaintext.ok()) return error_response(plaintext.status());
+  charge_gcm(plaintext.value().size());
+  auto parsed = PrecopyFinalizeRecord::deserialize(plaintext.value());
+  if (!parsed.ok()) return error_response(Status::kTampered);
+  const PrecopyFinalizeRecord& record = parsed.value();
+  if (record.request_nonce == 0) {
+    return error_response(Status::kInvalidParameter);
+  }
+  const sgx::Measurement& mr = record.source_mr_enclave;
+
+  // Fold the final delta into the staged rounds (same supersede rules as
+  // a mid-pre-copy chunk).
+  PrecopyStaging& entry = merge_precopy_staging(mr, record.source_me_address,
+                                                record.request_nonce, req.id,
+                                                record.chunks);
+
+  // Manifest check: the staged set must cover EXACTLY what the library
+  // shipped.  A lost round (or a wiped queue) must fail loudly here — a
+  // silently truncated Table II would restore counters at stale values,
+  // breaking the very replay protection the counters exist for.  The
+  // source answers kPrecopyIncomplete by re-shipping the full set.
+  for (const ChunkManifestEntry& expected : record.manifest) {
+    const auto chunk = entry.chunks.find(expected.index);
+    if (chunk == entry.chunks.end() ||
+        chunk->second.generation != expected.generation) {
+      return error_response(Status::kPrecopyIncomplete);
+    }
+  }
+
+  // Assemble the authoritative snapshot: manifest chunks + MSK.
+  MigrationData assembled;
+  assembled.msk = record.msk;
+  for (const ChunkManifestEntry& expected : record.manifest) {
+    const CounterChunk& chunk = entry.chunks.at(expected.index);
+    for (size_t s = 0; s < kPrecopyChunkSlots; ++s) {
+      const size_t slot = expected.index * kPrecopyChunkSlots + s;
+      assembled.counters_active[slot] = chunk.active[s];
+      assembled.counter_values[slot] = chunk.active[s] ? chunk.values[s] : 0;
+    }
+  }
+
+  // Same one-pending-per-identity rules as on_transfer, including the
+  // reconciliation sweep for a foreign undelivered orphan.
+  const Status slot = free_pending_slot(mr, record.request_nonce,
+                                        record.source_me_address, req.id);
+  if (slot != Status::kOk) return error_response(slot);
+
+  PendingIncoming pending;
+  pending.transfer_id = req.id;
+  pending.data = std::move(assembled);
+  pending.source_me_address = record.source_me_address;
+  pending.request_nonce = record.request_nonce;
+  pending_[mr] = std::move(pending);
+  precopy_staging_.erase(mr);
+
+  MeResponse resp;
+  resp.status = Status::kOk;
+  resp.payload = inbound.channel->seal_record(
+      to_bytes(std::string_view(kPrecopyFinMarker)));
+  const Status persisted = persist_queue();
+  if (persisted != Status::kOk) return error_response(persisted);
+  return resp;
+}
+
+// ----- pending-entry reconciliation (lost-ACCEPTED re-route orphans) ----
+
+Status MigrationEnclave::reconcile_pending(const sgx::Measurement& mr) {
+  auto* net = platform().network();
+  if (net == nullptr) return Status::kNetworkUnreachable;
+  const auto it = pending_.find(mr);
+  if (it == pending_.end()) return Status::kNoPendingMigration;
+  // Delivered (or delivering) data is protected by the pin, never swept.
+  if (it->second.delivering_session != 0) return Status::kMigrationInProgress;
+  // Legacy entries without a nonce cannot be identified to the source.
+  if (it->second.request_nonce == 0) return Status::kInvalidState;
+  const std::string source_address = it->second.source_me_address;
+  const uint64_t nonce = it->second.request_nonce;
+  if (source_address == platform().address()) return Status::kInvalidState;
+  // Rate limit: a LIVE entry blocking a busy-retrying peer (the common
+  // same-image serialization) must not cost one RA handshake per retry
+  // just to re-learn it is live.
+  const Duration now_ = platform().clock().now();
+  if (it->second.last_reconcile != Duration{} &&
+      now_ - it->second.last_reconcile < reconcile_retry_interval_) {
+    return Status::kMigrationInProgress;
+  }
+  it->second.last_reconcile = now_;
+
+  // Fresh mutually attested channel to the originating source ME: the
+  // verdict authorizes deleting migration state, so it must come from a
+  // genuine peer ME, not from whoever owns the network.
+  const uint64_t query_id = fresh_id();
+  auto channel = attest_peer_me(source_address, query_id, MigrationPolicy{});
+  if (!channel.ok()) return channel.status();
+  ReconcileQuery query;
+  query.source_mr_enclave = mr;
+  query.request_nonce = nonce;
+  MeRequest req;
+  req.type = MeMsgType::kReconcile;
+  req.id = query_id;
+  req.payload = channel.value().seal_record(query.serialize());
+  auto raw = net->rpc(source_address + "/me", req.serialize());
+  if (!raw.ok()) return raw.status();
+  auto resp = MeResponse::deserialize(raw.value());
+  if (!resp.ok()) return Status::kTampered;
+  if (resp.value().status != Status::kOk) return resp.value().status;
+  auto record = channel.value().open_record(resp.value().payload);
+  if (!record.ok()) return record.status();
+  BinaryReader r(record.value());
+  const std::string marker = r.str(64);
+  const uint8_t verdict = r.u8();
+  if (!r.done() || marker != kReconcileMarker || verdict > 1) {
+    return Status::kTampered;
+  }
+  if (static_cast<ReconcileVerdict>(verdict) != ReconcileVerdict::kSuperseded) {
+    return Status::kMigrationInProgress;
+  }
+  // The source ME vouches the identity completed a NEWER transfer and
+  // knows nothing live about this nonce: the entry is stale
+  // pre-migration state a future instance must never fetch.  Expire it.
+  // (Re-find after the nested rpc; reentrant traffic may have advanced
+  // this queue in the meantime.)
+  const auto stale = pending_.find(mr);
+  if (stale == pending_.end() || stale->second.request_nonce != nonce ||
+      stale->second.delivering_session != 0) {
+    return Status::kMigrationInProgress;
+  }
+  inbound_.erase(stale->second.transfer_id);
+  pending_.erase(stale);
+  return persist_queue();
+}
+
+MeResponse MigrationEnclave::on_reconcile(const MeRequest& req) {
+  const auto it = inbound_.find(req.id);
+  if (it == inbound_.end() || !it->second.authenticated) {
+    return error_response(Status::kInvalidState);
+  }
+  auto plaintext = it->second.channel->open_record(req.payload);
+  if (!plaintext.ok()) return error_response(plaintext.status());
+  auto parsed = ReconcileQuery::deserialize(plaintext.value());
+  if (!parsed.ok()) return error_response(Status::kTampered);
+  const sgx::Measurement& mr = parsed.value().source_mr_enclave;
+  const uint64_t nonce = parsed.value().request_nonce;
+
+  bool nonce_live = false;
+  for (const auto& [id, transfer] : outgoing_) {
+    if (transfer.source_mr == mr && transfer.request_nonce == nonce) {
+      nonce_live = true;
+    }
+  }
+  const auto precopy = precopy_outgoing_.find(nonce);
+  if (precopy != precopy_outgoing_.end() && precopy->second.source_mr == mr) {
+    nonce_live = true;
+  }
+  bool nonce_completed = false;
+  bool newer_completed = false;
+  for (const auto& [id, record] : completed_outgoing_) {
+    if (!(record.source_mr == mr)) continue;
+    if (record.request_nonce == nonce) {
+      nonce_completed = true;
+    } else {
+      newer_completed = true;
+    }
+  }
+  // Superseded = this ME has POSITIVE evidence the identity moved on (a
+  // completed transfer under another nonce) and no live or completed
+  // record of the queried attempt.  Anything ambiguous — including a
+  // wiped history, where the pending copy might be the only one left —
+  // keeps the entry.
+  const ReconcileVerdict verdict =
+      (!nonce_live && !nonce_completed && newer_completed)
+          ? ReconcileVerdict::kSuperseded
+          : ReconcileVerdict::kStillLive;
+  BinaryWriter w;
+  w.str(kReconcileMarker);
+  w.u8(static_cast<uint8_t>(verdict));
+  MeResponse resp;
+  resp.status = Status::kOk;
+  resp.payload = it->second.channel->seal_record(w.data());
+  // One-shot session: the reconcile conversation ends here.
+  inbound_.erase(it);
   return resp;
 }
 
@@ -790,9 +1353,33 @@ Status MigrationEnclave::persist_queue() {
   return engine_->flush(*this);
 }
 
+namespace {
+
+void serialize_chunk_map(BinaryWriter& w,
+                         const std::map<uint32_t, CounterChunk>& chunks) {
+  w.u32(static_cast<uint32_t>(chunks.size()));
+  for (const auto& [index, chunk] : chunks) chunk.serialize(w);
+}
+
+Result<std::map<uint32_t, CounterChunk>> deserialize_chunk_map(
+    BinaryReader& r) {
+  const uint32_t count = r.u32();
+  if (count > kPrecopyChunkCount) return Status::kTampered;
+  std::map<uint32_t, CounterChunk> chunks;
+  for (uint32_t i = 0; i < count && r.ok(); ++i) {
+    auto chunk = CounterChunk::deserialize(r);
+    if (!chunk.ok()) return chunk.status();
+    chunks[chunk.value().index] = std::move(chunk).value();
+  }
+  if (!r.ok()) return Status::kTampered;
+  return chunks;
+}
+
+}  // namespace
+
 Bytes MigrationEnclave::serialize_queue() const {
   BinaryWriter w;
-  w.str(kQueueMagic);
+  w.str(kQueueMagicV2);
   w.u64(next_outgoing_sequence_);
 
   w.u32(static_cast<uint32_t>(outgoing_.size()));
@@ -866,12 +1453,44 @@ Bytes MigrationEnclave::serialize_queue() const {
     w.str(relay.source_me_address);
     w.bytes(relay.sealed_record);
   }
+
+  // ----- v2: live pre-copy state -----
+  // Source attempts (merged chunk sets + RA channels) and destination
+  // staging: an ME restart between rounds RESUMES the pre-copy instead of
+  // throwing away every round already shipped.
+  w.u32(static_cast<uint32_t>(precopy_outgoing_.size()));
+  for (const auto& [nonce, p] : precopy_outgoing_) {
+    w.u64(nonce);
+    w.fixed(p.source_mr);
+    w.str(p.destination_address);
+    w.u64(p.transfer_id);
+    w.u32(p.rounds);
+    w.boolean(p.resync);
+    serialize_chunk_map(w, p.merged);
+    w.boolean(p.channel.has_value());
+    if (p.channel.has_value()) {
+      Bytes channel_state = p.channel->serialize_state();
+      w.bytes(channel_state);
+      secure_wipe(channel_state);  // contains the raw session key
+    }
+  }
+  w.u32(static_cast<uint32_t>(precopy_staging_.size()));
+  for (const auto& [mr, s] : precopy_staging_) {
+    w.fixed(mr);
+    w.u64(s.transfer_id);
+    w.str(s.source_me_address);
+    w.u64(s.request_nonce);
+    w.u32(s.rounds);
+    serialize_chunk_map(w, s.chunks);
+  }
   return w.take();
 }
 
 Status MigrationEnclave::apply_queue(ByteView plaintext) {
   BinaryReader r(plaintext);
-  if (r.str(64) != kQueueMagic) return Status::kTampered;
+  const std::string magic = r.str(64);
+  const bool v2 = magic == kQueueMagicV2;
+  if (!v2 && magic != kQueueMagicV1) return Status::kTampered;
   const uint64_t next_sequence = r.u64();
 
   std::map<uint64_t, OutgoingTransfer> outgoing;
@@ -967,6 +1586,45 @@ Status MigrationEnclave::apply_queue(ByteView plaintext) {
     relays[id] = std::move(relay);
   }
 
+  std::map<uint64_t, PrecopyOutgoing> precopy_outgoing;
+  std::map<sgx::Measurement, PrecopyStaging> precopy_staging;
+  if (v2) {
+    const uint32_t precopy_count = r.u32();
+    for (uint32_t i = 0; i < precopy_count && r.ok(); ++i) {
+      const uint64_t nonce = r.u64();
+      PrecopyOutgoing p;
+      p.source_mr = r.fixed<32>();
+      p.destination_address = r.str(256);
+      p.transfer_id = r.u64();
+      p.rounds = r.u32();
+      p.resync = r.boolean();
+      auto merged = deserialize_chunk_map(r);
+      if (!merged.ok()) return Status::kTampered;
+      p.merged = std::move(merged).value();
+      if (r.boolean()) {
+        Bytes channel_state = r.bytes(64);
+        auto channel = net::SecureChannel::deserialize_state(channel_state);
+        secure_wipe(channel_state);
+        if (!channel.ok()) return Status::kTampered;
+        p.channel.emplace(std::move(channel).value());
+      }
+      precopy_outgoing[nonce] = std::move(p);
+    }
+    const uint32_t staging_count = r.u32();
+    for (uint32_t i = 0; i < staging_count && r.ok(); ++i) {
+      const sgx::Measurement mr = r.fixed<32>();
+      PrecopyStaging s;
+      s.transfer_id = r.u64();
+      s.source_me_address = r.str(256);
+      s.request_nonce = r.u64();
+      s.rounds = r.u32();
+      auto chunks = deserialize_chunk_map(r);
+      if (!chunks.ok()) return Status::kTampered;
+      s.chunks = std::move(chunks).value();
+      precopy_staging[mr] = std::move(s);
+    }
+  }
+
   if (!r.done()) return Status::kTampered;
   next_outgoing_sequence_ = next_sequence;
   outgoing_ = std::move(outgoing);
@@ -978,6 +1636,8 @@ Status MigrationEnclave::apply_queue(ByteView plaintext) {
   confirmed_incoming_ = std::move(confirmed_incoming);
   confirmed_incoming_order_ = std::move(confirmed_incoming_order);
   done_relays_ = std::move(relays);
+  precopy_outgoing_ = std::move(precopy_outgoing);
+  precopy_staging_ = std::move(precopy_staging);
   return Status::kOk;
 }
 

@@ -97,6 +97,20 @@ class MigrationEnclave : public sgx::Enclave, private PersistSink {
   /// Also retried opportunistically whenever the ME handles any request.
   size_t retry_done_relays();
 
+  /// Reconciliation sweep for ONE undelivered pending entry (the
+  /// lost-ACCEPTED re-route orphan, ROADMAP): asks the entry's
+  /// originating source ME — over a fresh mutually attested channel —
+  /// whether that logical migration is still live.  If the source ME
+  /// reports the identity completed a NEWER transfer (and knows nothing
+  /// live about this nonce), the stale entry (pre-migration state a
+  /// future instance must never fetch) is expired, clearing the
+  /// kAlreadyExists block for this enclave->machine pair.  Returns kOk
+  /// when the entry was expired, kMigrationInProgress when the source
+  /// considers it live (or could not vouch), kNoPendingMigration when
+  /// there is nothing to reconcile.  Also invoked automatically when a
+  /// new transfer is blocked by an undelivered pending entry.
+  Status reconcile_pending(const sgx::Measurement& mr);
+
   /// How long a delivery pin on pending incoming data survives without
   /// the pinned LA session showing activity.  After the timeout a NEW
   /// attested session of the same MRENCLAVE may re-arm the delivery (the
@@ -120,6 +134,11 @@ class MigrationEnclave : public sgx::Enclave, private PersistSink {
   size_t la_session_count() const { return la_sessions_.size(); }
   size_t unrelayed_done_count() const { return done_relays_.size(); }
   OutgoingState outgoing_state(const sgx::Measurement& mr) const;
+  /// Live pre-copy attempts this ME is driving as the SOURCE side.
+  size_t precopy_outgoing_count() const { return precopy_outgoing_.size(); }
+  /// Pre-copy attempts staged on this ME as the DESTINATION side (not yet
+  /// finalized into a pending entry).
+  size_t precopy_staging_count() const { return precopy_staging_.size(); }
 
  private:
   struct LaSessionState {
@@ -148,6 +167,36 @@ class MigrationEnclave : public sgx::Enclave, private PersistSink {
     std::string source_me_address;
     uint64_t request_nonce = 0;       // identifies the logical migration
     uint64_t delivering_session = 0;  // LA session the data was handed to
+    // Last reconciliation sweep (virtual time, not persisted): a LIVE
+    // entry blocking a busy-retrying peer must not pay one RA handshake
+    // to its source ME per retry just to re-learn it is live.
+    Duration last_reconcile{};
+  };
+  /// Source-side state of one live pre-copy attempt, keyed by the
+  /// library's request nonce: everything shipped so far (merged by chunk
+  /// generation) plus the RA channel to the destination.  Durable — an ME
+  /// restart between rounds resumes instead of restarting the pre-copy.
+  struct PrecopyOutgoing {
+    sgx::Measurement source_mr{};
+    std::string destination_address;
+    uint64_t transfer_id = 0;  // wire id of the ME<->ME conversation
+    uint32_t rounds = 0;
+    std::map<uint32_t, CounterChunk> merged;
+    std::optional<net::SecureChannel> channel;
+    /// Set when a send failed (channel possibly desynced): the next send
+    /// re-attests under a fresh transfer id and re-ships the whole merged
+    /// set, so the destination converges no matter what was lost.
+    bool resync = false;
+  };
+  /// Destination-side staging of one pre-copy attempt, keyed by enclave
+  /// identity: chunks merged by generation across rounds.  Durable; only
+  /// the finalize manifest turns it into an authoritative pending entry.
+  struct PrecopyStaging {
+    uint64_t transfer_id = 0;  // inbound_ entry holding the live channel
+    std::string source_me_address;
+    uint64_t request_nonce = 0;
+    uint32_t rounds = 0;
+    std::map<uint32_t, CounterChunk> chunks;
   };
   /// Compact durable record of a confirmed outgoing transfer: enough to
   /// answer status queries and absorb duplicate DONEs idempotently after
@@ -173,12 +222,17 @@ class MigrationEnclave : public sgx::Enclave, private PersistSink {
   MeResponse on_ra_msg3(const MeRequest& req);
   MeResponse on_transfer(const MeRequest& req);
   MeResponse on_done(const MeRequest& req);
+  MeResponse on_precopy_chunk(const MeRequest& req);
+  MeResponse on_precopy_finalize(const MeRequest& req);
+  MeResponse on_reconcile(const MeRequest& req);
 
   // inner LibMsg handlers (already authenticated via the LA channel)
   LibMsg on_migrate_request(LaSessionState& session, const LibMsg& msg);
   LibMsg on_fetch_incoming(uint64_t session_id, LaSessionState& session);
   LibMsg on_confirm_migration(uint64_t session_id, LaSessionState& session);
   LibMsg on_query_status(LaSessionState& session, const LibMsg& msg);
+  LibMsg on_precopy_round(LaSessionState& session, const LibMsg& msg);
+  LibMsg on_precopy_finalize_req(LaSessionState& session, const LibMsg& msg);
 
   /// Runs the whole outgoing side: RA + provider auth + policy + transfer.
   /// `source_mr` is taken by value: the nested rpcs can re-enter
@@ -186,6 +240,47 @@ class MigrationEnclave : public sgx::Enclave, private PersistSink {
   /// a reference would point into.
   Status run_outgoing(sgx::Measurement source_mr,
                       const MigrateRequestPayload& request);
+
+  /// Mutual RA handshake + provider auth + policy against a peer ME:
+  /// the front half of run_outgoing, shared with the pre-copy first
+  /// contact and the reconcile sweep.  On success the returned channel is
+  /// ready to seal records for `transfer_id` at the peer.
+  Result<net::SecureChannel> attest_peer_me(
+      const std::string& destination_address, uint64_t transfer_id,
+      const MigrationPolicy& policy);
+
+  /// Finds-or-creates the source-side pre-copy attempt for (session
+  /// identity, nonce), re-attesting (fresh transfer id + resync) when the
+  /// channel is missing or was dropped after a failed send.
+  Result<PrecopyOutgoing*> precopy_attempt(const sgx::Measurement& source_mr,
+                                           const std::string& destination,
+                                           uint64_t nonce,
+                                           const MigrationPolicy& policy);
+
+  /// One sealed send to the pre-copy destination with the resync rules
+  /// applied; `finalize` selects the finalize record + manifest + MSK.
+  Status precopy_send(PrecopyOutgoing& attempt, uint64_t nonce,
+                      const std::vector<CounterChunk>& fresh_chunks,
+                      uint32_t round, bool finalize,
+                      const std::vector<ChunkManifestEntry>& manifest,
+                      const sgx::Key128& msk);
+
+  /// Destination-side staging upsert shared by chunk and finalize
+  /// records: supersedes an abandoned attempt (fresh nonce/source),
+  /// rebinds the inbound channel after a source re-handshake, and merges
+  /// `chunks` by generation.
+  PrecopyStaging& merge_precopy_staging(const sgx::Measurement& mr,
+                                        const std::string& source_me_address,
+                                        uint64_t nonce, uint64_t transfer_id,
+                                        const std::vector<CounterChunk>& chunks);
+
+  /// Enforces one-pending-per-identity for an arriving transfer of
+  /// (nonce, source): supersedes this migration's own undelivered orphan,
+  /// or runs the (rate-limited) reconcile sweep for a foreign one.
+  /// kOk = the slot is free; kAlreadyExists = blocked.
+  Status free_pending_slot(const sgx::Measurement& mr, uint64_t nonce,
+                           const std::string& source_me_address,
+                           uint64_t arriving_transfer_id);
 
   /// Verifies the peer ME's provider authentication for a transcript.
   Status verify_provider_auth(const ProviderAuth& auth,
@@ -220,6 +315,8 @@ class MigrationEnclave : public sgx::Enclave, private PersistSink {
   std::map<uint64_t, InboundTransfer> inbound_;
   std::map<uint64_t, OutgoingTransfer> outgoing_;
   std::map<sgx::Measurement, PendingIncoming> pending_;
+  std::map<uint64_t, PrecopyOutgoing> precopy_outgoing_;  // by request nonce
+  std::map<sgx::Measurement, PrecopyStaging> precopy_staging_;
   // Per-identity latest outgoing state (sequence, state): O(log n) status
   // queries instead of scanning every transfer ever made.
   std::map<sgx::Measurement, std::pair<uint64_t, OutgoingState>>
@@ -250,6 +347,9 @@ class MigrationEnclave : public sgx::Enclave, private PersistSink {
   // a down source ME does not tax every unrelated request with one
   // doomed RPC per backlog entry.
   Duration relay_retry_interval_ = milliseconds(250);
+  // Same idea for reconciliation sweeps against a still-live pending
+  // entry (the common same-image serialization case).
+  Duration reconcile_retry_interval_ = milliseconds(250);
   Duration last_relay_retry_{};
   bool retrying_relays_ = false;
   // LA session currently being serviced by on_la_record: protected from

@@ -15,11 +15,13 @@ constexpr char kMskBlobMagic[] = "SGXMIG-MSK-SEALED-v1";
 }  // namespace
 
 MigrationLibrary::MigrationLibrary(sgx::Enclave& host,
-                                   std::unique_ptr<PersistenceEngine> engine)
+                                   std::unique_ptr<PersistenceEngine> engine,
+                                   bool live_transfer_capable)
     : host_(host),
       engine_(engine ? std::move(engine)
                      : make_persistence_engine(PersistenceMode::kSync)),
-      expected_me_mr_(MigrationEnclave::standard_image()->mr_enclave()) {}
+      expected_me_mr_(MigrationEnclave::standard_image()->mr_enclave()),
+      live_transfer_capable_(live_transfer_capable) {}
 
 Status MigrationLibrary::check_operational() const {
   if (!initialized_) return Status::kNotInitialized;
@@ -80,6 +82,10 @@ Status MigrationLibrary::migration_init(ByteView state_buffer,
       state_ = LibraryState{};
       host_.platform().charge(host_.platform().costs().drbg_fixed);
       host_.rng().generate(state_.msk.data(), state_.msk.size());
+      if (live_transfer_capable_) {
+        const Status guard = create_epoch_guard();
+        if (guard != Status::kOk) return guard;
+      }
       // The fresh buffer is sealed and handed back via sealed_state();
       // there is nothing irrecoverable in it yet, so storing it is left
       // to the application (keeps init fast, Fig. 4).
@@ -100,6 +106,14 @@ Status MigrationLibrary::migration_init(ByteView state_buffer,
       // library refuses to operate (prevents the §III-B fork).
       if (state.value().frozen != 0) return Status::kMigrationFrozen;
       state_ = std::move(state).value();
+      // Epoch guard check: a buffer sealed under an older epoch is a
+      // rollback across a migration (the guard advanced at finalize) —
+      // refuse exactly like a frozen buffer.
+      const Status epoch = check_epoch_guard();
+      if (epoch != Status::kOk) {
+        state_ = LibraryState{};
+        return epoch;
+      }
       const Status status = persist(/*invoke_callback=*/false);
       if (status != Status::kOk) return status;
       initialized_ = true;
@@ -159,10 +173,43 @@ Status MigrationLibrary::apply_incoming(const MigrationData& data) {
     state_.counter_uuids[i] = created.value().uuid;
     state_.counter_offsets[i] = data.counter_values[i];
     cached_hw_values_[i] = created.value().value;
+    note_slot_dirty(i);
+  }
+  if (live_transfer_capable_) {
+    const Status guard = create_epoch_guard();
+    if (guard != Status::kOk) return guard;
   }
   // UUIDs of the fresh counters are irrecoverable: force durability here
   // regardless of the configured engine.
   return persist_mutation_durable(MutationKind::kRestoreApply);
+}
+
+// ----- epoch guard + dirty tracking (live-transfer capability) -----
+
+void MigrationLibrary::note_slot_dirty(size_t slot) {
+  chunk_generation_[slot / kPrecopyChunkSlots] = ++mutation_generation_;
+}
+
+Status MigrationLibrary::create_epoch_guard() {
+  auto created = host_.counter_create();
+  if (!created.ok()) return created.status();
+  state_.epoch_active = 1;
+  state_.epoch_uuid = created.value().uuid;
+  state_.epoch_value = created.value().value;
+  return Status::kOk;
+}
+
+Status MigrationLibrary::check_epoch_guard() const {
+  if (state_.epoch_active == 0) return Status::kOk;  // legacy lineage
+  auto value = host_.counter_read(state_.epoch_uuid);
+  // A destroyed guard means the enclave completed a full-snapshot
+  // migration away from this machine: same refusal as a stale epoch.
+  if (value.status() == Status::kCounterNotFound) {
+    return Status::kMigrationFrozen;
+  }
+  if (!value.ok()) return value.status();
+  if (value.value() != state_.epoch_value) return Status::kMigrationFrozen;
+  return Status::kOk;
 }
 
 // ----- migratable sealing (§VI-B "Sealing") -----
@@ -224,6 +271,7 @@ Result<CreatedMigratableCounter> MigrationLibrary::create_migratable_counter() {
   state_.counter_uuids[slot] = created.value().uuid;
   state_.counter_offsets[slot] = 0;
   cached_hw_values_[slot] = created.value().value;
+  note_slot_dirty(slot);
   // Batching engines may defer this commit: a crash in the window leaks
   // the hardware counter (the restored state simply lacks the slot) but
   // never corrupts the UUID table.
@@ -257,6 +305,7 @@ Status MigrationLibrary::destroy_migratable_counter(uint32_t counter_id) {
   state_.counter_uuids[counter_id] = {};
   state_.counter_offsets[counter_id] = 0;
   cached_hw_values_[counter_id].reset();
+  note_slot_dirty(counter_id);
   // The destroy record must be durable before returning: a lazily
   // batched record would leave the stored Table II referencing the dead
   // counter for an unbounded window, wedging collect_values() on any
@@ -289,6 +338,7 @@ Result<uint32_t> MigrationLibrary::increment_migratable_counter(
   auto incremented = host_.counter_increment(state_.counter_uuids[counter_id]);
   if (!incremented.ok()) return incremented.status();
   cached_hw_values_[counter_id] = incremented.value();
+  note_slot_dirty(counter_id);
   const Status status = persist_after_mutation(MutationKind::kCounterIncrement);
   if (status != Status::kOk) return status;
   return state_.counter_offsets[counter_id] + incremented.value();
@@ -429,6 +479,14 @@ Status MigrationLibrary::destroy_active_counters() {
       return status;
     }
   }
+  // The epoch guard goes with them: a rolled-back buffer then fails its
+  // epoch read with kCounterNotFound and refuses to operate.
+  if (state_.epoch_active != 0) {
+    const Status status = host_.counter_destroy(state_.epoch_uuid);
+    if (status != Status::kOk && status != Status::kCounterNotFound) {
+      return status;
+    }
+  }
   return Status::kOk;
 }
 
@@ -523,7 +581,16 @@ MigrationStartResult MigrationLibrary::migration_start_detailed(
     }
     // Freeze first: no further operations may mutate persistent state
     // while (or after) the migration is in flight (§V-A step 2).
+    freeze_started_ = now();
     runtime_frozen_ = true;
+    // A half-done pre-copy toward any destination is abandoned: the full
+    // snapshot staged below supersedes it (the destination's staged
+    // chunks are swept when the assembled transfer lands or is confirmed).
+    precopy_destination_.clear();
+    precopy_nonce_ = 0;
+    staged_chunks_.clear();
+    final_chunks_.clear();
+    finalize_staged_ = false;
     auto collected = collect_values();
     if (!collected.ok()) {
       // Nothing destructive happened yet: the enclave may resume normal
@@ -582,6 +649,7 @@ MigrationStartResult MigrationLibrary::migration_start_detailed(
   LibMsg request;
   request.type = LibMsgType::kMigrateRequest;
   request.payload = payload.serialize();
+  const uint64_t payload_bytes = request.payload.size();
   auto reply = me_exchange_reattest(request);
 
   // Resume check (§V-D hardening): an exchange that died mid-flight — the
@@ -598,6 +666,9 @@ MigrationStartResult MigrationLibrary::migration_start_detailed(
     auto attempt = query_status_internal(staged_nonce_);
     if (attempt.ok() && (attempt.value() == OutgoingState::kPending ||
                          attempt.value() == OutgoingState::kCompleted)) {
+      last_freeze_window_ = now() - freeze_started_;
+      last_transfer_bytes_ = payload_bytes;
+      last_precopy_rounds_ = 0;
       staged_outgoing_.reset();
       staged_nonce_ = 0;
       staged_destination_.clear();
@@ -614,9 +685,280 @@ MigrationStartResult MigrationLibrary::migration_start_detailed(
     return start_failure(rejected,
                          "destination rejected by source ME protocol");
   }
+  last_freeze_window_ = now() - freeze_started_;
+  last_transfer_bytes_ = payload_bytes;
+  last_precopy_rounds_ = 0;
   staged_outgoing_.reset();
   staged_nonce_ = 0;
   staged_destination_.clear();
+  return MigrationStartResult{};
+}
+
+// ----- live pre-copy migration (iterative rounds + finalize) -----
+
+void MigrationLibrary::reset_precopy(const std::string& destination_address) {
+  const Bytes nonce_bytes = host_.rng().bytes(8);
+  precopy_nonce_ = load_be64(nonce_bytes.data());
+  if (precopy_nonce_ == 0) precopy_nonce_ = 1;
+  precopy_destination_ = destination_address;
+  shipped_generation_ = {};
+  staged_chunks_.clear();
+  final_chunks_.clear();
+  precopy_rounds_ = 0;
+  precopy_bytes_ = 0;
+}
+
+Result<std::vector<CounterChunk>> MigrationLibrary::collect_dirty_chunks(
+    bool include_all_populated) {
+  std::vector<CounterChunk> out;
+  for (size_t c = 0; c < kPrecopyChunkCount; ++c) {
+    bool collect = chunk_generation_[c] > shipped_generation_[c];
+    if (!collect && include_all_populated) {
+      for (size_t s = 0; s < kPrecopyChunkSlots && !collect; ++s) {
+        collect = state_.counters_active[c * kPrecopyChunkSlots + s];
+      }
+    }
+    if (!collect) continue;
+    CounterChunk chunk;
+    chunk.index = static_cast<uint32_t>(c);
+    chunk.generation = chunk_generation_[c];
+    for (size_t s = 0; s < kPrecopyChunkSlots; ++s) {
+      const size_t slot = c * kPrecopyChunkSlots + s;
+      if (!state_.counters_active[slot]) continue;
+      chunk.active[s] = true;
+      // Effective value from the hardware-value cache when warm (this
+      // library is the counter's only user, so the cache is exact);
+      // otherwise one read refills it.  This is why pre-copy rounds do
+      // not pay one Platform Services round trip per live counter the
+      // way the full-snapshot collect does.
+      if (!cached_hw_values_[slot].has_value()) {
+        auto value = host_.counter_read(state_.counter_uuids[slot]);
+        if (!value.ok()) return value.status();
+        cached_hw_values_[slot] = value.value();
+      }
+      const uint64_t effective =
+          static_cast<uint64_t>(state_.counter_offsets[slot]) +
+          static_cast<uint64_t>(*cached_hw_values_[slot]);
+      if (effective > std::numeric_limits<uint32_t>::max()) {
+        return Status::kCounterOverflow;
+      }
+      chunk.values[s] = static_cast<uint32_t>(effective);
+    }
+    out.push_back(std::move(chunk));
+  }
+  return out;
+}
+
+std::vector<ChunkManifestEntry> MigrationLibrary::staged_manifest() const {
+  std::vector<ChunkManifestEntry> manifest;
+  manifest.reserve(staged_chunks_.size());
+  for (const auto& [index, chunk] : staged_chunks_) {
+    manifest.push_back({index, chunk.generation});
+  }
+  return manifest;
+}
+
+Result<PrecopyRoundReport> MigrationLibrary::migration_precopy_round(
+    const std::string& destination_address, MigrationPolicy policy) {
+  if (!initialized_) return Status::kNotInitialized;
+  if (runtime_frozen_) return Status::kMigrationFrozen;
+  if (state_.epoch_active == 0) return Status::kInvalidState;
+  if (destination_address.empty()) return Status::kInvalidParameter;
+  const Status channel_status = ensure_me_channel();
+  if (channel_status != Status::kOk) return channel_status;
+  if (precopy_destination_ != destination_address) {
+    reset_precopy(destination_address);
+  }
+
+  auto chunks = collect_dirty_chunks(/*include_all_populated=*/
+                                     precopy_rounds_ == 0);
+  if (!chunks.ok()) return chunks.status();
+
+  PrecopyRoundPayload payload;
+  payload.destination_address = destination_address;
+  payload.request_nonce = precopy_nonce_;
+  payload.round = precopy_rounds_;
+  payload.policy = std::move(policy);
+  payload.chunks = chunks.value();
+  LibMsg request;
+  request.type = LibMsgType::kPrecopyRound;
+  request.payload = payload.serialize();
+  auto reply = me_exchange_reattest(request);
+  if (!reply.ok()) return reply.status();
+  if (reply.value().type != LibMsgType::kPrecopyAck) {
+    return reply.value().status != Status::kOk ? reply.value().status
+                                               : Status::kUnexpected;
+  }
+  // Commit only after the ME acknowledged: a failed round re-collects and
+  // re-ships the same chunks (the destination merges idempotently by
+  // generation).
+  for (CounterChunk& chunk : chunks.value()) {
+    shipped_generation_[chunk.index] = chunk.generation;
+    staged_chunks_[chunk.index] = chunk;
+  }
+  PrecopyRoundReport report;
+  report.round = precopy_rounds_;
+  report.chunks_shipped = static_cast<uint32_t>(chunks.value().size());
+  report.bytes_shipped = request.payload.size();
+  precopy_bytes_ += request.payload.size();
+  ++precopy_rounds_;
+  return report;
+}
+
+Status MigrationLibrary::migration_finalize(
+    const std::string& destination_address, MigrationPolicy policy) {
+  return migration_finalize_detailed(destination_address, std::move(policy))
+      .status;
+}
+
+MigrationStartResult MigrationLibrary::migration_finalize_detailed(
+    const std::string& destination_address, MigrationPolicy policy) {
+  if (!initialized_) {
+    return start_failure(Status::kNotInitialized, "library init check");
+  }
+  if (state_.epoch_active == 0) {
+    return start_failure(Status::kInvalidState,
+                         "live-transfer capability check");
+  }
+  if (runtime_frozen_ && !finalize_staged_) {
+    // Frozen by a completed migration (or a staged full-snapshot start):
+    // there is nothing for THIS protocol to finalize.
+    return start_failure(Status::kMigrationFrozen, "freeze check");
+  }
+  const Status channel_status = ensure_me_channel();
+  if (channel_status != Status::kOk) {
+    return start_failure(channel_status, "local ME attestation");
+  }
+
+  if (!finalize_staged_) {
+    if (precopy_destination_ != destination_address) {
+      // Pure stop-and-copy (no prior rounds) or a pre-freeze re-route:
+      // everything ships inside the finalize.
+      reset_precopy(destination_address);
+    }
+    // Fence batched mutations, then freeze: the stored buffer must
+    // reflect every completed operation before operations stop.
+    const Status fence = engine_->flush(*this);
+    if (fence != Status::kOk) {
+      return start_failure(fence, "pre-freeze persistence fence");
+    }
+    freeze_started_ = now();
+    runtime_frozen_ = true;
+    auto delta = collect_dirty_chunks(/*include_all_populated=*/
+                                      precopy_rounds_ == 0);
+    if (!delta.ok()) {
+      // Nothing destructive yet: unfreeze and let the caller retry.
+      runtime_frozen_ = false;
+      return start_failure(delta.status(), "collecting final delta");
+    }
+    final_chunks_ = std::move(delta).value();
+    for (const CounterChunk& chunk : final_chunks_) {
+      shipped_generation_[chunk.index] = chunk.generation;
+      staged_chunks_[chunk.index] = chunk;
+    }
+    finalize_staged_ = true;
+  } else if (precopy_destination_ != destination_address) {
+    // Re-route after the freeze: the new destination has no staged
+    // rounds, so the finalize carries the full staged set under a fresh
+    // nonce (a transfer that landed at the old destination must never be
+    // mistaken for success toward the new one).
+    const Bytes nonce_bytes = host_.rng().bytes(8);
+    precopy_nonce_ = load_be64(nonce_bytes.data());
+    if (precopy_nonce_ == 0) precopy_nonce_ = 1;
+    precopy_destination_ = destination_address;
+    final_chunks_.clear();
+    for (const auto& [index, chunk] : staged_chunks_) {
+      final_chunks_.push_back(chunk);
+    }
+  }
+
+  if (!epoch_invalidated_) {
+    // Constant-time invalidation of the sealed-buffer lineage: ONE epoch
+    // increment plays the role the per-counter destroys play in the
+    // full-snapshot path (§VI-B), so the actual destroys can wait until
+    // after the destination is released.  Once this guard flips, no retry
+    // may increment again (the value recorded below must stay exact).
+    auto bumped = host_.counter_increment(state_.epoch_uuid);
+    if (!bumped.ok()) {
+      return start_failure(bumped.status(), "epoch invalidation");
+    }
+    state_.epoch_value = bumped.value();
+    epoch_invalidated_ = true;
+  }
+  if (!freeze_persisted_) {
+    // Persist the freeze flag (with the advanced epoch) so a restarted
+    // instance refuses to operate; durable regardless of engine.
+    state_.frozen = 1;
+    const Status persist_status =
+        persist_mutation_durable(MutationKind::kFreeze);
+    if (persist_status != Status::kOk) {
+      return start_failure(persist_status, "persisting freeze flag");
+    }
+    freeze_persisted_ = true;
+  }
+
+  PrecopyFinalizePayload payload;
+  payload.destination_address = destination_address;
+  payload.request_nonce = precopy_nonce_;
+  payload.round = precopy_rounds_;
+  payload.policy = policy;
+  payload.chunks = final_chunks_;
+  payload.manifest = staged_manifest();
+  payload.msk = state_.msk;
+  LibMsg request;
+  request.type = LibMsgType::kPrecopyFinalizeReq;
+  request.payload = payload.serialize();
+  auto reply = me_exchange_reattest(request);
+
+  if (reply.ok() && reply.value().type == LibMsgType::kError &&
+      reply.value().status == Status::kPrecopyIncomplete) {
+    // The destination's staged rounds do not cover the manifest (it lost
+    // its queue, or a superseded attempt left partial staging): re-ship
+    // the complete staged set once.
+    payload.chunks.clear();
+    for (const auto& [index, chunk] : staged_chunks_) {
+      payload.chunks.push_back(chunk);
+    }
+    request.payload = payload.serialize();
+    reply = me_exchange_reattest(request);
+  }
+
+  if (!reply.ok()) {
+    // Ambiguous transport failure: the ME (or its reply path) died
+    // mid-exchange.  Ask for the fate of exactly this attempt — a
+    // retained or completed transfer means the source side is done.
+    auto attempt = query_status_internal(precopy_nonce_);
+    if (!attempt.ok() || (attempt.value() != OutgoingState::kPending &&
+                          attempt.value() != OutgoingState::kCompleted)) {
+      return start_failure(reply.status(), "ME finalize exchange");
+    }
+  } else if (reply.value().type != LibMsgType::kFinalizeAccepted) {
+    const Status rejected = reply.value().status != Status::kOk
+                                ? reply.value().status
+                                : Status::kMigrationAborted;
+    return start_failure(rejected,
+                         "destination rejected by source ME protocol");
+  }
+
+  // The destination ME holds the authoritative snapshot: the freeze
+  // window ends here.
+  last_freeze_window_ = now() - freeze_started_;
+  last_transfer_bytes_ = precopy_bytes_ + request.payload.size();
+  last_precopy_rounds_ = precopy_rounds_;
+
+  // Deferred teardown, OUTSIDE the freeze window: the epoch increment
+  // already made every sealed buffer unusable, so these hardware counters
+  // are unreachable garbage — reclaim them best-effort (a failure leaks
+  // quota on a machine this enclave just left, never state).
+  if (!counters_destroyed_) {
+    (void)destroy_active_counters();
+    counters_destroyed_ = true;
+  }
+  precopy_destination_.clear();
+  precopy_nonce_ = 0;
+  staged_chunks_.clear();
+  final_chunks_.clear();
+  finalize_staged_ = false;
   return MigrationStartResult{};
 }
 

@@ -35,6 +35,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -58,6 +59,29 @@ enum class InitState : uint8_t {
 struct CreatedMigratableCounter {
   uint32_t counter_id = 0;  // library-assigned id (not the SGX UUID)
   uint32_t value = 0;       // effective value (starts at 0)
+};
+
+/// Convergence policy for iterative pre-copy, mirroring
+/// vm::LiveMigrationEngine (kMaxPrecopyRounds / stop-and-copy threshold):
+/// keep shipping dirty-chunk rounds while the enclave runs, freeze once
+/// the delta is small enough or the round budget is spent.
+struct PrecopyOptions {
+  uint32_t max_rounds = 8;
+  /// A round that ships this many chunks or fewer is considered converged
+  /// (the remaining delta is cheap enough to move inside the freeze).
+  uint32_t min_delta_chunks = 1;
+};
+
+/// Outcome of one pre-copy round.
+struct PrecopyRoundReport {
+  uint32_t round = 0;           // 0-based round index just shipped
+  uint32_t chunks_shipped = 0;  // dirty chunks moved this round
+  uint64_t bytes_shipped = 0;   // serialized payload bytes this round
+
+  bool converged(const PrecopyOptions& options) const {
+    return chunks_shipped <= options.min_delta_chunks ||
+           round + 1 >= options.max_rounds;
+  }
 };
 
 /// Coarse classification of a migration_start failure, so callers driving
@@ -95,9 +119,15 @@ class MigrationLibrary : private PersistSink {
  public:
   /// `host` is the enclave embedding this library.  `engine` decides when
   /// the Table II buffer is sealed + OCALLed out; nullptr selects the
-  /// paper-faithful SyncPersist.
+  /// paper-faithful SyncPersist.  `live_transfer_capable` makes the
+  /// library create an epoch-guard hardware counter at init (kNew /
+  /// kMigrate) — the prerequisite for iterative pre-copy migration, and a
+  /// one-counter cost on init plus one hardware-counter read on restore.
+  /// Off by default: legacy enclaves keep the paper's exact init costs
+  /// and full-snapshot migration semantics.
   explicit MigrationLibrary(sgx::Enclave& host,
-                            std::unique_ptr<PersistenceEngine> engine = nullptr);
+                            std::unique_ptr<PersistenceEngine> engine = nullptr,
+                            bool live_transfer_capable = false);
 
   /// OCALL the library uses to hand its sealed persistent buffer to the
   /// untrusted application for storage (invoked on mutating counter ops
@@ -139,6 +169,41 @@ class MigrationLibrary : private PersistSink {
   MigrationStartResult migration_start_detailed(
       const std::string& destination_address, MigrationPolicy policy = {});
 
+  // ----- live pre-copy migration (iterative, VM-live-migration style) ---
+  //
+  // Instead of freezing for the whole Table II snapshot, the caller ships
+  // dirty chunks round by round while counter operations CONTINUE, then
+  // freezes only for the final delta:
+  //
+  //   while (!report.converged(options)) report = migration_precopy_round(d);
+  //   migration_finalize(d);
+  //
+  // Requires the live-transfer capability (epoch guard): finalize
+  // invalidates every previously sealed buffer with ONE epoch-counter
+  // increment and defers the per-counter hardware destroys to after the
+  // destination has been released, so the freeze window no longer grows
+  // with the number of active counters.
+
+  /// Ships every Table II chunk dirtied since the last shipped round
+  /// (round 0 ships all populated chunks) to `destination_address` via the
+  /// local ME.  Mutations stay enabled throughout.  Switching destination
+  /// mid-pre-copy restarts the attempt (fresh nonce, full re-ship).
+  Result<PrecopyRoundReport> migration_precopy_round(
+      const std::string& destination_address, MigrationPolicy policy = {});
+
+  /// Freezes the library, fences persistence, epoch-invalidates the
+  /// sealed-buffer lineage, persists the freeze flag, and ships just the
+  /// chunks dirtied since the last round plus the MSK.  The destination ME
+  /// assembles the authoritative snapshot from its staged rounds + this
+  /// delta (verified against a chunk manifest).  Hardware counters are
+  /// destroyed AFTER the destination accepted — they are unreachable once
+  /// the epoch advanced, so the teardown no longer sits in the freeze
+  /// window.  Works with zero prior rounds (pure stop-and-copy).
+  MigrationStartResult migration_finalize_detailed(
+      const std::string& destination_address, MigrationPolicy policy = {});
+  Status migration_finalize(const std::string& destination_address,
+                            MigrationPolicy policy = {});
+
   /// Asks the local ME for the state of this enclave's outgoing migration.
   Result<OutgoingState> query_migration_status();
 
@@ -171,6 +236,20 @@ class MigrationLibrary : private PersistSink {
   // ----- state inspection -----
   bool initialized() const { return initialized_; }
   bool frozen() const { return runtime_frozen_; }
+  /// True when this library can run the iterative pre-copy protocol (the
+  /// epoch guard exists — capability requested at construction AND the
+  /// state was initialized/restored with the guard present).
+  bool live_transfer_capable() const { return state_.epoch_active != 0; }
+  /// Virtual time the enclave spent frozen during its last successful
+  /// outgoing migration: freeze instant -> transfer accepted by the local
+  /// ME.  Zero until a migration succeeded.
+  Duration last_freeze_window() const { return last_freeze_window_; }
+  /// Serialized migration payload bytes of the last successful outgoing
+  /// migration (all pre-copy rounds + finalize, or the full snapshot).
+  uint64_t last_transfer_bytes() const { return last_transfer_bytes_; }
+  /// Pre-copy rounds shipped before the last successful finalize (0 for a
+  /// full-snapshot migration or a pure stop-and-copy finalize).
+  uint32_t last_precopy_rounds() const { return last_precopy_rounds_; }
   /// Latest sealed persistent buffer (Table II) for the application to
   /// store.  Under a batching engine this may lag the in-memory state
   /// until the next commit or persist_flush().
@@ -203,6 +282,26 @@ class MigrationLibrary : private PersistSink {
   Result<MigrationData> collect_values();
   Status destroy_active_counters();
   Status check_operational() const;
+
+  // ----- pre-copy internals -----
+  /// Stamps the chunk containing `slot` with the next mutation generation
+  /// (piggybacked on every Table II mutation; drives dirty-chunk rounds).
+  void note_slot_dirty(size_t slot);
+  /// Creates the epoch-guard hardware counter (live-transfer capability).
+  Status create_epoch_guard();
+  /// Restore-time rollback check: the hardware epoch counter must still
+  /// hold the value this buffer was sealed under.
+  Status check_epoch_guard() const;
+  /// Resets the per-attempt pre-copy state toward a (new) destination.
+  void reset_precopy(const std::string& destination_address);
+  /// Collects every chunk with generation > shipped generation; round 0
+  /// (`include_all_populated`) also collects clean chunks holding active
+  /// counters (e.g. restored state whose generations start at zero).
+  /// Effective values come from the hardware-value cache where warm.
+  Result<std::vector<CounterChunk>> collect_dirty_chunks(
+      bool include_all_populated);
+  /// Manifest of everything shipped so far (staged chunks, latest gens).
+  std::vector<ChunkManifestEntry> staged_manifest() const;
 
   sgx::Enclave& host_;
   std::unique_ptr<PersistenceEngine> engine_;
@@ -242,6 +341,38 @@ class MigrationLibrary : private PersistSink {
   // retry after a failed persist still writes the flag (and a retry after
   // a failed ME exchange never re-destroys hardware counters).
   bool freeze_persisted_ = false;
+
+  // ----- pre-copy state -----
+  bool live_transfer_capable_ = false;
+  // Dirty tracking: one monotonic generation per Table II chunk, stamped
+  // from a global mutation counter on every create/destroy/increment and
+  // restore-apply.  Always maintained (two array writes per mutation —
+  // noise next to the seal + OCALL the same mutation already pays).
+  uint64_t mutation_generation_ = 0;
+  std::array<uint64_t, kPrecopyChunkCount> chunk_generation_{};
+  // Per-attempt: what the destination already holds.
+  std::string precopy_destination_;
+  uint64_t precopy_nonce_ = 0;
+  std::array<uint64_t, kPrecopyChunkCount> shipped_generation_{};
+  // Everything shipped so far, merged — the re-route / incomplete-staging
+  // fallback re-ships this full set in one finalize.
+  std::map<uint32_t, CounterChunk> staged_chunks_;
+  // Final delta collected at freeze time (counter values become
+  // unreadable once the deferred destroys run, so finalize retries resend
+  // this cache instead of re-collecting).
+  std::vector<CounterChunk> final_chunks_;
+  uint32_t precopy_rounds_ = 0;
+  uint64_t precopy_bytes_ = 0;
+  bool finalize_staged_ = false;
+  // One epoch increment per outgoing pre-copy migration: like the counter
+  // destroys of the full-snapshot path, it must never run twice.
+  bool epoch_invalidated_ = false;
+
+  // ----- per-migration metrics (freeze-window accounting) -----
+  Duration freeze_started_{};
+  Duration last_freeze_window_{};
+  uint64_t last_transfer_bytes_ = 0;
+  uint32_t last_precopy_rounds_ = 0;
 };
 
 }  // namespace sgxmig::migration

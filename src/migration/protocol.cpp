@@ -14,7 +14,7 @@ Result<MeRequest> MeRequest::deserialize(ByteView bytes) {
   BinaryReader r(bytes);
   MeRequest req;
   const uint8_t type = r.u8();
-  if (type < 1 || type > 7) return Status::kTampered;
+  if (type < 1 || type > 10) return Status::kTampered;
   req.type = static_cast<MeMsgType>(type);
   req.id = r.u64();
   req.payload = r.bytes(1u << 22);
@@ -94,6 +94,201 @@ Result<QueryStatusPayload> QueryStatusPayload::deserialize(ByteView bytes) {
   p.request_nonce = r.u64();
   if (!r.done()) return Status::kTampered;
   return p;
+}
+
+// ----- pre-copy messages -----
+
+void CounterChunk::serialize(BinaryWriter& w) const {
+  w.u32(index);
+  w.u64(generation);
+  for (bool a : active) w.u8(a ? 1 : 0);
+  for (uint32_t v : values) w.u32(v);
+}
+
+Result<CounterChunk> CounterChunk::deserialize(BinaryReader& r) {
+  CounterChunk c;
+  c.index = r.u32();
+  c.generation = r.u64();
+  for (auto& a : c.active) a = r.u8() != 0;
+  for (auto& v : c.values) v = r.u32();
+  if (!r.ok() || c.index >= kPrecopyChunkCount) return Status::kTampered;
+  return c;
+}
+
+namespace {
+
+void serialize_chunks(BinaryWriter& w, const std::vector<CounterChunk>& chunks) {
+  w.u32(static_cast<uint32_t>(chunks.size()));
+  for (const CounterChunk& c : chunks) c.serialize(w);
+}
+
+Result<std::vector<CounterChunk>> deserialize_chunks(BinaryReader& r) {
+  const uint32_t count = r.u32();
+  if (count > kPrecopyChunkCount) return Status::kTampered;
+  std::vector<CounterChunk> chunks;
+  chunks.reserve(count);
+  for (uint32_t i = 0; i < count && r.ok(); ++i) {
+    auto c = CounterChunk::deserialize(r);
+    if (!c.ok()) return c.status();
+    chunks.push_back(std::move(c).value());
+  }
+  if (!r.ok()) return Status::kTampered;
+  return chunks;
+}
+
+void serialize_manifest(BinaryWriter& w,
+                        const std::vector<ChunkManifestEntry>& manifest) {
+  w.u32(static_cast<uint32_t>(manifest.size()));
+  for (const ChunkManifestEntry& e : manifest) {
+    w.u32(e.index);
+    w.u64(e.generation);
+  }
+}
+
+Result<std::vector<ChunkManifestEntry>> deserialize_manifest(BinaryReader& r) {
+  const uint32_t count = r.u32();
+  if (count > kPrecopyChunkCount) return Status::kTampered;
+  std::vector<ChunkManifestEntry> manifest;
+  manifest.reserve(count);
+  for (uint32_t i = 0; i < count && r.ok(); ++i) {
+    ChunkManifestEntry e;
+    e.index = r.u32();
+    e.generation = r.u64();
+    if (e.index >= kPrecopyChunkCount) return Status::kTampered;
+    manifest.push_back(e);
+  }
+  if (!r.ok()) return Status::kTampered;
+  return manifest;
+}
+
+}  // namespace
+
+Bytes PrecopyRoundPayload::serialize() const {
+  BinaryWriter w;
+  w.str(destination_address);
+  w.u64(request_nonce);
+  w.u32(round);
+  policy.serialize(w);
+  serialize_chunks(w, chunks);
+  return w.take();
+}
+
+Result<PrecopyRoundPayload> PrecopyRoundPayload::deserialize(ByteView bytes) {
+  BinaryReader r(bytes);
+  PrecopyRoundPayload p;
+  p.destination_address = r.str(256);
+  p.request_nonce = r.u64();
+  p.round = r.u32();
+  auto policy = MigrationPolicy::deserialize(r);
+  if (!policy.ok()) return Status::kTampered;
+  p.policy = std::move(policy).value();
+  auto chunks = deserialize_chunks(r);
+  if (!chunks.ok() || !r.done()) return Status::kTampered;
+  p.chunks = std::move(chunks).value();
+  return p;
+}
+
+Bytes PrecopyFinalizePayload::serialize() const {
+  BinaryWriter w;
+  w.str(destination_address);
+  w.u64(request_nonce);
+  w.u32(round);
+  policy.serialize(w);
+  serialize_chunks(w, chunks);
+  serialize_manifest(w, manifest);
+  w.fixed(msk);
+  return w.take();
+}
+
+Result<PrecopyFinalizePayload> PrecopyFinalizePayload::deserialize(
+    ByteView bytes) {
+  BinaryReader r(bytes);
+  PrecopyFinalizePayload p;
+  p.destination_address = r.str(256);
+  p.request_nonce = r.u64();
+  p.round = r.u32();
+  auto policy = MigrationPolicy::deserialize(r);
+  if (!policy.ok()) return Status::kTampered;
+  p.policy = std::move(policy).value();
+  auto chunks = deserialize_chunks(r);
+  if (!chunks.ok()) return Status::kTampered;
+  p.chunks = std::move(chunks).value();
+  auto manifest = deserialize_manifest(r);
+  if (!manifest.ok()) return Status::kTampered;
+  p.manifest = std::move(manifest).value();
+  p.msk = r.fixed<16>();
+  if (!r.done()) return Status::kTampered;
+  return p;
+}
+
+Bytes PrecopyChunkRecord::serialize() const {
+  BinaryWriter w;
+  w.fixed(source_mr_enclave);
+  w.str(source_me_address);
+  w.u64(request_nonce);
+  w.u32(round);
+  serialize_chunks(w, chunks);
+  return w.take();
+}
+
+Result<PrecopyChunkRecord> PrecopyChunkRecord::deserialize(ByteView bytes) {
+  BinaryReader r(bytes);
+  PrecopyChunkRecord p;
+  p.source_mr_enclave = r.fixed<32>();
+  p.source_me_address = r.str(256);
+  p.request_nonce = r.u64();
+  p.round = r.u32();
+  auto chunks = deserialize_chunks(r);
+  if (!chunks.ok() || !r.done()) return Status::kTampered;
+  p.chunks = std::move(chunks).value();
+  return p;
+}
+
+Bytes PrecopyFinalizeRecord::serialize() const {
+  BinaryWriter w;
+  w.fixed(source_mr_enclave);
+  w.str(source_me_address);
+  w.u64(request_nonce);
+  w.u32(round);
+  serialize_chunks(w, chunks);
+  serialize_manifest(w, manifest);
+  w.fixed(msk);
+  return w.take();
+}
+
+Result<PrecopyFinalizeRecord> PrecopyFinalizeRecord::deserialize(
+    ByteView bytes) {
+  BinaryReader r(bytes);
+  PrecopyFinalizeRecord p;
+  p.source_mr_enclave = r.fixed<32>();
+  p.source_me_address = r.str(256);
+  p.request_nonce = r.u64();
+  p.round = r.u32();
+  auto chunks = deserialize_chunks(r);
+  if (!chunks.ok()) return Status::kTampered;
+  p.chunks = std::move(chunks).value();
+  auto manifest = deserialize_manifest(r);
+  if (!manifest.ok()) return Status::kTampered;
+  p.manifest = std::move(manifest).value();
+  p.msk = r.fixed<16>();
+  if (!r.done()) return Status::kTampered;
+  return p;
+}
+
+Bytes ReconcileQuery::serialize() const {
+  BinaryWriter w;
+  w.fixed(source_mr_enclave);
+  w.u64(request_nonce);
+  return w.take();
+}
+
+Result<ReconcileQuery> ReconcileQuery::deserialize(ByteView bytes) {
+  BinaryReader r(bytes);
+  ReconcileQuery q;
+  q.source_mr_enclave = r.fixed<32>();
+  q.request_nonce = r.u64();
+  if (!r.done()) return Status::kTampered;
+  return q;
 }
 
 Bytes TransferPayload::serialize() const {

@@ -33,6 +33,13 @@ enum class MeMsgType : uint8_t {
   kRaMsg3 = 5,    // ME_src -> ME_dst: RA msg3 + provider auth
   kTransfer = 6,  // ME_src -> ME_dst: encrypted TransferPayload record
   kDone = 7,      // ME_dst -> ME_src: encrypted DONE record
+  // Live pre-copy transfer (VM-live-migration style, iterative rounds).
+  kPrecopyChunk = 8,     // ME_src -> ME_dst: encrypted PrecopyChunkRecord
+  kPrecopyFinalize = 9,  // ME_src -> ME_dst: encrypted PrecopyFinalizeRecord
+  // Pending-entry reconciliation (lost-ACCEPTED re-route cleanup): the ME
+  // holding an undelivered pending entry asks the ORIGINATING source ME,
+  // over a fresh RA channel, whether that logical migration is still live.
+  kReconcile = 10,  // ME_dst -> ME_src: encrypted ReconcileQuery record
 };
 
 struct MeRequest {
@@ -60,12 +67,16 @@ enum class LibMsgType : uint8_t {
   kFetchIncoming = 2,
   kConfirmMigration = 3,
   kQueryStatus = 4,
+  kPrecopyRound = 5,        // ship chunks dirtied since the last round
+  kPrecopyFinalizeReq = 6,  // frozen: ship the final delta + MSK
   // responses (ME -> ML)
   kMigrateAccepted = 10,
   kIncomingData = 11,
   kConfirmAck = 12,
   kStatusReport = 13,
   kError = 14,
+  kPrecopyAck = 15,
+  kFinalizeAccepted = 16,
 };
 
 struct LibMsg {
@@ -113,6 +124,112 @@ struct QueryStatusPayload {
 
   Bytes serialize() const;
   static Result<QueryStatusPayload> deserialize(ByteView bytes);
+};
+
+// ----- live pre-copy transfer (iterative rounds, paper-plus) -----
+//
+// The Table II counter array is tracked at sealed-chunk granularity: each
+// chunk covers kPrecopyChunkSlots consecutive counter slots and carries a
+// monotonic generation stamped by the library on every mutation that
+// touches one of its slots.  Pre-copy rounds ship only chunks whose
+// generation advanced since the last round, while the enclave keeps
+// serving mutations; migration_finalize() freezes and ships just the
+// final dirty delta plus the MSK.  The finalize manifest lists every
+// chunk (index, generation) the destination must hold so a lost round can
+// never silently restore a truncated Table II.
+
+inline constexpr size_t kPrecopyChunkSlots = 16;
+inline constexpr size_t kPrecopyChunkCount = kMaxCounters / kPrecopyChunkSlots;
+
+/// One dirty region of the Table II counter array: the slots' active
+/// flags and EFFECTIVE values (offset + hardware) at collect time.
+struct CounterChunk {
+  uint32_t index = 0;       // chunk index, [0, kPrecopyChunkCount)
+  uint64_t generation = 0;  // library mutation generation at collect time
+  std::array<bool, kPrecopyChunkSlots> active{};
+  std::array<uint32_t, kPrecopyChunkSlots> values{};
+
+  void serialize(BinaryWriter& w) const;
+  static Result<CounterChunk> deserialize(BinaryReader& r);
+};
+
+/// One (chunk index, generation) pair of the finalize manifest.
+struct ChunkManifestEntry {
+  uint32_t index = 0;
+  uint64_t generation = 0;
+};
+
+/// Payload of kPrecopyRound (ML -> source ME).
+struct PrecopyRoundPayload {
+  std::string destination_address;
+  uint64_t request_nonce = 0;  // identifies the whole pre-copy attempt
+  uint32_t round = 0;
+  /// Enforced by the source ME against the destination's certified
+  /// attributes on the first round, BEFORE any chunk leaves the machine.
+  MigrationPolicy policy;
+  std::vector<CounterChunk> chunks;
+
+  Bytes serialize() const;
+  static Result<PrecopyRoundPayload> deserialize(ByteView bytes);
+};
+
+/// Payload of kPrecopyFinalizeReq (ML -> source ME).  Sent after the
+/// library froze, epoch-invalidated its sealed lineage, and persisted the
+/// freeze flag; carries only the chunks dirtied since the last round (or
+/// everything staged, after a re-route to a fresh destination).
+struct PrecopyFinalizePayload {
+  std::string destination_address;
+  uint64_t request_nonce = 0;
+  uint32_t round = 0;
+  MigrationPolicy policy;
+  std::vector<CounterChunk> chunks;  // final delta
+  std::vector<ChunkManifestEntry> manifest;  // every chunk the dst must hold
+  sgx::Key128 msk{};
+
+  Bytes serialize() const;
+  static Result<PrecopyFinalizePayload> deserialize(ByteView bytes);
+};
+
+/// Payload of the kPrecopyChunk record (source ME -> destination ME).
+struct PrecopyChunkRecord {
+  sgx::Measurement source_mr_enclave{};
+  std::string source_me_address;
+  uint64_t request_nonce = 0;
+  uint32_t round = 0;
+  std::vector<CounterChunk> chunks;
+
+  Bytes serialize() const;
+  static Result<PrecopyChunkRecord> deserialize(ByteView bytes);
+};
+
+/// Payload of the kPrecopyFinalize record (source ME -> destination ME).
+struct PrecopyFinalizeRecord {
+  sgx::Measurement source_mr_enclave{};
+  std::string source_me_address;
+  uint64_t request_nonce = 0;
+  uint32_t round = 0;
+  std::vector<CounterChunk> chunks;
+  std::vector<ChunkManifestEntry> manifest;
+  sgx::Key128 msk{};
+
+  Bytes serialize() const;
+  static Result<PrecopyFinalizeRecord> deserialize(ByteView bytes);
+};
+
+/// Payload of the kReconcile record (pending-entry holder -> the pending
+/// entry's originating source ME, over a fresh RA channel).
+struct ReconcileQuery {
+  sgx::Measurement source_mr_enclave{};
+  uint64_t request_nonce = 0;
+
+  Bytes serialize() const;
+  static Result<ReconcileQuery> deserialize(ByteView bytes);
+};
+
+/// Verdict of a reconcile query (u8 on the wire).
+enum class ReconcileVerdict : uint8_t {
+  kStillLive = 0,   // the migration may still complete (or: unknown; keep)
+  kSuperseded = 1,  // a newer transfer of the identity completed: expire
 };
 
 // ----- inner ME <-> ME messages -----

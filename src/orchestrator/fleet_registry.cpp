@@ -33,7 +33,8 @@ Result<uint64_t> FleetRegistry::launch(
   }
 
   auto enclave = std::make_unique<migration::MigratableEnclave>(
-      *machine, image, options.persistence, options.group_commit);
+      *machine, image, options.persistence, options.group_commit,
+      options.live_transfer);
   install_persist_callback(*enclave, *machine, storage_key(name));
   const Status init = enclave->ecall_migration_init(
       ByteView(), migration::InitState::kNew, machine_address);
@@ -68,7 +69,7 @@ Status FleetRegistry::complete_move(uint64_t id,
   // what to do next.
   auto next = std::make_unique<migration::MigratableEnclave>(
       *destination, record.image, record.options.persistence,
-      record.options.group_commit);
+      record.options.group_commit, record.options.live_transfer);
   install_persist_callback(*next, *destination, storage_key(record.name));
   const Status init = next->ecall_migration_init(
       ByteView(), migration::InitState::kMigrate, destination_address);

@@ -36,6 +36,9 @@ struct LaunchOptions {
   migration::GroupCommitOptions group_commit = {};
   /// Travels with every migrate request for this enclave (§X policies).
   migration::MigrationPolicy policy = {};
+  /// Equip the enclave's Migration Library with the epoch guard so the
+  /// orchestrator can move it via iterative pre-copy (TransferMode).
+  bool live_transfer = false;
 };
 
 struct EnclaveRecord {

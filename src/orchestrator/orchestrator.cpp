@@ -6,6 +6,14 @@ namespace sgxmig::orchestrator {
 
 using migration::MigrationFailureClass;
 
+const char* transfer_mode_name(TransferMode mode) {
+  switch (mode) {
+    case TransferMode::kFullSnapshot: return "full-snapshot";
+    case TransferMode::kPrecopy: return "precopy";
+  }
+  return "unknown";
+}
+
 Orchestrator::Orchestrator(FleetRegistry& fleet, Scheduler& scheduler,
                            OrchestratorOptions options)
     : fleet_(fleet), scheduler_(scheduler), options_(options) {}
@@ -158,8 +166,7 @@ bool Orchestrator::admit_and_start(Task& task) {
   // the retry machinery here never double-ships or burns attempts on an
   // already-accepted transfer.
   const migration::MigrationStartResult result =
-      enclave->ecall_migration_start_detailed(task.destination,
-                                              record->options.policy);
+      run_source_side(task, *enclave, *record);
   if (!result.ok()) {
     --inflight_total_;
     --inflight_per_machine_[task.source];
@@ -173,8 +180,54 @@ bool Orchestrator::admit_and_start(Task& task) {
     return true;
   }
   task.phase = TaskPhase::kStarted;
+  task.freeze_window = enclave->last_freeze_window();
+  task.precopy_rounds = enclave->last_precopy_rounds();
+  task.transfer_bytes = enclave->last_transfer_bytes();
   log(task, EventKind::kStartOk, task.destination);
   return true;
+}
+
+migration::MigrationStartResult Orchestrator::run_source_side(
+    Task& task, migration::MigratableEnclave& enclave,
+    const EnclaveRecord& record) {
+  if (options_.transfer_mode == TransferMode::kFullSnapshot ||
+      !enclave.live_transfer_capable()) {
+    return enclave.ecall_migration_start_detailed(task.destination,
+                                                  record.options.policy);
+  }
+  // A previous attempt may have frozen the library with the finalize
+  // staged (e.g. the accept reply AND the fallback status query were both
+  // lost to a dying ME): rounds are impossible — and unnecessary — once
+  // frozen, so resume the finalize directly.  It dedups by nonce at the
+  // ME and supports post-freeze re-routes, so a retried or re-targeted
+  // attempt lands exactly once.
+  if (enclave.migration_frozen()) {
+    return enclave.ecall_migration_finalize_detailed(task.destination,
+                                                     record.options.policy);
+  }
+  // Iterative pre-copy on the virtual clock: ship dirty rounds while the
+  // enclave keeps serving (the round hook is where live mutations land),
+  // then freeze for the final delta.  A failed round surfaces as a
+  // classified start failure so the existing retry/backoff/re-route
+  // machinery applies unchanged — the library's per-attempt state resumes
+  // rounds toward the same destination and restarts toward a new one.
+  while (true) {
+    auto round = enclave.ecall_migration_precopy_round(task.destination,
+                                                       record.options.policy);
+    if (!round.ok()) {
+      migration::MigrationStartResult failure;
+      failure.status = round.status();
+      failure.failure_class =
+          migration::classify_migration_failure(round.status());
+      failure.message = "pre-copy round: " +
+                        std::string(status_name(round.status()));
+      return failure;
+    }
+    if (round_hook_) round_hook_(task.enclave_id, round.value().round);
+    if (round.value().converged(options_.precopy)) break;
+  }
+  return enclave.ecall_migration_finalize_detailed(task.destination,
+                                                   record.options.policy);
 }
 
 void Orchestrator::complete(Task& task) {
@@ -332,6 +385,9 @@ OrchestratorReport Orchestrator::execute(const Plan& plan) {
     record.planned_at = task.planned_at;
     record.admitted_at = task.admitted_at;
     record.finished_at = task.finished_at;
+    record.freeze_window = task.freeze_window;
+    record.precopy_rounds = task.precopy_rounds;
+    record.transfer_bytes = task.transfer_bytes;
     report.migrations.push_back(std::move(record));
   }
   return report;

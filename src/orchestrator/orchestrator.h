@@ -33,6 +33,20 @@
 
 namespace sgxmig::orchestrator {
 
+/// How the source side of each migration moves its state.
+enum class TransferMode : uint8_t {
+  /// Paper semantics: freeze, collect + destroy everything, ship one
+  /// snapshot.  Freeze window grows with the number of active counters.
+  kFullSnapshot = 0,
+  /// Iterative pre-copy: ship dirty Table II chunks round by round while
+  /// the enclave keeps serving, freeze only for the final delta.
+  /// Requires live-transfer-capable enclaves (LaunchOptions); enclaves
+  /// without the capability transparently fall back to kFullSnapshot.
+  kPrecopy = 1,
+};
+
+const char* transfer_mode_name(TransferMode mode);
+
 struct OrchestratorOptions {
   /// Max migrations simultaneously in flight per source machine.
   uint32_t max_inflight_per_machine = 4;
@@ -42,6 +56,9 @@ struct OrchestratorOptions {
   uint32_t max_attempts = 4;
   /// Base retry backoff (virtual time); doubles per failed attempt.
   Duration retry_backoff = milliseconds(50);
+  TransferMode transfer_mode = TransferMode::kFullSnapshot;
+  /// Convergence policy for kPrecopy (rounds before the forced freeze).
+  migration::PrecopyOptions precopy;
 };
 
 class Orchestrator {
@@ -55,6 +72,13 @@ class Orchestrator {
   /// MID-plan, exercising the durable-queue resume paths.
   using WaveHook = std::function<void(uint32_t wave)>;
   void set_wave_hook(WaveHook hook) { wave_hook_ = std::move(hook); }
+
+  /// Invoked after every shipped pre-copy round (enclave id, round index
+  /// just shipped).  Benches and chaos tests use it to apply a LIVE
+  /// mutation workload between rounds — the enclave is not frozen — or to
+  /// kill/restart MEs mid-pre-copy.
+  using RoundHook = std::function<void(uint64_t enclave_id, uint32_t round)>;
+  void set_round_hook(RoundHook hook) { round_hook_ = std::move(hook); }
 
   /// Runs the plan to completion (every task kDone or kFailed) and
   /// returns the report.  Deterministic per world seed.
@@ -85,6 +109,9 @@ class Orchestrator {
     Duration admitted_at{};
     Duration retry_at{};
     Duration finished_at{};
+    Duration freeze_window{};
+    uint32_t precopy_rounds = 0;
+    uint64_t transfer_bytes = 0;
     Status last_status = Status::kOk;
     migration::MigrationFailureClass last_class =
         migration::MigrationFailureClass::kNone;
@@ -93,6 +120,11 @@ class Orchestrator {
 
   std::vector<Task> build_tasks(const Plan& plan);
   bool admit_and_start(Task& task);  // false = task could not be admitted
+  /// Drives the source side under the configured transfer mode: one
+  /// migration_start, or pre-copy rounds to convergence + finalize.
+  migration::MigrationStartResult run_source_side(
+      Task& task, migration::MigratableEnclave& enclave,
+      const EnclaveRecord& record);
   void complete(Task& task);
   void handle_failure(Task& task, Status status,
                       migration::MigrationFailureClass cls,
@@ -106,6 +138,7 @@ class Orchestrator {
   Scheduler& scheduler_;
   OrchestratorOptions options_;
   WaveHook wave_hook_;
+  RoundHook round_hook_;
 
   // Per-execute() working state.
   std::vector<OrchestratorEvent> events_;

@@ -64,6 +64,27 @@ double OrchestratorReport::max_latency_seconds() const {
   return max;
 }
 
+double OrchestratorReport::mean_freeze_window_seconds() const {
+  double sum = 0.0;
+  size_t n = 0;
+  for (const auto& m : migrations) {
+    if (!m.success) continue;
+    sum += to_seconds(m.freeze_window);
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double OrchestratorReport::max_freeze_window_seconds() const {
+  double max = 0.0;
+  for (const auto& m : migrations) {
+    if (!m.success) continue;
+    const double s = to_seconds(m.freeze_window);
+    if (s > max) max = s;
+  }
+  return max;
+}
+
 namespace {
 
 void append_number(std::string& out, double value) {
@@ -98,6 +119,10 @@ std::string OrchestratorReport::to_json(bool include_events) const {
   append_number(out, mean_latency_seconds());
   out += ", \"max_latency_seconds\": ";
   append_number(out, max_latency_seconds());
+  out += ", \"mean_freeze_window_seconds\": ";
+  append_number(out, mean_freeze_window_seconds());
+  out += ", \"max_freeze_window_seconds\": ";
+  append_number(out, max_freeze_window_seconds());
 
   out += ", \"peak_inflight_per_machine\": {";
   bool first = true;
@@ -129,6 +154,12 @@ std::string OrchestratorReport::to_json(bool include_events) const {
     out += m.success ? "true" : "false";
     out += ", \"latency_seconds\": ";
     append_number(out, to_seconds(m.latency()));
+    out += ", \"freeze_window_seconds\": ";
+    append_number(out, to_seconds(m.freeze_window));
+    out += ", \"precopy_rounds\": ";
+    append_number(out, static_cast<uint64_t>(m.precopy_rounds));
+    out += ", \"transfer_bytes\": ";
+    append_number(out, m.transfer_bytes);
     if (!m.success) {
       out += ", \"status\": ";
       append_json_string(out, std::string(status_name(m.final_status)));

@@ -53,6 +53,14 @@ struct MigrationRecord {
   Duration planned_at{};
   Duration admitted_at{};
   Duration finished_at{};
+  /// Virtual time the enclave spent frozen on the source (freeze ->
+  /// transfer accepted); the pre-copy observable.  Zero on failure.
+  Duration freeze_window{};
+  /// Pre-copy rounds shipped before the freeze (0 = full snapshot).
+  uint32_t precopy_rounds = 0;
+  /// Serialized migration payload bytes (all rounds + final delta, or the
+  /// one full snapshot).
+  uint64_t transfer_bytes = 0;
 
   /// Queue + transfer + restore, in virtual time.
   Duration latency() const { return finished_at - planned_at; }
@@ -76,6 +84,10 @@ struct OrchestratorReport {
   uint32_t total_retries() const;
   double mean_latency_seconds() const;
   double max_latency_seconds() const;
+  /// Freeze-window aggregates over SUCCESSFUL migrations (the fleet-wide
+  /// service-interruption cost a drain inflicts).
+  double mean_freeze_window_seconds() const;
+  double max_freeze_window_seconds() const;
 
   /// Machine-readable dump ({"plan":..., "migrations":[...], ...});
   /// events included only when `include_events`.

@@ -28,6 +28,7 @@ std::string_view status_name(Status status) {
     case Status::kMigrationInProgress: return "kMigrationInProgress";
     case Status::kNoPendingMigration: return "kNoPendingMigration";
     case Status::kMigrationAborted: return "kMigrationAborted";
+    case Status::kPrecopyIncomplete: return "kPrecopyIncomplete";
     case Status::kNetworkUnreachable: return "kNetworkUnreachable";
     case Status::kChannelError: return "kChannelError";
     case Status::kReplayDetected: return "kReplayDetected";

@@ -48,6 +48,7 @@ enum class Status : uint32_t {
   kMigrationInProgress,
   kNoPendingMigration,
   kMigrationAborted,
+  kPrecopyIncomplete,  // staged pre-copy chunks do not cover the manifest
 
   // Infrastructure errors.
   kNetworkUnreachable,

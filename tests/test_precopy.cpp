@@ -1,0 +1,510 @@
+// Live pre-copy migration tests: iterative dirty-chunk rounds while the
+// enclave keeps serving, a finalize that freezes only for the last delta,
+// the epoch guard that replaces in-freeze counter destruction, and the
+// chaos paths — dropped mid-round chunks, lost acks, ME restarts between
+// rounds, lost finalize replies — all of which must resume or supersede
+// with no forked state.  Also covers the pending-entry reconciliation
+// sweep (lost-ACCEPTED re-route orphan) and the orchestrated 32-enclave
+// pre-copy drain through ME restarts.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "migration/migratable_enclave.h"
+#include "migration/migration_enclave.h"
+#include "orchestrator/orchestrator.h"
+#include "platform/world.h"
+
+namespace sgxmig {
+namespace {
+
+using migration::InitState;
+using migration::MeMsgType;
+using migration::MeRequest;
+using migration::MigratableEnclave;
+using migration::MigrationEnclave;
+using migration::OutgoingState;
+using migration::PrecopyOptions;
+using platform::World;
+using sgx::EnclaveImage;
+
+class PrecopyTest : public ::testing::Test {
+ protected:
+  PrecopyTest() {
+    world_.install_management_enclaves(
+        migration::durable_me_factory(world_.provider()));
+  }
+
+  platform::Machine& machine(const std::string& address) {
+    return *world_.machine(address);
+  }
+  MigrationEnclave* me(const std::string& address) {
+    return migration::me_on(machine(address));
+  }
+  void restart_me(const std::string& address) {
+    machine(address).kill_management_enclave();
+    ASSERT_TRUE(machine(address).restart_management_enclave());
+  }
+
+  std::unique_ptr<MigratableEnclave> make_app(platform::Machine& m,
+                                              bool live_transfer = true) {
+    auto enclave = std::make_unique<MigratableEnclave>(
+        m, image_, migration::PersistenceMode::kSync,
+        migration::GroupCommitOptions{}, live_transfer);
+    enclave->set_persist_callback(
+        [&m](ByteView s) { m.storage().put("ml", s); });
+    return enclave;
+  }
+  std::unique_ptr<MigratableEnclave> start_new(platform::Machine& m,
+                                               bool live_transfer = true) {
+    auto enclave = make_app(m, live_transfer);
+    EXPECT_EQ(enclave->ecall_migration_init(ByteView(), InitState::kNew,
+                                            m.address()),
+              Status::kOk);
+    return enclave;
+  }
+
+  World world_{/*seed=*/4243};
+  platform::Machine& m0_ = world_.add_machine("m0");
+  platform::Machine& m1_ = world_.add_machine("m1");
+  platform::Machine& m2_ = world_.add_machine("m2");
+  std::shared_ptr<const EnclaveImage> image_ =
+      EnclaveImage::create("pc-app", 1, "acme");
+};
+
+// ----- basic protocol -----
+
+TEST_F(PrecopyTest, RoundsShipOnlyDirtyChunksAndPreserveValues) {
+  auto enclave = start_new(m0_);
+  // 20 counters span two 16-slot chunks.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(enclave->ecall_create_migratable_counter().ok());
+  }
+  for (uint32_t i = 0; i < 5; ++i) {
+    enclave->ecall_increment_migratable_counter(i);
+  }
+
+  auto r0 = enclave->ecall_migration_precopy_round("m1");
+  ASSERT_TRUE(r0.ok());
+  EXPECT_EQ(r0.value().round, 0u);
+  EXPECT_EQ(r0.value().chunks_shipped, 2u);  // both populated chunks
+  EXPECT_EQ(me("m1")->precopy_staging_count(), 1u);
+
+  // The enclave is NOT frozen between rounds: live mutations continue.
+  EXPECT_FALSE(enclave->migration_frozen());
+  EXPECT_TRUE(enclave->ecall_increment_migratable_counter(5).ok());
+
+  auto r1 = enclave->ecall_migration_precopy_round("m1");
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.value().round, 1u);
+  EXPECT_EQ(r1.value().chunks_shipped, 1u);  // only chunk 0 was dirtied
+
+  // One more live mutation becomes the finalize delta.
+  EXPECT_TRUE(enclave->ecall_increment_migratable_counter(17).ok());
+  const auto fin = enclave->ecall_migration_finalize_detailed("m1");
+  ASSERT_TRUE(fin.ok()) << fin.message;
+  EXPECT_TRUE(enclave->migration_frozen());
+  EXPECT_EQ(enclave->ecall_increment_migratable_counter(0).status(),
+            Status::kMigrationFrozen);
+  // Freeze window = final delta + epoch increment + persist, way below
+  // the 20 reads + 21 destroys a full snapshot would pay while frozen.
+  EXPECT_LT(to_seconds(enclave->last_freeze_window()), 1.0);
+  EXPECT_EQ(enclave->last_precopy_rounds(), 2u);
+  EXPECT_EQ(me("m1")->precopy_staging_count(), 0u);
+  EXPECT_EQ(me("m1")->pending_incoming_count(), 1u);
+  EXPECT_EQ(me("m0")->outgoing_state(image_->mr_enclave()),
+            OutgoingState::kPending);
+  enclave.reset();
+
+  auto moved = make_app(m1_);
+  ASSERT_EQ(moved->ecall_migration_init(ByteView(), InitState::kMigrate, "m1"),
+            Status::kOk);
+  for (uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(moved->ecall_read_migratable_counter(i).value(), 1u);
+  }
+  EXPECT_EQ(moved->ecall_read_migratable_counter(5).value(), 1u);
+  EXPECT_EQ(moved->ecall_read_migratable_counter(17).value(), 1u);
+  EXPECT_EQ(moved->ecall_read_migratable_counter(7).value(), 0u);
+  EXPECT_EQ(moved->active_counters(), 20u);
+  // The source ME was DONE-confirmed during the fetch+confirm.
+  EXPECT_EQ(me("m0")->outgoing_state(image_->mr_enclave()),
+            OutgoingState::kCompleted);
+}
+
+TEST_F(PrecopyTest, PrecopyRequiresLiveTransferCapability) {
+  auto legacy = start_new(m0_, /*live_transfer=*/false);
+  ASSERT_TRUE(legacy->ecall_create_migratable_counter().ok());
+  EXPECT_EQ(legacy->ecall_migration_precopy_round("m1").status(),
+            Status::kInvalidState);
+  const auto fin = legacy->ecall_migration_finalize_detailed("m1");
+  EXPECT_EQ(fin.status, Status::kInvalidState);
+  EXPECT_FALSE(fin.retryable());
+  // The paper path still works for legacy enclaves.
+  EXPECT_EQ(legacy->ecall_migration_start("m1"), Status::kOk);
+}
+
+TEST_F(PrecopyTest, FinalizeWithoutRoundsIsPureStopAndCopy) {
+  auto enclave = start_new(m0_);
+  ASSERT_TRUE(enclave->ecall_create_migratable_counter().ok());
+  enclave->ecall_increment_migratable_counter(0);
+  const auto fin = enclave->ecall_migration_finalize_detailed("m1");
+  ASSERT_TRUE(fin.ok()) << fin.message;
+  EXPECT_EQ(enclave->last_precopy_rounds(), 0u);
+  enclave.reset();
+  auto moved = make_app(m1_);
+  ASSERT_EQ(moved->ecall_migration_init(ByteView(), InitState::kMigrate, "m1"),
+            Status::kOk);
+  EXPECT_EQ(moved->ecall_read_migratable_counter(0).value(), 1u);
+}
+
+// ----- epoch guard: no fork through rolled-back sealed buffers -----
+
+TEST_F(PrecopyTest, RolledBackBufferRefusedAfterFinalize) {
+  auto enclave = start_new(m0_);
+  ASSERT_TRUE(enclave->ecall_create_migratable_counter().ok());
+  enclave->ecall_increment_migratable_counter(0);
+  // Adversary keeps a pre-migration sealed buffer (not frozen, counters
+  // alive at snapshot time).
+  const Bytes stale = enclave->sealed_state();
+
+  ASSERT_TRUE(enclave->ecall_migration_precopy_round("m1").ok());
+  ASSERT_TRUE(enclave->ecall_migration_finalize_detailed("m1").ok());
+  enclave.reset();
+  auto moved = make_app(m1_);
+  ASSERT_EQ(moved->ecall_migration_init(ByteView(), InitState::kMigrate, "m1"),
+            Status::kOk);
+
+  // The §III-B fork attempt: restore the stale buffer on the source.
+  // The epoch guard advanced at finalize, so the rollback is refused even
+  // though the buffer itself carries no freeze flag.
+  auto forked = make_app(m0_);
+  EXPECT_EQ(forked->ecall_migration_init(stale, InitState::kRestore, "m0"),
+            Status::kMigrationFrozen);
+}
+
+// ----- chaos: dropped chunks, lost acks, ME restarts -----
+
+TEST_F(PrecopyTest, DroppedMidRoundChunkResumesWithoutFork) {
+  auto enclave = start_new(m0_);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(enclave->ecall_create_migratable_counter().ok());
+  }
+  ASSERT_TRUE(enclave->ecall_migration_precopy_round("m1").ok());
+  enclave->ecall_increment_migratable_counter(3);
+
+  // The network swallows the next ME->ME pre-copy chunk record.
+  int dropped = 0;
+  world_.network().set_tamper_hook(
+      [&dropped](const std::string& to, Bytes& request) {
+        auto parsed = MeRequest::deserialize(request);
+        if (to == "m1/me" && parsed.ok() &&
+            parsed.value().type == MeMsgType::kPrecopyChunk) {
+          ++dropped;
+          return false;
+        }
+        return true;
+      });
+  auto failed = enclave->ecall_migration_precopy_round("m1");
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(dropped, 1);
+  world_.network().clear_tamper_hook();
+
+  // The retry re-attests ME-to-ME and re-ships the merged set; the
+  // destination converges by chunk generation.
+  ASSERT_TRUE(enclave->ecall_migration_precopy_round("m1").ok());
+  enclave->ecall_increment_migratable_counter(18);
+  ASSERT_TRUE(enclave->ecall_migration_finalize_detailed("m1").ok());
+  enclave.reset();
+  auto moved = make_app(m1_);
+  ASSERT_EQ(moved->ecall_migration_init(ByteView(), InitState::kMigrate, "m1"),
+            Status::kOk);
+  EXPECT_EQ(moved->ecall_read_migratable_counter(3).value(), 1u);
+  EXPECT_EQ(moved->ecall_read_migratable_counter(18).value(), 1u);
+  EXPECT_EQ(moved->active_counters(), 20u);
+}
+
+TEST_F(PrecopyTest, LostChunkAckResyncsChannel) {
+  auto enclave = start_new(m0_);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(enclave->ecall_create_migratable_counter().ok());
+  }
+  // "Processed but reply lost": the destination stages the round and acks,
+  // the ack evaporates.
+  bool arm = false;
+  world_.network().set_tamper_hook(
+      [&arm](const std::string& to, Bytes& request) {
+        auto parsed = MeRequest::deserialize(request);
+        if (to == "m1/me" && parsed.ok() &&
+            parsed.value().type == MeMsgType::kPrecopyChunk) {
+          arm = true;
+        }
+        return true;
+      });
+  world_.network().set_response_tamper_hook(
+      [&arm](const std::string& to, Bytes&) {
+        if (arm && to == "m1/me") {
+          arm = false;
+          return false;
+        }
+        return true;
+      });
+  EXPECT_FALSE(enclave->ecall_migration_precopy_round("m1").ok());
+  world_.network().clear_tamper_hook();
+  world_.network().clear_response_tamper_hook();
+  EXPECT_EQ(me("m1")->precopy_staging_count(), 1u);  // the round DID land
+
+  enclave->ecall_increment_migratable_counter(1);
+  ASSERT_TRUE(enclave->ecall_migration_precopy_round("m1").ok());
+  ASSERT_TRUE(enclave->ecall_migration_finalize_detailed("m1").ok());
+  enclave.reset();
+  auto moved = make_app(m1_);
+  ASSERT_EQ(moved->ecall_migration_init(ByteView(), InitState::kMigrate, "m1"),
+            Status::kOk);
+  EXPECT_EQ(moved->ecall_read_migratable_counter(1).value(), 1u);
+  EXPECT_EQ(moved->active_counters(), 4u);
+}
+
+TEST_F(PrecopyTest, MeRestartsBetweenRoundsResumeFromDurableQueue) {
+  auto enclave = start_new(m0_);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(enclave->ecall_create_migratable_counter().ok());
+  }
+  ASSERT_TRUE(enclave->ecall_migration_precopy_round("m1").ok());
+  EXPECT_EQ(me("m0")->precopy_outgoing_count(), 1u);
+  EXPECT_EQ(me("m1")->precopy_staging_count(), 1u);
+  const Bytes stale = enclave->sealed_state();
+
+  // Both MEs die and come back between rounds: the source's merged
+  // attempt (with its RA channel) and the destination's staging are
+  // restored from the sealed queues.
+  restart_me("m0");
+  restart_me("m1");
+  EXPECT_EQ(me("m0")->precopy_outgoing_count(), 1u);
+  EXPECT_EQ(me("m1")->precopy_staging_count(), 1u);
+
+  enclave->ecall_increment_migratable_counter(11);
+  ASSERT_TRUE(enclave->ecall_migration_precopy_round("m1").ok());
+  ASSERT_TRUE(enclave->ecall_migration_finalize_detailed("m1").ok());
+  enclave.reset();
+  auto moved = make_app(m1_);
+  ASSERT_EQ(moved->ecall_migration_init(ByteView(), InitState::kMigrate, "m1"),
+            Status::kOk);
+  EXPECT_EQ(moved->ecall_read_migratable_counter(11).value(), 1u);
+  EXPECT_EQ(moved->active_counters(), 20u);
+
+  // No fork: the pre-migration buffer is dead on the source.
+  auto forked = make_app(m0_);
+  EXPECT_EQ(forked->ecall_migration_init(stale, InitState::kRestore, "m0"),
+            Status::kMigrationFrozen);
+}
+
+TEST_F(PrecopyTest, LostFinalizeReplyResumesViaNonceQuery) {
+  auto enclave = start_new(m0_);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(enclave->ecall_create_migratable_counter().ok());
+  }
+  ASSERT_TRUE(enclave->ecall_migration_precopy_round("m1").ok());
+
+  // The local ME processes the finalize (transfer retained, destination
+  // assembled) but its reply to the library is lost: the first response
+  // out of m0's ME after the destination holds the pending entry is
+  // exactly the kFinalizeAccepted record.
+  bool dropped = false;
+  world_.network().set_response_tamper_hook(
+      [&dropped, this](const std::string& to, Bytes&) {
+        if (!dropped && to == "m0/me" &&
+            me("m1")->pending_incoming_count() == 1) {
+          dropped = true;
+          return false;
+        }
+        return true;
+      });
+  const auto fin = enclave->ecall_migration_finalize_detailed("m1");
+  world_.network().clear_response_tamper_hook();
+  EXPECT_TRUE(dropped);
+  // The library noticed the lost reply, re-attested, and resolved the
+  // fate of its nonce from the ME's durable queue: success, no re-ship.
+  ASSERT_TRUE(fin.ok()) << fin.message;
+  EXPECT_EQ(me("m1")->pending_incoming_count(), 1u);
+  EXPECT_EQ(me("m0")->outgoing_count(), 1u);
+  enclave.reset();
+
+  auto moved = make_app(m1_);
+  ASSERT_EQ(moved->ecall_migration_init(ByteView(), InitState::kMigrate, "m1"),
+            Status::kOk);
+  EXPECT_EQ(moved->active_counters(), 6u);
+}
+
+// ----- pending-entry reconciliation (lost-ACCEPTED re-route orphan) ----
+
+TEST_F(PrecopyTest, ReconcileSweepExpiresOrphanAndUnblocksDestination) {
+  auto enclave = start_new(m0_);
+  ASSERT_TRUE(enclave->ecall_create_migratable_counter().ok());
+  enclave->ecall_increment_migratable_counter(0);
+
+  // The destination ME durably stores the pending copy, then the ACCEPTED
+  // ack is lost: the source retains nothing, the library keeps its staged
+  // data and fails the attempt.
+  bool arm = false;
+  world_.network().set_tamper_hook(
+      [&arm](const std::string& to, Bytes& request) {
+        auto parsed = MeRequest::deserialize(request);
+        if (to == "m1/me" && parsed.ok() &&
+            parsed.value().type == MeMsgType::kTransfer) {
+          arm = true;
+        }
+        return true;
+      });
+  world_.network().set_response_tamper_hook(
+      [&arm](const std::string& to, Bytes&) {
+        if (arm && to == "m1/me") {
+          arm = false;
+          return false;
+        }
+        return true;
+      });
+  EXPECT_NE(enclave->ecall_migration_start("m1"), Status::kOk);
+  world_.network().clear_tamper_hook();
+  world_.network().clear_response_tamper_hook();
+  ASSERT_EQ(me("m1")->pending_incoming_count(), 1u);  // the orphan-to-be
+  EXPECT_EQ(me("m0")->outgoing_count(), 0u);
+
+  // Re-route to m2 (fresh nonce).  While that migration is merely PENDING
+  // the sweep must stay conservative: the source ME cannot yet vouch that
+  // the identity moved on.
+  ASSERT_EQ(enclave->ecall_migration_start("m2"), Status::kOk);
+  EXPECT_EQ(me("m1")->reconcile_pending(image_->mr_enclave()),
+            Status::kMigrationInProgress);
+  ASSERT_EQ(me("m1")->pending_incoming_count(), 1u);
+
+  // Destination m2 completes (fetch + confirm -> DONE at m0).
+  enclave.reset();
+  auto moved = make_app(m2_);
+  ASSERT_EQ(moved->ecall_migration_init(ByteView(), InitState::kMigrate, "m2"),
+            Status::kOk);
+  EXPECT_EQ(moved->ecall_read_migratable_counter(0).value(), 1u);
+  EXPECT_EQ(me("m0")->outgoing_state(image_->mr_enclave()),
+            OutgoingState::kCompleted);
+
+  // The enclave later migrates m2 -> m1.  Without the sweep the orphan
+  // would block this pair with kAlreadyExists forever; the automatic
+  // reconciliation against m0 (which now holds a NEWER completed
+  // transfer) expires it and the migration proceeds.
+  ASSERT_EQ(moved->ecall_migration_start("m1"), Status::kOk);
+  EXPECT_EQ(me("m1")->pending_incoming_count(), 1u);
+  moved.reset();
+  auto back = make_app(m1_);
+  ASSERT_EQ(back->ecall_migration_init(ByteView(), InitState::kMigrate, "m1"),
+            Status::kOk);
+  EXPECT_EQ(back->ecall_read_migratable_counter(0).value(), 1u);
+  EXPECT_EQ(back->active_counters(), 1u);
+}
+
+TEST_F(PrecopyTest, OrchestratorResumesFrozenFinalizeOnRetry) {
+  // The finalize is PROCESSED end to end (destination pending, source ME
+  // retained) but the source ME then goes black for the library: the
+  // accept reply AND the fallback nonce queries are all lost, so the
+  // attempt fails retryable with the library frozen and the finalize
+  // staged.  The orchestrator's retry must resume the finalize directly —
+  // pre-copy rounds are impossible once frozen — and land it exactly
+  // once via the ME's nonce dedup.
+  orchestrator::FleetRegistry fleet(world_);
+  orchestrator::LaunchOptions launch;
+  launch.live_transfer = true;
+  const uint64_t id =
+      fleet.launch("m0", "frozen-resume", image_, launch).value();
+  auto* enclave = fleet.enclave(id);
+  enclave->ecall_increment_migratable_counter(
+      enclave->ecall_create_migratable_counter().value().counter_id);
+
+  bool black_hole_armed = true;
+  world_.network().set_response_tamper_hook(
+      [this, &black_hole_armed](const std::string& to, Bytes&) {
+        if (!black_hole_armed || to != "m0/me") return true;
+        return me("m1")->pending_incoming_count() +
+                   me("m2")->pending_incoming_count() ==
+               0;
+      });
+
+  orchestrator::Scheduler scheduler(fleet);
+  orchestrator::OrchestratorOptions options;
+  options.max_attempts = 4;
+  options.transfer_mode = orchestrator::TransferMode::kPrecopy;
+  orchestrator::Orchestrator orch(fleet, scheduler, options);
+  orch.set_wave_hook([&black_hole_armed](uint32_t wave) {
+    if (wave >= 2) black_hole_armed = false;  // the ME "comes back"
+  });
+  const auto report = orch.execute(orchestrator::Plan::drain("m0"));
+  world_.network().clear_response_tamper_hook();
+
+  EXPECT_EQ(report.succeeded(), 1u);
+  EXPECT_EQ(report.failed(), 0u);
+  ASSERT_EQ(report.migrations.size(), 1u);
+  EXPECT_GT(report.migrations[0].attempts, 1u);
+  EXPECT_EQ(fleet.count_on("m0"), 0u);
+  EXPECT_EQ(fleet.enclave(id)->ecall_read_migratable_counter(0).value(), 1u);
+}
+
+// ----- orchestrated pre-copy drain through ME restarts -----
+
+TEST_F(PrecopyTest, Orchestrated32EnclavePrecopyDrainSurvivesMeRestarts) {
+  for (int i = 3; i < 5; ++i) {
+    world_.add_machine("m" + std::to_string(i));
+  }
+  orchestrator::FleetRegistry fleet(world_);
+  orchestrator::LaunchOptions launch;
+  launch.live_transfer = true;
+  for (int i = 0; i < 32; ++i) {
+    const std::string name = "pc-drain-" + std::to_string(i);
+    const auto image = EnclaveImage::create(name, 1, "acme");
+    const uint64_t id = fleet.launch("m0", name, image, launch).value();
+    auto* enclave = fleet.enclave(id);
+    const uint32_t counter =
+        enclave->ecall_create_migratable_counter().value().counter_id;
+    enclave->ecall_increment_migratable_counter(counter);
+  }
+
+  orchestrator::Scheduler scheduler(fleet);
+  orchestrator::OrchestratorOptions options;
+  options.max_inflight_per_machine = 4;
+  options.max_inflight_total = 8;
+  options.max_attempts = 6;
+  options.transfer_mode = orchestrator::TransferMode::kPrecopy;
+  orchestrator::Orchestrator orch(fleet, scheduler, options);
+
+  // Live mutations between rounds AND a source-ME crash mid-drain.
+  size_t completions = 0;
+  fleet.set_completion_callback(
+      [this, &completions](const orchestrator::EnclaveRecord&) {
+        if (++completions == 2) machine("m0").kill_management_enclave();
+      });
+  orch.set_round_hook([&fleet](uint64_t enclave_id, uint32_t) {
+    if (auto* enclave = fleet.enclave(enclave_id)) {
+      enclave->ecall_increment_migratable_counter(0);
+    }
+  });
+  orch.set_wave_hook([this, waves_down = 0u](uint32_t) mutable {
+    if (machine("m0").has_management_enclave()) return;
+    if (++waves_down >= 3) machine("m0").restart_management_enclave();
+  });
+
+  const auto report = orch.execute(orchestrator::Plan::drain("m0"));
+  EXPECT_EQ(report.succeeded(), 32u);
+  EXPECT_EQ(report.failed(), 0u);
+  EXPECT_EQ(fleet.count_on("m0"), 0u);
+  // Freeze windows stay at final-delta scale even under the restart storm.
+  EXPECT_LT(report.mean_freeze_window_seconds(), 1.0);
+  // No forks: every enclave runs exactly once, with its full history.
+  for (const uint64_t id : fleet.all_ids()) {
+    auto* enclave = fleet.enclave(id);
+    ASSERT_NE(enclave, nullptr);
+    // 1 initial increment + one per pre-copy round survived the move.
+    EXPECT_GE(enclave->ecall_read_migratable_counter(0).value(), 1u);
+    EXPECT_FALSE(enclave->migration_frozen());
+  }
+}
+
+}  // namespace
+}  // namespace sgxmig
