@@ -47,10 +47,11 @@ const char* fault_name(Fault fault) {
 }
 
 DrainResult drain(int enclaves, int machines, uint32_t cap, Fault fault,
-                  TransferMode mode) {
+                  TransferMode mode, bool pipelined = false) {
   platform::World world(/*seed=*/9100 + enclaves +
                         (static_cast<int>(fault) * 7) +
-                        (static_cast<int>(mode) * 31));
+                        (static_cast<int>(mode) * 31) +
+                        (pipelined ? 101 : 0));
   // Durable-queue MEs in every machine's management-enclave slot: the
   // me-restart variant kills and revives them mid-drain.
   world.install_management_enclaves(
@@ -84,6 +85,7 @@ DrainResult drain(int enclaves, int machines, uint32_t cap, Fault fault,
   options.max_inflight_total = 2 * cap;
   options.max_attempts = 6;
   options.transfer_mode = mode;
+  options.pipelined = pipelined;
   Orchestrator orch(fleet, scheduler, options);
   size_t completions = 0;
   if (fault == Fault::kMeRestart) {
@@ -121,12 +123,15 @@ void run() {
 
   bench::JsonBench json("fleet_drain");
   const auto row = [&](int enclaves, int machines, uint32_t cap, Fault fault,
-                       TransferMode mode) -> DrainResult {
-    const DrainResult r = drain(enclaves, machines, cap, fault, mode);
+                       TransferMode mode, bool pipelined = false)
+      -> DrainResult {
+    const DrainResult r = drain(enclaves, machines, cap, fault, mode,
+                                pipelined);
     const auto& rep = r.report;
-    std::printf("%9d %9d %5u %8s %14s %10.3f %12.3f %12.3f %8u %13u %11.3f\n",
+    std::printf("%9d %9d %5u %8s %14s%1s %9.3f %12.3f %12.3f %8u %13u %11.3f\n",
                 enclaves, machines, cap, fault_name(fault),
-                orchestrator::transfer_mode_name(mode), to_seconds(r.wall),
+                orchestrator::transfer_mode_name(mode), pipelined ? "*" : "",
+                to_seconds(r.wall),
                 rep.mean_latency_seconds(), rep.max_latency_seconds(),
                 rep.total_retries(), rep.peak_inflight_total,
                 rep.mean_freeze_window_seconds());
@@ -136,6 +141,7 @@ void run() {
         .field("cap", static_cast<uint64_t>(cap))
         .field("faults", std::string(fault_name(fault)))
         .field("mode", std::string(orchestrator::transfer_mode_name(mode)))
+        .field("engine", std::string(pipelined ? "pipelined" : "blocking"))
         .field("wall_seconds", to_seconds(r.wall))
         .field("mean_latency_seconds", rep.mean_latency_seconds())
         .field("max_latency_seconds", rep.max_latency_seconds())
@@ -164,31 +170,76 @@ void run() {
   row(/*enclaves=*/32, /*machines=*/5, /*cap=*/4, Fault::kMeRestart,
       TransferMode::kFullSnapshot);
 
-  // --- cap sweep (ROADMAP): where does source-ME contention stop paying?
-  std::printf("\ncap sweep, 32 enclaves / 5 machines (full snapshot):\n");
-  std::vector<std::pair<uint32_t, double>> sweep;
-  for (const uint32_t cap : {1u, 2u, 4u, 8u, 16u}) {
-    const DrainResult r = row(/*enclaves=*/32, /*machines=*/5, cap,
-                              Fault::kNone, TransferMode::kFullSnapshot);
-    sweep.emplace_back(cap, to_seconds(r.wall));
-  }
-  double best_wall = sweep.front().second;
-  for (const auto& [cap, wall] : sweep) best_wall = std::min(best_wall, wall);
-  // Knee = smallest cap within 5% of the best wall time: raising the cap
-  // past it buys no real overlap (the source ME serializes the transfers).
-  uint32_t knee_cap = sweep.back().first;
-  for (const auto& [cap, wall] : sweep) {
-    if (wall <= best_wall * 1.05) {
-      knee_cap = cap;
-      break;
+  // --- cap sweeps (ROADMAP): blocking as the baseline, pipelined as the
+  // engine that makes the cap a real throughput lever.
+  const auto sweep_knee = [&](bool pipelined, double* best_out,
+                              double* cap1_out) -> uint32_t {
+    std::printf("\ncap sweep, 32 enclaves / 5 machines (full snapshot, %s):\n",
+                pipelined ? "pipelined" : "blocking");
+    std::vector<std::pair<uint32_t, double>> sweep;
+    for (const uint32_t cap : {1u, 2u, 4u, 8u, 16u}) {
+      const DrainResult r =
+          row(/*enclaves=*/32, /*machines=*/5, cap, Fault::kNone,
+              TransferMode::kFullSnapshot, pipelined);
+      sweep.emplace_back(cap, to_seconds(r.wall));
     }
-  }
-  std::printf("cap-sweep knee: cap=%u (within 5%% of best wall %.3fs)\n",
-              knee_cap, best_wall);
+    double best_wall = sweep.front().second;
+    for (const auto& [cap, wall] : sweep) {
+      best_wall = std::min(best_wall, wall);
+    }
+    // Knee = smallest cap within 5% of the best wall time: raising the
+    // cap past it buys no further overlap.
+    uint32_t knee_cap = sweep.back().first;
+    for (const auto& [cap, wall] : sweep) {
+      if (wall <= best_wall * 1.05) {
+        knee_cap = cap;
+        break;
+      }
+    }
+    std::printf("cap-sweep knee (%s): cap=%u (within 5%% of best wall %.3fs; "
+                "cap-1 wall %.3fs)\n",
+                pipelined ? "pipelined" : "blocking", knee_cap, best_wall,
+                sweep.front().second);
+    *best_out = best_wall;
+    *cap1_out = sweep.front().second;
+    return knee_cap;
+  };
+
+  double blocking_best = 0.0, blocking_cap1 = 0.0;
+  const uint32_t blocking_knee =
+      sweep_knee(/*pipelined=*/false, &blocking_best, &blocking_cap1);
+  json.begin_row()
+      .field("sweep", std::string("max_inflight_per_machine-blocking"))
+      .field("knee_cap", static_cast<uint64_t>(blocking_knee))
+      .field("best_wall_seconds", blocking_best)
+      .field("cap1_wall_seconds", blocking_cap1);
+
+  double pipelined_best = 0.0, pipelined_cap1 = 0.0;
+  const uint32_t pipelined_knee =
+      sweep_knee(/*pipelined=*/true, &pipelined_best, &pipelined_cap1);
   json.begin_row()
       .field("sweep", std::string("max_inflight_per_machine"))
-      .field("knee_cap", static_cast<uint64_t>(knee_cap))
-      .field("best_wall_seconds", best_wall);
+      .field("engine", std::string("pipelined"))
+      .field("knee_cap", static_cast<uint64_t>(pipelined_knee))
+      .field("best_wall_seconds", pipelined_best)
+      .field("cap1_wall_seconds", pipelined_cap1)
+      .field("speedup_vs_cap1", pipelined_cap1 / pipelined_best);
+
+  // CI gate: the pipelined engine must move the knee off 1 — the best
+  // cap's wall time must beat the cap-1 (serial) wall by >= 20%.  If this
+  // regresses, raising max_inflight_per_machine stopped buying overlap.
+  if (pipelined_knee < 2 || pipelined_best > 0.8 * pipelined_cap1) {
+    std::printf("GATE FAILED: pipelined knee=%u best=%.3fs cap1=%.3fs "
+                "(need knee >= 2 and best <= 0.8x cap1)\n",
+                pipelined_knee, pipelined_best, pipelined_cap1);
+    std::exit(1);
+  }
+
+  // Pipelined drain through a source-ME crash mid-pipeline: in-flight
+  // TransferTasks resume from the durable queue (v3) with zero failures
+  // (the row lambda exits non-zero on any failed migration).
+  row(/*enclaves=*/32, /*machines=*/5, /*cap=*/4, Fault::kMeRestart,
+      TransferMode::kFullSnapshot, /*pipelined=*/true);
 
   // --- live pre-copy drains: same fleet, freeze window shrinks to the
   // final delta; the ME-restart variant must still converge cleanly from
@@ -197,13 +248,19 @@ void run() {
       TransferMode::kPrecopy);
   row(/*enclaves=*/32, /*machines=*/5, /*cap=*/4, Fault::kMeRestart,
       TransferMode::kPrecopy);
+  // Pipelined pre-copy: rounds interleave across enclaves, restores
+  // overlap across destination lanes.
+  row(/*enclaves=*/32, /*machines=*/5, /*cap=*/4, Fault::kNone,
+      TransferMode::kPrecopy, /*pipelined=*/true);
 
   std::printf(
-      "\nexpected shape: wall time grows ~linearly with the fleet (each\n"
-      "migration pays the per-counter destroy/create plus attestation),\n"
-      "the cap bounds peak inflight, the me-down row shows one retry per\n"
-      "migration initially routed at the dead machine, the me-restart\n"
-      "rows converge with zero failures from the durable transfer queue,\n"
+      "\nexpected shape: blocking wall time grows ~linearly with the fleet\n"
+      "and is FLAT in the cap (the source ME serializes transfers, knee=1);\n"
+      "the pipelined engine (* rows) moves the knee off 1 — wall time drops\n"
+      "with the cap until the source machine's serial work dominates.  The\n"
+      "me-down row shows one retry per migration initially routed at the\n"
+      "dead machine, the me-restart rows converge with zero failures from\n"
+      "the durable transfer queue (including mid-pipeline TransferTasks),\n"
       "and the precopy rows report a mean freeze window orders of\n"
       "magnitude below the full-snapshot rows.\n");
   if (!json.write_file("BENCH_fleet_drain.json")) {

@@ -60,6 +60,28 @@ class MigratableEnclave : public sgx::Enclave {
                                              std::move(policy));
   }
 
+  // ----- pipelined (non-blocking) migration start -----
+
+  /// Stages the migration and queues it at the local ME's TransferTask
+  /// pipeline; kOk means QUEUED.  Poll with ecall_migration_poll_transfer
+  /// while pumping the ME/network.
+  MigrationStartResult ecall_migration_enqueue_detailed(
+      const std::string& destination_address, MigrationPolicy policy = {}) {
+    auto scope = enter_ecall();
+    return library_.migration_enqueue_detailed(destination_address,
+                                               std::move(policy));
+  }
+
+  /// Fate of the queued attempt: kOk = accepted; kMigrationInProgress
+  /// with failure_class kNone = still in flight; anything else =
+  /// classified terminal failure (staged data kept for a retry).
+  MigrationStartResult ecall_migration_poll_transfer() {
+    auto scope = enter_ecall();
+    return library_.migration_poll_transfer();
+  }
+
+  bool transfer_enqueued() const { return library_.transfer_enqueued(); }
+
   // ----- live pre-copy migration -----
 
   /// One iterative pre-copy round: ships the Table II chunks dirtied

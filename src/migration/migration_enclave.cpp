@@ -10,9 +10,12 @@ constexpr char kAcceptedMarker[] = "SGXMIG-ACCEPTED";
 constexpr char kPrecopyAckMarker[] = "SGXMIG-PC-ACK";
 constexpr char kPrecopyFinMarker[] = "SGXMIG-PC-FIN";
 constexpr char kReconcileMarker[] = "SGXMIG-RECON";
+constexpr char kAbortMarker[] = "SGXMIG-ABORT";
 constexpr char kQueueAad[] = "SGXMIG-ME-QUEUE";
 constexpr char kQueueMagicV1[] = "SGXMIG-ME-QUEUE-v1";
 constexpr char kQueueMagicV2[] = "SGXMIG-ME-QUEUE-v2";  // v1 + pre-copy state
+// v2 + pipelined TransferTasks, inbound peer addresses, staging ages.
+constexpr char kQueueMagicV3[] = "SGXMIG-ME-QUEUE-v3";
 // Confirmed-transfer history bound: enough to absorb duplicate DONEs from
 // any realistic relay-retry window without growing with fleet lifetime.
 constexpr size_t kCompletedHistoryLimit = 4096;
@@ -46,7 +49,17 @@ MigrationEnclave::MigrationEnclave(sgx::PlatformIface& platform,
 MigrationEnclave::~MigrationEnclave() {
   if (auto* net = platform().network()) {
     net->unregister_endpoint(platform().address() + "/me");
+    // Replies still in flight for this instance's TransferTask steps must
+    // never resume into a destroyed enclave (the crash simulation kills
+    // the object while conversations are live); the requests themselves
+    // stay on the wire, which is exactly the real-world ambiguity the
+    // nonce dedup exists for.
+    net->cancel_posts(net_endpoint());
   }
+}
+
+std::string MigrationEnclave::net_endpoint() const {
+  return platform().address() + "/me";
 }
 
 std::shared_ptr<const sgx::EnclaveImage> MigrationEnclave::standard_image() {
@@ -110,6 +123,13 @@ Result<Bytes> MigrationEnclave::handle_request(ByteView raw) {
       platform().clock().now() - last_relay_retry_ >= relay_retry_interval_) {
     retry_done_relays();
   }
+  // Same opportunism for abandoned pre-copy staging: inbound traffic is a
+  // cheap moment to age out entries whose source will never finalize.
+  if (!precopy_staging_.empty() &&
+      platform().clock().now() - last_staging_sweep_ >=
+          precopy_staging_max_age_) {
+    sweep_stale_precopy_staging();
+  }
   auto parsed = MeRequest::deserialize(raw);
   if (!parsed.ok()) return error_response(Status::kTampered).serialize();
   const MeRequest& req = parsed.value();
@@ -126,6 +146,7 @@ Result<Bytes> MigrationEnclave::handle_request(ByteView raw) {
     case MeMsgType::kPrecopyChunk: resp = on_precopy_chunk(req); break;
     case MeMsgType::kPrecopyFinalize: resp = on_precopy_finalize(req); break;
     case MeMsgType::kReconcile: resp = on_reconcile(req); break;
+    case MeMsgType::kAbort: resp = on_abort(req); break;
   }
   return resp.serialize();
 }
@@ -197,7 +218,7 @@ MeResponse MigrationEnclave::on_la_record(const MeRequest& req) {
       reply = on_fetch_incoming(req.id, session);
       break;
     case LibMsgType::kConfirmMigration:
-      reply = on_confirm_migration(req.id, session);
+      reply = on_confirm_migration(req.id, session, msg.value());
       break;
     case LibMsgType::kQueryStatus:
       reply = on_query_status(session, msg.value());
@@ -207,6 +228,15 @@ MeResponse MigrationEnclave::on_la_record(const MeRequest& req) {
       break;
     case LibMsgType::kPrecopyFinalizeReq:
       reply = on_precopy_finalize_req(session, msg.value());
+      break;
+    case LibMsgType::kMigrateEnqueue:
+      reply = on_migrate_enqueue(session, msg.value());
+      break;
+    case LibMsgType::kPollTransfer:
+      reply = on_poll_transfer(session, msg.value());
+      break;
+    case LibMsgType::kAbortStale:
+      reply = on_abort_stale(session, msg.value());
       break;
     default:
       reply.type = LibMsgType::kError;
@@ -286,17 +316,50 @@ LibMsg MigrationEnclave::on_fetch_incoming(uint64_t session_id,
     if (!pinned_gone) la_sessions_.erase(pinned);
   }
   it->second.delivering_session = session_id;
+  // The token rides inside the sealed reply: possession later proves the
+  // confirmer is the instance this very record reached.
+  it->second.delivery_token = fresh_id();
   reply.type = LibMsgType::kIncomingData;
   reply.status = Status::kOk;
-  reply.payload = it->second.data.serialize();
+  BinaryWriter w;
+  w.bytes(it->second.data.serialize());
+  w.u64(it->second.delivery_token);
+  reply.payload = w.take();
   return reply;
 }
 
 LibMsg MigrationEnclave::on_confirm_migration(uint64_t session_id,
-                                              LaSessionState& session) {
+                                              LaSessionState& session,
+                                              const LibMsg& msg) {
   LibMsg reply;
+  // Optional payload: the delivery token from the fetch reply.  An
+  // instance that re-attested (channel desync, corrupted record forcing
+  // a fresh LA session) confirms from a session that is NOT the pinned
+  // one; the token — which only the fetch reply's recipient can hold —
+  // re-establishes ownership.
+  uint64_t token = 0;
+  if (!msg.payload.empty()) {
+    BinaryReader r(msg.payload);
+    token = r.u64();
+    if (!r.done()) {
+      reply.type = LibMsgType::kError;
+      reply.status = Status::kTampered;
+      return reply;
+    }
+  }
   const auto it = pending_.find(session.peer.mr_enclave);
-  if (it == pending_.end() || it->second.delivering_session != session_id) {
+  const bool owner =
+      it != pending_.end() &&
+      (it->second.delivering_session == session_id ||
+       (token != 0 && token == it->second.delivery_token));
+  if (it != pending_.end() && owner &&
+      it->second.delivering_session != session_id) {
+    // Token-based takeover: revoke the stale pinned session so the old
+    // channel cannot race this one.
+    la_sessions_.erase(it->second.delivering_session);
+    it->second.delivering_session = session_id;
+  }
+  if (!owner) {
     // Idempotent re-confirm: if a migration for this identity was already
     // confirmed (the previous ConfirmAck reply was lost and the library
     // re-attested to retry), acknowledge again rather than failing the
@@ -504,6 +567,31 @@ Result<net::SecureChannel> MigrationEnclave::attest_peer_me(
                             net::SecureChannel::Role::kInitiator);
 }
 
+Status MigrationEnclave::dedup_against_queue(
+    const sgx::Measurement& source_mr, uint64_t nonce,
+    const std::string& destination_address) {
+  // Exactly-once dedup: a library whose previous attempt's REPLY was lost
+  // re-sends the same request (same nonce, same destination — the library
+  // draws a fresh nonce when it re-routes).  If that attempt already
+  // retained (or even completed) a transfer, report success instead of
+  // shipping the data a second time.
+  if (nonce == 0) return Status::kNoPendingMigration;
+  for (const auto& [id, transfer] : outgoing_) {
+    if (transfer.source_mr == source_mr && transfer.request_nonce == nonce &&
+        transfer.destination_address == destination_address) {
+      // Re-fence before acking: if the original attempt's persist
+      // failed, this success must not stand on a non-durable entry.
+      return persist_queue();
+    }
+  }
+  for (const auto& [id, record] : completed_outgoing_) {
+    if (record.source_mr == source_mr && record.request_nonce == nonce) {
+      return Status::kOk;
+    }
+  }
+  return Status::kNoPendingMigration;
+}
+
 Status MigrationEnclave::run_outgoing(sgx::Measurement source_mr,
                                       const MigrateRequestPayload& request) {
   auto* net = platform().network();
@@ -511,26 +599,20 @@ Status MigrationEnclave::run_outgoing(sgx::Measurement source_mr,
   if (request.destination_address == platform().address()) {
     return Status::kInvalidParameter;
   }
-  // Exactly-once dedup: a library whose previous attempt's REPLY was lost
-  // re-sends the same request (same nonce, same destination — the library
-  // draws a fresh nonce when it re-routes).  If that attempt already
-  // retained (or even completed) a transfer, report success instead of
-  // shipping the data a second time.
+  const Status dedup = dedup_against_queue(source_mr, request.request_nonce,
+                                           request.destination_address);
+  if (dedup != Status::kNoPendingMigration) return dedup;
+  // A queued TransferTask for this nonce (caller mixed the non-blocking
+  // and blocking APIs) is superseded by this synchronous attempt: left
+  // alive, both paths would retain the same transfer once each.  Any
+  // record the dead task already put on the wire re-ships the same nonce,
+  // which the destination supersedes idempotently — never a fork.
   if (request.request_nonce != 0) {
-    for (const auto& [id, transfer] : outgoing_) {
-      if (transfer.source_mr == source_mr &&
-          transfer.request_nonce == request.request_nonce &&
-          transfer.destination_address == request.destination_address) {
-        // Re-fence before acking: if the original attempt's persist
-        // failed, this success must not stand on a non-durable entry.
-        return persist_queue();
-      }
-    }
-    for (const auto& [id, record] : completed_outgoing_) {
-      if (record.source_mr == source_mr &&
-          record.request_nonce == request.request_nonce) {
-        return Status::kOk;
-      }
+    const auto task = transfer_tasks_.find(request.request_nonce);
+    if (task != transfer_tasks_.end() && task->second.source_mr == source_mr) {
+      transfer_tasks_.erase(task);
+      const Status persisted = persist_queue();
+      if (persisted != Status::kOk) return persisted;
     }
   }
   const std::string dest_endpoint = request.destination_address + "/me";
@@ -582,6 +664,567 @@ Status MigrationEnclave::run_outgoing(sgx::Measurement source_mr,
   latest_outgoing_[source_mr] = {transfer.sequence, OutgoingState::kPending};
   outgoing_[transfer_id] = std::move(transfer);
   return persist_queue();
+}
+
+// ----- pipelined outgoing transfers (TransferTask step machine) -----
+//
+// The same protocol as run_outgoing, decomposed at its network round
+// trips: each step parses the previous reply, advances the task, and
+// posts the next message through the deferred-delivery pump.  N tasks
+// interleave over independent RA channels; the source ME's compute still
+// serializes (one enclave), but wire latency and the destination MEs'
+// work genuinely overlap — which is what turns the orchestrator's
+// in-flight cap into a throughput lever.
+
+LibMsg MigrationEnclave::on_migrate_enqueue(LaSessionState& session,
+                                            const LibMsg& msg) {
+  LibMsg reply;
+  reply.type = LibMsgType::kError;
+  auto request = MigrateRequestPayload::deserialize(msg.payload);
+  if (!request.ok()) {
+    reply.status = Status::kTampered;
+    return reply;
+  }
+  const uint64_t nonce = request.value().request_nonce;
+  if (nonce == 0 ||
+      request.value().destination_address == platform().address()) {
+    // The pipeline is built on nonce-scoped exactly-once semantics;
+    // legacy nonce-less callers must use the blocking path.
+    reply.status = Status::kInvalidParameter;
+    return reply;
+  }
+  const sgx::Measurement& mr = session.peer.mr_enclave;
+  // Already retained/completed (re-sent enqueue after a lost reply):
+  // idempotent queue — the poll will observe kAccepted.
+  const Status dedup =
+      dedup_against_queue(mr, nonce, request.value().destination_address);
+  if (dedup != Status::kNoPendingMigration) {
+    reply.type = dedup == Status::kOk ? LibMsgType::kMigrateQueued
+                                      : LibMsgType::kError;
+    reply.status = dedup;
+    return reply;
+  }
+  const auto existing = transfer_tasks_.find(nonce);
+  if (existing != transfer_tasks_.end()) {
+    if (!(existing->second.source_mr == mr)) {
+      reply.status = Status::kAlreadyExists;  // foreign nonce collision
+      return reply;
+    }
+    if (existing->second.request.destination_address !=
+        request.value().destination_address) {
+      // One nonce binds one (attempt, destination): the library draws a
+      // fresh nonce on every re-route, so a destination mismatch is a
+      // broken client.  Honoring it would also desync the durable task
+      // (which resurrects with the OLD destination after a restart).
+      reply.status = Status::kInvalidParameter;
+      return reply;
+    }
+    if (existing->second.step == TransferTask::Step::kFailed) {
+      // An unpolled stale failure superseded by a retry of the same
+      // attempt: restart it.  The durable form (nonce, mr, request) is
+      // unchanged — tasks persist as kQueued — so no re-fence is needed
+      // before the ack.
+      existing->second.step = TransferTask::Step::kQueued;
+      existing->second.failure = Status::kOk;
+      existing->second.ra.reset();
+      existing->second.channel.reset();
+      kick_task(nonce);
+    }
+    // Mid-flight: idempotent re-queue.
+    reply.type = LibMsgType::kMigrateQueued;
+    reply.status = Status::kOk;
+    return reply;
+  }
+  TransferTask task;
+  task.source_mr = mr;
+  task.request = std::move(request).value();
+  transfer_tasks_[nonce] = std::move(task);
+  // Durable BEFORE the queued ack: a restarted ME must resume this
+  // pipeline — the library holds no copy of the conversation, only the
+  // right to poll its fate.
+  const Status persisted = persist_queue();
+  if (persisted != Status::kOk) {
+    transfer_tasks_.erase(nonce);
+    reply.status = persisted;
+    return reply;
+  }
+  kick_task(nonce);
+  reply.type = LibMsgType::kMigrateQueued;
+  reply.status = Status::kOk;
+  return reply;
+}
+
+size_t MigrationEnclave::pump() {
+  auto scope = enter_ecall();
+  size_t live = 0;
+  std::vector<uint64_t> queued;
+  for (const auto& [nonce, task] : transfer_tasks_) {
+    if (task.step == TransferTask::Step::kQueued) queued.push_back(nonce);
+    if (task.step != TransferTask::Step::kFailed) ++live;
+  }
+  for (const uint64_t nonce : queued) kick_task(nonce);
+  return live;
+}
+
+void MigrationEnclave::kick_task(uint64_t nonce) {
+  const auto it = transfer_tasks_.find(nonce);
+  if (it == transfer_tasks_.end() ||
+      it->second.step != TransferTask::Step::kQueued) {
+    return;
+  }
+  TransferTask& task = it->second;
+  auto* net = platform().network();
+  if (net == nullptr) {
+    fail_task(nonce, Status::kNetworkUnreachable);
+    return;
+  }
+  const uint64_t transfer_id = fresh_id();
+  // An id collision must never clobber live conversation state; the
+  // retryable-busy failure surfaces through the poll and the retry draws
+  // a fresh id (mirrors run_outgoing).
+  if (outgoing_.count(transfer_id) != 0 ||
+      completed_outgoing_.count(transfer_id) != 0 ||
+      inbound_.count(transfer_id) != 0) {
+    fail_task(nonce, Status::kAlreadyExists);
+    return;
+  }
+  task.transfer_id = transfer_id;
+  task.ra = std::make_unique<sgx::RaSession>(platform(), identity(),
+                                             sgx::RaSession::Role::kInitiator);
+  MeRequest m1;
+  m1.type = MeMsgType::kRaMsg1;
+  m1.id = transfer_id;
+  m1.payload = task.ra->create_msg1().serialize();
+  task.step = TransferTask::Step::kAwaitRaMsg2;
+  net->post(task.request.destination_address + "/me", m1.serialize(),
+            net_endpoint(),
+            [this, nonce](Result<Bytes> raw) {
+              task_on_ra_msg2(nonce, std::move(raw));
+            });
+}
+
+Result<Bytes> MigrationEnclave::open_task_reply(const Result<Bytes>& raw) {
+  if (!raw.ok()) return raw.status();
+  auto resp = MeResponse::deserialize(raw.value());
+  if (!resp.ok()) return Status::kTampered;
+  if (resp.value().status != Status::kOk) return resp.value().status;
+  return resp.value().payload;
+}
+
+void MigrationEnclave::task_on_ra_msg2(uint64_t nonce, Result<Bytes> raw) {
+  auto scope = enter_ecall();
+  const auto it = transfer_tasks_.find(nonce);
+  if (it == transfer_tasks_.end() ||
+      it->second.step != TransferTask::Step::kAwaitRaMsg2) {
+    return;  // superseded (restart, re-kick) — the reply is stale
+  }
+  TransferTask& task = it->second;
+  auto reply = open_task_reply(raw);
+  if (!reply.ok()) return fail_task(nonce, reply.status());
+  auto msg2 = sgx::RaMsg2::deserialize(reply.value());
+  if (!msg2.ok()) return fail_task(nonce, Status::kTampered);
+  auto msg3 = task.ra->handle_msg2(msg2.value());
+  if (!msg3.ok()) return fail_task(nonce, msg3.status());
+  // The destination ME must run exactly this ME's code (paper §VI-A).
+  if (!(task.ra->peer_identity().mr_enclave == identity().mr_enclave)) {
+    return fail_task(nonce, Status::kIdentityMismatch);
+  }
+  BinaryWriter m3_payload;
+  m3_payload.bytes(msg3.value().serialize());
+  m3_payload.bytes(make_provider_auth(task.ra->transcript_hash()).serialize());
+  MeRequest m3;
+  m3.type = MeMsgType::kRaMsg3;
+  m3.id = task.transfer_id;
+  m3.payload = m3_payload.take();
+  task.step = TransferTask::Step::kAwaitAuth;
+  platform().network()->post(
+      task.request.destination_address + "/me", m3.serialize(), net_endpoint(),
+      [this, nonce](Result<Bytes> raw2) {
+        task_on_auth(nonce, std::move(raw2));
+      });
+}
+
+void MigrationEnclave::task_on_auth(uint64_t nonce, Result<Bytes> raw) {
+  auto scope = enter_ecall();
+  const auto it = transfer_tasks_.find(nonce);
+  if (it == transfer_tasks_.end() ||
+      it->second.step != TransferTask::Step::kAwaitAuth) {
+    return;
+  }
+  TransferTask& task = it->second;
+  auto reply = open_task_reply(raw);
+  if (!reply.ok()) return fail_task(nonce, reply.status());
+  auto peer_auth = ProviderAuth::deserialize(reply.value());
+  if (!peer_auth.ok()) return fail_task(nonce, Status::kTampered);
+  std::string peer_region;
+  const Status auth_status = verify_provider_auth(
+      peer_auth.value(), task.ra->transcript_hash(),
+      task.request.destination_address, &peer_region);
+  if (auth_status != Status::kOk) return fail_task(nonce, auth_status);
+  // Migration policy against the destination's CERTIFIED attributes.
+  const Status policy_status =
+      task.request.policy.evaluate(peer_auth.value().credential);
+  if (policy_status != Status::kOk) return fail_task(nonce, policy_status);
+  (void)peer_region;
+
+  task.channel.emplace(task.ra->session_key(),
+                       net::SecureChannel::Role::kInitiator);
+  task.ra.reset();
+  TransferPayload payload;
+  payload.source_mr_enclave = task.source_mr;
+  payload.source_me_address = platform().address();
+  payload.request_nonce = nonce;
+  payload.data = task.request.data;
+  const Bytes payload_bytes = payload.serialize();
+  charge_gcm(payload_bytes.size());
+  MeRequest t;
+  t.type = MeMsgType::kTransfer;
+  t.id = task.transfer_id;
+  t.payload = task.channel->seal_record(payload_bytes);
+  task.step = TransferTask::Step::kAwaitAccept;
+  platform().network()->post(
+      task.request.destination_address + "/me", t.serialize(), net_endpoint(),
+      [this, nonce](Result<Bytes> raw2) {
+        task_on_accept(nonce, std::move(raw2));
+      });
+}
+
+void MigrationEnclave::task_on_accept(uint64_t nonce, Result<Bytes> raw) {
+  auto scope = enter_ecall();
+  const auto it = transfer_tasks_.find(nonce);
+  if (it == transfer_tasks_.end() ||
+      it->second.step != TransferTask::Step::kAwaitAccept) {
+    return;
+  }
+  TransferTask& task = it->second;
+  auto reply = open_task_reply(raw);
+  if (!reply.ok()) return fail_task(nonce, reply.status());
+  auto ack = task.channel->open_record(reply.value());
+  if (!ack.ok()) return fail_task(nonce, ack.status());
+  if (to_string(ack.value()) != kAcceptedMarker) {
+    return fail_task(nonce, Status::kTampered);
+  }
+
+  // Destination accepted: retain until DONE, durably — exactly the
+  // run_outgoing tail.  The task dissolves into the retained transfer
+  // BEFORE the snapshot is cut, so a restore never resurrects both (a
+  // resumed task would re-ship a nonce that is already retained).
+  const sgx::Measurement source_mr = task.source_mr;
+  const uint64_t transfer_id = task.transfer_id;
+  OutgoingTransfer transfer;
+  transfer.source_mr = source_mr;
+  transfer.destination_address = task.request.destination_address;
+  transfer.request_nonce = nonce;
+  transfer.retained_data = task.request.data.serialize();
+  transfer.channel = std::move(task.channel);
+  transfer.sequence = next_outgoing_sequence_++;
+  const uint64_t sequence = transfer.sequence;
+  latest_outgoing_[source_mr] = {sequence, OutgoingState::kPending};
+  outgoing_[transfer_id] = std::move(transfer);
+  // Moved, not copied: kept only for the rare persist-failure unwind.
+  MigrateRequestPayload request = std::move(task.request);
+  transfer_tasks_.erase(it);
+  const Status persisted = persist_queue();
+  if (persisted != Status::kOk) {
+    // The retained entry must not stand non-durable: unwind it AND the
+    // per-identity index entry it brought (a dangling kPending there is
+    // never evicted), then surface the failure through a terminal task
+    // that still carries the real request — a restart resurrects it as
+    // a well-formed kQueued retry, not an empty husk.
+    outgoing_.erase(transfer_id);
+    const auto latest = latest_outgoing_.find(source_mr);
+    if (latest != latest_outgoing_.end() &&
+        latest->second.first == sequence) {
+      latest_outgoing_.erase(latest);
+    }
+    TransferTask failed;
+    failed.source_mr = source_mr;
+    failed.request = std::move(request);
+    failed.step = TransferTask::Step::kFailed;
+    failed.failure = persisted;
+    transfer_tasks_[nonce] = std::move(failed);
+  }
+}
+
+void MigrationEnclave::fail_task(uint64_t nonce, Status status) {
+  const auto it = transfer_tasks_.find(nonce);
+  if (it == transfer_tasks_.end()) return;
+  it->second.step = TransferTask::Step::kFailed;
+  it->second.failure = status;
+  it->second.ra.reset();
+  it->second.channel.reset();
+}
+
+LibMsg MigrationEnclave::on_poll_transfer(LaSessionState& session,
+                                          const LibMsg& msg) {
+  LibMsg reply;
+  reply.type = LibMsgType::kError;
+  auto parsed = PollTransferPayload::deserialize(msg.payload);
+  if (!parsed.ok()) {
+    reply.status = Status::kTampered;
+    return reply;
+  }
+  const uint64_t nonce = parsed.value().request_nonce;
+  const sgx::Measurement& mr = session.peer.mr_enclave;
+  TransferProgressPayload progress;
+  const auto it = transfer_tasks_.find(nonce);
+  if (it != transfer_tasks_.end() && it->second.source_mr == mr) {
+    if (it->second.step == TransferTask::Step::kFailed) {
+      progress.progress = TransferProgress::kFailed;
+      progress.failure = it->second.failure;
+      // The failure is consumed by this report: the library owns the
+      // retry decision from here (possibly re-enqueueing under the same
+      // nonce, or re-routing under a fresh one).  The consumption must
+      // be durable like every other queue transition — a snapshot still
+      // carrying the task would resurrect the abandoned attempt as
+      // kQueued after a restart and re-ship it to a destination the
+      // library may have left behind.
+      TransferTask failed = std::move(it->second);
+      transfer_tasks_.erase(it);
+      const Status persisted = persist_queue();
+      if (persisted != Status::kOk) {
+        // Reinstate the WHOLE task (request included): a restart must
+        // resurrect a well-formed kQueued retry, not an empty husk
+        // whose re-kick would mask the original failure.
+        transfer_tasks_[nonce] = std::move(failed);
+        reply.status = persisted;
+        return reply;
+      }
+    } else {
+      progress.progress = TransferProgress::kInFlight;
+    }
+  } else {
+    bool accepted = false;
+    for (const auto& [id, transfer] : outgoing_) {
+      if (transfer.source_mr == mr && transfer.request_nonce == nonce) {
+        accepted = true;
+        break;
+      }
+    }
+    if (!accepted) {
+      for (const auto& [id, record] : completed_outgoing_) {
+        if (record.source_mr == mr && record.request_nonce == nonce) {
+          accepted = true;
+          break;
+        }
+      }
+    }
+    progress.progress =
+        accepted ? TransferProgress::kAccepted : TransferProgress::kNone;
+  }
+  reply.type = LibMsgType::kTransferProgress;
+  reply.status = Status::kOk;
+  reply.payload = progress.serialize();
+  return reply;
+}
+
+// ----- proactive abort on re-route -----
+
+Status MigrationEnclave::abort_remote_pending(
+    const sgx::Measurement& source_mr, uint64_t nonce,
+    const std::string& destination_address) {
+  auto* net = platform().network();
+  if (net == nullptr) return Status::kNetworkUnreachable;
+  if (nonce == 0 || destination_address.empty() ||
+      destination_address == platform().address()) {
+    return Status::kInvalidParameter;
+  }
+  // The abort authorizes the destination to delete migration state, so it
+  // must arrive over a mutually attested, provider-authenticated channel
+  // — the destination additionally checks the entry really originated
+  // from THIS machine.
+  const uint64_t abort_id = fresh_id();
+  auto channel =
+      attest_peer_me(destination_address, abort_id, MigrationPolicy{});
+  if (!channel.ok()) return channel.status();
+  AbortRequest request;
+  request.source_mr_enclave = source_mr;
+  request.request_nonce = nonce;
+  MeRequest req;
+  req.type = MeMsgType::kAbort;
+  req.id = abort_id;
+  req.payload = channel.value().seal_record(request.serialize());
+  auto raw = net->rpc(destination_address + "/me", req.serialize());
+  if (!raw.ok()) return raw.status();
+  auto resp = MeResponse::deserialize(raw.value());
+  if (!resp.ok()) return Status::kTampered;
+  if (resp.value().status != Status::kOk) return resp.value().status;
+  auto record = channel.value().open_record(resp.value().payload);
+  if (!record.ok()) return record.status();
+  BinaryReader r(record.value());
+  const std::string marker = r.str(64);
+  const uint8_t safe = r.u8();
+  if (!r.done() || marker != kAbortMarker || safe > 1) {
+    return Status::kTampered;
+  }
+  // safe == 0: the destination holds a DELIVERED entry for this nonce —
+  // an instance may still confirm it, so nothing may be forgotten here.
+  return safe == 1 ? Status::kOk : Status::kMigrationInProgress;
+}
+
+LibMsg MigrationEnclave::on_abort_stale(LaSessionState& session,
+                                        const LibMsg& msg) {
+  LibMsg reply;
+  reply.type = LibMsgType::kError;
+  auto parsed = AbortStalePayload::deserialize(msg.payload);
+  if (!parsed.ok()) {
+    reply.status = Status::kTampered;
+    return reply;
+  }
+  const uint64_t nonce = parsed.value().request_nonce;
+  const sgx::Measurement& mr = session.peer.mr_enclave;
+  // The re-routed attempt's own source-side staging is orphaned too: an
+  // abandoned pre-copy attempt or an unpolled/unfinished TransferTask for
+  // this nonce will never finalize — drop them before telling the
+  // destination.
+  bool dropped = false;
+  const auto precopy = precopy_outgoing_.find(nonce);
+  if (precopy != precopy_outgoing_.end() && precopy->second.source_mr == mr) {
+    precopy_outgoing_.erase(precopy);
+    dropped = true;
+  }
+  const auto task = transfer_tasks_.find(nonce);
+  if (task != transfer_tasks_.end() && task->second.source_mr == mr) {
+    transfer_tasks_.erase(task);
+    dropped = true;
+  }
+  if (dropped) {
+    // Fence BEFORE the remote abort: if the local drop cannot be made
+    // durable, do not expire the destination's copy either — a restart
+    // would resurrect the dropped task and re-ship the abandoned
+    // attempt, recreating the very orphan this path exists to prevent.
+    const Status persisted = persist_queue();
+    if (persisted != Status::kOk) {
+      reply.status = persisted;
+      return reply;
+    }
+  }
+  // Best-effort remote expiry: a failure leaves the pull-based reconcile
+  // sweep as the backstop, exactly as before.
+  const Status remote = abort_remote_pending(
+      mr, nonce, parsed.value().destination_address);
+  bool wiped = false;
+  if (remote == Status::kOk) {
+    // The destination vouches it holds nothing undelivered for this
+    // nonce: a retained copy of the abandoned attempt (its ACCEPTED
+    // landed but the library never learned) has no one left to serve —
+    // wipe it so a re-routed migration does not leak one retained
+    // snapshot per abandoned destination.
+    for (auto it = outgoing_.begin(); it != outgoing_.end();) {
+      if (it->second.source_mr == mr && it->second.request_nonce == nonce) {
+        secure_wipe(it->second.retained_data);
+        // Keep the per-identity index consistent: an aborted attempt
+        // must read as kNone (like a fresh ME), not linger as a
+        // never-evictable kPending entry.  The re-routed attempt will
+        // re-populate it with its own sequence.
+        const auto latest = latest_outgoing_.find(mr);
+        if (latest != latest_outgoing_.end() &&
+            latest->second.first == it->second.sequence) {
+          latest_outgoing_.erase(latest);
+        }
+        it = outgoing_.erase(it);
+        wiped = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+  reply.type = LibMsgType::kAbortAck;
+  reply.status = remote;
+  if (wiped) {
+    // Fenced like every queue transition; on failure surface the persist
+    // status instead of the remote verdict (the wiped entry resurrects
+    // from the stale snapshot after a restart — the caller must not
+    // read that as a clean abort).
+    const Status persisted = persist_queue();
+    if (persisted != Status::kOk) reply.status = persisted;
+  }
+  return reply;
+}
+
+MeResponse MigrationEnclave::on_abort(const MeRequest& req) {
+  const auto it = inbound_.find(req.id);
+  if (it == inbound_.end() || !it->second.authenticated) {
+    return error_response(Status::kInvalidState);
+  }
+  auto plaintext = it->second.channel->open_record(req.payload);
+  if (!plaintext.ok()) return error_response(plaintext.status());
+  auto parsed = AbortRequest::deserialize(plaintext.value());
+  if (!parsed.ok()) return error_response(Status::kTampered);
+  const sgx::Measurement& mr = parsed.value().source_mr_enclave;
+  const uint64_t nonce = parsed.value().request_nonce;
+  const std::string& peer_address = it->second.source_address;
+
+  // Only the ORIGINATING source ME may expire its own attempt, and never
+  // once the data was handed to an enclave instance (the delivery pin's
+  // fork prevention outranks everything).
+  bool expired = false;
+  bool delivered_block = false;
+  const auto pending = pending_.find(mr);
+  if (pending != pending_.end() && pending->second.request_nonce == nonce &&
+      pending->second.source_me_address == peer_address) {
+    if (pending->second.delivering_session == 0) {
+      inbound_.erase(pending->second.transfer_id);
+      pending_.erase(pending);
+      expired = true;
+    } else {
+      delivered_block = true;
+    }
+  }
+  const auto staging = precopy_staging_.find(mr);
+  if (staging != precopy_staging_.end() &&
+      staging->second.request_nonce == nonce &&
+      staging->second.source_me_address == peer_address) {
+    if (staging->second.transfer_id != req.id) {
+      inbound_.erase(staging->second.transfer_id);
+    }
+    precopy_staging_.erase(staging);
+    expired = true;
+  }
+
+  BinaryWriter w;
+  w.str(kAbortMarker);
+  // 1 = no undelivered entry remains (safe for the source to forget the
+  // attempt); 0 = an instance fetched the data and may still confirm.
+  w.u8(delivered_block ? 0 : 1);
+  MeResponse resp;
+  resp.status = Status::kOk;
+  // Re-find: the erases above may have touched inbound_ (never this
+  // one-shot entry, but keep the access defensive and obvious).
+  const auto self = inbound_.find(req.id);
+  if (self == inbound_.end() || !self->second.channel.has_value()) {
+    return error_response(Status::kInvalidState);
+  }
+  resp.payload = self->second.channel->seal_record(w.data());
+  // One-shot conversation, like reconcile.
+  inbound_.erase(self);
+  if (expired) {
+    const Status persisted = persist_queue();
+    if (persisted != Status::kOk) return error_response(persisted);
+  }
+  return resp;
+}
+
+size_t MigrationEnclave::sweep_stale_precopy_staging() {
+  last_staging_sweep_ = platform().clock().now();
+  if (precopy_staging_max_age_ == Duration::max()) return 0;
+  size_t swept = 0;
+  for (auto it = precopy_staging_.begin(); it != precopy_staging_.end();) {
+    const Duration age =
+        platform().clock().now() - it->second.last_update;
+    if (age >= precopy_staging_max_age_) {
+      // Staging is never handed to an enclave, so expiring it cannot
+      // fork; a source that does come back re-ships the full set after
+      // kPrecopyIncomplete.
+      inbound_.erase(it->second.transfer_id);
+      it = precopy_staging_.erase(it);
+      ++swept;
+    } else {
+      ++it;
+    }
+  }
+  if (swept > 0) persist_queue();
+  return swept;
 }
 
 // ----- live pre-copy (source side) -----
@@ -731,9 +1374,24 @@ LibMsg MigrationEnclave::on_precopy_round(LaSessionState& session,
     reply.status = attempt.status();
     return reply;
   }
-  const Status sent =
+  Status sent =
       precopy_send(*attempt.value(), round.request_nonce, round.chunks,
                    round.round, /*finalize=*/false, {}, sgx::Key128{});
+  if (sent == Status::kInvalidState) {
+    // The destination no longer knows this conversation (its staging was
+    // aged out, or its queue wiped): precopy_send already dropped the
+    // channel, so one fresh attempt re-attests under a new transfer id
+    // and re-ships the whole merged set.
+    attempt = precopy_attempt(session.peer.mr_enclave,
+                              round.destination_address, round.request_nonce,
+                              round.policy);
+    if (attempt.ok()) {
+      sent = precopy_send(*attempt.value(), round.request_nonce, round.chunks,
+                          round.round, /*finalize=*/false, {}, sgx::Key128{});
+    } else {
+      sent = attempt.status();
+    }
+  }
   if (sent != Status::kOk) {
     reply.status = sent;
     return reply;
@@ -785,14 +1443,27 @@ LibMsg MigrationEnclave::on_precopy_finalize_req(LaSessionState& session,
     reply.status = attempt.status();
     return reply;
   }
-  PrecopyOutgoing& live = *attempt.value();
-  const Status sent =
-      precopy_send(live, fin.request_nonce, fin.chunks, fin.round,
+  Status sent =
+      precopy_send(*attempt.value(), fin.request_nonce, fin.chunks, fin.round,
                    /*finalize=*/true, fin.manifest, fin.msk);
+  if (sent == Status::kInvalidState) {
+    // Destination lost the conversation (aged-out staging / wiped
+    // queue): re-attest once and re-ship the merged set (mirrors
+    // on_precopy_round).
+    attempt = precopy_attempt(session.peer.mr_enclave, fin.destination_address,
+                              fin.request_nonce, fin.policy);
+    if (attempt.ok()) {
+      sent = precopy_send(*attempt.value(), fin.request_nonce, fin.chunks,
+                          fin.round, /*finalize=*/true, fin.manifest, fin.msk);
+    } else {
+      sent = attempt.status();
+    }
+  }
   if (sent != Status::kOk) {
     reply.status = sent;
     return reply;
   }
+  PrecopyOutgoing& live = *attempt.value();
 
   // The destination assembled the authoritative snapshot: retain the
   // equivalent full copy until DONE, exactly like a full-snapshot
@@ -903,6 +1574,7 @@ MeResponse MigrationEnclave::on_ra_msg3(const MeRequest& req) {
     }
   }
   inbound.source_region = source_region;
+  inbound.source_address = auth.value().credential.address;
   inbound.authenticated = true;
   inbound.channel.emplace(inbound.ra->session_key(),
                           net::SecureChannel::Role::kResponder);
@@ -998,6 +1670,7 @@ MigrationEnclave::PrecopyStaging& MigrationEnclave::merge_precopy_staging(
       entry.chunks[chunk.index] = chunk;
     }
   }
+  entry.last_update = platform().clock().now();
   return entry;
 }
 
@@ -1379,7 +2052,7 @@ Result<std::map<uint32_t, CounterChunk>> deserialize_chunk_map(
 
 Bytes MigrationEnclave::serialize_queue() const {
   BinaryWriter w;
-  w.str(kQueueMagicV2);
+  w.str(kQueueMagicV3);
   w.u64(next_outgoing_sequence_);
 
   w.u32(static_cast<uint32_t>(outgoing_.size()));
@@ -1420,6 +2093,7 @@ Bytes MigrationEnclave::serialize_queue() const {
     if (!in.authenticated || !in.channel.has_value()) continue;
     w.u64(id);
     w.str(in.source_region);
+    w.str(in.source_address);  // v3: authorizes source-scoped aborts
     Bytes channel_state = in.channel->serialize_state();
     w.bytes(channel_state);
     secure_wipe(channel_state);  // contains the raw session key
@@ -1482,6 +2156,18 @@ Bytes MigrationEnclave::serialize_queue() const {
     w.u64(s.request_nonce);
     w.u32(s.rounds);
     serialize_chunk_map(w, s.chunks);
+    w.u64(static_cast<uint64_t>(s.last_update.count()));  // v3: sweep age
+  }
+
+  // ----- v3: pipelined TransferTasks -----
+  // Only the durable identity of each task (who, where, what data, which
+  // nonce): attestation state is per-attempt, so a restarted ME resumes
+  // every pipeline from the attest step under a fresh transfer id.
+  w.u32(static_cast<uint32_t>(transfer_tasks_.size()));
+  for (const auto& [nonce, t] : transfer_tasks_) {
+    w.u64(nonce);
+    w.fixed(t.source_mr);
+    w.bytes(t.request.serialize());
   }
   return w.take();
 }
@@ -1489,7 +2175,8 @@ Bytes MigrationEnclave::serialize_queue() const {
 Status MigrationEnclave::apply_queue(ByteView plaintext) {
   BinaryReader r(plaintext);
   const std::string magic = r.str(64);
-  const bool v2 = magic == kQueueMagicV2;
+  const bool v3 = magic == kQueueMagicV3;
+  const bool v2 = v3 || magic == kQueueMagicV2;
   if (!v2 && magic != kQueueMagicV1) return Status::kTampered;
   const uint64_t next_sequence = r.u64();
 
@@ -1534,6 +2221,7 @@ Status MigrationEnclave::apply_queue(ByteView plaintext) {
     InboundTransfer in;
     in.authenticated = true;
     in.source_region = r.str(256);
+    if (v3) in.source_address = r.str(256);
     Bytes channel_state = r.bytes(64);
     auto channel = net::SecureChannel::deserialize_state(channel_state);
     secure_wipe(channel_state);
@@ -1621,7 +2309,24 @@ Status MigrationEnclave::apply_queue(ByteView plaintext) {
       auto chunks = deserialize_chunk_map(r);
       if (!chunks.ok()) return Status::kTampered;
       s.chunks = std::move(chunks).value();
+      if (v3) s.last_update = Duration(static_cast<int64_t>(r.u64()));
       precopy_staging[mr] = std::move(s);
+    }
+  }
+
+  std::map<uint64_t, TransferTask> transfer_tasks;
+  if (v3) {
+    const uint32_t task_count = r.u32();
+    for (uint32_t i = 0; i < task_count && r.ok(); ++i) {
+      const uint64_t nonce = r.u64();
+      TransferTask t;
+      t.source_mr = r.fixed<32>();
+      auto request = MigrateRequestPayload::deserialize(r.bytes(1u << 21));
+      if (!request.ok()) return Status::kTampered;
+      t.request = std::move(request).value();
+      // Step collapses to kQueued: the next pump() re-attests and
+      // re-ships; the nonce keeps the end-to-end result exactly-once.
+      transfer_tasks[nonce] = std::move(t);
     }
   }
 
@@ -1638,6 +2343,7 @@ Status MigrationEnclave::apply_queue(ByteView plaintext) {
   done_relays_ = std::move(relays);
   precopy_outgoing_ = std::move(precopy_outgoing);
   precopy_staging_ = std::move(precopy_staging);
+  transfer_tasks_ = std::move(transfer_tasks);
   return Status::kOk;
 }
 

@@ -67,6 +67,38 @@ class MigrationEnclave : public sgx::Enclave, private PersistSink {
   /// Untrusted dispatcher entry point: raw request from the network.
   Result<Bytes> handle_request(ByteView raw);
 
+  // ----- pipelined outgoing transfers -----
+  //
+  // A kMigrateEnqueue request queues a per-transfer TransferTask instead
+  // of running the ME<->ME conversation inline: the task decomposes the
+  // old run_outgoing call chain into resumable steps (attest msg1/msg3 ->
+  // ship -> await-ack -> retained) whose round trips travel through
+  // net::Network::post, so N concurrent outgoing transfers interleave
+  // over independent RA channels instead of serializing.  Tasks are part
+  // of the durable queue (v3) from the moment they are queued: a restarted
+  // ME resumes every in-flight pipeline (re-attesting under a fresh
+  // transfer id; the request nonce makes re-ships exactly-once end to
+  // end).  Terminal failures are held until the library polls them
+  // (kPollTransfer), mapping onto the existing retry classification.
+
+  /// Re-issues the next step of every task that is not awaiting a reply
+  /// (freshly queued, restored from the durable queue after a restart, or
+  /// whose conversation collapsed).  Returns the number of live tasks.
+  /// Drive this alongside Network::pump_one().
+  size_t pump();
+
+  size_t transfer_task_count() const { return transfer_tasks_.size(); }
+
+  /// Ages out destination-side pre-copy staging whose source stopped
+  /// shipping rounds (abandoned without a reachable abort path); entries
+  /// untouched for `age` are swept.  Duration::max() disables the sweep.
+  void set_precopy_staging_max_age(Duration age) {
+    precopy_staging_max_age_ = age;
+  }
+  /// Runs one sweep now; returns how many staging entries were expired.
+  /// Also run opportunistically (rate-limited) on any inbound request.
+  size_t sweep_stale_precopy_staging();
+
   /// Optional machine-level policy: if non-empty, incoming migrations are
   /// only accepted from source machines in these regions.
   void set_allowed_source_regions(std::vector<std::string> regions) {
@@ -152,6 +184,9 @@ class MigrationEnclave : public sgx::Enclave, private PersistSink {
     std::optional<net::SecureChannel> channel;
     bool authenticated = false;
     std::string source_region;
+    /// Provider-certified address of the peer machine (verified against
+    /// its credential): authorizes source-scoped operations like kAbort.
+    std::string source_address;
   };
   struct OutgoingTransfer {
     sgx::Measurement source_mr{};
@@ -167,6 +202,11 @@ class MigrationEnclave : public sgx::Enclave, private PersistSink {
     std::string source_me_address;
     uint64_t request_nonce = 0;       // identifies the logical migration
     uint64_t delivering_session = 0;  // LA session the data was handed to
+    /// Random token delivered INSIDE the sealed fetch reply: only the
+    /// instance that received the data can present it, so a confirm
+    /// bearing it is honored even from a fresh LA session (the instance
+    /// re-attested after a channel desync).  Transient, like the pin.
+    uint64_t delivery_token = 0;
     // Last reconciliation sweep (virtual time, not persisted): a LIVE
     // entry blocking a busy-retrying peer must not pay one RA handshake
     // to its source ME per retry just to re-learn it is live.
@@ -197,6 +237,30 @@ class MigrationEnclave : public sgx::Enclave, private PersistSink {
     uint64_t request_nonce = 0;
     uint32_t rounds = 0;
     std::map<uint32_t, CounterChunk> chunks;
+    /// Virtual time of the last merged round (durable): drives the
+    /// age-based sweep of staging whose source went away for good.
+    Duration last_update{};
+  };
+  /// One pipelined outgoing transfer, keyed by the library's request
+  /// nonce: the old run_outgoing call chain as resumable steps.  The
+  /// payload is durable from kQueued on; the RA session and channel are
+  /// per-attempt state — a restarted ME re-runs the attest from scratch
+  /// under a fresh transfer id (the nonce keeps it exactly-once).
+  struct TransferTask {
+    enum class Step : uint8_t {
+      kQueued = 0,       // nothing sent yet (fresh, restored, or resyncing)
+      kAwaitRaMsg2 = 1,  // RA msg1 posted
+      kAwaitAuth = 2,    // RA msg3 + provider auth posted
+      kAwaitAccept = 3,  // sealed TransferPayload posted
+      kFailed = 4,       // terminal; `failure` held until polled
+    };
+    sgx::Measurement source_mr{};
+    MigrateRequestPayload request;  // destination, nonce, policy, data
+    Step step = Step::kQueued;
+    Status failure = Status::kOk;
+    uint64_t transfer_id = 0;  // current attempt's wire id
+    std::unique_ptr<sgx::RaSession> ra;
+    std::optional<net::SecureChannel> channel;
   };
   /// Compact durable record of a confirmed outgoing transfer: enough to
   /// answer status queries and absorb duplicate DONEs idempotently after
@@ -225,14 +289,45 @@ class MigrationEnclave : public sgx::Enclave, private PersistSink {
   MeResponse on_precopy_chunk(const MeRequest& req);
   MeResponse on_precopy_finalize(const MeRequest& req);
   MeResponse on_reconcile(const MeRequest& req);
+  MeResponse on_abort(const MeRequest& req);
 
   // inner LibMsg handlers (already authenticated via the LA channel)
   LibMsg on_migrate_request(LaSessionState& session, const LibMsg& msg);
   LibMsg on_fetch_incoming(uint64_t session_id, LaSessionState& session);
-  LibMsg on_confirm_migration(uint64_t session_id, LaSessionState& session);
+  LibMsg on_confirm_migration(uint64_t session_id, LaSessionState& session,
+                              const LibMsg& msg);
   LibMsg on_query_status(LaSessionState& session, const LibMsg& msg);
   LibMsg on_precopy_round(LaSessionState& session, const LibMsg& msg);
   LibMsg on_precopy_finalize_req(LaSessionState& session, const LibMsg& msg);
+  LibMsg on_migrate_enqueue(LaSessionState& session, const LibMsg& msg);
+  LibMsg on_poll_transfer(LaSessionState& session, const LibMsg& msg);
+  LibMsg on_abort_stale(LaSessionState& session, const LibMsg& msg);
+
+  // ----- TransferTask step machine -----
+  /// Front-of-queue validation + dedup shared with run_outgoing: kOk when
+  /// (source_mr, nonce, destination) is already retained or completed (the
+  /// poll will report kAccepted), kNoPendingMigration when it is unknown.
+  Status dedup_against_queue(const sgx::Measurement& source_mr,
+                             uint64_t nonce,
+                             const std::string& destination_address);
+  /// (Re-)issues the pending step of one kQueued task: draws a fresh
+  /// transfer id and posts RA msg1.
+  void kick_task(uint64_t nonce);
+  void task_on_ra_msg2(uint64_t nonce, Result<Bytes> raw);
+  void task_on_auth(uint64_t nonce, Result<Bytes> raw);
+  void task_on_accept(uint64_t nonce, Result<Bytes> raw);
+  /// Parses a pumped MeResponse reply; non-kOk peers and transport
+  /// failures collapse to a Status.
+  static Result<Bytes> open_task_reply(const Result<Bytes>& raw);
+  void fail_task(uint64_t nonce, Status status);
+  /// cancel_posts tag + reply-lane key for this ME's deferred traffic.
+  std::string net_endpoint() const;
+
+  /// Proactively tells the orphaned destination of an abandoned attempt
+  /// (re-route) to expire its undelivered entry; best-effort.
+  Status abort_remote_pending(const sgx::Measurement& source_mr,
+                              uint64_t nonce,
+                              const std::string& destination_address);
 
   /// Runs the whole outgoing side: RA + provider auth + policy + transfer.
   /// `source_mr` is taken by value: the nested rpcs can re-enter
@@ -314,6 +409,7 @@ class MigrationEnclave : public sgx::Enclave, private PersistSink {
   std::map<uint64_t, LaSessionState> la_sessions_;
   std::map<uint64_t, InboundTransfer> inbound_;
   std::map<uint64_t, OutgoingTransfer> outgoing_;
+  std::map<uint64_t, TransferTask> transfer_tasks_;  // by request nonce
   std::map<sgx::Measurement, PendingIncoming> pending_;
   std::map<uint64_t, PrecopyOutgoing> precopy_outgoing_;  // by request nonce
   std::map<sgx::Measurement, PrecopyStaging> precopy_staging_;
@@ -352,6 +448,11 @@ class MigrationEnclave : public sgx::Enclave, private PersistSink {
   Duration reconcile_retry_interval_ = milliseconds(250);
   Duration last_relay_retry_{};
   bool retrying_relays_ = false;
+  // Staging whose source stopped shipping for this long is presumed
+  // abandoned (no abort ever reached us).  Far above any live round gap;
+  // an ME restart RESUMES staging well inside the window.
+  Duration precopy_staging_max_age_ = seconds(600);
+  Duration last_staging_sweep_{};
   // LA session currently being serviced by on_la_record: protected from
   // drop_sessions_for so a reentrant DONE (arriving over a nested rpc)
   // cannot erase the session mid-dispatch.

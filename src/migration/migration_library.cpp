@@ -130,7 +130,14 @@ Status MigrationLibrary::migration_init(ByteView state_buffer,
         return reply.value().status == Status::kOk ? Status::kUnexpected
                                                    : reply.value().status;
       }
-      auto data = MigrationData::deserialize(reply.value().payload);
+      // Payload: the migration data plus the ME's delivery token — proof
+      // of being the instance the sealed fetch reply reached, honored by
+      // the confirm even if this library must re-attest in between.
+      BinaryReader fetched(reply.value().payload);
+      const Bytes data_bytes = fetched.bytes(1u << 20);
+      const uint64_t delivery_token = fetched.u64();
+      if (!fetched.done()) return Status::kTampered;
+      auto data = MigrationData::deserialize(data_bytes);
       if (!data.ok()) return data.status();
       const Status apply_status = apply_incoming(data.value());
       if (apply_status != Status::kOk) return apply_status;
@@ -145,6 +152,9 @@ Status MigrationLibrary::migration_init(ByteView state_buffer,
       // ME answers idempotently from its confirmed-incoming history.
       LibMsg confirm;
       confirm.type = LibMsgType::kConfirmMigration;
+      BinaryWriter confirm_payload;
+      confirm_payload.u64(delivery_token);
+      confirm.payload = confirm_payload.take();
       auto ack = me_exchange_reattest(confirm);
       if (!ack.ok() || ack.value().type != LibMsgType::kConfirmAck) {
         ack = me_exchange_reattest(confirm);
@@ -556,8 +566,8 @@ Status MigrationLibrary::migration_start(
       .status;
 }
 
-MigrationStartResult MigrationLibrary::migration_start_detailed(
-    const std::string& destination_address, MigrationPolicy policy) {
+MigrationStartResult MigrationLibrary::stage_for_migration(
+    const std::string& destination_address) {
   if (!initialized_) {
     return start_failure(Status::kNotInitialized, "library init check");
   }
@@ -586,6 +596,11 @@ MigrationStartResult MigrationLibrary::migration_start_detailed(
     // A half-done pre-copy toward any destination is abandoned: the full
     // snapshot staged below supersedes it (the destination's staged
     // chunks are swept when the assembled transfer lands or is confirmed).
+    // A pre-copy that was aimed at a DIFFERENT machine than this start
+    // leaves orphaned staging there — proactively abort it.
+    if (precopy_nonce_ != 0 && precopy_destination_ != destination_address) {
+      notify_abort_stale(precopy_nonce_, precopy_destination_);
+    }
     precopy_destination_.clear();
     precopy_nonce_ = 0;
     staged_chunks_.clear();
@@ -606,11 +621,16 @@ MigrationStartResult MigrationLibrary::migration_start_detailed(
     // retries toward the same destination so the ME can deduplicate
     // re-sends and answer "did my request land?".  A re-route to a
     // different destination gets a fresh nonce — the fate of the old
-    // destination's transfer must not be confused with the new one's.
+    // destination's transfer must not be confused with the new one's —
+    // and the old destination's now-orphaned entry a proactive abort.
+    if (staged_nonce_ != 0 && !staged_destination_.empty()) {
+      notify_abort_stale(staged_nonce_, staged_destination_);
+    }
     const Bytes nonce_bytes = host_.rng().bytes(8);
     staged_nonce_ = load_be64(nonce_bytes.data());
     if (staged_nonce_ == 0) staged_nonce_ = 1;
     staged_destination_ = destination_address;
+    enqueue_pending_ = false;  // an old queued attempt is superseded
   }
   if (!counters_destroyed_) {
     // Destroy the hardware counters BEFORE any data leaves the machine
@@ -640,6 +660,39 @@ MigrationStartResult MigrationLibrary::migration_start_detailed(
     }
     freeze_persisted_ = true;
   }
+  return MigrationStartResult{};
+}
+
+void MigrationLibrary::finish_outgoing(uint64_t payload_bytes) {
+  last_freeze_window_ = now() - freeze_started_;
+  last_transfer_bytes_ = payload_bytes;
+  last_precopy_rounds_ = 0;
+  staged_outgoing_.reset();
+  staged_nonce_ = 0;
+  staged_destination_.clear();
+  enqueue_pending_ = false;
+  enqueued_bytes_ = 0;
+}
+
+void MigrationLibrary::notify_abort_stale(uint64_t nonce,
+                                          const std::string& old_destination) {
+  if (nonce == 0 || old_destination.empty()) return;
+  if (ensure_me_channel() != Status::kOk) return;
+  AbortStalePayload payload;
+  payload.request_nonce = nonce;
+  payload.destination_address = old_destination;
+  LibMsg request;
+  request.type = LibMsgType::kAbortStale;
+  request.payload = payload.serialize();
+  // Best-effort: a failed abort merely leaves the orphan for the
+  // pull-based reconcile sweep, the pre-abort status quo.
+  (void)me_exchange_reattest(request);
+}
+
+MigrationStartResult MigrationLibrary::migration_start_detailed(
+    const std::string& destination_address, MigrationPolicy policy) {
+  const MigrationStartResult staged = stage_for_migration(destination_address);
+  if (!staged.ok()) return staged;
 
   MigrateRequestPayload payload;
   payload.destination_address = destination_address;
@@ -666,12 +719,7 @@ MigrationStartResult MigrationLibrary::migration_start_detailed(
     auto attempt = query_status_internal(staged_nonce_);
     if (attempt.ok() && (attempt.value() == OutgoingState::kPending ||
                          attempt.value() == OutgoingState::kCompleted)) {
-      last_freeze_window_ = now() - freeze_started_;
-      last_transfer_bytes_ = payload_bytes;
-      last_precopy_rounds_ = 0;
-      staged_outgoing_.reset();
-      staged_nonce_ = 0;
-      staged_destination_.clear();
+      finish_outgoing(payload_bytes);
       return MigrationStartResult{};
     }
     return start_failure(reply.status(), "ME exchange");
@@ -685,18 +733,127 @@ MigrationStartResult MigrationLibrary::migration_start_detailed(
     return start_failure(rejected,
                          "destination rejected by source ME protocol");
   }
-  last_freeze_window_ = now() - freeze_started_;
-  last_transfer_bytes_ = payload_bytes;
-  last_precopy_rounds_ = 0;
-  staged_outgoing_.reset();
-  staged_nonce_ = 0;
-  staged_destination_.clear();
+  finish_outgoing(payload_bytes);
   return MigrationStartResult{};
+}
+
+// ----- pipelined (non-blocking) migration start -----
+
+MigrationStartResult MigrationLibrary::migration_enqueue_detailed(
+    const std::string& destination_address, MigrationPolicy policy) {
+  const MigrationStartResult staged = stage_for_migration(destination_address);
+  if (!staged.ok()) return staged;
+
+  staged_policy_ = policy;
+  MigrateRequestPayload payload;
+  payload.destination_address = destination_address;
+  payload.request_nonce = staged_nonce_;
+  payload.policy = std::move(policy);
+  payload.data = *staged_outgoing_;
+  LibMsg request;
+  request.type = LibMsgType::kMigrateEnqueue;
+  request.payload = payload.serialize();
+  const uint64_t payload_bytes = request.payload.size();
+  auto reply = me_exchange_reattest(request);
+  if (!reply.ok()) {
+    // The enqueue reply was lost: the task may or may not be queued.
+    // The poll disambiguates (kNone re-enqueues), so report in-flight
+    // only if we can SEE the task or its result; otherwise a classified
+    // transport failure lets the caller's retry machinery re-drive us.
+    return start_failure(reply.status(), "ME enqueue exchange");
+  }
+  if (reply.value().type != LibMsgType::kMigrateQueued) {
+    const Status rejected = reply.value().status != Status::kOk
+                                ? reply.value().status
+                                : Status::kMigrationAborted;
+    return start_failure(rejected, "ME refused to queue the transfer");
+  }
+  enqueue_pending_ = true;
+  enqueued_bytes_ = payload_bytes;
+  return MigrationStartResult{};
+}
+
+MigrationStartResult MigrationLibrary::migration_poll_transfer() {
+  if (!initialized_) {
+    return start_failure(Status::kNotInitialized, "library init check");
+  }
+  if (!enqueue_pending_ || staged_nonce_ == 0) {
+    return start_failure(Status::kNoPendingMigration,
+                         "no queued transfer to poll");
+  }
+  const Status channel_status = ensure_me_channel();
+  if (channel_status != Status::kOk) {
+    return start_failure(channel_status, "local ME attestation");
+  }
+  PollTransferPayload query;
+  query.request_nonce = staged_nonce_;
+  LibMsg request;
+  request.type = LibMsgType::kPollTransfer;
+  request.payload = query.serialize();
+  auto reply = me_exchange_reattest(request);
+  if (!reply.ok()) {
+    // Same resume check as the blocking path: a lost poll reply must not
+    // be mistaken for a lost transfer — if the attempt is retained or
+    // completed in the ME's durable queue, the source side is done.
+    auto attempt = query_status_internal(staged_nonce_);
+    if (attempt.ok() && (attempt.value() == OutgoingState::kPending ||
+                         attempt.value() == OutgoingState::kCompleted)) {
+      finish_outgoing(enqueued_bytes_);
+      return MigrationStartResult{};
+    }
+    return start_failure(reply.status(), "ME poll exchange");
+  }
+  if (reply.value().type != LibMsgType::kTransferProgress) {
+    return start_failure(reply.value().status != Status::kOk
+                             ? reply.value().status
+                             : Status::kUnexpected,
+                         "ME poll reply");
+  }
+  auto progress = TransferProgressPayload::deserialize(reply.value().payload);
+  if (!progress.ok()) {
+    return start_failure(progress.status(), "ME poll reply");
+  }
+  switch (progress.value().progress) {
+    case TransferProgress::kAccepted:
+      finish_outgoing(enqueued_bytes_);
+      return MigrationStartResult{};
+    case TransferProgress::kInFlight: {
+      MigrationStartResult in_flight;
+      in_flight.status = Status::kMigrationInProgress;
+      in_flight.failure_class = MigrationFailureClass::kNone;
+      in_flight.message = "transfer in flight";
+      return in_flight;
+    }
+    case TransferProgress::kFailed:
+      // Terminal for THIS attempt; the staged data stays for a retry or
+      // re-route, exactly like a blocking-start failure.
+      return start_failure(progress.value().failure, "pipelined ME transfer");
+    case TransferProgress::kNone:
+      break;
+  }
+  // The ME does not know the nonce (it restarted before the task was
+  // queued, or lost its storage): re-enqueue from the staged data.
+  enqueue_pending_ = false;
+  const MigrationStartResult requeued =
+      migration_enqueue_detailed(staged_destination_, staged_policy_);
+  if (!requeued.ok()) return requeued;
+  MigrationStartResult in_flight;
+  in_flight.status = Status::kMigrationInProgress;
+  in_flight.failure_class = MigrationFailureClass::kNone;
+  in_flight.message = "transfer re-queued";
+  return in_flight;
 }
 
 // ----- live pre-copy migration (iterative rounds + finalize) -----
 
 void MigrationLibrary::reset_precopy(const std::string& destination_address) {
+  // Re-routing abandons the previous attempt: its staged rounds at the
+  // old destination (and the source ME's merged set) are orphans —
+  // expire them proactively instead of waiting for the age sweep.
+  if (precopy_nonce_ != 0 && !precopy_destination_.empty() &&
+      precopy_destination_ != destination_address) {
+    notify_abort_stale(precopy_nonce_, precopy_destination_);
+  }
   const Bytes nonce_bytes = host_.rng().bytes(8);
   precopy_nonce_ = load_be64(nonce_bytes.data());
   if (precopy_nonce_ == 0) precopy_nonce_ = 1;
@@ -861,7 +1018,9 @@ MigrationStartResult MigrationLibrary::migration_finalize_detailed(
     // Re-route after the freeze: the new destination has no staged
     // rounds, so the finalize carries the full staged set under a fresh
     // nonce (a transfer that landed at the old destination must never be
-    // mistaken for success toward the new one).
+    // mistaken for success toward the new one).  The old destination's
+    // staging/pending entry is an orphan — abort it proactively.
+    notify_abort_stale(precopy_nonce_, precopy_destination_);
     const Bytes nonce_bytes = host_.rng().bytes(8);
     precopy_nonce_ = load_be64(nonce_bytes.data());
     if (precopy_nonce_ == 0) precopy_nonce_ = 1;

@@ -169,6 +169,34 @@ class MigrationLibrary : private PersistSink {
   MigrationStartResult migration_start_detailed(
       const std::string& destination_address, MigrationPolicy policy = {});
 
+  // ----- pipelined (non-blocking) migration start -----
+  //
+  // The blocking migration_start holds the caller for the whole ME<->ME
+  // conversation, so a fleet driver can only overlap transfers by
+  // spending one thread each.  The enqueue/poll pair instead hands the
+  // staged snapshot to the local ME's TransferTask pipeline and returns;
+  // the ME interleaves every queued transfer over independent RA
+  // channels, and the caller polls for the fate of exactly this attempt.
+
+  /// Runs the same destructive prologue as migration_start (freeze,
+  /// collect, destroy counters, persist the freeze flag) and queues the
+  /// transfer at the local ME.  kOk means QUEUED — the migration is in
+  /// flight until migration_poll_transfer reports its fate.  Failures
+  /// are classified like migration_start and leave the staged data for a
+  /// retry (possibly re-routed).
+  MigrationStartResult migration_enqueue_detailed(
+      const std::string& destination_address, MigrationPolicy policy = {});
+
+  /// Fate of the queued attempt: kOk = the destination accepted (the
+  /// source side is done, metrics updated); status kMigrationInProgress
+  /// with failure_class kNone = still in flight, poll again after
+  /// pumping; anything else = terminal failure of THIS attempt,
+  /// classified for the caller's retry machinery (staged data kept).
+  MigrationStartResult migration_poll_transfer();
+
+  /// True while an enqueued attempt is awaiting its poll verdict.
+  bool transfer_enqueued() const { return enqueue_pending_; }
+
   // ----- live pre-copy migration (iterative, VM-live-migration style) ---
   //
   // Instead of freezing for the whole Table II snapshot, the caller ships
@@ -269,6 +297,21 @@ class MigrationLibrary : private PersistSink {
   Status persist_mutation_durable(MutationKind kind);
 
   Status ensure_me_channel();
+  /// The destructive front half of migration_start: freeze, collect,
+  /// draw/reuse the attempt nonce, destroy counters, persist the freeze
+  /// flag.  Idempotent across retries; on success the staged snapshot and
+  /// nonce are ready to ship toward `destination_address`.
+  MigrationStartResult stage_for_migration(
+      const std::string& destination_address);
+  /// Best-effort proactive abort of a superseded attempt: tells the local
+  /// ME that (nonce, old destination) was re-routed so the orphaned
+  /// destination entry can be expired now instead of by the pull-based
+  /// reconcile sweep.  Failures are ignored — the sweep remains the
+  /// backstop.
+  void notify_abort_stale(uint64_t nonce, const std::string& old_destination);
+  /// Shared success tail of the start/enqueue paths: freeze-window and
+  /// payload metrics, staged state cleared.
+  void finish_outgoing(uint64_t payload_bytes);
   /// Shared body of the two status queries (nonce 0 = per-identity).
   Result<OutgoingState> query_status_internal(uint64_t nonce);
   /// Sends one LibMsg over the LA channel and returns the reply.
@@ -335,6 +378,13 @@ class MigrationLibrary : private PersistSink {
   // mistaken for success toward the new one.
   uint64_t staged_nonce_ = 0;
   std::string staged_destination_;
+  /// Serialized payload bytes of the queued (non-blocking) attempt, and
+  /// whether one is awaiting its poll verdict.  The policy is kept so an
+  /// internal re-enqueue (ME forgot the nonce) re-ships under the SAME
+  /// constraints the caller staged.
+  uint64_t enqueued_bytes_ = 0;
+  bool enqueue_pending_ = false;
+  MigrationPolicy staged_policy_;
   bool counters_destroyed_ = false;
   // Set once the freeze flag has been durably persisted during an
   // outgoing migration.  Kept separate from counters_destroyed_ so a

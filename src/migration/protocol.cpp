@@ -14,7 +14,7 @@ Result<MeRequest> MeRequest::deserialize(ByteView bytes) {
   BinaryReader r(bytes);
   MeRequest req;
   const uint8_t type = r.u8();
-  if (type < 1 || type > 10) return Status::kTampered;
+  if (type < 1 || type > 11) return Status::kTampered;
   req.type = static_cast<MeMsgType>(type);
   req.id = r.u64();
   req.payload = r.bytes(1u << 22);
@@ -78,6 +78,71 @@ Result<MigrateRequestPayload> MigrateRequestPayload::deserialize(
   if (!r.done() || !data.ok()) return Status::kTampered;
   p.data = std::move(data).value();
   return p;
+}
+
+Bytes PollTransferPayload::serialize() const {
+  BinaryWriter w;
+  w.u64(request_nonce);
+  return w.take();
+}
+
+Result<PollTransferPayload> PollTransferPayload::deserialize(ByteView bytes) {
+  BinaryReader r(bytes);
+  PollTransferPayload p;
+  p.request_nonce = r.u64();
+  if (!r.done()) return Status::kTampered;
+  return p;
+}
+
+Bytes TransferProgressPayload::serialize() const {
+  BinaryWriter w;
+  w.u8(static_cast<uint8_t>(progress));
+  w.u32(static_cast<uint32_t>(failure));
+  return w.take();
+}
+
+Result<TransferProgressPayload> TransferProgressPayload::deserialize(
+    ByteView bytes) {
+  BinaryReader r(bytes);
+  TransferProgressPayload p;
+  const uint8_t progress = r.u8();
+  if (progress > 3) return Status::kTampered;
+  p.progress = static_cast<TransferProgress>(progress);
+  p.failure = static_cast<Status>(r.u32());
+  if (!r.done()) return Status::kTampered;
+  return p;
+}
+
+Bytes AbortStalePayload::serialize() const {
+  BinaryWriter w;
+  w.u64(request_nonce);
+  w.str(destination_address);
+  return w.take();
+}
+
+Result<AbortStalePayload> AbortStalePayload::deserialize(ByteView bytes) {
+  BinaryReader r(bytes);
+  AbortStalePayload p;
+  p.request_nonce = r.u64();
+  p.destination_address = r.str(256);
+  if (!r.done()) return Status::kTampered;
+  return p;
+}
+
+Bytes AbortRequest::serialize() const {
+  BinaryWriter w;
+  w.fixed(source_mr_enclave);
+  w.u64(request_nonce);
+  return w.take();
+}
+
+Result<AbortRequest> AbortRequest::deserialize(ByteView bytes) {
+  BinaryReader r(bytes);
+  AbortRequest a;
+  a.source_mr_enclave = r.fixed<32>();
+  a.request_nonce = r.u64();
+  if (!r.done()) return Status::kTampered;
+  return a;
 }
 
 Bytes QueryStatusPayload::serialize() const {

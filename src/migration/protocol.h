@@ -40,6 +40,12 @@ enum class MeMsgType : uint8_t {
   // holding an undelivered pending entry asks the ORIGINATING source ME,
   // over a fresh RA channel, whether that logical migration is still live.
   kReconcile = 10,  // ME_dst -> ME_src: encrypted ReconcileQuery record
+  // Proactive abort on re-route: the ORIGINATING source ME tells the
+  // orphaned destination — over a fresh RA channel — that a logical
+  // migration attempt was abandoned, so its undelivered pending entry /
+  // pre-copy staging can be expired immediately instead of lingering
+  // until the pull-based reconcile sweep happens to run.
+  kAbort = 11,  // ME_src -> ME_dst: encrypted AbortRequest record
 };
 
 struct MeRequest {
@@ -65,10 +71,17 @@ enum class LibMsgType : uint8_t {
   // requests (ML -> ME)
   kMigrateRequest = 1,
   kFetchIncoming = 2,
+  // Payload: u64 delivery token from the kIncomingData reply (which
+  // carries {bytes data, u64 token}): proves the confirmer is the
+  // instance the sealed fetch reply reached, even over a re-attested
+  // session.  Empty payload = legacy, session-pinned confirm only.
   kConfirmMigration = 3,
   kQueryStatus = 4,
   kPrecopyRound = 5,        // ship chunks dirtied since the last round
   kPrecopyFinalizeReq = 6,  // frozen: ship the final delta + MSK
+  kMigrateEnqueue = 7,      // non-blocking migrate: queue a TransferTask
+  kPollTransfer = 8,        // progress of a queued TransferTask (by nonce)
+  kAbortStale = 9,          // re-route: abort the previous attempt's orphan
   // responses (ME -> ML)
   kMigrateAccepted = 10,
   kIncomingData = 11,
@@ -77,6 +90,9 @@ enum class LibMsgType : uint8_t {
   kError = 14,
   kPrecopyAck = 15,
   kFinalizeAccepted = 16,
+  kMigrateQueued = 17,      // TransferTask accepted into the pipeline
+  kTransferProgress = 18,   // TransferProgressPayload
+  kAbortAck = 19,
 };
 
 struct LibMsg {
@@ -112,6 +128,61 @@ enum class OutgoingState : uint8_t {
   kNone = 0,       // no outgoing migration known for this enclave
   kPending = 1,    // data transferred, waiting for destination confirm
   kCompleted = 2,  // destination confirmed; source data deleted
+};
+
+// ----- pipelined (non-blocking) outgoing transfers -----
+//
+// kMigrateEnqueue carries the same MigrateRequestPayload as
+// kMigrateRequest, but the source ME answers kMigrateQueued IMMEDIATELY
+// and runs the ME<->ME conversation as a step-driven TransferTask behind
+// its pump() scheduler, interleaved with every other in-flight transfer.
+// The library polls the task's fate with kPollTransfer (nonce-scoped);
+// the task is durable from the moment it is queued, so an ME restart
+// resumes the pipeline instead of losing the attempt.
+
+/// Observable state of one queued transfer attempt (kTransferProgress).
+enum class TransferProgress : uint8_t {
+  kNone = 0,      // the ME knows nothing about this nonce
+  kInFlight = 1,  // queued or mid-conversation with the destination
+  kAccepted = 2,  // destination accepted; retained (or already completed)
+  kFailed = 3,    // terminal failure; `failure` carries the status
+};
+
+/// Payload of kPollTransfer.
+struct PollTransferPayload {
+  uint64_t request_nonce = 0;
+
+  Bytes serialize() const;
+  static Result<PollTransferPayload> deserialize(ByteView bytes);
+};
+
+/// Payload of kTransferProgress.
+struct TransferProgressPayload {
+  TransferProgress progress = TransferProgress::kNone;
+  Status failure = Status::kOk;
+
+  Bytes serialize() const;
+  static Result<TransferProgressPayload> deserialize(ByteView bytes);
+};
+
+/// Payload of kAbortStale (ML -> its local ME): the library re-routed a
+/// staged attempt, so the old destination's undelivered entry for
+/// `request_nonce` is an orphan the source ME should proactively expire.
+struct AbortStalePayload {
+  uint64_t request_nonce = 0;
+  std::string destination_address;
+
+  Bytes serialize() const;
+  static Result<AbortStalePayload> deserialize(ByteView bytes);
+};
+
+/// Payload of the kAbort record (source ME -> orphaned destination ME).
+struct AbortRequest {
+  sgx::Measurement source_mr_enclave{};
+  uint64_t request_nonce = 0;
+
+  Bytes serialize() const;
+  static Result<AbortRequest> deserialize(ByteView bytes);
 };
 
 /// Payload of kQueryStatus.  An empty payload asks for the most recent

@@ -69,4 +69,121 @@ void Network::set_endpoint_down(const std::string& address, bool down) {
   down_[address] = down;
 }
 
+// ----- deferred delivery -----
+
+Duration Network::wire_time(size_t bytes) {
+  const Duration base = costs_.net_latency + costs_.transfer_time(bytes);
+  return Duration(static_cast<int64_t>(static_cast<double>(base.count()) *
+                                       rng_.jitter(costs_.jitter_sigma)));
+}
+
+std::string Network::lane_of(const std::string& endpoint) {
+  const size_t slash = endpoint.find('/');
+  return slash == std::string::npos ? endpoint : endpoint.substr(0, slash);
+}
+
+uint64_t Network::post(const std::string& to, ByteView request,
+                       const std::string& from_endpoint,
+                       ReplyCallback on_reply) {
+  DeferredEvent event;
+  event.to = to;
+  event.from = from_endpoint;
+  event.payload = to_bytes(request);
+  event.on_reply = std::move(on_reply);
+  const uint64_t seq = next_event_seq_++;
+  events_.emplace(std::make_pair(clock_.now() + wire_time(request.size()), seq),
+                  std::move(event));
+  return seq;
+}
+
+void Network::deliver_request(Duration at, DeferredEvent event) {
+  Result<Bytes> response = Status::kNetworkUnreachable;
+  Duration handler_end = at;
+
+  Bytes in_flight = std::move(event.payload);
+  const auto it = endpoints_.find(event.to);
+  const auto down_it = down_.find(event.to);
+  const bool reachable = it != endpoints_.end() &&
+                         (down_it == down_.end() || !down_it->second);
+  if (reachable && (tamper_ == nullptr || tamper_(event.to, in_flight))) {
+    ++rpcs_sent_;
+    bytes_sent_ += in_flight.size();
+    const auto run_handler = [&] { response = it->second(in_flight); };
+    if (lanes_ != nullptr) {
+      handler_end = lanes_->run(lane_of(event.to), at, run_handler);
+    } else {
+      if (at > clock_.now()) clock_.set_now(at);
+      run_handler();
+      handler_end = clock_.now();
+    }
+    if (response.ok() && response_tamper_ != nullptr) {
+      Bytes reply = std::move(response).value();
+      if (!response_tamper_(event.to, reply)) {
+        // Reply dropped AFTER the handler ran ("processed but reply
+        // lost"): the poster sees a transport failure.
+        response = Status::kNetworkUnreachable;
+      } else {
+        response = std::move(reply);
+      }
+    }
+    if (response.ok()) bytes_sent_ += response.value().size();
+  }
+
+  DeferredEvent reply;
+  reply.is_reply = true;
+  reply.from = std::move(event.from);
+  reply.on_reply = std::move(event.on_reply);
+  if (response.ok()) {
+    reply.payload = std::move(response).value();
+  } else {
+    reply.failure = response.status();
+  }
+  const Duration reply_at = handler_end + wire_time(reply.payload.size());
+  const uint64_t seq = next_event_seq_++;
+  events_.emplace(std::make_pair(reply_at, seq), std::move(reply));
+}
+
+void Network::deliver_reply(Duration at, DeferredEvent& event) {
+  if (!event.on_reply) return;  // poster canceled (e.g. crashed ME)
+  const auto run_reply = [&] {
+    if (event.failure == Status::kOk) {
+      event.on_reply(Result<Bytes>(std::move(event.payload)));
+    } else {
+      event.on_reply(Result<Bytes>(event.failure));
+    }
+  };
+  if (lanes_ != nullptr) {
+    lanes_->run(lane_of(event.from), at, run_reply);
+  } else {
+    if (at > clock_.now()) clock_.set_now(at);
+    run_reply();
+  }
+}
+
+bool Network::pump_one() {
+  if (events_.empty()) return false;
+  const auto it = events_.begin();
+  const Duration at = it->first.first;
+  DeferredEvent event = std::move(it->second);
+  events_.erase(it);
+  if (event.is_reply) {
+    deliver_reply(at, event);
+  } else {
+    deliver_request(at, std::move(event));
+  }
+  return true;
+}
+
+size_t Network::pump_all() {
+  size_t processed = 0;
+  while (pump_one()) ++processed;
+  return processed;
+}
+
+void Network::cancel_posts(const std::string& from_endpoint) {
+  for (auto& [key, event] : events_) {
+    if (event.from == from_endpoint) event.on_reply = nullptr;
+  }
+}
+
 }  // namespace sgxmig::net

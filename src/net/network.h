@@ -11,6 +11,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 
 #include "support/bytes.h"
 #include "support/cost_model.h"
@@ -21,6 +22,10 @@
 namespace sgxmig::net {
 
 using RpcHandler = std::function<Result<Bytes>(ByteView request)>;
+
+/// Continuation of a deferred (post()ed) request: invoked from pump_one()
+/// with the peer's reply, or with the transport failure.
+using ReplyCallback = std::function<void(Result<Bytes> reply)>;
 
 /// Inspect/modify a request in flight; return false to drop it.
 using TamperHook =
@@ -46,6 +51,56 @@ class Network {
   /// unknown or downed endpoints and for dropped messages.
   Result<Bytes> rpc(const std::string& to, ByteView request);
 
+  // ----- deferred delivery (the pipelined-transfer pump) -----
+  //
+  // post() puts a request "on the wire" without blocking: delivery is
+  // scheduled at now + one-way latency + transfer time, and the poster's
+  // continuation runs when the reply lands.  pump_one() advances the
+  // earliest scheduled event — delivering a request to its endpoint
+  // handler, or a reply to its continuation — so N in-flight
+  // conversations interleave instead of serializing.
+  //
+  // Time accounting: with a LaneSchedule installed (set_lane_schedule),
+  // the endpoint handler runs on the DESTINATION machine's lane (lane =
+  // endpoint address up to the first '/') starting at the delivery
+  // instant, and the continuation runs on the POSTER's lane at the reply
+  // instant — so wire latency and per-machine compute of independent
+  // conversations genuinely overlap.  Without one, the clock simply jumps
+  // forward to each event time (never backward) and everything stays
+  // monotone and deterministic.
+  //
+  // Fault semantics mirror rpc(): unknown/down endpoints and
+  // tamper-dropped requests surface as kNetworkUnreachable to the
+  // continuation; a response-tamper drop models "processed but reply
+  // lost" — the handler ran, the continuation sees a transport failure.
+
+  /// Schedules `request` for delivery to `to`.  `from_endpoint` names the
+  /// poster (its machine lane is the reply lane, and cancel_posts() keys
+  /// on it).  Returns the event id.
+  uint64_t post(const std::string& to, ByteView request,
+                const std::string& from_endpoint, ReplyCallback on_reply);
+
+  /// Delivers the earliest scheduled event; false when none are pending.
+  bool pump_one();
+
+  /// Drains every scheduled event (including ones scheduled while
+  /// pumping); returns how many were processed.
+  size_t pump_all();
+
+  size_t pending_events() const { return events_.size(); }
+
+  /// Disowns every continuation registered by `from_endpoint`: requests
+  /// already on the wire are still delivered (the bytes left the machine),
+  /// but their replies are dropped.  Posters with shorter lifetimes than
+  /// the network (e.g. a Migration Enclave that can be crash-simulated)
+  /// MUST call this before dying.
+  void cancel_posts(const std::string& from_endpoint);
+
+  /// Installs the lane ledger deferred deliveries are attributed to
+  /// (nullptr restores plain monotone pumping).  The caller owns it and
+  /// must uninstall it before it dies.
+  void set_lane_schedule(LaneSchedule* lanes) { lanes_ = lanes; }
+
   // ----- fault & adversary injection -----
   void set_endpoint_down(const std::string& address, bool down);
   void set_tamper_hook(TamperHook hook) { tamper_ = std::move(hook); }
@@ -60,7 +115,21 @@ class Network {
   uint64_t bytes_sent() const { return bytes_sent_; }
 
  private:
+  struct DeferredEvent {
+    bool is_reply = false;
+    std::string to;           // request: destination endpoint
+    std::string from;         // poster endpoint (cancel key + reply lane)
+    Bytes payload;            // request bytes, or the reply bytes
+    Status failure = Status::kOk;  // reply events: transport verdict
+    ReplyCallback on_reply;   // null once canceled
+  };
+
   void charge(Duration base);
+  /// One modeled one-way trip (latency + bandwidth), jittered.
+  Duration wire_time(size_t bytes);
+  static std::string lane_of(const std::string& endpoint);
+  void deliver_request(Duration at, DeferredEvent event);
+  void deliver_reply(Duration at, DeferredEvent& event);
 
   VirtualClock& clock_;
   Rng& rng_;
@@ -69,6 +138,10 @@ class Network {
   std::map<std::string, bool> down_;
   TamperHook tamper_;
   ResponseTamperHook response_tamper_;
+  LaneSchedule* lanes_ = nullptr;
+  // (event time, sequence) orders deliveries deterministically.
+  std::map<std::pair<Duration, uint64_t>, DeferredEvent> events_;
+  uint64_t next_event_seq_ = 1;
   uint64_t rpcs_sent_ = 0;
   uint64_t bytes_sent_ = 0;
 };

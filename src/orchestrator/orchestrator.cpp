@@ -1,6 +1,9 @@
 #include "orchestrator/orchestrator.h"
 
 #include <algorithm>
+#include <optional>
+
+#include "migration/migration_enclave.h"
 
 namespace sgxmig::orchestrator {
 
@@ -152,6 +155,13 @@ bool Orchestrator::admit_and_start(Task& task) {
     // Still counts against max_attempts so a permanently failing restore
     // cannot retry forever.
     ++task.attempts;
+    if (lanes_ != nullptr) {
+      // Pipelined: the restore runs on the destination lane in the
+      // completion wave, overlapping with everything else.
+      task.phase = TaskPhase::kStarted;
+      task.ready_at = std::max(next_slot_time(), task.retry_at);
+      return true;
+    }
     complete(task);
     return true;
   }
@@ -159,6 +169,10 @@ bool Orchestrator::admit_and_start(Task& task) {
   migration::MigratableEnclave* enclave = fleet_.enclave(task.enclave_id);
   const EnclaveRecord* record = fleet_.find(task.enclave_id);
   ++task.attempts;
+  if (lanes_ != nullptr) {
+    start_pipelined(task, *enclave, *record);
+    return true;
+  }
   // A start whose reply path died (source ME killed or restarted
   // mid-exchange) resumes inside migration_start itself: the library
   // re-queries the fate of the staged attempt (nonce-scoped) from the
@@ -228,6 +242,156 @@ migration::MigrationStartResult Orchestrator::run_source_side(
   }
   return enclave.ecall_migration_finalize_detailed(task.destination,
                                                    record.options.policy);
+}
+
+// ----- pipelined engine -----
+
+Duration Orchestrator::next_slot_time() {
+  Duration ready = lanes_ != nullptr ? lanes_->control() : now();
+  if (!released_slots_.empty()) {
+    // Every capacity decrement (restore completion OR source failure)
+    // records WHEN its slot freed, and every admission takes over the
+    // earliest-freed one: the cap is a TIME constraint, not just a
+    // count.  (A pipeline that never saturated pops a release it did
+    // not strictly need — still bounded by a real event, and exact in
+    // the saturated regime the cap sweep measures.)
+    ready = std::max(ready, released_slots_.front());
+    released_slots_.erase(released_slots_.begin());
+  }
+  return ready;
+}
+
+void Orchestrator::release_slot(Duration freed_at) {
+  released_slots_.insert(std::upper_bound(released_slots_.begin(),
+                                          released_slots_.end(), freed_at),
+                         freed_at);
+}
+
+void Orchestrator::pipelined_source_failure(
+    Task& task, const migration::MigrationStartResult& result,
+    Duration freed_at) {
+  --inflight_total_;
+  --inflight_per_machine_[task.source];
+  --inflight_to_destination_[task.destination];
+  // The failing task's slot frees at the lane instant the failure was
+  // observed, not at some unrelated restore's completion.
+  release_slot(freed_at);
+  log(task, EventKind::kStartFailed,
+      std::string(
+          migration::migration_failure_class_name(result.failure_class)) +
+          ": " + result.message);
+  handle_failure(task, result.status, result.failure_class, result.message,
+                 /*destination_specific=*/true);
+}
+
+void Orchestrator::mark_started(Task& task,
+                                migration::MigratableEnclave& enclave,
+                                Duration ready_at) {
+  task.phase = TaskPhase::kStarted;
+  task.ready_at = ready_at;
+  task.freeze_window = enclave.last_freeze_window();
+  task.precopy_rounds = enclave.last_precopy_rounds();
+  task.transfer_bytes = enclave.last_transfer_bytes();
+  log(task, EventKind::kStartOk, task.destination);
+}
+
+void Orchestrator::start_pipelined(Task& task,
+                                   migration::MigratableEnclave& enclave,
+                                   const EnclaveRecord& record) {
+  const Duration ready = std::max(next_slot_time(), task.retry_at);
+  const bool precopy = options_.transfer_mode == TransferMode::kPrecopy &&
+                       enclave.live_transfer_capable();
+  if (precopy) {
+    if (enclave.migration_frozen()) {
+      // Frozen with the finalize staged (lost accept reply): resume the
+      // finalize directly — rounds are impossible and unnecessary.
+      migration::MigrationStartResult result;
+      const Duration end = lanes_->run(task.source, ready, [&] {
+        result = enclave.ecall_migration_finalize_detailed(
+            task.destination, record.options.policy);
+      });
+      if (result.ok()) {
+        mark_started(task, enclave, end);
+      } else {
+        pipelined_source_failure(task, result, end);
+      }
+      return;
+    }
+    task.phase = TaskPhase::kPrecopying;
+    task.ready_at = ready;
+    return;  // rounds advance one per wave, interleaved across tasks
+  }
+  // Full snapshot: non-blocking enqueue at the source ME; the transfer
+  // itself runs behind the pump, and poll_transferring learns its fate.
+  migration::MigrationStartResult result;
+  const Duration end = lanes_->run(task.source, ready, [&] {
+    result = enclave.ecall_migration_enqueue_detailed(task.destination,
+                                                      record.options.policy);
+  });
+  if (!result.ok()) {
+    pipelined_source_failure(task, result, end);
+    return;
+  }
+  task.phase = TaskPhase::kTransferring;
+  task.ready_at = end;
+}
+
+void Orchestrator::poll_transferring(Task& task) {
+  migration::MigratableEnclave* enclave = fleet_.enclave(task.enclave_id);
+  migration::MigrationStartResult result;
+  const Duration end =
+      lanes_->run(task.source, std::max(task.ready_at, lanes_->control()),
+                  [&] { result = enclave->ecall_migration_poll_transfer(); });
+  task.ready_at = end;
+  if (result.status == Status::kMigrationInProgress &&
+      result.failure_class == migration::MigrationFailureClass::kNone) {
+    return;  // still in flight; pump and poll again next wave
+  }
+  if (result.ok()) {
+    mark_started(task, *enclave, end);
+    return;
+  }
+  pipelined_source_failure(task, result, end);
+}
+
+void Orchestrator::advance_precopy(Task& task) {
+  migration::MigratableEnclave* enclave = fleet_.enclave(task.enclave_id);
+  const EnclaveRecord* record = fleet_.find(task.enclave_id);
+  migration::MigrationStartResult result;
+  bool terminal = false;
+  const Duration end = lanes_->run(
+      task.source, std::max(task.ready_at, lanes_->control()), [&] {
+        if (enclave->migration_frozen()) {
+          result = enclave->ecall_migration_finalize_detailed(
+              task.destination, record->options.policy);
+          terminal = true;
+          return;
+        }
+        auto round = enclave->ecall_migration_precopy_round(
+            task.destination, record->options.policy);
+        if (!round.ok()) {
+          result.status = round.status();
+          result.failure_class =
+              migration::classify_migration_failure(round.status());
+          result.message = "pre-copy round: " +
+                           std::string(status_name(round.status()));
+          terminal = true;
+          return;
+        }
+        if (round_hook_) round_hook_(task.enclave_id, round.value().round);
+        if (round.value().converged(options_.precopy)) {
+          result = enclave->ecall_migration_finalize_detailed(
+              task.destination, record->options.policy);
+          terminal = true;
+        }
+      });
+  task.ready_at = end;
+  if (!terminal) return;  // next round next wave
+  if (result.ok()) {
+    mark_started(task, *enclave, end);
+  } else {
+    pipelined_source_failure(task, result, end);
+  }
 }
 
 void Orchestrator::complete(Task& task) {
@@ -315,10 +479,23 @@ OrchestratorReport Orchestrator::execute(const Plan& plan) {
   inflight_total_ = 0;
   peak_inflight_total_ = 0;
   peak_inflight_per_machine_.clear();
+  released_slots_.clear();
 
   OrchestratorReport report;
   report.plan = plan.kind;
   report.started_at = now();
+
+  // Pipelined engine: per-machine lanes over the shared clock, with the
+  // deferred-delivery pump attributed to them.  Scoped to this execute():
+  // the LaneSchedule destructor lands the clock on the parallel horizon,
+  // so a stopwatch around execute() reads max-over-lanes wall time.
+  net::Network& net = fleet_.world().network();
+  std::optional<LaneSchedule> lanes;
+  if (options_.pipelined) {
+    lanes.emplace(fleet_.world().clock());
+    lanes_ = &*lanes;
+    net.set_lane_schedule(lanes_);
+  }
 
   std::vector<Task> tasks = build_tasks(plan);
   auto unfinished = [&] {
@@ -328,8 +505,15 @@ OrchestratorReport Orchestrator::execute(const Plan& plan) {
   };
 
   uint32_t wave = 0;
+  uint32_t stalled_waves = 0;
   while (unfinished()) {
-    if (wave_hook_) wave_hook_(wave);
+    if (wave_hook_) {
+      wave_hook_(wave);
+      // Chaos hooks (ME kills/restarts) charge the clock at control
+      // level; fold that into the control instant so lane runs do not
+      // discard it.
+      if (lanes_ != nullptr) lanes_->sync_control_from_clock();
+    }
     ++wave;
     bool progressed = false;
 
@@ -345,28 +529,80 @@ OrchestratorReport Orchestrator::execute(const Plan& plan) {
       if (admit_and_start(task)) progressed = true;
     }
 
+    if (lanes_ != nullptr) {
+      // Pump wave: re-kick source-ME tasks (freshly queued after an ME
+      // restart resumes them from the durable queue) and drain the
+      // deferred deliveries — every in-flight ME<->ME conversation
+      // advances, interleaved across lanes.
+      for (platform::Machine* m : fleet_.world().machines()) {
+        auto* me = migration::me_on(*m);
+        if (me == nullptr || me->transfer_task_count() == 0) continue;
+        lanes_->run(m->address(), lanes_->control(), [&] { me->pump(); });
+      }
+      if (net.pump_all() > 0) progressed = true;
+
+      for (Task& task : tasks) {
+        if (task.phase == TaskPhase::kPrecopying) {
+          advance_precopy(task);
+          progressed = true;
+        }
+      }
+      for (Task& task : tasks) {
+        if (task.phase != TaskPhase::kTransferring) continue;
+        poll_transferring(task);
+        if (task.phase != TaskPhase::kTransferring) progressed = true;
+      }
+    }
+
     // Completion wave: restore every in-flight migration on its
-    // destination.
+    // destination.  Pipelined restores run on the DESTINATION lane —
+    // restores toward different machines overlap with each other and
+    // with the source lane still streaming the next transfers.
     for (Task& task : tasks) {
       if (task.phase != TaskPhase::kStarted) continue;
-      complete(task);
+      if (lanes_ != nullptr) {
+        const Duration end = lanes_->run(
+            task.destination, std::max(task.ready_at, lanes_->control()),
+            [&] { complete(task); });
+        release_slot(end);
+      } else {
+        complete(task);
+      }
       progressed = true;
     }
 
-    if (progressed) continue;
-    // Everything left is backing off: jump the virtual clock to the
-    // earliest retry instead of spinning.
+    if (progressed) {
+      stalled_waves = 0;
+      continue;
+    }
+    // Everything left is backing off (or, pipelined, awaiting a pump that
+    // produced nothing): jump the virtual clock to the earliest retry
+    // instead of spinning.
     Duration earliest = Duration::max();
     for (const Task& task : tasks) {
       if (task.phase == TaskPhase::kBackoff) {
         earliest = std::min(earliest, task.retry_at);
       }
     }
-    if (earliest == Duration::max()) break;  // defensive: nothing to wait on
-    VirtualClock& clock = fleet_.world().clock();
-    if (earliest > clock.now()) clock.advance(earliest - clock.now());
+    if (earliest == Duration::max()) {
+      // Pipelined in-flight tasks with nothing pumpable resolve at the
+      // next poll; give them bounded slack before declaring a wedge.
+      if (lanes_ != nullptr && ++stalled_waves < 64) continue;
+      break;  // defensive: nothing to wait on
+    }
+    if (lanes_ != nullptr) {
+      lanes_->advance_control(earliest);
+    } else {
+      VirtualClock& clock = fleet_.world().clock();
+      if (earliest > clock.now()) clock.advance(earliest - clock.now());
+    }
   }
 
+  if (options_.pipelined) {
+    net.set_lane_schedule(nullptr);
+    lanes_ = nullptr;
+    lanes.reset();  // clock lands on the parallel horizon
+  }
   report.finished_at = now();
   report.peak_inflight_total = peak_inflight_total_;
   report.peak_inflight_per_machine = peak_inflight_per_machine_;

@@ -59,6 +59,16 @@ struct OrchestratorOptions {
   TransferMode transfer_mode = TransferMode::kFullSnapshot;
   /// Convergence policy for kPrecopy (rounds before the forced freeze).
   migration::PrecopyOptions precopy;
+  /// Drive transfers through the source MEs' pipelined TransferTask
+  /// engine instead of the blocking migration_start: sources are
+  /// enqueued (non-blocking) and polled, the deferred-delivery network
+  /// pump interleaves the ME<->ME conversations, and all per-machine
+  /// work is accounted on per-machine LANES (support/sim_clock.h) so
+  /// concurrent migrations genuinely overlap in virtual time.  This is
+  /// what makes the in-flight caps a real throughput lever: at cap 1 the
+  /// pipeline degenerates to today's serial drain, at cap N up to N
+  /// transfers (and their destination-side restores) run concurrently.
+  bool pipelined = false;
 };
 
 class Orchestrator {
@@ -88,6 +98,8 @@ class Orchestrator {
   enum class TaskPhase : uint8_t {
     kQueued,
     kBackoff,
+    kTransferring,  // pipelined: queued at the source ME, polling its fate
+    kPrecopying,    // pipelined: shipping pre-copy rounds, one per wave
     kStarted,  // source side done; data pending at the destination ME
     kDone,
     kFailed,
@@ -109,6 +121,9 @@ class Orchestrator {
     Duration admitted_at{};
     Duration retry_at{};
     Duration finished_at{};
+    /// Pipelined: earliest instant the task's next lane action may start
+    /// (causality across lanes: enqueue end -> polls -> restore).
+    Duration ready_at{};
     Duration freeze_window{};
     uint32_t precopy_rounds = 0;
     uint64_t transfer_bytes = 0;
@@ -126,6 +141,29 @@ class Orchestrator {
       Task& task, migration::MigratableEnclave& enclave,
       const EnclaveRecord& record);
   void complete(Task& task);
+  // ----- pipelined engine -----
+  /// Pipelined source-side admission: enqueue (or begin pre-copy / resume
+  /// a frozen finalize) on the source machine's lane.
+  void start_pipelined(Task& task, migration::MigratableEnclave& enclave,
+                       const EnclaveRecord& record);
+  /// Polls a kTransferring task's fate at its source ME.
+  void poll_transferring(Task& task);
+  /// Ships one pre-copy round (or the finalize, once converged/frozen)
+  /// for a kPrecopying task.
+  void advance_precopy(Task& task);
+  /// Shared failure path of the pipelined source side; `freed_at` is the
+  /// lane instant the failure was observed (when the slot frees).
+  void pipelined_source_failure(Task& task,
+                                const migration::MigrationStartResult& result,
+                                Duration freed_at);
+  /// Records when an in-flight slot freed (sorted insert).
+  void release_slot(Duration freed_at);
+  void mark_started(Task& task, migration::MigratableEnclave& enclave,
+                    Duration ready_at);
+  /// Earliest instant a newly admitted task may start: the control
+  /// instant, or the completion time of the in-flight slot it is taking
+  /// over (tracked in released_slots_).
+  Duration next_slot_time();
   void handle_failure(Task& task, Status status,
                       migration::MigrationFailureClass cls,
                       const std::string& message, bool destination_specific);
@@ -147,6 +185,10 @@ class Orchestrator {
   uint32_t inflight_total_ = 0;
   uint32_t peak_inflight_total_ = 0;
   std::map<std::string, uint32_t> peak_inflight_per_machine_;
+  // Pipelined engine state: the lane ledger of the running execute() and
+  // the (sorted) completion times that freed in-flight slots.
+  LaneSchedule* lanes_ = nullptr;
+  std::vector<Duration> released_slots_;
 };
 
 }  // namespace sgxmig::orchestrator

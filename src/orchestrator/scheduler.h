@@ -15,6 +15,17 @@
 //   * anti-affinity      — machines NOT already hosting an enclave of the
 //                          same MRENCLAVE first (spread replicas of one
 //                          app), least-loaded within each group.
+//   * capacity-weighted  — load is divided by the machine's certified
+//                          cpu_cores (the attribute the provider CA signs
+//                          into its credential), so a 32-core machine
+//                          absorbs twice the enclaves of a 16-core one
+//                          before ranking equal.
+//
+// Policies COMPOSE: every policy exposes its judgment as a small
+// preference bucket plus a load weight, and make_composite_policy stacks
+// them lexicographically — e.g. {same-region-first, anti-affinity,
+// capacity-weighted} prefers in-region machines, spreads replicas within
+// the region, and breaks remaining ties by certified per-core headroom.
 //
 // All orderings are total and deterministic, so fleet runs reproduce
 // exactly per seed.
@@ -49,16 +60,45 @@ class PlacementPolicy {
  public:
   virtual ~PlacementPolicy() = default;
   virtual const char* name() const = 0;
+
+  /// Policy-specific preference bucket for one machine; lower is better.
+  /// This is the composable judgment: CompositePolicy sorts by the
+  /// stacked policies' buckets lexicographically.
+  virtual int preference(const FleetRegistry& fleet,
+                         const PlacementQuery& query,
+                         const platform::Machine& machine) const {
+    (void)fleet;
+    (void)query;
+    (void)machine;
+    return 0;
+  }
+
+  /// Load term used after the preference buckets; lower is better.
+  /// Defaults to the raw effective load (enclaves + reservations).
+  virtual double load_weight(const FleetRegistry& fleet,
+                             const PlacementQuery& query,
+                             const platform::Machine& machine) const;
+
   /// Candidate destinations ranked best-first.  `candidates` has the hard
-  /// constraints already applied and is non-empty.
+  /// constraints already applied and is non-empty.  The default total
+  /// order is (soft-avoided, preference, load_weight, address); override
+  /// only for orderings this shape cannot express.
   virtual std::vector<platform::Machine*> rank(
       const FleetRegistry& fleet, const PlacementQuery& query,
-      std::vector<platform::Machine*> candidates) const = 0;
+      std::vector<platform::Machine*> candidates) const;
 };
 
 std::unique_ptr<PlacementPolicy> make_least_loaded_policy();
 std::unique_ptr<PlacementPolicy> make_same_region_first_policy();
 std::unique_ptr<PlacementPolicy> make_anti_affinity_policy();
+std::unique_ptr<PlacementPolicy> make_capacity_weighted_policy();
+
+/// Stacks policies lexicographically: candidates sort by stage 1's
+/// preference bucket first, ties by stage 2's, and so on; the LAST
+/// stage's load weight breaks remaining ties (so ending the stack with
+/// capacity-weighted makes every earlier policy capacity-aware).
+std::unique_ptr<PlacementPolicy> make_composite_policy(
+    std::vector<std::unique_ptr<PlacementPolicy>> stages);
 
 class Scheduler {
  public:

@@ -89,6 +89,7 @@ class Enclave {
   // ----- misc trusted runtime -----
   crypto::CtrDrbg& rng() { return drbg_; }
   PlatformIface& platform() { return platform_; }
+  const PlatformIface& platform() const { return platform_; }
   void charge(Duration d) { platform_.charge(d); }
   /// Charges the modeled AES-GCM cost for `bytes` of payload.
   void charge_gcm(size_t bytes);

@@ -10,4 +10,31 @@ double to_milliseconds(Duration d) {
   return static_cast<double>(d.count()) / 1e6;
 }
 
+Duration LaneSchedule::run(const std::string& lane, Duration ready_at,
+                           const std::function<void()>& fn) {
+  if (running_) {
+    // Nested: the outer run already owns the clock; attribute the work to
+    // its lane (same-machine nesting is the only in-tree case).
+    fn();
+    return clock_.now();
+  }
+  const auto it = lane_end_.find(lane);
+  Duration start = it == lane_end_.end() ? control_ : it->second;
+  if (ready_at > start) start = ready_at;
+  running_ = true;
+  clock_.set_now(start);
+  fn();
+  const Duration end = clock_.now();
+  running_ = false;
+  lane_end_[lane] = end;
+  if (end > horizon_) horizon_ = end;
+  clock_.set_now(control_);
+  return end;
+}
+
+Duration LaneSchedule::lane_end(const std::string& lane) const {
+  const auto it = lane_end_.find(lane);
+  return it == lane_end_.end() ? control_ : it->second;
+}
+
 }  // namespace sgxmig

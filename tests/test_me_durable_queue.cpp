@@ -349,8 +349,10 @@ TEST_F(MeDurableQueueTest, DeadDestinationInstanceReleasesDeliveryPin) {
   enclave.reset();
   me("m1")->set_delivery_takeover_timeout(seconds(10));
 
-  // First destination instance fetches the data but dies before the
-  // confirm reaches the ME (its 2nd LA record is dropped).
+  // First destination instance fetches the data but dies before any
+  // confirm reaches the ME: every LA record after the fetch is dropped
+  // (a single dropped confirm no longer kills the instance — the
+  // delivery token lets the re-attested retry through).
   uint32_t la_records_to_m1 = 0;
   world_.network().set_tamper_hook(
       [&](const std::string& to, Bytes& request) {
@@ -358,7 +360,7 @@ TEST_F(MeDurableQueueTest, DeadDestinationInstanceReleasesDeliveryPin) {
         auto parsed = MeRequest::deserialize(request);
         if (parsed.ok() && parsed.value().type == MeMsgType::kLaRecord) {
           ++la_records_to_m1;
-          if (la_records_to_m1 == 2) return false;  // drop the confirm
+          if (la_records_to_m1 >= 2) return false;  // confirm + retries
         }
         return true;
       });
@@ -518,6 +520,78 @@ TEST_F(MeDurableQueueTest, DrainConvergesThroughSourceAndDestinationMeRestarts) 
   for (const char* address : {"m0", "m1", "m2", "m3", "m4"}) {
     EXPECT_EQ(me(address)->retry_done_relays(), 0u) << address;
     EXPECT_EQ(me(address)->pending_incoming_count(), 0u) << address;
+  }
+  EXPECT_EQ(me("m0")->outgoing_count(), 0u);
+}
+
+TEST_F(MeDurableQueueTest, PipelinedDrainConvergesThroughSourceMeRestart) {
+  // The acceptance drain of the pipelined engine: 32 enclaves leave m0
+  // through the TransferTask pipeline at cap 4, the source ME crashes
+  // with transfers mid-conversation, and the revived ME resumes every
+  // in-flight pipeline from the durable queue (v3) — zero failures, no
+  // forks, exactly-once per nonce.
+  using orchestrator::FleetRegistry;
+  using orchestrator::Orchestrator;
+  using orchestrator::OrchestratorOptions;
+  using orchestrator::Plan;
+  using orchestrator::Scheduler;
+
+  for (const char* address : {"m2", "m3", "m4"}) {
+    world_.add_machine(address);
+  }
+  FleetRegistry fleet(world_);
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 32; ++i) {
+    const std::string name = "pipe-drain-" + std::to_string(i);
+    auto launched =
+        fleet.launch("m0", name, EnclaveImage::create(name, 1, "acme"));
+    ASSERT_TRUE(launched.ok());
+    ids.push_back(launched.value());
+    auto* enclave = fleet.enclave(ids.back());
+    const uint32_t counter =
+        enclave->ecall_create_migratable_counter().value().counter_id;
+    for (int j = 0; j <= i; ++j) {
+      enclave->ecall_increment_migratable_counter(counter);
+    }
+  }
+
+  Scheduler scheduler(fleet);
+  OrchestratorOptions options;
+  options.max_inflight_per_machine = 4;
+  options.max_inflight_total = 8;
+  options.max_attempts = 6;
+  options.pipelined = true;
+  Orchestrator orch(fleet, scheduler, options);
+  size_t completions = 0;
+  fleet.set_completion_callback([&](const orchestrator::EnclaveRecord&) {
+    // Mid-drain, with TransferTasks queued/mid-conversation at m0's ME.
+    if (++completions == 2) machine("m0").kill_management_enclave();
+  });
+  uint32_t waves_down = 0;
+  orch.set_wave_hook([&](uint32_t) {
+    if (machine("m0").has_management_enclave()) return;
+    if (++waves_down >= 3) machine("m0").restart_management_enclave();
+  });
+  const auto report = orch.execute(Plan::drain("m0"));
+  EXPECT_GE(completions, 2u);
+
+  EXPECT_EQ(report.succeeded(), 32u);
+  EXPECT_EQ(report.failed(), 0u);
+  EXPECT_EQ(fleet.count_on("m0"), 0u);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto value = fleet.enclave(ids[i])->ecall_read_migratable_counter(0);
+    ASSERT_TRUE(value.ok()) << "enclave " << ids[i];
+    EXPECT_EQ(value.value(), static_cast<uint32_t>(i + 1));
+  }
+  for (const uint64_t id : ids) {
+    EXPECT_EQ(machine("m0").counter_service().count_for(
+                  fleet.find(id)->image->mr_enclave()),
+              0u);
+  }
+  for (const char* address : {"m0", "m1", "m2", "m3", "m4"}) {
+    EXPECT_EQ(me(address)->retry_done_relays(), 0u) << address;
+    EXPECT_EQ(me(address)->pending_incoming_count(), 0u) << address;
+    EXPECT_EQ(me(address)->transfer_task_count(), 0u) << address;
   }
   EXPECT_EQ(me("m0")->outgoing_count(), 0u);
 }

@@ -371,10 +371,16 @@ TEST_F(PrecopyTest, ReconcileSweepExpiresOrphanAndUnblocksDestination) {
   ASSERT_EQ(me("m1")->pending_incoming_count(), 1u);  // the orphan-to-be
   EXPECT_EQ(me("m0")->outgoing_count(), 0u);
 
-  // Re-route to m2 (fresh nonce).  While that migration is merely PENDING
-  // the sweep must stay conservative: the source ME cannot yet vouch that
-  // the identity moved on.
+  // Re-route to m2 (fresh nonce).  The re-route normally expires the
+  // orphan PROACTIVELY (the library tells its ME, which sends kAbort to
+  // m1) — take m1 dark for the re-route so the abort fails and the
+  // pull-based reconcile sweep is exercised as the backstop it now is.
+  world_.network().set_endpoint_down("m1/me", true);
   ASSERT_EQ(enclave->ecall_migration_start("m2"), Status::kOk);
+  world_.network().set_endpoint_down("m1/me", false);
+  ASSERT_EQ(me("m1")->pending_incoming_count(), 1u);
+  // While that migration is merely PENDING the sweep must stay
+  // conservative: the source ME cannot yet vouch the identity moved on.
   EXPECT_EQ(me("m1")->reconcile_pending(image_->mr_enclave()),
             Status::kMigrationInProgress);
   ASSERT_EQ(me("m1")->pending_incoming_count(), 1u);
