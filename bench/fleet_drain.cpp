@@ -33,6 +33,16 @@ using orchestrator::TransferMode;
 struct DrainResult {
   OrchestratorReport report;
   Duration wall;
+  /// ME<->ME attestation handshakes summed over every machine's ME: full
+  /// RA handshakes vs one-round-trip cached-session resumes.
+  uint64_t full_handshakes = 0;
+  uint64_t resumed_handshakes = 0;
+  /// Deferred counter teardown: pre-copy sources RETIRE their counters
+  /// (one cheap logical op) during the drain; the per-slot flash reclaim
+  /// runs after the measurement window.  Honest accounting: this is real
+  /// work, it just never sits on any migration's critical path.
+  size_t reclaimed_slots = 0;
+  Duration reclaim_cost{};
 };
 
 enum class Fault { kNone, kMeDown, kMeRestart };
@@ -47,7 +57,8 @@ const char* fault_name(Fault fault) {
 }
 
 DrainResult drain(int enclaves, int machines, uint32_t cap, Fault fault,
-                  TransferMode mode, bool pipelined = false) {
+                  TransferMode mode, bool pipelined = false,
+                  bool freeze_aware = false) {
   platform::World world(/*seed=*/9100 + enclaves +
                         (static_cast<int>(fault) * 7) +
                         (static_cast<int>(mode) * 31) +
@@ -58,6 +69,13 @@ DrainResult drain(int enclaves, int machines, uint32_t cap, Fault fault,
       migration::durable_me_factory(world.provider()));
   for (int i = 0; i < machines; ++i) {
     world.add_machine("m" + std::to_string(i));
+  }
+  if (pipelined && mode == TransferMode::kPrecopy) {
+    // Pipelined pre-copy hops rounds through the deferred-delivery pump
+    // instead of the blocking rpc: rounds for different enclaves overlap.
+    for (platform::Machine* m : world.machines()) {
+      if (auto* me = migration::me_on(*m)) me->set_async_precopy(true);
+    }
   }
 
   FleetRegistry fleet(world);
@@ -86,6 +104,12 @@ DrainResult drain(int enclaves, int machines, uint32_t cap, Fault fault,
   options.max_attempts = 6;
   options.transfer_mode = mode;
   options.pipelined = pipelined;
+  options.freeze_aware = freeze_aware;
+  if (freeze_aware) {
+    // Slot-live arming concentrates transfers at whichever destinations
+    // go live first; the per-destination cap keeps that bounded.
+    options.max_inflight_per_destination = cap;
+  }
   Orchestrator orch(fleet, scheduler, options);
   size_t completions = 0;
   if (fault == Fault::kMeRestart) {
@@ -109,6 +133,19 @@ DrainResult drain(int enclaves, int machines, uint32_t cap, Fault fault,
   DrainResult result;
   result.report = orch.execute(Plan::drain("m0"));
   result.wall = world.clock().now() - t0;
+  for (platform::Machine* m : world.machines()) {
+    if (auto* me = migration::me_on(*m)) {
+      result.full_handshakes += me->full_handshake_count();
+      result.resumed_handshakes += me->resumed_handshake_count();
+    }
+  }
+  // Post-drain firmware sweep over retired counter slots, OUTSIDE the
+  // measured wall (that is the whole point of retire-then-reclaim).
+  const Duration sweep0 = world.clock().now();
+  for (platform::Machine* m : world.machines()) {
+    result.reclaimed_slots += m->reclaim_retired_counters();
+  }
+  result.reclaim_cost = world.clock().now() - sweep0;
   return result;
 }
 
@@ -123,14 +160,15 @@ void run() {
 
   bench::JsonBench json("fleet_drain");
   const auto row = [&](int enclaves, int machines, uint32_t cap, Fault fault,
-                       TransferMode mode, bool pipelined = false)
-      -> DrainResult {
+                       TransferMode mode, bool pipelined = false,
+                       bool freeze_aware = false) -> DrainResult {
     const DrainResult r = drain(enclaves, machines, cap, fault, mode,
-                                pipelined);
+                                pipelined, freeze_aware);
     const auto& rep = r.report;
-    std::printf("%9d %9d %5u %8s %14s%1s %9.3f %12.3f %12.3f %8u %13u %11.3f\n",
+    std::printf("%9d %9d %5u %8s %14s%2s %8.3f %12.3f %12.3f %8u %13u %11.3f\n",
                 enclaves, machines, cap, fault_name(fault),
-                orchestrator::transfer_mode_name(mode), pipelined ? "*" : "",
+                orchestrator::transfer_mode_name(mode),
+                freeze_aware ? "**" : pipelined ? "*" : "",
                 to_seconds(r.wall),
                 rep.mean_latency_seconds(), rep.max_latency_seconds(),
                 rep.total_retries(), rep.peak_inflight_total,
@@ -141,11 +179,24 @@ void run() {
         .field("cap", static_cast<uint64_t>(cap))
         .field("faults", std::string(fault_name(fault)))
         .field("mode", std::string(orchestrator::transfer_mode_name(mode)))
-        .field("engine", std::string(pipelined ? "pipelined" : "blocking"))
+        .field("engine",
+               std::string(freeze_aware  ? "pipelined-freeze-aware"
+                           : pipelined   ? "pipelined"
+                                         : "blocking"))
         .field("wall_seconds", to_seconds(r.wall))
         .field("mean_latency_seconds", rep.mean_latency_seconds())
         .field("max_latency_seconds", rep.max_latency_seconds())
         .field("mean_freeze_window_seconds", rep.mean_freeze_window_seconds())
+        .field("p50_freeze_window_seconds",
+               rep.freeze_window_percentile_seconds(50.0))
+        .field("p99_freeze_window_seconds",
+               rep.freeze_window_percentile_seconds(99.0))
+        .field("p50_enqueue_wait_seconds",
+               rep.enqueue_wait_percentile_seconds(50.0))
+        .field("p99_enqueue_wait_seconds",
+               rep.enqueue_wait_percentile_seconds(99.0))
+        .field("full_handshakes", r.full_handshakes)
+        .field("resumed_handshakes", r.resumed_handshakes)
         .field("retries", static_cast<uint64_t>(rep.total_retries()))
         .field("peak_inflight",
                static_cast<uint64_t>(rep.peak_inflight_total))
@@ -236,10 +287,77 @@ void run() {
   }
 
   // Pipelined drain through a source-ME crash mid-pipeline: in-flight
-  // TransferTasks resume from the durable queue (v3) with zero failures
+  // TransferTasks resume from the durable queue with zero failures
   // (the row lambda exits non-zero on any failed migration).
   row(/*enclaves=*/32, /*machines=*/5, /*cap=*/4, Fault::kMeRestart,
       TransferMode::kFullSnapshot, /*pipelined=*/true);
+
+  // --- freeze-aware scheduling (** rows): reserve keeps the enclave
+  // LIVE in the source ME's queue; only the slot-live poll freezes it.
+  // The freeze window stops growing with the queue depth the cap builds.
+  std::printf("\nfreeze-aware, 32 enclaves / 5 machines (pipelined full "
+              "snapshot):\n");
+  const DrainResult legacy_cap8 =
+      row(/*enclaves=*/32, /*machines=*/5, /*cap=*/8, Fault::kNone,
+          TransferMode::kFullSnapshot, /*pipelined=*/true);
+  const DrainResult fa_cap1 =
+      row(/*enclaves=*/32, /*machines=*/5, /*cap=*/1, Fault::kNone,
+          TransferMode::kFullSnapshot, /*pipelined=*/true,
+          /*freeze_aware=*/true);
+  const DrainResult fa_cap8 =
+      row(/*enclaves=*/32, /*machines=*/5, /*cap=*/8, Fault::kNone,
+          TransferMode::kFullSnapshot, /*pipelined=*/true,
+          /*freeze_aware=*/true);
+  const double legacy8_freeze =
+      legacy_cap8.report.mean_freeze_window_seconds();
+  const double fa1_freeze = fa_cap1.report.mean_freeze_window_seconds();
+  const double fa8_freeze = fa_cap8.report.mean_freeze_window_seconds();
+  std::printf("freeze-aware vs legacy at cap 8: mean freeze %.4fs vs %.4fs "
+              "(%.1fx smaller); cap-8/cap-1 freeze ratio %.2fx (legacy held "
+              "queue time IN the freeze); handshakes %llu full + %llu "
+              "resumed\n",
+              fa8_freeze, legacy8_freeze,
+              fa8_freeze > 0 ? legacy8_freeze / fa8_freeze : 0.0,
+              fa1_freeze > 0 ? fa8_freeze / fa1_freeze : 0.0,
+              static_cast<unsigned long long>(fa_cap8.full_handshakes),
+              static_cast<unsigned long long>(fa_cap8.resumed_handshakes));
+  json.begin_row()
+      .field("comparison", std::string("freeze_aware_vs_legacy"))
+      .field("cap", static_cast<uint64_t>(8))
+      .field("legacy_mean_freeze_window_seconds", legacy8_freeze)
+      .field("freeze_aware_mean_freeze_window_seconds", fa8_freeze)
+      .field("freeze_aware_cap1_mean_freeze_window_seconds", fa1_freeze)
+      .field("freeze_ratio_cap8_over_cap1",
+             fa1_freeze > 0 ? fa8_freeze / fa1_freeze : 0.0)
+      .field("legacy_wall_seconds", to_seconds(legacy_cap8.wall))
+      .field("freeze_aware_wall_seconds", to_seconds(fa_cap8.wall))
+      .field("p99_enqueue_wait_seconds",
+             fa_cap8.report.enqueue_wait_percentile_seconds(99.0))
+      .field("full_handshakes", fa_cap8.full_handshakes)
+      .field("resumed_handshakes", fa_cap8.resumed_handshakes);
+  // CI gate: with freeze-aware on, deepening the queue (cap 1 -> 8) may
+  // grow the mean freeze window at most 2x (the queue wait lives in
+  // enqueue_wait now, not in the freeze), at equal-or-better wall than
+  // the legacy pipelined engine at the same cap.
+  if (fa8_freeze > 2.0 * fa1_freeze ||
+      to_seconds(fa_cap8.wall) > 1.05 * to_seconds(legacy_cap8.wall)) {
+    std::printf("GATE FAILED: freeze-aware cap8 freeze=%.4fs cap1=%.4fs "
+                "wall=%.3fs legacy wall=%.3fs (need freeze(cap8) <= 2x "
+                "freeze(cap1) and wall <= 1.05x legacy)\n",
+                fa8_freeze, fa1_freeze, to_seconds(fa_cap8.wall),
+                to_seconds(legacy_cap8.wall));
+    std::exit(1);
+  }
+  // CI gate: the session cache must measurably replace full handshakes
+  // with one-round-trip resumes (32 transfers over 4 destinations needs
+  // only ~4 full handshakes).
+  if (fa_cap8.resumed_handshakes <= fa_cap8.full_handshakes) {
+    std::printf("GATE FAILED: attestation cache ineffective (%llu full vs "
+                "%llu resumed handshakes)\n",
+                static_cast<unsigned long long>(fa_cap8.full_handshakes),
+                static_cast<unsigned long long>(fa_cap8.resumed_handshakes));
+    std::exit(1);
+  }
 
   // --- live pre-copy drains: same fleet, freeze window shrinks to the
   // final delta; the ME-restart variant must still converge cleanly from
@@ -248,21 +366,56 @@ void run() {
       TransferMode::kPrecopy);
   row(/*enclaves=*/32, /*machines=*/5, /*cap=*/4, Fault::kMeRestart,
       TransferMode::kPrecopy);
-  // Pipelined pre-copy: rounds interleave across enclaves, restores
-  // overlap across destination lanes.
+  // Pipelined pre-copy: rounds hop through the deferred-delivery pump
+  // (async round shipping), so rounds for different enclaves overlap and
+  // restores overlap across destination lanes.
   row(/*enclaves=*/32, /*machines=*/5, /*cap=*/4, Fault::kNone,
       TransferMode::kPrecopy, /*pipelined=*/true);
+  const DrainResult precopy_cap8 =
+      row(/*enclaves=*/32, /*machines=*/5, /*cap=*/8, Fault::kNone,
+          TransferMode::kPrecopy, /*pipelined=*/true);
+  std::printf("pipelined pre-copy vs full-snapshot at cap 8: wall %.3fs vs "
+              "%.3fs (%.2fx); deferred counter reclaim %.3fs over %zu "
+              "retired slots, off the drain wall\n",
+              to_seconds(precopy_cap8.wall), to_seconds(legacy_cap8.wall),
+              to_seconds(precopy_cap8.wall) / to_seconds(legacy_cap8.wall),
+              to_seconds(precopy_cap8.reclaim_cost),
+              precopy_cap8.reclaimed_slots);
+  json.begin_row()
+      .field("comparison", std::string("pipelined_precopy_vs_full_snapshot"))
+      .field("cap", static_cast<uint64_t>(8))
+      .field("precopy_wall_seconds", to_seconds(precopy_cap8.wall))
+      .field("full_snapshot_wall_seconds", to_seconds(legacy_cap8.wall))
+      .field("wall_ratio", to_seconds(precopy_cap8.wall) /
+                               to_seconds(legacy_cap8.wall))
+      .field("precopy_mean_freeze_window_seconds",
+             precopy_cap8.report.mean_freeze_window_seconds())
+      .field("deferred_reclaim_seconds", to_seconds(precopy_cap8.reclaim_cost))
+      .field("reclaimed_counter_slots",
+             static_cast<uint64_t>(precopy_cap8.reclaimed_slots));
+  // CI gate: async round hops must keep the pipelined pre-copy drain
+  // within 1.4x of the pipelined full-snapshot wall at cap 8 (the sync
+  // round rpcs used to hold it near 1.85x).
+  if (to_seconds(precopy_cap8.wall) > 1.4 * to_seconds(legacy_cap8.wall)) {
+    std::printf("GATE FAILED: pipelined pre-copy wall %.3fs > 1.4x pipelined "
+                "full-snapshot wall %.3fs at cap 8\n",
+                to_seconds(precopy_cap8.wall), to_seconds(legacy_cap8.wall));
+    std::exit(1);
+  }
 
   std::printf(
       "\nexpected shape: blocking wall time grows ~linearly with the fleet\n"
       "and is FLAT in the cap (the source ME serializes transfers, knee=1);\n"
       "the pipelined engine (* rows) moves the knee off 1 — wall time drops\n"
-      "with the cap until the source machine's serial work dominates.  The\n"
-      "me-down row shows one retry per migration initially routed at the\n"
-      "dead machine, the me-restart rows converge with zero failures from\n"
-      "the durable transfer queue (including mid-pipeline TransferTasks),\n"
-      "and the precopy rows report a mean freeze window orders of\n"
-      "magnitude below the full-snapshot rows.\n");
+      "with the cap until the source machine's serial work dominates.\n"
+      "Freeze-aware rows (**) keep the mean freeze window nearly flat in\n"
+      "the cap (the queue wait moved into enqueue_wait) and replace most\n"
+      "full ME<->ME handshakes with cached-session resumes.  The me-down\n"
+      "row shows one retry per migration initially routed at the dead\n"
+      "machine, the me-restart rows converge with zero failures from the\n"
+      "durable transfer queue (including mid-pipeline TransferTasks), and\n"
+      "the precopy rows report a mean freeze window orders of magnitude\n"
+      "below the full-snapshot rows.\n");
   if (!json.write_file("BENCH_fleet_drain.json")) {
     std::printf("FAILED to write BENCH_fleet_drain.json\n");
     std::exit(1);

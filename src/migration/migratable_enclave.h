@@ -72,6 +72,17 @@ class MigratableEnclave : public sgx::Enclave {
                                                std::move(policy));
   }
 
+  /// Freeze-aware enqueue: reserves a transfer slot at the local ME while
+  /// the enclave KEEPS RUNNING; the poll that observes the slot going
+  /// live runs the freeze+collect+arm step.  See
+  /// MigrationLibrary::migration_reserve_detailed.
+  MigrationStartResult ecall_migration_reserve_detailed(
+      const std::string& destination_address, MigrationPolicy policy = {}) {
+    auto scope = enter_ecall();
+    return library_.migration_reserve_detailed(destination_address,
+                                               std::move(policy));
+  }
+
   /// Fate of the queued attempt: kOk = accepted; kMigrationInProgress
   /// with failure_class kNone = still in flight; anything else =
   /// classified terminal failure (staged data kept for a retry).
@@ -183,6 +194,7 @@ class MigratableEnclave : public sgx::Enclave {
   uint32_t last_precopy_rounds() const {
     return library_.last_precopy_rounds();
   }
+  Duration last_enqueue_wait() const { return library_.last_enqueue_wait(); }
   const PersistenceEngine& persistence_engine() const {
     return library_.persistence();
   }

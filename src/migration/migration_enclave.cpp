@@ -1,5 +1,6 @@
 #include "migration/migration_enclave.h"
 
+#include "crypto/cmac.h"
 #include "net/network.h"
 
 namespace sgxmig::migration {
@@ -16,6 +17,8 @@ constexpr char kQueueMagicV1[] = "SGXMIG-ME-QUEUE-v1";
 constexpr char kQueueMagicV2[] = "SGXMIG-ME-QUEUE-v2";  // v1 + pre-copy state
 // v2 + pipelined TransferTasks, inbound peer addresses, staging ages.
 constexpr char kQueueMagicV3[] = "SGXMIG-ME-QUEUE-v3";
+// v3 + per-task armed flags and the cached ME<->ME resume sessions.
+constexpr char kQueueMagicV4[] = "SGXMIG-ME-QUEUE-v4";
 // Confirmed-transfer history bound: enough to absorb duplicate DONEs from
 // any realistic relay-retry window without growing with fleet lifetime.
 constexpr size_t kCompletedHistoryLimit = 4096;
@@ -24,6 +27,52 @@ MeResponse error_response(Status status) {
   MeResponse resp;
   resp.status = status;
   return resp;
+}
+
+// ----- attestation-session resume transcripts -----
+//
+// All three values are CMACs under the cached master key over a
+// domain-separated transcript that binds the conversation id, both
+// parties' nonces and the responder epoch, so a resume message can be
+// neither replayed into a different conversation nor spliced across
+// epochs.
+
+crypto::CmacTag resume_request_mac(const sgx::Key128& master, uint64_t id,
+                                   const std::string& initiator_address,
+                                   uint64_t responder_epoch,
+                                   const std::array<uint8_t, 16>& nonce) {
+  BinaryWriter w;
+  w.str("SGXMIG-RESUME-REQ-v1");
+  w.u64(id);
+  w.str(initiator_address);
+  w.u64(responder_epoch);
+  w.fixed(nonce);
+  const Bytes transcript = w.take();
+  return crypto::aes_cmac(master, transcript);
+}
+
+crypto::CmacTag resume_reply_mac(const sgx::Key128& master, uint64_t id,
+                                 const std::array<uint8_t, 16>& nonce_i,
+                                 const std::array<uint8_t, 16>& nonce_r) {
+  BinaryWriter w;
+  w.str("SGXMIG-RESUME-REP-v1");
+  w.u64(id);
+  w.fixed(nonce_i);
+  w.fixed(nonce_r);
+  const Bytes transcript = w.take();
+  return crypto::aes_cmac(master, transcript);
+}
+
+sgx::Key128 derive_resume_key(const sgx::Key128& master, uint64_t id,
+                              const std::array<uint8_t, 16>& nonce_i,
+                              const std::array<uint8_t, 16>& nonce_r) {
+  BinaryWriter w;
+  w.str("SGXMIG-RESUME-KEY-v1");
+  w.u64(id);
+  w.fixed(nonce_i);
+  w.fixed(nonce_r);
+  const Bytes transcript = w.take();
+  return crypto::aes_cmac(master, transcript);
 }
 }  // namespace
 
@@ -40,6 +89,10 @@ MigrationEnclave::MigrationEnclave(sgx::PlatformIface& platform,
       provider_ca_key_(provider.public_key()),
       engine_(engine ? std::move(engine)
                      : make_persistence_engine(PersistenceMode::kSync)) {
+  // Random per construction: a restarted/redeployed ME presents a new
+  // epoch, so initiators holding cached sessions for the old instance are
+  // refused and fall back to the full handshake.
+  instance_epoch_ = fresh_id();
   if (auto* net = this->platform().network()) {
     net->register_endpoint(this->platform().address() + "/me",
                            [this](ByteView raw) { return handle_request(raw); });
@@ -68,6 +121,14 @@ std::shared_ptr<const sgx::EnclaveImage> MigrationEnclave::standard_image() {
                                 /*signer_name=*/"cloud-provider",
                                 /*isv_prod_id=*/0x00e0, /*isv_svn=*/1);
   return image;
+}
+
+void MigrationEnclave::bump_instance_epoch() {
+  auto scope = enter_ecall();
+  ++instance_epoch_;
+  // A redeployed ME forgets its acceptors: every initiator holding a
+  // cached session is refused and forced back to the full handshake.
+  resume_acceptors_.clear();
 }
 
 uint64_t MigrationEnclave::fresh_id() {
@@ -147,6 +208,7 @@ Result<Bytes> MigrationEnclave::handle_request(ByteView raw) {
     case MeMsgType::kPrecopyFinalize: resp = on_precopy_finalize(req); break;
     case MeMsgType::kReconcile: resp = on_reconcile(req); break;
     case MeMsgType::kAbort: resp = on_abort(req); break;
+    case MeMsgType::kSessionResume: resp = on_session_resume(req); break;
   }
   return resp.serialize();
 }
@@ -231,6 +293,12 @@ MeResponse MigrationEnclave::on_la_record(const MeRequest& req) {
       break;
     case LibMsgType::kMigrateEnqueue:
       reply = on_migrate_enqueue(session, msg.value());
+      break;
+    case LibMsgType::kMigrateReserve:
+      reply = on_migrate_reserve(session, msg.value());
+      break;
+    case LibMsgType::kMigrateArm:
+      reply = on_migrate_arm(session, msg.value());
       break;
     case LibMsgType::kPollTransfer:
       reply = on_poll_transfer(session, msg.value());
@@ -515,6 +583,18 @@ Result<net::SecureChannel> MigrationEnclave::attest_peer_me(
   if (net == nullptr) return Status::kNetworkUnreachable;
   const std::string dest_endpoint = destination_address + "/me";
 
+  // --- cached-session resume (one round trip) ---
+  auto resumed = try_resume_session(destination_address, transfer_id, policy);
+  if (resumed.ok()) return resumed;
+  if (resumed.status() == Status::kPolicyViolation) {
+    // The cached credential is the provider-certified one from the full
+    // handshake; a policy denial against it is as authoritative as one
+    // against a freshly attested credential.
+    return resumed.status();
+  }
+  // Anything else (no cache entry, peer refused, transport) falls back to
+  // the full msg1/msg3 handshake below.
+
   // --- mutual remote attestation ---
   sgx::RaSession ra(platform(), identity(), sgx::RaSession::Role::kInitiator);
   MeRequest m1;
@@ -549,8 +629,11 @@ Result<net::SecureChannel> MigrationEnclave::attest_peer_me(
   auto resp3 = MeResponse::deserialize(raw3.value());
   if (!resp3.ok()) return Status::kTampered;
   if (resp3.value().status != Status::kOk) return resp3.value().status;
-  auto peer_auth = ProviderAuth::deserialize(resp3.value().payload);
+  BinaryReader r3(resp3.value().payload);
+  auto peer_auth = ProviderAuth::deserialize(r3.bytes(1u << 16));
   if (!peer_auth.ok()) return Status::kTampered;
+  const uint64_t peer_epoch = r3.u64();
+  if (!r3.done()) return Status::kTampered;
   std::string peer_region;
   const Status auth_status =
       verify_provider_auth(peer_auth.value(), ra.transcript_hash(),
@@ -561,10 +644,130 @@ Result<net::SecureChannel> MigrationEnclave::attest_peer_me(
   // destination's provider-CERTIFIED attributes, not self-claimed ones ---
   const Status policy_status = policy.evaluate(peer_auth.value().credential);
   if (policy_status != Status::kOk) return policy_status;
-  (void)peer_region;
 
+  cache_peer_session(destination_address, ra.session_key(), peer_epoch,
+                     peer_auth.value().credential, peer_region);
+  ++full_handshakes_;
   return net::SecureChannel(ra.session_key(),
                             net::SecureChannel::Role::kInitiator);
+}
+
+void MigrationEnclave::cache_peer_session(
+    const std::string& destination_address, const sgx::Key128& master_key,
+    uint64_t peer_epoch, const platform::MachineCredential& credential,
+    const std::string& region) {
+  PeerSession session;
+  session.master_key = master_key;
+  session.peer_epoch = peer_epoch;
+  session.credential = credential;
+  session.region = region;
+  peer_sessions_[destination_address] = std::move(session);
+  // Durability rides the next persist_queue() from the caller's own state
+  // transition — losing a cache entry only costs a full handshake.
+}
+
+Result<net::SecureChannel> MigrationEnclave::try_resume_session(
+    const std::string& destination_address, uint64_t transfer_id,
+    const MigrationPolicy& policy) {
+  auto* net = platform().network();
+  if (net == nullptr) return Status::kNetworkUnreachable;
+  const auto it = peer_sessions_.find(destination_address);
+  if (it == peer_sessions_.end()) return Status::kNoPendingMigration;
+  // Per-attempt policy runs against the CACHED provider-certified
+  // credential; a denial is not restart evidence, so the cache survives.
+  const Status policy_status = policy.evaluate(it->second.credential);
+  if (policy_status != Status::kOk) return policy_status;
+
+  SessionResumeRequest resume;
+  resume.initiator_address = platform().address();
+  resume.responder_epoch = it->second.peer_epoch;
+  resume.nonce = to_array<16>(rng().bytes(16));
+  resume.mac = resume_request_mac(it->second.master_key, transfer_id,
+                                  resume.initiator_address,
+                                  resume.responder_epoch, resume.nonce);
+  MeRequest req;
+  req.type = MeMsgType::kSessionResume;
+  req.id = transfer_id;
+  req.payload = resume.serialize();
+  auto raw = net->rpc(destination_address + "/me", req.serialize());
+  // Transport failure says nothing about the peer's session table: keep
+  // the cache (the fallback full handshake will fail the same way).
+  if (!raw.ok()) return raw.status();
+  auto resp = MeResponse::deserialize(raw.value());
+  if (!resp.ok()) {
+    peer_sessions_.erase(destination_address);
+    return Status::kTampered;
+  }
+  if (resp.value().status != Status::kOk) {
+    // The peer answered but refused: restart (empty acceptor table),
+    // epoch bump, or MAC rejection.  All of them retire this entry.
+    peer_sessions_.erase(destination_address);
+    return resp.value().status;
+  }
+  auto reply = SessionResumeReply::deserialize(resp.value().payload);
+  if (!reply.ok()) {
+    peer_sessions_.erase(destination_address);
+    return Status::kTampered;
+  }
+  const crypto::CmacTag expected =
+      resume_reply_mac(it->second.master_key, transfer_id, resume.nonce,
+                       reply.value().nonce);
+  if (!constant_time_eq(expected, reply.value().mac)) {
+    peer_sessions_.erase(destination_address);
+    return Status::kMacMismatch;
+  }
+  const sgx::Key128 key = derive_resume_key(it->second.master_key,
+                                            transfer_id, resume.nonce,
+                                            reply.value().nonce);
+  ++resumed_handshakes_;
+  return net::SecureChannel(key, net::SecureChannel::Role::kInitiator);
+}
+
+MeResponse MigrationEnclave::on_session_resume(const MeRequest& req) {
+  auto parsed = SessionResumeRequest::deserialize(req.payload);
+  if (!parsed.ok()) return error_response(Status::kTampered);
+  const SessionResumeRequest& resume = parsed.value();
+  const auto it = resume_acceptors_.find(resume.initiator_address);
+  if (it == resume_acceptors_.end()) {
+    // Acceptors are memory-only BY DESIGN: a restarted ME cannot prove it
+    // never forked the old session's state, so it forces the initiator
+    // back through the full handshake.
+    return error_response(Status::kInvalidState);
+  }
+  if (resume.responder_epoch != instance_epoch_) {
+    resume_acceptors_.erase(it);
+    return error_response(Status::kInvalidState);
+  }
+  const crypto::CmacTag expected = resume_request_mac(
+      it->second.master_key, req.id, resume.initiator_address,
+      resume.responder_epoch, resume.nonce);
+  if (!constant_time_eq(expected, resume.mac)) {
+    // A forged/tampered resume retires the acceptor: worst case the
+    // legitimate initiator is downgraded to a full handshake.
+    resume_acceptors_.erase(it);
+    return error_response(Status::kMacMismatch);
+  }
+  // A colliding conversation id must not clobber a live inbound transfer.
+  if (inbound_.count(req.id) != 0) {
+    return error_response(Status::kAlreadyExists);
+  }
+  SessionResumeReply reply;
+  reply.nonce = to_array<16>(rng().bytes(16));
+  reply.mac = resume_reply_mac(it->second.master_key, req.id, resume.nonce,
+                               reply.nonce);
+  InboundTransfer inbound;
+  inbound.authenticated = true;
+  inbound.source_region = it->second.source_region;
+  inbound.source_address = it->second.source_address;
+  inbound.channel.emplace(
+      derive_resume_key(it->second.master_key, req.id, resume.nonce,
+                        reply.nonce),
+      net::SecureChannel::Role::kResponder);
+  inbound_[req.id] = std::move(inbound);
+  MeResponse resp;
+  resp.status = Status::kOk;
+  resp.payload = reply.serialize();
+  return resp;
 }
 
 Status MigrationEnclave::dedup_against_queue(
@@ -754,6 +957,144 @@ LibMsg MigrationEnclave::on_migrate_enqueue(LaSessionState& session,
   return reply;
 }
 
+LibMsg MigrationEnclave::on_migrate_reserve(LaSessionState& session,
+                                            const LibMsg& msg) {
+  // Enqueue-without-freeze: the library reserves a transfer slot while the
+  // enclave keeps running.  The task attests ahead of time and then parks
+  // at kAwaitArm; the poll reports kSlotLive and only then does the
+  // library freeze, collect, and arm the payload.
+  LibMsg reply;
+  reply.type = LibMsgType::kError;
+  auto parsed = MigrateReservePayload::deserialize(msg.payload);
+  if (!parsed.ok()) {
+    reply.status = Status::kTampered;
+    return reply;
+  }
+  const uint64_t nonce = parsed.value().request_nonce;
+  if (nonce == 0 ||
+      parsed.value().destination_address == platform().address()) {
+    reply.status = Status::kInvalidParameter;
+    return reply;
+  }
+  const sgx::Measurement& mr = session.peer.mr_enclave;
+  const Status dedup =
+      dedup_against_queue(mr, nonce, parsed.value().destination_address);
+  if (dedup != Status::kNoPendingMigration) {
+    reply.type = dedup == Status::kOk ? LibMsgType::kMigrateQueued
+                                      : LibMsgType::kError;
+    reply.status = dedup;
+    return reply;
+  }
+  const auto existing = transfer_tasks_.find(nonce);
+  if (existing != transfer_tasks_.end()) {
+    if (!(existing->second.source_mr == mr)) {
+      reply.status = Status::kAlreadyExists;  // foreign nonce collision
+      return reply;
+    }
+    if (existing->second.request.destination_address !=
+        parsed.value().destination_address) {
+      reply.status = Status::kInvalidParameter;
+      return reply;
+    }
+    if (existing->second.step == TransferTask::Step::kFailed) {
+      existing->second.step = TransferTask::Step::kQueued;
+      existing->second.failure = Status::kOk;
+      existing->second.ra.reset();
+      existing->second.channel.reset();
+      kick_task(nonce);
+    }
+    reply.type = LibMsgType::kMigrateQueued;
+    reply.status = Status::kOk;
+    return reply;
+  }
+  TransferTask task;
+  task.source_mr = mr;
+  task.armed = false;
+  task.request.destination_address = parsed.value().destination_address;
+  task.request.request_nonce = nonce;
+  task.request.policy = parsed.value().policy;
+  transfer_tasks_[nonce] = std::move(task);
+  const Status persisted = persist_queue();
+  if (persisted != Status::kOk) {
+    transfer_tasks_.erase(nonce);
+    reply.status = persisted;
+    return reply;
+  }
+  kick_task(nonce);
+  reply.type = LibMsgType::kMigrateQueued;
+  reply.status = Status::kOk;
+  return reply;
+}
+
+LibMsg MigrationEnclave::on_migrate_arm(LaSessionState& session,
+                                        const LibMsg& msg) {
+  LibMsg reply;
+  reply.type = LibMsgType::kError;
+  auto request = MigrateRequestPayload::deserialize(msg.payload);
+  if (!request.ok()) {
+    reply.status = Status::kTampered;
+    return reply;
+  }
+  const uint64_t nonce = request.value().request_nonce;
+  if (nonce == 0) {
+    reply.status = Status::kInvalidParameter;
+    return reply;
+  }
+  const sgx::Measurement& mr = session.peer.mr_enclave;
+  const auto it = transfer_tasks_.find(nonce);
+  if (it == transfer_tasks_.end()) {
+    // An arm re-sent after a lost ack may find the task already dissolved
+    // into a retained/completed transfer: idempotent success.
+    const Status dedup =
+        dedup_against_queue(mr, nonce, request.value().destination_address);
+    if (dedup == Status::kOk) {
+      reply.type = LibMsgType::kArmAck;
+      reply.status = Status::kOk;
+      return reply;
+    }
+    reply.status = dedup;
+    return reply;
+  }
+  if (!(it->second.source_mr == mr)) {
+    reply.status = Status::kAlreadyExists;
+    return reply;
+  }
+  if (it->second.request.destination_address !=
+      request.value().destination_address) {
+    reply.status = Status::kInvalidParameter;
+    return reply;
+  }
+  TransferTask& task = it->second;
+  if (task.armed && task.step == TransferTask::Step::kAwaitAccept) {
+    // Duplicate arm while the payload is already on the wire.
+    reply.type = LibMsgType::kArmAck;
+    reply.status = Status::kOk;
+    return reply;
+  }
+  MigrationData previous = std::move(task.request.data);
+  const bool was_armed = task.armed;
+  task.request.data = std::move(request).value().data;
+  task.armed = true;
+  // Durable BEFORE the ack: the armed payload is the state the library
+  // just destroyed its live instance for.
+  const Status persisted = persist_queue();
+  if (persisted != Status::kOk) {
+    task.request.data = std::move(previous);
+    task.armed = was_armed;
+    reply.status = persisted;
+    return reply;
+  }
+  if (task.step == TransferTask::Step::kAwaitArm) {
+    ship_task_payload(nonce, task);
+  }
+  // Still attesting (e.g. after an ME restart collapsed the task to
+  // kQueued): task_attested ships the armed payload when the channel is
+  // ready.  A kFailed task keeps its failure for the next poll.
+  reply.type = LibMsgType::kArmAck;
+  reply.status = Status::kOk;
+  return reply;
+}
+
 size_t MigrationEnclave::pump() {
   auto scope = enter_ecall();
   size_t live = 0;
@@ -763,6 +1104,25 @@ size_t MigrationEnclave::pump() {
     if (task.step != TransferTask::Step::kFailed) ++live;
   }
   for (const uint64_t nonce : queued) kick_task(nonce);
+  if (async_precopy_) {
+    // Idle pre-copy attempts get their next hop (re)posted — a round
+    // record, or the staged finalize once the library committed one.
+    std::vector<uint64_t> idle;
+    for (const auto& [nonce, attempt] : precopy_outgoing_) {
+      if (attempt.ship_step == PrecopyOutgoing::ShipStep::kIdle) {
+        idle.push_back(nonce);
+      }
+    }
+    for (const uint64_t nonce : idle) kick_precopy_ship(nonce);
+    // In-flight ships AND attempts still holding a staged finalize count
+    // as live work so the driver keeps pumping this ME.
+    for (const auto& [nonce, attempt] : precopy_outgoing_) {
+      if (attempt.ship_step != PrecopyOutgoing::ShipStep::kIdle ||
+          attempt.staged_finalize.has_value()) {
+        ++live;
+      }
+    }
+  }
   return live;
 }
 
@@ -789,6 +1149,36 @@ void MigrationEnclave::kick_task(uint64_t nonce) {
     return;
   }
   task.transfer_id = transfer_id;
+  const auto cached = peer_sessions_.find(task.request.destination_address);
+  if (cached != peer_sessions_.end()) {
+    // Migration policy against the CACHED provider-certified credential —
+    // a denial here is as authoritative as one from a fresh handshake.
+    const Status policy_status =
+        task.request.policy.evaluate(cached->second.credential);
+    if (policy_status != Status::kOk) {
+      fail_task(nonce, policy_status);
+      return;
+    }
+    SessionResumeRequest resume;
+    resume.initiator_address = platform().address();
+    resume.responder_epoch = cached->second.peer_epoch;
+    resume.nonce = to_array<16>(rng().bytes(16));
+    resume.mac = resume_request_mac(cached->second.master_key, transfer_id,
+                                    resume.initiator_address,
+                                    resume.responder_epoch, resume.nonce);
+    MeRequest rr;
+    rr.type = MeMsgType::kSessionResume;
+    rr.id = transfer_id;
+    rr.payload = resume.serialize();
+    task.step = TransferTask::Step::kAwaitResume;
+    const std::array<uint8_t, 16> nonce_i = resume.nonce;
+    net->post(task.request.destination_address + "/me", rr.serialize(),
+              net_endpoint(),
+              [this, nonce, nonce_i](Result<Bytes> raw) {
+                task_on_resume(nonce, nonce_i, std::move(raw));
+              });
+    return;
+  }
   task.ra = std::make_unique<sgx::RaSession>(platform(), identity(),
                                              sgx::RaSession::Role::kInitiator);
   MeRequest m1;
@@ -854,8 +1244,11 @@ void MigrationEnclave::task_on_auth(uint64_t nonce, Result<Bytes> raw) {
   TransferTask& task = it->second;
   auto reply = open_task_reply(raw);
   if (!reply.ok()) return fail_task(nonce, reply.status());
-  auto peer_auth = ProviderAuth::deserialize(reply.value());
+  BinaryReader r(reply.value());
+  auto peer_auth = ProviderAuth::deserialize(r.bytes(1u << 16));
   if (!peer_auth.ok()) return fail_task(nonce, Status::kTampered);
+  const uint64_t peer_epoch = r.u64();
+  if (!r.done()) return fail_task(nonce, Status::kTampered);
   std::string peer_region;
   const Status auth_status = verify_provider_auth(
       peer_auth.value(), task.ra->transcript_hash(),
@@ -865,11 +1258,68 @@ void MigrationEnclave::task_on_auth(uint64_t nonce, Result<Bytes> raw) {
   const Status policy_status =
       task.request.policy.evaluate(peer_auth.value().credential);
   if (policy_status != Status::kOk) return fail_task(nonce, policy_status);
-  (void)peer_region;
 
   task.channel.emplace(task.ra->session_key(),
                        net::SecureChannel::Role::kInitiator);
+  cache_peer_session(task.request.destination_address, task.ra->session_key(),
+                     peer_epoch, peer_auth.value().credential, peer_region);
+  ++full_handshakes_;
+  task_attested(nonce, task);
+}
+
+void MigrationEnclave::task_on_resume(uint64_t nonce,
+                                      std::array<uint8_t, 16> nonce_i,
+                                      Result<Bytes> raw) {
+  auto scope = enter_ecall();
+  const auto it = transfer_tasks_.find(nonce);
+  if (it == transfer_tasks_.end() ||
+      it->second.step != TransferTask::Step::kAwaitResume) {
+    return;
+  }
+  TransferTask& task = it->second;
+  // Transport failure: classify like the full path would (the fallback
+  // handshake would hit the same dead wire), keeping the cache entry.
+  if (!raw.ok()) return fail_task(nonce, raw.status());
+  auto fallback = [&] {
+    // Resume refused or unverifiable: retire the cache entry and restart
+    // the attempt through the full handshake.
+    peer_sessions_.erase(task.request.destination_address);
+    task.step = TransferTask::Step::kQueued;
+    task.ra.reset();
+    task.channel.reset();
+    kick_task(nonce);
+  };
+  auto resp = MeResponse::deserialize(raw.value());
+  if (!resp.ok() || resp.value().status != Status::kOk) return fallback();
+  auto reply = SessionResumeReply::deserialize(resp.value().payload);
+  if (!reply.ok()) return fallback();
+  const auto cached = peer_sessions_.find(task.request.destination_address);
+  if (cached == peer_sessions_.end()) return fallback();
+  const crypto::CmacTag expected =
+      resume_reply_mac(cached->second.master_key, task.transfer_id, nonce_i,
+                       reply.value().nonce);
+  if (!constant_time_eq(expected, reply.value().mac)) return fallback();
+  task.channel.emplace(
+      derive_resume_key(cached->second.master_key, task.transfer_id, nonce_i,
+                        reply.value().nonce),
+      net::SecureChannel::Role::kInitiator);
+  ++resumed_handshakes_;
+  task_attested(nonce, task);
+}
+
+void MigrationEnclave::task_attested(uint64_t nonce, TransferTask& task) {
   task.ra.reset();
+  if (!task.armed) {
+    // Enqueue-without-freeze: hold the attested channel and let the next
+    // poll report kSlotLive.  The library freezes, collects, and arms —
+    // only then does the payload ship.
+    task.step = TransferTask::Step::kAwaitArm;
+    return;
+  }
+  ship_task_payload(nonce, task);
+}
+
+void MigrationEnclave::ship_task_payload(uint64_t nonce, TransferTask& task) {
   TransferPayload payload;
   payload.source_mr_enclave = task.source_mr;
   payload.source_me_address = platform().address();
@@ -990,9 +1440,33 @@ LibMsg MigrationEnclave::on_poll_transfer(LaSessionState& session,
         reply.status = persisted;
         return reply;
       }
+    } else if (it->second.step == TransferTask::Step::kAwaitArm) {
+      // Attested and parked: the enclave may freeze+collect+arm — but only
+      // while the armed ship window has room.  Unpaced, every parked task
+      // would freeze at once and then wait through the whole in-flight
+      // window's serialized source-lane seals; paced, each freeze covers
+      // little more than its own ship + accept.
+      size_t armed_in_flight = 0;
+      for (const auto& [n, t] : transfer_tasks_) {
+        if (t.armed && t.step == TransferTask::Step::kAwaitAccept) {
+          ++armed_in_flight;
+        }
+      }
+      progress.progress = (arm_window_ == 0 || armed_in_flight < arm_window_)
+                              ? TransferProgress::kSlotLive
+                              : TransferProgress::kInFlight;
     } else {
       progress.progress = TransferProgress::kInFlight;
     }
+  } else if (const auto pre = precopy_outgoing_.find(nonce);
+             pre != precopy_outgoing_.end() &&
+             pre->second.source_mr == mr &&
+             pre->second.staged_finalize.has_value()) {
+    // Async finalize still shipping (or awaiting its next kick): the
+    // frozen library keeps polling.  An attempt WITHOUT a staged finalize
+    // falls through to kNone — the ME restarted (or exhausted the ship
+    // budget) and the library must re-drive the finalize synchronously.
+    progress.progress = TransferProgress::kInFlight;
   } else {
     bool accepted = false;
     for (const auto& [id, transfer] : outgoing_) {
@@ -1374,6 +1848,30 @@ LibMsg MigrationEnclave::on_precopy_round(LaSessionState& session,
     reply.status = attempt.status();
     return reply;
   }
+  if (async_precopy_) {
+    // Pipelined round hop: merge+persist now, ack the library immediately,
+    // and ship the round to the destination through the deferred-delivery
+    // pump — rounds of different enclaves overlap on the source lane.  The
+    // ack means "merged and durable at the SOURCE ME"; the synchronous
+    // finalize still proves end-to-end completeness via the manifest.
+    PrecopyOutgoing& live = *attempt.value();
+    for (const CounterChunk& chunk : round.chunks) {
+      auto merged = live.merged.find(chunk.index);
+      if (merged == live.merged.end() ||
+          merged->second.generation <= chunk.generation) {
+        live.merged[chunk.index] = chunk;
+      }
+    }
+    const Status persisted = persist_queue();
+    if (persisted != Status::kOk) {
+      reply.status = persisted;
+      return reply;
+    }
+    kick_precopy_ship(round.request_nonce);
+    reply.type = LibMsgType::kPrecopyAck;
+    reply.status = Status::kOk;
+    return reply;
+  }
   Status sent =
       precopy_send(*attempt.value(), round.request_nonce, round.chunks,
                    round.round, /*finalize=*/false, {}, sgx::Key128{});
@@ -1406,6 +1904,259 @@ LibMsg MigrationEnclave::on_precopy_round(LaSessionState& session,
   return reply;
 }
 
+void MigrationEnclave::kick_precopy_ship(uint64_t nonce) {
+  const auto it = precopy_outgoing_.find(nonce);
+  if (it == precopy_outgoing_.end()) return;
+  PrecopyOutgoing& attempt = it->second;
+  if (attempt.ship_step != PrecopyOutgoing::ShipStep::kIdle) return;
+  if (attempt.staged_finalize.has_value()) {
+    // The library already committed the finalize: further round hops are
+    // moot — everything unacked rides inside the finalize record.
+    kick_precopy_finalize(nonce);
+    return;
+  }
+  // No channel means the last ship failed (or the ME restarted): the next
+  // library round or the finalize re-attests synchronously and resyncs.
+  if (!attempt.channel.has_value()) return;
+  auto* net = platform().network();
+  if (net == nullptr) return;
+  // One record per attempt in flight at a time (the channel's record
+  // sequence demands ordering); ship everything merged beyond what the
+  // destination has acked.
+  std::vector<CounterChunk> to_send;
+  std::vector<ChunkManifestEntry> shipped;
+  for (const auto& [index, chunk] : attempt.merged) {
+    const auto acked = attempt.acked.find(index);
+    if (attempt.resync || acked == attempt.acked.end() ||
+        acked->second < chunk.generation) {
+      to_send.push_back(chunk);
+      ChunkManifestEntry entry;
+      entry.index = index;
+      entry.generation = chunk.generation;
+      shipped.push_back(entry);
+    }
+  }
+  if (to_send.empty()) return;
+  PrecopyChunkRecord record;
+  record.source_mr_enclave = attempt.source_mr;
+  record.source_me_address = platform().address();
+  record.request_nonce = nonce;
+  record.round = attempt.rounds;
+  record.chunks = std::move(to_send);
+  const Bytes record_bytes = record.serialize();
+  charge_gcm(record_bytes.size());
+  MeRequest req;
+  req.type = MeMsgType::kPrecopyChunk;
+  req.id = attempt.transfer_id;
+  req.payload = attempt.channel->seal_record(record_bytes);
+  attempt.ship_step = PrecopyOutgoing::ShipStep::kAwaitRoundAck;
+  const uint64_t transfer_id = attempt.transfer_id;
+  net->post(attempt.destination_address + "/me", req.serialize(),
+            net_endpoint(),
+            [this, nonce, transfer_id,
+             shipped = std::move(shipped)](Result<Bytes> raw) {
+              precopy_on_round_ack(nonce, transfer_id, shipped,
+                                   std::move(raw));
+            });
+}
+
+void MigrationEnclave::precopy_on_round_ack(
+    uint64_t nonce, uint64_t transfer_id,
+    const std::vector<ChunkManifestEntry>& shipped, Result<Bytes> raw) {
+  auto scope = enter_ecall();
+  const auto it = precopy_outgoing_.find(nonce);
+  if (it == precopy_outgoing_.end()) return;  // finalized/aborted meanwhile
+  PrecopyOutgoing& attempt = it->second;
+  if (attempt.ship_step != PrecopyOutgoing::ShipStep::kAwaitRoundAck ||
+      attempt.transfer_id != transfer_id) {
+    return;  // superseded by a finalize resync or re-attest — stale ack
+  }
+  attempt.ship_step = PrecopyOutgoing::ShipStep::kIdle;
+  Status failure = Status::kOk;
+  auto reply = open_task_reply(raw);
+  if (!reply.ok()) {
+    failure = reply.status();
+  } else if (!attempt.channel.has_value()) {
+    failure = Status::kInvalidState;
+  } else {
+    auto ack = attempt.channel->open_record(reply.value());
+    if (!ack.ok()) {
+      failure = ack.status();
+    } else if (to_string(ack.value()) != kPrecopyAckMarker) {
+      failure = Status::kTampered;
+    }
+  }
+  if (failure != Status::kOk) {
+    // Same recovery as the synchronous path: the channel may have
+    // desynced, so drop it and resync over a fresh attestation on the
+    // next round or the finalize.  Merged state stays durable.
+    attempt.channel.reset();
+    attempt.resync = true;
+    persist_queue();
+    return;
+  }
+  attempt.resync = false;
+  ++attempt.rounds;
+  for (const ChunkManifestEntry& entry : shipped) {
+    auto acked = attempt.acked.find(entry.index);
+    if (acked == attempt.acked.end() || acked->second < entry.generation) {
+      attempt.acked[entry.index] = entry.generation;
+    }
+  }
+  // No re-seal here: rounds/acked/channel-sequence are reconstruction
+  // state.  A restart restores the pre-ack snapshot, the stale channel
+  // sequence fails the next record, and the resync path re-ships the full
+  // merged set — the merge-side persist (durable-before-ack) already
+  // holds every chunk.  Sealing the whole queue once more per round ack
+  // would put O(queue) GCM work on the source lane's critical path.
+  // Rounds merged while this one was on the wire ship immediately — or
+  // the finalize, if the library committed one meanwhile.
+  kick_precopy_ship(nonce);
+}
+
+namespace {
+// How often the async ship re-posts a failed finalize (re-attesting each
+// time) before handing the attempt back to the library's sync fallback.
+constexpr uint32_t kFinalizeShipAttempts = 3;
+}  // namespace
+
+void MigrationEnclave::kick_precopy_finalize(uint64_t nonce) {
+  const auto it = precopy_outgoing_.find(nonce);
+  if (it == precopy_outgoing_.end()) return;
+  PrecopyOutgoing& attempt = it->second;
+  if (!attempt.staged_finalize.has_value()) return;
+  if (attempt.ship_step != PrecopyOutgoing::ShipStep::kIdle) return;
+  auto* net = platform().network();
+  if (net == nullptr) return;
+  if (!attempt.channel.has_value()) {
+    // The previous ship failed (or a round desynced the channel): one
+    // synchronous re-attest, bounded by the ship budget — precopy_attempt
+    // flips resync on, so the re-post carries the whole merged set.
+    auto fresh =
+        precopy_attempt(attempt.source_mr, attempt.destination_address, nonce,
+                        attempt.staged_finalize->policy);
+    if (!fresh.ok()) {
+      if (++attempt.finalize_attempts >= kFinalizeShipAttempts) {
+        // Hand back to the library: its poll observes kNone and the still
+        // frozen enclave re-drives the finalize synchronously (dedup'd).
+        attempt.staged_finalize.reset();
+      }
+      return;
+    }
+  }
+  // Everything merged beyond the destination's acked front rides inside
+  // the finalize record (on resync: the whole merged set); the manifest
+  // check at the destination proves completeness either way.
+  std::vector<CounterChunk> to_send;
+  for (const auto& [index, chunk] : attempt.merged) {
+    const auto acked = attempt.acked.find(index);
+    if (attempt.resync || acked == attempt.acked.end() ||
+        acked->second < chunk.generation) {
+      to_send.push_back(chunk);
+    }
+  }
+  PrecopyFinalizeRecord record;
+  record.source_mr_enclave = attempt.source_mr;
+  record.source_me_address = platform().address();
+  record.request_nonce = nonce;
+  record.round = attempt.staged_finalize->round;
+  record.chunks = std::move(to_send);
+  record.manifest = attempt.staged_finalize->manifest;
+  record.msk = attempt.staged_finalize->msk;
+  const Bytes record_bytes = record.serialize();
+  charge_gcm(record_bytes.size());
+  MeRequest req;
+  req.type = MeMsgType::kPrecopyFinalize;
+  req.id = attempt.transfer_id;
+  req.payload = attempt.channel->seal_record(record_bytes);
+  attempt.ship_step = PrecopyOutgoing::ShipStep::kAwaitFinalizeAck;
+  const uint64_t transfer_id = attempt.transfer_id;
+  net->post(attempt.destination_address + "/me", req.serialize(),
+            net_endpoint(), [this, nonce, transfer_id](Result<Bytes> raw) {
+              precopy_on_finalize_ack(nonce, transfer_id, std::move(raw));
+            });
+}
+
+void MigrationEnclave::precopy_on_finalize_ack(uint64_t nonce,
+                                               uint64_t transfer_id,
+                                               Result<Bytes> raw) {
+  auto scope = enter_ecall();
+  const auto it = precopy_outgoing_.find(nonce);
+  if (it == precopy_outgoing_.end()) return;  // aborted meanwhile
+  PrecopyOutgoing& attempt = it->second;
+  if (attempt.ship_step != PrecopyOutgoing::ShipStep::kAwaitFinalizeAck ||
+      attempt.transfer_id != transfer_id) {
+    return;  // superseded by a resync re-attest — stale ack
+  }
+  attempt.ship_step = PrecopyOutgoing::ShipStep::kIdle;
+  if (!attempt.staged_finalize.has_value()) return;
+  Status failure = Status::kOk;
+  auto reply = open_task_reply(raw);
+  if (!reply.ok()) {
+    failure = reply.status();
+  } else if (!attempt.channel.has_value()) {
+    failure = Status::kInvalidState;
+  } else {
+    auto ack = attempt.channel->open_record(reply.value());
+    if (!ack.ok()) {
+      failure = ack.status();
+    } else if (to_string(ack.value()) != kPrecopyFinMarker) {
+      failure = Status::kTampered;
+    }
+  }
+  if (failure != Status::kOk) {
+    // kPrecopyIncomplete included: resync re-ships the full merged set
+    // under a fresh attestation on the next pump kick.  Past the ship
+    // budget, hand the attempt back to the library's sync fallback.
+    attempt.channel.reset();
+    attempt.resync = true;
+    if (++attempt.finalize_attempts >= kFinalizeShipAttempts) {
+      attempt.staged_finalize.reset();
+    }
+    persist_queue();
+    return;
+  }
+  const PrecopyFinalizePayload fin = std::move(*attempt.staged_finalize);
+  const sgx::Measurement source_mr = attempt.source_mr;
+  // Invalidates `attempt`; the library's poll now observes kAccepted.
+  (void)finish_precopy_outgoing(source_mr, fin);
+}
+
+Status MigrationEnclave::finish_precopy_outgoing(
+    const sgx::Measurement& source_mr, const PrecopyFinalizePayload& fin) {
+  const auto it = precopy_outgoing_.find(fin.request_nonce);
+  if (it == precopy_outgoing_.end()) return Status::kInvalidState;
+  PrecopyOutgoing& live = it->second;
+  // The destination assembled the authoritative snapshot: retain the
+  // equivalent full copy until DONE, exactly like a full-snapshot
+  // transfer (§V-D), and retire the pre-copy attempt.
+  MigrationData assembled;
+  assembled.msk = fin.msk;
+  for (const ChunkManifestEntry& entry : fin.manifest) {
+    const auto chunk = live.merged.find(entry.index);
+    if (chunk == live.merged.end()) continue;  // empty chunk: all inactive
+    for (size_t s = 0; s < kPrecopyChunkSlots; ++s) {
+      const size_t slot = entry.index * kPrecopyChunkSlots + s;
+      assembled.counters_active[slot] = chunk->second.active[s];
+      assembled.counter_values[slot] =
+          chunk->second.active[s] ? chunk->second.values[s] : 0;
+    }
+  }
+  OutgoingTransfer transfer;
+  transfer.source_mr = source_mr;
+  transfer.destination_address = live.destination_address;
+  transfer.request_nonce = fin.request_nonce;
+  transfer.retained_data = assembled.serialize();
+  transfer.channel = std::move(live.channel);
+  transfer.sequence = next_outgoing_sequence_++;
+  const uint64_t transfer_id = live.transfer_id;
+  latest_outgoing_[transfer.source_mr] = {transfer.sequence,
+                                          OutgoingState::kPending};
+  outgoing_[transfer_id] = std::move(transfer);
+  precopy_outgoing_.erase(fin.request_nonce);
+  return persist_queue();
+}
+
 LibMsg MigrationEnclave::on_precopy_finalize_req(LaSessionState& session,
                                                  const LibMsg& msg) {
   LibMsg reply;
@@ -1436,11 +2187,55 @@ LibMsg MigrationEnclave::on_precopy_finalize_req(LaSessionState& session,
       return reply;
     }
   }
+  // A posted round record may still be in flight for this attempt; a
+  // synchronous finalize would overtake it on the wire and desync the
+  // channel's record sequence, so abandon that channel and resync over a
+  // fresh attestation — the stale ack is ignored by transfer id.  The
+  // ASYNC finalize instead queues behind the round: its ack continuation
+  // kicks the staged finalize in order on the same channel.
+  const auto inflight = precopy_outgoing_.find(fin.request_nonce);
+  if (!async_precopy_ && inflight != precopy_outgoing_.end() &&
+      inflight->second.ship_step ==
+          PrecopyOutgoing::ShipStep::kAwaitRoundAck) {
+    inflight->second.channel.reset();
+    inflight->second.resync = true;
+    inflight->second.ship_step = PrecopyOutgoing::ShipStep::kIdle;
+  }
   auto attempt = precopy_attempt(session.peer.mr_enclave,
                                  fin.destination_address, fin.request_nonce,
                                  fin.policy);
   if (!attempt.ok()) {
     reply.status = attempt.status();
+    return reply;
+  }
+  if (async_precopy_) {
+    // Pipelined finalize hop: merge + stage + ack the library immediately
+    // with kMigrateQueued — the sealed finalize record ships through the
+    // deferred pump, finalize ships of different enclaves overlap on the
+    // source lane, and the library stays frozen polling its fate (the
+    // freeze ends only once the destination's accept is observed).
+    PrecopyOutgoing& live = *attempt.value();
+    for (const CounterChunk& chunk : fin.chunks) {
+      auto merged = live.merged.find(chunk.index);
+      if (merged == live.merged.end() ||
+          merged->second.generation <= chunk.generation) {
+        live.merged[chunk.index] = chunk;
+      }
+    }
+    live.staged_finalize = fin;
+    live.finalize_attempts = 0;
+    // The final delta is durable before the queued-ack, like every round;
+    // only the manifest+msk envelope is memory-only (restart => the
+    // frozen library re-finalizes synchronously, dedup'd by nonce).
+    const Status persisted = persist_queue();
+    if (persisted != Status::kOk) {
+      live.staged_finalize.reset();
+      reply.status = persisted;
+      return reply;
+    }
+    kick_precopy_ship(fin.request_nonce);
+    reply.type = LibMsgType::kMigrateQueued;
+    reply.status = Status::kOk;
     return reply;
   }
   Status sent =
@@ -1463,38 +2258,10 @@ LibMsg MigrationEnclave::on_precopy_finalize_req(LaSessionState& session,
     reply.status = sent;
     return reply;
   }
-  PrecopyOutgoing& live = *attempt.value();
-
-  // The destination assembled the authoritative snapshot: retain the
-  // equivalent full copy until DONE, exactly like a full-snapshot
-  // transfer (§V-D), and retire the pre-copy attempt.
-  MigrationData assembled;
-  assembled.msk = fin.msk;
-  for (const ChunkManifestEntry& entry : fin.manifest) {
-    const auto chunk = live.merged.find(entry.index);
-    if (chunk == live.merged.end()) continue;  // empty chunk: all inactive
-    for (size_t s = 0; s < kPrecopyChunkSlots; ++s) {
-      const size_t slot = entry.index * kPrecopyChunkSlots + s;
-      assembled.counters_active[slot] = chunk->second.active[s];
-      assembled.counter_values[slot] =
-          chunk->second.active[s] ? chunk->second.values[s] : 0;
-    }
-  }
-  OutgoingTransfer transfer;
-  transfer.source_mr = session.peer.mr_enclave;
-  transfer.destination_address = live.destination_address;
-  transfer.request_nonce = fin.request_nonce;
-  transfer.retained_data = assembled.serialize();
-  transfer.channel = std::move(live.channel);
-  transfer.sequence = next_outgoing_sequence_++;
-  const uint64_t transfer_id = live.transfer_id;
-  latest_outgoing_[transfer.source_mr] = {transfer.sequence,
-                                          OutgoingState::kPending};
-  outgoing_[transfer_id] = std::move(transfer);
-  precopy_outgoing_.erase(fin.request_nonce);
-  const Status persisted = persist_queue();
-  if (persisted != Status::kOk) {
-    reply.status = persisted;
+  const Status finished =
+      finish_precopy_outgoing(session.peer.mr_enclave, fin);
+  if (finished != Status::kOk) {
+    reply.status = finished;
     return reply;
   }
   reply.type = LibMsgType::kFinalizeAccepted;
@@ -1579,9 +2346,21 @@ MeResponse MigrationEnclave::on_ra_msg3(const MeRequest& req) {
   inbound.channel.emplace(inbound.ra->session_key(),
                           net::SecureChannel::Role::kResponder);
 
+  // Register the resume acceptor for this (verified) peer: a later
+  // kSessionResume from the same certified address can re-key without the
+  // full handshake.  Memory-only — a restart forgets it deliberately.
+  ResumeAcceptor acceptor;
+  acceptor.master_key = inbound.ra->session_key();
+  acceptor.source_region = source_region;
+  acceptor.source_address = inbound.source_address;
+  resume_acceptors_[inbound.source_address] = std::move(acceptor);
+
   MeResponse resp;
   resp.status = Status::kOk;
-  resp.payload = make_provider_auth(inbound.ra->transcript_hash()).serialize();
+  BinaryWriter w;
+  w.bytes(make_provider_auth(inbound.ra->transcript_hash()).serialize());
+  w.u64(instance_epoch_);
+  resp.payload = w.take();
   return resp;
 }
 
@@ -2052,7 +2831,7 @@ Result<std::map<uint32_t, CounterChunk>> deserialize_chunk_map(
 
 Bytes MigrationEnclave::serialize_queue() const {
   BinaryWriter w;
-  w.str(kQueueMagicV3);
+  w.str(kQueueMagicV4);
   w.u64(next_outgoing_sequence_);
 
   w.u32(static_cast<uint32_t>(outgoing_.size()));
@@ -2168,6 +2947,21 @@ Bytes MigrationEnclave::serialize_queue() const {
     w.u64(nonce);
     w.fixed(t.source_mr);
     w.bytes(t.request.serialize());
+    w.boolean(t.armed);  // v4: unarmed reservations re-park at kAwaitArm
+  }
+
+  // ----- v4: cached ME<->ME attestation sessions -----
+  // Master keys ride the sealed snapshot like channel keys do; losing an
+  // entry only costs one full handshake.  Acceptor-side state is
+  // deliberately NOT persisted (a restarted responder must force the full
+  // handshake — that is the anti-fork evidence the initiator relies on).
+  w.u32(static_cast<uint32_t>(peer_sessions_.size()));
+  for (const auto& [address, s] : peer_sessions_) {
+    w.str(address);
+    w.fixed(s.master_key);
+    w.u64(s.peer_epoch);
+    s.credential.serialize(w);
+    w.str(s.region);
   }
   return w.take();
 }
@@ -2175,7 +2969,8 @@ Bytes MigrationEnclave::serialize_queue() const {
 Status MigrationEnclave::apply_queue(ByteView plaintext) {
   BinaryReader r(plaintext);
   const std::string magic = r.str(64);
-  const bool v3 = magic == kQueueMagicV3;
+  const bool v4 = magic == kQueueMagicV4;
+  const bool v3 = v4 || magic == kQueueMagicV3;
   const bool v2 = v3 || magic == kQueueMagicV2;
   if (!v2 && magic != kQueueMagicV1) return Status::kTampered;
   const uint64_t next_sequence = r.u64();
@@ -2324,9 +3119,25 @@ Status MigrationEnclave::apply_queue(ByteView plaintext) {
       auto request = MigrateRequestPayload::deserialize(r.bytes(1u << 21));
       if (!request.ok()) return Status::kTampered;
       t.request = std::move(request).value();
+      if (v4) t.armed = r.boolean();
       // Step collapses to kQueued: the next pump() re-attests and
-      // re-ships; the nonce keeps the end-to-end result exactly-once.
+      // re-ships; an unarmed task re-parks at kAwaitArm and the nonce
+      // keeps the end-to-end result exactly-once.
       transfer_tasks[nonce] = std::move(t);
+    }
+  }
+
+  std::map<std::string, PeerSession> peer_sessions;
+  if (v4) {
+    const uint32_t session_count = r.u32();
+    for (uint32_t i = 0; i < session_count && r.ok(); ++i) {
+      const std::string address = r.str(256);
+      PeerSession s;
+      s.master_key = r.fixed<16>();
+      s.peer_epoch = r.u64();
+      s.credential = platform::MachineCredential::deserialize(r);
+      s.region = r.str(256);
+      peer_sessions[address] = std::move(s);
     }
   }
 
@@ -2344,6 +3155,7 @@ Status MigrationEnclave::apply_queue(ByteView plaintext) {
   precopy_outgoing_ = std::move(precopy_outgoing);
   precopy_staging_ = std::move(precopy_staging);
   transfer_tasks_ = std::move(transfer_tasks);
+  peer_sessions_ = std::move(peer_sessions);
   return Status::kOk;
 }
 

@@ -89,6 +89,33 @@ class MigrationEnclave : public sgx::Enclave, private PersistSink {
 
   size_t transfer_task_count() const { return transfer_tasks_.size(); }
 
+  /// Ships pre-copy ROUND hops through Network::post/pump() like
+  /// TransferTask steps instead of a synchronous rpc: kPrecopyRound is
+  /// acked as soon as the chunks are merged + persisted at the SOURCE ME,
+  /// and the wire hop to the destination overlaps with every other lane.
+  /// The finalize stays synchronous (it is the freeze-window tail and must
+  /// not race an in-flight round — it resyncs the full merged set).
+  void set_async_precopy(bool on) { async_precopy_ = on; }
+
+  /// Freeze-aware arm pacing: at most this many armed payloads may be in
+  /// flight before the poll stops reporting kSlotLive for parked
+  /// (kAwaitArm) tasks.  Keeps the freeze window of each reserved task
+  /// bounded by its OWN ship + accept, not the whole in-flight window's
+  /// serialized source-lane work.  0 = unpaced (every parked task goes
+  /// slot-live as soon as it is attested).
+  void set_arm_window(uint32_t window) { arm_window_ = window; }
+
+  /// Test hook: simulates an ME re-deployment without a process restart —
+  /// cached-resume peers must fall back to a full handshake.
+  void bump_instance_epoch();
+  uint64_t instance_epoch() const { return instance_epoch_; }
+
+  /// Handshake economics (bench observables): full mutual-RA handshakes
+  /// completed as the INITIATOR vs. one-round-trip cached resumes.
+  uint64_t full_handshake_count() const { return full_handshakes_; }
+  uint64_t resumed_handshake_count() const { return resumed_handshakes_; }
+  size_t peer_session_count() const { return peer_sessions_.size(); }
+
   /// Ages out destination-side pre-copy staging whose source stopped
   /// shipping rounds (abandoned without a reachable abort path); entries
   /// untouched for `age` are swept.  Duration::max() disables the sweep.
@@ -227,6 +254,23 @@ class MigrationEnclave : public sgx::Enclave, private PersistSink {
     /// re-attests under a fresh transfer id and re-ships the whole merged
     /// set, so the destination converges no matter what was lost.
     bool resync = false;
+    // --- async round shipping (set_async_precopy) ---
+    enum class ShipStep : uint8_t {
+      kIdle = 0,           // nothing posted; kick when dirty > acked
+      kAwaitRoundAck = 1,  // a sealed round record is in flight
+      kAwaitFinalizeAck = 2  // the sealed finalize record is in flight
+    };
+    ShipStep ship_step = ShipStep::kIdle;
+    /// Highest generation per chunk index the destination ACKed; the
+    /// async ship sends merged entries newer than this (all, on resync).
+    std::map<uint32_t, uint64_t> acked;
+    /// Async-mode staged finalize, memory-only BY DESIGN: the record
+    /// ships through the deferred pump like a round hop while the library
+    /// polls its fate.  An ME restart (or an exhausted ship budget) drops
+    /// it — the still-frozen library observes kNone and re-drives the
+    /// finalize synchronously, which the nonce dedup makes idempotent.
+    std::optional<PrecopyFinalizePayload> staged_finalize;
+    uint32_t finalize_attempts = 0;  // memory-only ship retry budget
   };
   /// Destination-side staging of one pre-copy attempt, keyed by enclave
   /// identity: chunks merged by generation across rounds.  Durable; only
@@ -253,6 +297,8 @@ class MigrationEnclave : public sgx::Enclave, private PersistSink {
       kAwaitAuth = 2,    // RA msg3 + provider auth posted
       kAwaitAccept = 3,  // sealed TransferPayload posted
       kFailed = 4,       // terminal; `failure` held until polled
+      kAwaitArm = 5,     // reserve-mode: attested, slot held, awaiting data
+      kAwaitResume = 6,  // cached-session resume posted
     };
     sgx::Measurement source_mr{};
     MigrateRequestPayload request;  // destination, nonce, policy, data
@@ -261,6 +307,10 @@ class MigrationEnclave : public sgx::Enclave, private PersistSink {
     uint64_t transfer_id = 0;  // current attempt's wire id
     std::unique_ptr<sgx::RaSession> ra;
     std::optional<net::SecureChannel> channel;
+    /// false: freeze-aware reserve (kMigrateReserve) — request.data is
+    /// empty until the library freezes and arms the task (kMigrateArm);
+    /// the poll reports kSlotLive once the destination is attested.
+    bool armed = true;
   };
   /// Compact durable record of a confirmed outgoing transfer: enough to
   /// answer status queries and absorb duplicate DONEs idempotently after
@@ -277,6 +327,26 @@ class MigrationEnclave : public sgx::Enclave, private PersistSink {
     std::string source_me_address;
     Bytes sealed_record;
   };
+  /// Initiator-side cached attestation session toward one peer ME
+  /// (durable, queue v4): the master key of a completed full handshake,
+  /// bound to the peer's instance epoch, plus the certified credential so
+  /// per-attempt policy is re-evaluated without a wire round trip.
+  struct PeerSession {
+    sgx::Key128 master_key{};
+    uint64_t peer_epoch = 0;
+    platform::MachineCredential credential;
+    std::string region;
+  };
+  /// Responder-side resume acceptor, keyed by initiator address.  Kept in
+  /// MEMORY ONLY by design: an ME restart forgets it, so every cached
+  /// peer is forced back to the full handshake (restart = fresh epoch
+  /// anyway).  Region/address are the already-verified provider facts the
+  /// full handshake established — a resumed InboundTransfer reuses them.
+  struct ResumeAcceptor {
+    sgx::Key128 master_key{};
+    std::string source_region;
+    std::string source_address;
+  };
 
   // outer-envelope handlers
   MeResponse on_la_start(const MeRequest& req);
@@ -290,6 +360,7 @@ class MigrationEnclave : public sgx::Enclave, private PersistSink {
   MeResponse on_precopy_finalize(const MeRequest& req);
   MeResponse on_reconcile(const MeRequest& req);
   MeResponse on_abort(const MeRequest& req);
+  MeResponse on_session_resume(const MeRequest& req);
 
   // inner LibMsg handlers (already authenticated via the LA channel)
   LibMsg on_migrate_request(LaSessionState& session, const LibMsg& msg);
@@ -300,6 +371,8 @@ class MigrationEnclave : public sgx::Enclave, private PersistSink {
   LibMsg on_precopy_round(LaSessionState& session, const LibMsg& msg);
   LibMsg on_precopy_finalize_req(LaSessionState& session, const LibMsg& msg);
   LibMsg on_migrate_enqueue(LaSessionState& session, const LibMsg& msg);
+  LibMsg on_migrate_reserve(LaSessionState& session, const LibMsg& msg);
+  LibMsg on_migrate_arm(LaSessionState& session, const LibMsg& msg);
   LibMsg on_poll_transfer(LaSessionState& session, const LibMsg& msg);
   LibMsg on_abort_stale(LaSessionState& session, const LibMsg& msg);
 
@@ -316,6 +389,35 @@ class MigrationEnclave : public sgx::Enclave, private PersistSink {
   void task_on_ra_msg2(uint64_t nonce, Result<Bytes> raw);
   void task_on_auth(uint64_t nonce, Result<Bytes> raw);
   void task_on_accept(uint64_t nonce, Result<Bytes> raw);
+  /// Continuation of a posted kSessionResume: on success the channel is
+  /// live and the task lands like a full handshake; any failure erases
+  /// the cached session and falls back to posting RA msg1.
+  void task_on_resume(uint64_t nonce, std::array<uint8_t, 16> nonce_i,
+                      Result<Bytes> raw);
+  /// Post-attestation landing shared by the full and resumed paths:
+  /// armed tasks ship the sealed TransferPayload (-> kAwaitAccept),
+  /// reserve-mode tasks park slot-live (-> kAwaitArm).
+  void task_attested(uint64_t nonce, TransferTask& task);
+  /// Seals + posts the task's TransferPayload (the tail of task_on_auth,
+  /// shared with on_migrate_arm) -> kAwaitAccept.
+  void ship_task_payload(uint64_t nonce, TransferTask& task);
+  // ----- async pre-copy round shipping -----
+  /// Posts the next sealed round record of one idle attempt with unacked
+  /// merged chunks (or a full resync set); no-op when nothing is dirty.
+  void kick_precopy_ship(uint64_t nonce);
+  void precopy_on_round_ack(uint64_t nonce, uint64_t transfer_id,
+                            const std::vector<ChunkManifestEntry>& shipped,
+                            Result<Bytes> raw);
+  /// Posts the staged finalize record (everything merged beyond the acked
+  /// front rides along); re-attests first if the channel was dropped.
+  void kick_precopy_finalize(uint64_t nonce);
+  void precopy_on_finalize_ack(uint64_t nonce, uint64_t transfer_id,
+                               Result<Bytes> raw);
+  /// Destination committed the snapshot: assemble the retained full copy
+  /// from the merged chunks + manifest, retire the pre-copy attempt into
+  /// outgoing_, persist.  Shared by the sync finalize and the async ack.
+  Status finish_precopy_outgoing(const sgx::Measurement& source_mr,
+                                 const PrecopyFinalizePayload& fin);
   /// Parses a pumped MeResponse reply; non-kOk peers and transport
   /// failures collapse to a Status.
   static Result<Bytes> open_task_reply(const Result<Bytes>& raw);
@@ -343,6 +445,19 @@ class MigrationEnclave : public sgx::Enclave, private PersistSink {
   Result<net::SecureChannel> attest_peer_me(
       const std::string& destination_address, uint64_t transfer_id,
       const MigrationPolicy& policy);
+
+  /// One-round-trip resume against a cached peer session (sync path of
+  /// attest_peer_me).  kNoPendingMigration = no cache entry; any other
+  /// failure already erased the entry — fall back to the full handshake.
+  Result<net::SecureChannel> try_resume_session(
+      const std::string& destination_address, uint64_t transfer_id,
+      const MigrationPolicy& policy);
+  /// Caches the initiator-side session after a successful full handshake
+  /// (the msg3 response carries the peer's instance epoch).
+  void cache_peer_session(const std::string& destination_address,
+                          const sgx::Key128& master_key, uint64_t peer_epoch,
+                          const platform::MachineCredential& credential,
+                          const std::string& region);
 
   /// Finds-or-creates the source-side pre-copy attempt for (session
   /// identity, nonce), re-attesting (fresh transfer id + resync) when the
@@ -429,6 +544,15 @@ class MigrationEnclave : public sgx::Enclave, private PersistSink {
   std::deque<sgx::Measurement> confirmed_incoming_order_;
   std::map<uint64_t, DoneRelay> done_relays_;
   uint64_t next_outgoing_sequence_ = 1;
+  // Cached attestation sessions: initiator side durable (queue v4),
+  // responder side memory-only (restart forgets -> full re-handshake).
+  std::map<std::string, PeerSession> peer_sessions_;
+  std::map<std::string, ResumeAcceptor> resume_acceptors_;
+  uint64_t instance_epoch_ = 0;
+  uint64_t full_handshakes_ = 0;
+  uint64_t resumed_handshakes_ = 0;
+  bool async_precopy_ = false;
+  uint32_t arm_window_ = 2;
 
   std::unique_ptr<PersistenceEngine> engine_;
   std::optional<sgx::SealContext> queue_seal_ctx_;

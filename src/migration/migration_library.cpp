@@ -666,7 +666,24 @@ MigrationStartResult MigrationLibrary::stage_for_migration(
 void MigrationLibrary::finish_outgoing(uint64_t payload_bytes) {
   last_freeze_window_ = now() - freeze_started_;
   last_transfer_bytes_ = payload_bytes;
-  last_precopy_rounds_ = 0;
+  last_precopy_rounds_ = async_finalize_pending_ ? precopy_rounds_ : 0;
+  if (async_finalize_pending_) {
+    // A queued pre-copy finalize just completed: run the deferred
+    // teardown the synchronous finalize epilogue would have run, OUTSIDE
+    // the freeze window.  The epoch increment already made every sealed
+    // buffer unusable, so one logical retire is enough — the flash slots
+    // are swept by platform firmware later, off this drain's clock.
+    if (!counters_destroyed_) {
+      (void)host_.counter_retire_all();
+      counters_destroyed_ = true;
+    }
+    precopy_destination_.clear();
+    precopy_nonce_ = 0;
+    staged_chunks_.clear();
+    final_chunks_.clear();
+    finalize_staged_ = false;
+    async_finalize_pending_ = false;
+  }
   staged_outgoing_.reset();
   staged_nonce_ = 0;
   staged_destination_.clear();
@@ -773,6 +790,110 @@ MigrationStartResult MigrationLibrary::migration_enqueue_detailed(
   return MigrationStartResult{};
 }
 
+MigrationStartResult MigrationLibrary::migration_reserve_detailed(
+    const std::string& destination_address, MigrationPolicy policy) {
+  if (!initialized_) {
+    return start_failure(Status::kNotInitialized, "library init check");
+  }
+  if (staged_outgoing_.has_value()) {
+    // A previous attempt already froze and collected: nothing left to
+    // defer, so queue the armed snapshot directly (retries and re-routes
+    // after a post-freeze failure land here).
+    return migration_enqueue_detailed(destination_address, std::move(policy));
+  }
+  if (runtime_frozen_) {
+    return start_failure(Status::kMigrationFrozen, "freeze check");
+  }
+  const Status channel_status = ensure_me_channel();
+  if (channel_status != Status::kOk) {
+    return start_failure(channel_status, "local ME attestation");
+  }
+  // One nonce per (attempt, destination), exactly as stage_for_migration
+  // draws it — but WITHOUT freezing.  The later freeze+arm reuses it.
+  if (staged_nonce_ == 0 || staged_destination_ != destination_address) {
+    if (staged_nonce_ != 0 && !staged_destination_.empty()) {
+      notify_abort_stale(staged_nonce_, staged_destination_);
+    }
+    const Bytes nonce_bytes = host_.rng().bytes(8);
+    staged_nonce_ = load_be64(nonce_bytes.data());
+    if (staged_nonce_ == 0) staged_nonce_ = 1;
+    staged_destination_ = destination_address;
+  }
+  staged_policy_ = policy;
+  MigrateReservePayload payload;
+  payload.destination_address = destination_address;
+  payload.request_nonce = staged_nonce_;
+  payload.policy = std::move(policy);
+  LibMsg request;
+  request.type = LibMsgType::kMigrateReserve;
+  request.payload = payload.serialize();
+  auto reply = me_exchange_reattest(request);
+  if (!reply.ok()) {
+    // Nothing destructive happened (no freeze, no destroys): a classified
+    // transport failure lets the caller's retry machinery re-drive us.
+    return start_failure(reply.status(), "ME reserve exchange");
+  }
+  if (reply.value().type != LibMsgType::kMigrateQueued) {
+    const Status rejected = reply.value().status != Status::kOk
+                                ? reply.value().status
+                                : Status::kMigrationAborted;
+    return start_failure(rejected, "ME refused to reserve the transfer");
+  }
+  enqueue_pending_ = true;
+  enqueued_bytes_ = 0;
+  enqueue_started_ = now();
+  last_enqueue_wait_ = Duration{};
+  return MigrationStartResult{};
+}
+
+MigrationStartResult MigrationLibrary::arm_reserved_slot() {
+  if (!staged_outgoing_.has_value()) {
+    // First arm of this attempt: the live queue wait ends here — the
+    // freeze clock starts inside stage_for_migration.
+    last_enqueue_wait_ = now() - enqueue_started_;
+  }
+  // stage_for_migration treats every fresh freeze as a fresh attempt
+  // (clears the staged destination, draws a new nonce) — but the reserve
+  // already drew this attempt's nonce and queued it at the ME, so the
+  // pair must survive the staging.  Locals also dodge aliasing: passing
+  // the member itself would hand stage_for_migration a reference it
+  // clears mid-flight.
+  const std::string destination = staged_destination_;
+  const uint64_t reserved_nonce = staged_nonce_;
+  const MigrationStartResult staged = stage_for_migration(destination);
+  if (!staged.ok()) return staged;
+  staged_nonce_ = reserved_nonce;
+  staged_destination_ = destination;
+  enqueue_pending_ = true;  // the ME still tracks the reserved task
+  MigrateRequestPayload payload;
+  payload.destination_address = destination;
+  payload.request_nonce = staged_nonce_;
+  payload.policy = staged_policy_;
+  payload.data = *staged_outgoing_;
+  LibMsg request;
+  request.type = LibMsgType::kMigrateArm;
+  request.payload = payload.serialize();
+  enqueued_bytes_ = request.payload.size();
+  auto reply = me_exchange_reattest(request);
+  if (!reply.ok()) {
+    // The arm reply was lost: the parked task may or may not hold the
+    // payload.  The next poll disambiguates — a re-observed kSlotLive
+    // re-arms idempotently, kInFlight/kAccepted proceed normally.
+    return start_failure(reply.status(), "ME arm exchange");
+  }
+  if (reply.value().type != LibMsgType::kArmAck) {
+    const Status rejected = reply.value().status != Status::kOk
+                                ? reply.value().status
+                                : Status::kMigrationAborted;
+    return start_failure(rejected, "ME refused the armed payload");
+  }
+  MigrationStartResult in_flight;
+  in_flight.status = Status::kMigrationInProgress;
+  in_flight.failure_class = MigrationFailureClass::kNone;
+  in_flight.message = "armed; transfer in flight";
+  return in_flight;
+}
+
 MigrationStartResult MigrationLibrary::migration_poll_transfer() {
   if (!initialized_) {
     return start_failure(Status::kNotInitialized, "library init check");
@@ -817,6 +938,10 @@ MigrationStartResult MigrationLibrary::migration_poll_transfer() {
     case TransferProgress::kAccepted:
       finish_outgoing(enqueued_bytes_);
       return MigrationStartResult{};
+    case TransferProgress::kSlotLive:
+      // The ME attested the destination and parked the slot: NOW run the
+      // destructive freeze+collect and arm the payload.
+      return arm_reserved_slot();
     case TransferProgress::kInFlight: {
       MigrationStartResult in_flight;
       in_flight.status = Status::kMigrationInProgress;
@@ -832,10 +957,22 @@ MigrationStartResult MigrationLibrary::migration_poll_transfer() {
       break;
   }
   // The ME does not know the nonce (it restarted before the task was
-  // queued, or lost its storage): re-enqueue from the staged data.
+  // queued, or lost its storage): re-enqueue from the staged data — or
+  // re-reserve if this freeze-aware attempt never froze.
   enqueue_pending_ = false;
+  if (async_finalize_pending_) {
+    // The ME lost the queued finalize (restart drops the memory-only
+    // staged record, or the ship budget ran out): surface a retryable
+    // failure — the caller re-drives migration_finalize_detailed, which
+    // the ME dedups by nonce if the record actually landed.
+    async_finalize_pending_ = false;
+    return start_failure(Status::kServiceUnavailable,
+                         "ME lost the queued finalize");
+  }
   const MigrationStartResult requeued =
-      migration_enqueue_detailed(staged_destination_, staged_policy_);
+      staged_outgoing_.has_value()
+          ? migration_enqueue_detailed(staged_destination_, staged_policy_)
+          : migration_reserve_detailed(staged_destination_, staged_policy_);
   if (!requeued.ok()) return requeued;
   MigrationStartResult in_flight;
   in_flight.status = Status::kMigrationInProgress;
@@ -1091,6 +1228,23 @@ MigrationStartResult MigrationLibrary::migration_finalize_detailed(
                           attempt.value() != OutgoingState::kCompleted)) {
       return start_failure(reply.status(), "ME finalize exchange");
     }
+  } else if (reply.value().type == LibMsgType::kMigrateQueued) {
+    // Async source ME: the sealed finalize record ships through the
+    // deferred pump — the enqueue-then-poll contract of the pipelined
+    // full-snapshot path.  The enclave stays frozen; the freeze ends only
+    // when the poll observes the destination's accept (finish_outgoing
+    // then also runs the pre-copy teardown).
+    staged_nonce_ = precopy_nonce_;
+    staged_destination_ = destination_address;
+    staged_policy_ = policy;
+    enqueue_pending_ = true;
+    async_finalize_pending_ = true;
+    enqueued_bytes_ = precopy_bytes_ + request.payload.size();
+    MigrationStartResult in_flight;
+    in_flight.status = Status::kMigrationInProgress;
+    in_flight.failure_class = MigrationFailureClass::kNone;
+    in_flight.message = "finalize queued at source ME";
+    return in_flight;
   } else if (reply.value().type != LibMsgType::kFinalizeAccepted) {
     const Status rejected = reply.value().status != Status::kOk
                                 ? reply.value().status
@@ -1107,10 +1261,11 @@ MigrationStartResult MigrationLibrary::migration_finalize_detailed(
 
   // Deferred teardown, OUTSIDE the freeze window: the epoch increment
   // already made every sealed buffer unusable, so these hardware counters
-  // are unreachable garbage — reclaim them best-effort (a failure leaks
-  // quota on a machine this enclave just left, never state).
+  // are unreachable garbage — retire them all in one logical op (a
+  // failure leaks quota on a machine this enclave just left, never
+  // state).  Physical slot reclaim is the platform's background sweep.
   if (!counters_destroyed_) {
-    (void)destroy_active_counters();
+    (void)host_.counter_retire_all();
     counters_destroyed_ = true;
   }
   precopy_destination_.clear();

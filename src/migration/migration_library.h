@@ -187,11 +187,24 @@ class MigrationLibrary : private PersistSink {
   MigrationStartResult migration_enqueue_detailed(
       const std::string& destination_address, MigrationPolicy policy = {});
 
+  /// Freeze-aware variant of migration_enqueue_detailed: reserves a
+  /// transfer slot at the local ME WITHOUT freezing — the enclave keeps
+  /// mutating counters while the ME queues, attests the destination, and
+  /// parks the slot.  Only when migration_poll_transfer observes
+  /// kSlotLive does the library run the destructive freeze+collect and
+  /// arm the payload, so a queued transfer waits live, not frozen.  If a
+  /// previous attempt already froze (staged data exists), this degrades
+  /// to migration_enqueue_detailed — the freeze already happened.
+  MigrationStartResult migration_reserve_detailed(
+      const std::string& destination_address, MigrationPolicy policy = {});
+
   /// Fate of the queued attempt: kOk = the destination accepted (the
   /// source side is done, metrics updated); status kMigrationInProgress
   /// with failure_class kNone = still in flight, poll again after
   /// pumping; anything else = terminal failure of THIS attempt,
   /// classified for the caller's retry machinery (staged data kept).
+  /// For reserved (freeze-aware) attempts, the poll that observes
+  /// kSlotLive runs the freeze+collect+arm step inline.
   MigrationStartResult migration_poll_transfer();
 
   /// True while an enqueued attempt is awaiting its poll verdict.
@@ -278,6 +291,10 @@ class MigrationLibrary : private PersistSink {
   /// Pre-copy rounds shipped before the last successful finalize (0 for a
   /// full-snapshot migration or a pure stop-and-copy finalize).
   uint32_t last_precopy_rounds() const { return last_precopy_rounds_; }
+  /// Virtual time a reserved (freeze-aware) attempt waited LIVE between
+  /// the reserve and its slot going live (freeze+arm).  Zero for
+  /// freeze-at-enqueue attempts — their whole queue wait is freeze time.
+  Duration last_enqueue_wait() const { return last_enqueue_wait_; }
   /// Latest sealed persistent buffer (Table II) for the application to
   /// store.  Under a batching engine this may lag the in-memory state
   /// until the next commit or persist_flush().
@@ -312,6 +329,10 @@ class MigrationLibrary : private PersistSink {
   /// Shared success tail of the start/enqueue paths: freeze-window and
   /// payload metrics, staged state cleared.
   void finish_outgoing(uint64_t payload_bytes);
+  /// kSlotLive landing of a reserved attempt: records the live queue
+  /// wait, runs the destructive stage (freeze+collect+destroy+persist)
+  /// and ships the armed payload to the parked TransferTask.
+  MigrationStartResult arm_reserved_slot();
   /// Shared body of the two status queries (nonce 0 = per-identity).
   Result<OutgoingState> query_status_internal(uint64_t nonce);
   /// Sends one LibMsg over the LA channel and returns the reply.
@@ -414,6 +435,11 @@ class MigrationLibrary : private PersistSink {
   uint32_t precopy_rounds_ = 0;
   uint64_t precopy_bytes_ = 0;
   bool finalize_staged_ = false;
+  // Set when an async source ME queued the staged finalize instead of
+  // shipping it inline (reply kMigrateQueued): the enclave stays frozen
+  // and the poll machinery owns the outcome — kAccepted runs the
+  // pre-copy teardown in finish_outgoing, kNone re-drives the finalize.
+  bool async_finalize_pending_ = false;
   // One epoch increment per outgoing pre-copy migration: like the counter
   // destroys of the full-snapshot path, it must never run twice.
   bool epoch_invalidated_ = false;
@@ -423,6 +449,10 @@ class MigrationLibrary : private PersistSink {
   Duration last_freeze_window_{};
   uint64_t last_transfer_bytes_ = 0;
   uint32_t last_precopy_rounds_ = 0;
+  // Freeze-aware accounting: when the reserve was issued, and how long
+  // the attempt waited live before its slot went live.
+  Duration enqueue_started_{};
+  Duration last_enqueue_wait_{};
 };
 
 }  // namespace sgxmig::migration

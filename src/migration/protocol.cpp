@@ -14,7 +14,7 @@ Result<MeRequest> MeRequest::deserialize(ByteView bytes) {
   BinaryReader r(bytes);
   MeRequest req;
   const uint8_t type = r.u8();
-  if (type < 1 || type > 11) return Status::kTampered;
+  if (type < 1 || type > 12) return Status::kTampered;
   req.type = static_cast<MeMsgType>(type);
   req.id = r.u64();
   req.payload = r.bytes(1u << 22);
@@ -80,6 +80,26 @@ Result<MigrateRequestPayload> MigrateRequestPayload::deserialize(
   return p;
 }
 
+Bytes MigrateReservePayload::serialize() const {
+  BinaryWriter w;
+  w.str(destination_address);
+  w.u64(request_nonce);
+  policy.serialize(w);
+  return w.take();
+}
+
+Result<MigrateReservePayload> MigrateReservePayload::deserialize(
+    ByteView bytes) {
+  BinaryReader r(bytes);
+  MigrateReservePayload p;
+  p.destination_address = r.str(256);
+  p.request_nonce = r.u64();
+  auto policy = MigrationPolicy::deserialize(r);
+  if (!policy.ok() || !r.done()) return Status::kTampered;
+  p.policy = std::move(policy).value();
+  return p;
+}
+
 Bytes PollTransferPayload::serialize() const {
   BinaryWriter w;
   w.u64(request_nonce);
@@ -106,7 +126,7 @@ Result<TransferProgressPayload> TransferProgressPayload::deserialize(
   BinaryReader r(bytes);
   TransferProgressPayload p;
   const uint8_t progress = r.u8();
-  if (progress > 3) return Status::kTampered;
+  if (progress > 4) return Status::kTampered;
   p.progress = static_cast<TransferProgress>(progress);
   p.failure = static_cast<Status>(r.u32());
   if (!r.done()) return Status::kTampered;
@@ -375,6 +395,43 @@ Result<TransferPayload> TransferPayload::deserialize(ByteView bytes) {
   if (!r.done() || !data.ok()) return Status::kTampered;
   p.data = std::move(data).value();
   return p;
+}
+
+Bytes SessionResumeRequest::serialize() const {
+  BinaryWriter w;
+  w.str(initiator_address);
+  w.u64(responder_epoch);
+  w.fixed(nonce);
+  w.fixed(mac);
+  return w.take();
+}
+
+Result<SessionResumeRequest> SessionResumeRequest::deserialize(
+    ByteView bytes) {
+  BinaryReader r(bytes);
+  SessionResumeRequest req;
+  req.initiator_address = r.str(256);
+  req.responder_epoch = r.u64();
+  req.nonce = r.fixed<16>();
+  req.mac = r.fixed<16>();
+  if (!r.done()) return Status::kTampered;
+  return req;
+}
+
+Bytes SessionResumeReply::serialize() const {
+  BinaryWriter w;
+  w.fixed(nonce);
+  w.fixed(mac);
+  return w.take();
+}
+
+Result<SessionResumeReply> SessionResumeReply::deserialize(ByteView bytes) {
+  BinaryReader r(bytes);
+  SessionResumeReply reply;
+  reply.nonce = r.fixed<16>();
+  reply.mac = r.fixed<16>();
+  if (!r.done()) return Status::kTampered;
+  return reply;
 }
 
 Bytes ProviderAuth::serialize() const {

@@ -46,6 +46,12 @@ enum class MeMsgType : uint8_t {
   // pre-copy staging can be expired immediately instead of lingering
   // until the pull-based reconcile sweep happens to run.
   kAbort = 11,  // ME_src -> ME_dst: encrypted AbortRequest record
+  // Cached-session resume (one round-trip instead of full msg1/msg3): the
+  // source ME proves possession of the master key of a previously
+  // completed RA handshake toward this destination INSTANCE (epoch-bound)
+  // and both sides derive a fresh channel key from fresh nonces.  Any
+  // verification failure falls back to the full handshake.
+  kSessionResume = 12,  // ME_src -> ME_dst: SessionResumeRequest (plaintext)
 };
 
 struct MeRequest {
@@ -93,6 +99,14 @@ enum class LibMsgType : uint8_t {
   kMigrateQueued = 17,      // TransferTask accepted into the pipeline
   kTransferProgress = 18,   // TransferProgressPayload
   kAbortAck = 19,
+  // Freeze-aware (enqueue-without-freeze) pipeline: the library reserves
+  // a transfer slot WITHOUT freezing (kMigrateReserve carries no data);
+  // the ME runs the attestation pipeline and parks the task slot-live;
+  // kPollTransfer then reports kSlotLive, the library freezes + collects
+  // and arms the task with the real payload (kMigrateArm).
+  kMigrateReserve = 20,     // request: MigrateReservePayload (no data)
+  kMigrateArm = 21,         // request: MigrateRequestPayload (full data)
+  kArmAck = 22,             // response: task armed, transfer shipping
 };
 
 struct LibMsg {
@@ -146,6 +160,23 @@ enum class TransferProgress : uint8_t {
   kInFlight = 1,  // queued or mid-conversation with the destination
   kAccepted = 2,  // destination accepted; retained (or already completed)
   kFailed = 3,    // terminal failure; `failure` carries the status
+  /// Freeze-aware pipeline: the destination is attested and the transfer
+  /// slot is held — the library should now freeze, collect, and arm the
+  /// task (kMigrateArm).  Only reported for reserve-mode tasks.
+  kSlotLive = 4,
+};
+
+/// Payload of kMigrateReserve (ML -> ME): like kMigrateEnqueue but with
+/// no migration data — the enclave stays LIVE while the task queues and
+/// attests.  The data follows in kMigrateArm once the poll reports
+/// kSlotLive and the library has frozen + collected.
+struct MigrateReservePayload {
+  std::string destination_address;
+  uint64_t request_nonce = 0;
+  MigrationPolicy policy;
+
+  Bytes serialize() const;
+  static Result<MigrateReservePayload> deserialize(ByteView bytes);
 };
 
 /// Payload of kPollTransfer.
@@ -319,6 +350,41 @@ struct TransferPayload {
 
   Bytes serialize() const;
   static Result<TransferPayload> deserialize(ByteView bytes);
+};
+
+// ----- cached-session resume (ME <-> ME) -----
+//
+// After a successful full RA handshake the initiator caches the session
+// master key together with the responder's instance epoch (a random value
+// drawn at ME construction, returned with the msg3 response).  A later
+// transfer to the same destination resumes in ONE round-trip: the
+// initiator MACs a transcript containing the expected epoch and a fresh
+// nonce with the cached master key; the responder (which keeps its
+// acceptor table in MEMORY ONLY, so a restart forgets it) verifies and
+// answers with its own nonce + MAC.  Both derive a fresh channel key
+//   K = CMAC(master, "SGXMIG-RESUME-KEY" || nonce_i || nonce_r || id)
+// so records of different resumed sessions never share a key stream.
+// Any mismatch (unknown peer, stale epoch, bad MAC) makes the responder
+// refuse and the initiator fall back to the full msg1/msg3 handshake.
+
+/// Plaintext payload of kSessionResume (the MAC is the authenticator).
+struct SessionResumeRequest {
+  std::string initiator_address;
+  uint64_t responder_epoch = 0;  // epoch the initiator believes is current
+  std::array<uint8_t, 16> nonce{};
+  std::array<uint8_t, 16> mac{};  // CMAC(master, resume transcript)
+
+  Bytes serialize() const;
+  static Result<SessionResumeRequest> deserialize(ByteView bytes);
+};
+
+/// Payload of the kSessionResume response.
+struct SessionResumeReply {
+  std::array<uint8_t, 16> nonce{};
+  std::array<uint8_t, 16> mac{};  // CMAC(master, reply transcript)
+
+  Bytes serialize() const;
+  static Result<SessionResumeReply> deserialize(ByteView bytes);
 };
 
 /// Provider authentication attached to RA msg3 and its response: the

@@ -136,6 +136,15 @@ bool Orchestrator::admit_and_start(Task& task) {
       }
       task.destination = picked.value();
     }
+    // Destination cap: enforced only once the destination is known, and
+    // only for transfers that still have to ship data (a restore-only
+    // retry is already resident at its destination ME).  Returning false
+    // keeps the task queued; the next wave re-selects with fresh gauges.
+    if (options_.max_inflight_per_destination != 0 &&
+        inflight_to_destination_[task.destination] >=
+            options_.max_inflight_per_destination) {
+      return false;
+    }
   }
 
   ++inflight_total_;
@@ -290,6 +299,7 @@ void Orchestrator::mark_started(Task& task,
   task.phase = TaskPhase::kStarted;
   task.ready_at = ready_at;
   task.freeze_window = enclave.last_freeze_window();
+  task.enqueue_wait = enclave.last_enqueue_wait();
   task.precopy_rounds = enclave.last_precopy_rounds();
   task.transfer_bytes = enclave.last_transfer_bytes();
   log(task, EventKind::kStartOk, task.destination);
@@ -310,7 +320,12 @@ void Orchestrator::start_pipelined(Task& task,
         result = enclave.ecall_migration_finalize_detailed(
             task.destination, record.options.policy);
       });
-      if (result.ok()) {
+      task.ready_at = end;
+      if (result.status == Status::kMigrationInProgress &&
+          result.failure_class == migration::MigrationFailureClass::kNone) {
+        // Async source ME queued the re-driven finalize too.
+        task.phase = TaskPhase::kTransferring;
+      } else if (result.ok()) {
         mark_started(task, enclave, end);
       } else {
         pipelined_source_failure(task, result, end);
@@ -323,10 +338,16 @@ void Orchestrator::start_pipelined(Task& task,
   }
   // Full snapshot: non-blocking enqueue at the source ME; the transfer
   // itself runs behind the pump, and poll_transferring learns its fate.
+  // Freeze-aware: reserve instead — the enclave keeps serving until the
+  // slot-live poll freezes it, so the freeze window no longer absorbs
+  // the queue wait.
   migration::MigrationStartResult result;
   const Duration end = lanes_->run(task.source, ready, [&] {
-    result = enclave.ecall_migration_enqueue_detailed(task.destination,
-                                                      record.options.policy);
+    result = options_.freeze_aware
+                 ? enclave.ecall_migration_reserve_detailed(
+                       task.destination, record.options.policy)
+                 : enclave.ecall_migration_enqueue_detailed(
+                       task.destination, record.options.policy);
   });
   if (!result.ok()) {
     pipelined_source_failure(task, result, end);
@@ -387,6 +408,13 @@ void Orchestrator::advance_precopy(Task& task) {
       });
   task.ready_at = end;
   if (!terminal) return;  // next round next wave
+  if (result.status == Status::kMigrationInProgress &&
+      result.failure_class == migration::MigrationFailureClass::kNone) {
+    // Async source ME queued the finalize: the record ships behind the
+    // pump and the poll machinery owns the outcome from here.
+    task.phase = TaskPhase::kTransferring;
+    return;
+  }
   if (result.ok()) {
     mark_started(task, *enclave, end);
   } else {
@@ -536,7 +564,10 @@ OrchestratorReport Orchestrator::execute(const Plan& plan) {
       // advances, interleaved across lanes.
       for (platform::Machine* m : fleet_.world().machines()) {
         auto* me = migration::me_on(*m);
-        if (me == nullptr || me->transfer_task_count() == 0) continue;
+        if (me == nullptr || (me->transfer_task_count() == 0 &&
+                              me->precopy_outgoing_count() == 0)) {
+          continue;  // async pre-copy ships also need the pump re-kick
+        }
         lanes_->run(m->address(), lanes_->control(), [&] { me->pump(); });
       }
       if (net.pump_all() > 0) progressed = true;
@@ -622,10 +653,12 @@ OrchestratorReport Orchestrator::execute(const Plan& plan) {
     record.admitted_at = task.admitted_at;
     record.finished_at = task.finished_at;
     record.freeze_window = task.freeze_window;
+    record.enqueue_wait = task.enqueue_wait;
     record.precopy_rounds = task.precopy_rounds;
     record.transfer_bytes = task.transfer_bytes;
     report.migrations.push_back(std::move(record));
   }
+  report.freeze_budget = options_.freeze_budget;
   return report;
 }
 

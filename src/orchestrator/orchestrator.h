@@ -52,6 +52,11 @@ struct OrchestratorOptions {
   uint32_t max_inflight_per_machine = 4;
   /// Max migrations simultaneously in flight fleet-wide.
   uint32_t max_inflight_total = 16;
+  /// Max migrations simultaneously in flight toward one DESTINATION
+  /// machine (0 = unlimited).  With pipelined pre-copy round hops and
+  /// freeze-aware scheduling, overlapping transfers would otherwise
+  /// stampede a popular destination ME.
+  uint32_t max_inflight_per_destination = 0;
   /// migration_start attempts per enclave before giving up.
   uint32_t max_attempts = 4;
   /// Base retry backoff (virtual time); doubles per failed attempt.
@@ -69,6 +74,15 @@ struct OrchestratorOptions {
   /// pipeline degenerates to today's serial drain, at cap N up to N
   /// transfers (and their destination-side restores) run concurrently.
   bool pipelined = false;
+  /// Freeze-aware scheduling (pipelined only): enqueue via the library's
+  /// reserve path, so a queued transfer waits LIVE (still serving) until
+  /// the source ME signals slot-live, and only then freezes.  The freeze
+  /// window stops growing with queue depth.
+  bool freeze_aware = false;
+  /// Per-enclave freeze budget (0 = unenforced): successful migrations
+  /// whose freeze window exceeds it are counted as violations in the
+  /// report.  This is an SLO observable, not an admission gate.
+  Duration freeze_budget{};
 };
 
 class Orchestrator {
@@ -125,6 +139,8 @@ class Orchestrator {
     /// (causality across lanes: enqueue end -> polls -> restore).
     Duration ready_at{};
     Duration freeze_window{};
+    /// Freeze-aware: live wait between reserve and the slot going live.
+    Duration enqueue_wait{};
     uint32_t precopy_rounds = 0;
     uint64_t transfer_bytes = 0;
     Status last_status = Status::kOk;

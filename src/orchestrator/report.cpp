@@ -1,5 +1,6 @@
 #include "orchestrator/report.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "support/json.h"
@@ -87,6 +88,46 @@ double OrchestratorReport::max_freeze_window_seconds() const {
 
 namespace {
 
+/// Nearest-rank percentile over a sample set (p clamped to [0, 100]);
+/// 0 on an empty sample.
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double clamped = std::min(100.0, std::max(0.0, p));
+  const size_t rank = static_cast<size_t>(
+      (clamped / 100.0) * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(rank, samples.size() - 1)];
+}
+
+}  // namespace
+
+double OrchestratorReport::freeze_window_percentile_seconds(double p) const {
+  std::vector<double> samples;
+  for (const auto& m : migrations) {
+    if (m.success) samples.push_back(to_seconds(m.freeze_window));
+  }
+  return percentile(std::move(samples), p);
+}
+
+double OrchestratorReport::enqueue_wait_percentile_seconds(double p) const {
+  std::vector<double> samples;
+  for (const auto& m : migrations) {
+    if (m.success) samples.push_back(to_seconds(m.enqueue_wait));
+  }
+  return percentile(std::move(samples), p);
+}
+
+size_t OrchestratorReport::freeze_budget_violations() const {
+  if (freeze_budget == Duration{}) return 0;
+  size_t n = 0;
+  for (const auto& m : migrations) {
+    if (m.success && m.freeze_window > freeze_budget) ++n;
+  }
+  return n;
+}
+
+namespace {
+
 void append_number(std::string& out, double value) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.6f", value);
@@ -123,6 +164,18 @@ std::string OrchestratorReport::to_json(bool include_events) const {
   append_number(out, mean_freeze_window_seconds());
   out += ", \"max_freeze_window_seconds\": ";
   append_number(out, max_freeze_window_seconds());
+  out += ", \"p50_freeze_window_seconds\": ";
+  append_number(out, freeze_window_percentile_seconds(50.0));
+  out += ", \"p99_freeze_window_seconds\": ";
+  append_number(out, freeze_window_percentile_seconds(99.0));
+  out += ", \"p50_enqueue_wait_seconds\": ";
+  append_number(out, enqueue_wait_percentile_seconds(50.0));
+  out += ", \"p99_enqueue_wait_seconds\": ";
+  append_number(out, enqueue_wait_percentile_seconds(99.0));
+  out += ", \"freeze_budget_seconds\": ";
+  append_number(out, to_seconds(freeze_budget));
+  out += ", \"freeze_budget_violations\": ";
+  append_number(out, static_cast<uint64_t>(freeze_budget_violations()));
 
   out += ", \"peak_inflight_per_machine\": {";
   bool first = true;
@@ -156,6 +209,8 @@ std::string OrchestratorReport::to_json(bool include_events) const {
     append_number(out, to_seconds(m.latency()));
     out += ", \"freeze_window_seconds\": ";
     append_number(out, to_seconds(m.freeze_window));
+    out += ", \"enqueue_wait_seconds\": ";
+    append_number(out, to_seconds(m.enqueue_wait));
     out += ", \"precopy_rounds\": ";
     append_number(out, static_cast<uint64_t>(m.precopy_rounds));
     out += ", \"transfer_bytes\": ";

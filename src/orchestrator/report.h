@@ -56,6 +56,9 @@ struct MigrationRecord {
   /// Virtual time the enclave spent frozen on the source (freeze ->
   /// transfer accepted); the pre-copy observable.  Zero on failure.
   Duration freeze_window{};
+  /// Freeze-aware: live wait between the reserve and the slot going live
+  /// (the part of the queue depth the freeze window no longer absorbs).
+  Duration enqueue_wait{};
   /// Pre-copy rounds shipped before the freeze (0 = full snapshot).
   uint32_t precopy_rounds = 0;
   /// Serialized migration payload bytes (all rounds + final delta, or the
@@ -76,6 +79,9 @@ struct OrchestratorReport {
   /// source machine (the enforced caps' observable).
   uint32_t peak_inflight_total = 0;
   std::map<std::string, uint32_t> peak_inflight_per_machine;
+  /// Per-enclave freeze budget copied from the options (zero =
+  /// unenforced); freeze_budget_violations() counts against it.
+  Duration freeze_budget{};
 
   Duration wall() const { return finished_at - started_at; }
   size_t succeeded() const;
@@ -88,6 +94,15 @@ struct OrchestratorReport {
   /// service-interruption cost a drain inflicts).
   double mean_freeze_window_seconds() const;
   double max_freeze_window_seconds() const;
+  /// Freeze-window percentiles over successful migrations (p in [0,100]);
+  /// the tail the freeze budget is written against.
+  double freeze_window_percentile_seconds(double p) const;
+  /// Live reserve->slot-live wait percentiles over successful migrations
+  /// (zero everywhere when not running freeze-aware).
+  double enqueue_wait_percentile_seconds(double p) const;
+  /// Successful migrations whose freeze window exceeded freeze_budget
+  /// (always 0 when the budget is unset).
+  size_t freeze_budget_violations() const;
 
   /// Machine-readable dump ({"plan":..., "migrations":[...], ...});
   /// events included only when `include_events`.

@@ -115,8 +115,22 @@ Result<Bytes> Machine::pse_service_handler(ByteView request) {
       resp.uuid = req.uuid;
       break;
     }
+    case sgx::PseOp::kRetireAll: {
+      charge(cm.counter_retire);
+      resp.value = static_cast<uint32_t>(counters_.retire_all(req.owner));
+      resp.status = Status::kOk;
+      break;
+    }
   }
   return resp.serialize();
+}
+
+size_t Machine::reclaim_retired_counters() {
+  const size_t n = counters_.reclaim_retired();
+  // The firmware sweep pays the same flash cost per slot a foreground
+  // destroy would — it just never contends with an enclave's ecall path.
+  for (size_t i = 0; i < n; ++i) charge(world_.costs().counter_destroy);
+  return n;
 }
 
 void Machine::install_management_enclave(MgmtEnclaveFactory factory) {

@@ -51,6 +51,11 @@ class Machine final : public sgx::PlatformIface {
   World& world() { return world_; }
   UntrustedStore& storage() { return *storage_; }
   sgx::MonotonicCounterService& counter_service() { return counters_; }
+  /// Runs the ME firmware's background GC over retired counter slots,
+  /// charging the per-slot flash cost to the current timeline.  Returns
+  /// how many slots were freed.  Drivers call this OUTSIDE latency-
+  /// critical phases (it models work that never preempts an ecall).
+  size_t reclaim_retired_counters();
   Rng& rng() { return rng_; }
 
   // ----- load accounting (fleet-level scheduling queries) -----

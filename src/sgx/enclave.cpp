@@ -103,4 +103,14 @@ Status Enclave::counter_destroy(const CounterUuid& uuid) {
   return resp.value().status;
 }
 
+Result<uint32_t> Enclave::counter_retire_all() {
+  PseRequest req;
+  req.op = PseOp::kRetireAll;
+  req.owner = identity_.mr_enclave;
+  auto resp = pse_roundtrip(req);
+  if (!resp.ok()) return resp.status();
+  if (resp.value().status != Status::kOk) return resp.value().status;
+  return resp.value().value;
+}
+
 }  // namespace sgxmig::sgx

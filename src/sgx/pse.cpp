@@ -45,6 +45,9 @@ const MonotonicCounterService::Entry* MonotonicCounterService::find(
   if (it->second.nonce != uuid.nonce || !(it->second.owner == owner)) {
     return nullptr;
   }
+  // A retired counter is logically destroyed: indistinguishable from a
+  // gone one to every caller, even before the reclaim sweep runs.
+  if (it->second.retired) return nullptr;
   return &it->second;
 }
 
@@ -71,6 +74,38 @@ Status MonotonicCounterService::destroy(const Measurement& owner,
   if (find(owner, uuid) == nullptr) return Status::kCounterNotFound;
   counters_.erase(uuid.counter_id);
   return Status::kOk;
+}
+
+size_t MonotonicCounterService::retire_all(const Measurement& owner) {
+  size_t n = 0;
+  for (auto& [id, entry] : counters_) {
+    if (entry.owner == owner && !entry.retired) {
+      entry.retired = true;
+      ++n;
+    }
+  }
+  return n;
+}
+
+size_t MonotonicCounterService::reclaim_retired() {
+  size_t n = 0;
+  for (auto it = counters_.begin(); it != counters_.end();) {
+    if (it->second.retired) {
+      it = counters_.erase(it);
+      ++n;
+    } else {
+      ++it;
+    }
+  }
+  return n;
+}
+
+size_t MonotonicCounterService::retired_count() const {
+  size_t n = 0;
+  for (const auto& [id, entry] : counters_) {
+    if (entry.retired) ++n;
+  }
+  return n;
 }
 
 size_t MonotonicCounterService::count_for(const Measurement& owner) const {

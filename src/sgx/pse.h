@@ -55,7 +55,21 @@ class MonotonicCounterService {
   Result<uint32_t> increment(const Measurement& owner, const CounterUuid& uuid);
   Status destroy(const Measurement& owner, const CounterUuid& uuid);
 
-  /// Number of live counters owned by `owner`.
+  /// Marks every counter owned by `owner` dead in one firmware journal
+  /// entry: immediately irreversible (reads, increments and destroys
+  /// report kCounterNotFound from here on), but the flash slots stay
+  /// allocated — and counted against the owner's quota — until the
+  /// background reclaim sweep frees them.  Returns how many it retired.
+  size_t retire_all(const Measurement& owner);
+  /// Background GC sweep: frees the flash slots of retired counters.
+  /// Returns how many were reclaimed; the caller charges the per-slot
+  /// flash cost (this never runs on an enclave's critical path).
+  size_t reclaim_retired();
+  /// Retired-but-not-yet-reclaimed slots (the deferred-GC backlog).
+  size_t retired_count() const;
+
+  /// Number of live counters owned by `owner` (retired slots included:
+  /// they hold quota until reclaimed).
   size_t count_for(const Measurement& owner) const;
 
   /// Total counter ids ever allocated (ids are never reused).
@@ -66,6 +80,7 @@ class MonotonicCounterService {
     Measurement owner{};
     std::array<uint8_t, 12> nonce{};
     uint32_t value = 0;
+    bool retired = false;
   };
 
   const Entry* find(const Measurement& owner, const CounterUuid& uuid) const;

@@ -18,7 +18,7 @@ Result<PseRequest> PseRequest::deserialize(ByteView bytes) {
   BinaryReader r(bytes);
   PseRequest req;
   const uint8_t op = r.u8();
-  if (op < 1 || op > 4) return Status::kTampered;
+  if (op < 1 || op > 5) return Status::kTampered;
   req.op = static_cast<PseOp>(op);
   req.owner = r.fixed<32>();
   req.session_token = r.fixed<16>();

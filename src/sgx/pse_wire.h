@@ -21,6 +21,9 @@ enum class PseOp : uint8_t {
   kRead = 2,
   kIncrement = 3,
   kDestroy = 4,
+  /// Logical mass-destroy of every counter the caller owns (one firmware
+  /// journal entry); physical slot reclaim is the background sweep.
+  kRetireAll = 5,
 };
 
 struct PseRequest {

@@ -27,7 +27,7 @@ TEST(ProtocolSerde, MeRequestRejectsUnknownType) {
   Bytes bytes = req.serialize();
   bytes[0] = 0;  // type 0 invalid
   EXPECT_FALSE(MeRequest::deserialize(bytes).ok());
-  bytes[0] = 12;  // one past kAbort, the highest valid type
+  bytes[0] = 13;  // one past kSessionResume, the highest valid type
   EXPECT_FALSE(MeRequest::deserialize(bytes).ok());
 }
 

@@ -100,6 +100,31 @@ TEST(CounterService, ValuesNeverDecrease) {
   }
 }
 
+TEST(CounterService, RetireIsLogicalDestroyUntilReclaim) {
+  MonotonicCounterService svc;
+  const CounterUuid ua = svc.create(owner_a(), Bytes(12, 1)).value().uuid;
+  const CounterUuid ub = svc.create(owner_a(), Bytes(12, 2)).value().uuid;
+  const CounterUuid other = svc.create(owner_b(), Bytes(12, 3)).value().uuid;
+  svc.increment(owner_a(), ua);
+
+  // One logical op kills every counter of the owner — and ONLY theirs.
+  EXPECT_EQ(svc.retire_all(owner_a()), 2u);
+  EXPECT_EQ(svc.read(owner_a(), ua).status(), Status::kCounterNotFound);
+  EXPECT_EQ(svc.increment(owner_a(), ub).status(), Status::kCounterNotFound);
+  EXPECT_EQ(svc.destroy(owner_a(), ua), Status::kCounterNotFound);
+  EXPECT_TRUE(svc.read(owner_b(), other).ok());
+
+  // Irreversible and idempotent; the slots still hold quota until the
+  // background sweep reclaims them.
+  EXPECT_EQ(svc.retire_all(owner_a()), 0u);
+  EXPECT_EQ(svc.retired_count(), 2u);
+  EXPECT_EQ(svc.count_for(owner_a()), 2u);
+  EXPECT_EQ(svc.reclaim_retired(), 2u);
+  EXPECT_EQ(svc.retired_count(), 0u);
+  EXPECT_EQ(svc.count_for(owner_a()), 0u);
+  EXPECT_TRUE(svc.read(owner_b(), other).ok());
+}
+
 // ---- end-to-end through the enclave runtime + proxies ----
 
 class CounterEnclave : public sgx::Enclave {
@@ -123,6 +148,10 @@ class CounterEnclave : public sgx::Enclave {
   Status ecall_destroy(const CounterUuid& uuid) {
     auto scope = enter_ecall();
     return counter_destroy(uuid);
+  }
+  Result<uint32_t> ecall_retire_all() {
+    auto scope = enter_ecall();
+    return counter_retire_all();
   }
 };
 
@@ -210,6 +239,31 @@ TEST_F(PseEndToEndTest, CounterOpsChargeRealisticLatency) {
   const Duration read_time = world_.clock().now() - t1;
   EXPECT_GT(read_time, milliseconds(30));
   EXPECT_LT(read_time, milliseconds(120));
+}
+
+TEST_F(PseEndToEndTest, RetireIsCheapAndReclaimPaysOffTheCriticalPath) {
+  CounterEnclave enclave(m0_, image_);
+  CounterUuid uuids[4];
+  for (auto& uuid : uuids) uuid = enclave.ecall_create().value().uuid;
+
+  // One PSE round trip retires all four — far below even ONE foreground
+  // destroy (~0.28 s), which is the whole point of deferring teardown.
+  const Duration t0 = world_.clock().now();
+  auto retired = enclave.ecall_retire_all();
+  const Duration retire_time = world_.clock().now() - t0;
+  ASSERT_TRUE(retired.ok());
+  EXPECT_EQ(retired.value(), 4u);
+  EXPECT_LT(retire_time, milliseconds(150));
+  for (const auto& uuid : uuids) {
+    EXPECT_EQ(enclave.ecall_read(uuid).status(), Status::kCounterNotFound);
+  }
+
+  // The firmware sweep later pays the per-slot flash cost — off any
+  // enclave's ecall path, but on the machine's clock.
+  const Duration t1 = world_.clock().now();
+  EXPECT_EQ(m0_.reclaim_retired_counters(), 4u);
+  EXPECT_GT(world_.clock().now() - t1, milliseconds(800));
+  EXPECT_EQ(m0_.counter_service().retired_count(), 0u);
 }
 
 TEST_F(PseEndToEndTest, ServiceUnavailableWhenProxyDown) {
