@@ -58,11 +58,16 @@ const char* fault_name(Fault fault) {
 
 DrainResult drain(int enclaves, int machines, uint32_t cap, Fault fault,
                   TransferMode mode, bool pipelined = false,
-                  bool freeze_aware = false) {
+                  bool freeze_aware = false, bool traced = false,
+                  std::string* trace_json = nullptr) {
   platform::World world(/*seed=*/9100 + enclaves +
                         (static_cast<int>(fault) * 7) +
                         (static_cast<int>(mode) * 31) +
                         (pipelined ? 101 : 0));
+  // `traced` deliberately does NOT perturb the seed: a traced run must be
+  // the SAME simulation as its untraced twin, observed rather than
+  // changed (the tracing_overhead gate compares their walls bit-exactly).
+  if (traced) world.observability().set_enabled(true);
   // Durable-queue MEs in every machine's management-enclave slot: the
   // me-restart variant kills and revives them mid-drain.
   world.install_management_enclaves(
@@ -146,7 +151,20 @@ DrainResult drain(int enclaves, int machines, uint32_t cap, Fault fault,
     result.reclaimed_slots += m->reclaim_retired_counters();
   }
   result.reclaim_cost = world.clock().now() - sweep0;
+  if (traced) {
+    result.report.metrics_json = world.observability().metrics.to_json();
+    if (trace_json != nullptr) {
+      *trace_json = world.observability().trace.to_chrome_json();
+    }
+  }
   return result;
+}
+
+bool write_text_file(const char* path, const std::string& body) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  return std::fclose(f) == 0 && written == body.size();
 }
 
 void run() {
@@ -400,6 +418,55 @@ void run() {
     std::printf("GATE FAILED: pipelined pre-copy wall %.3fs > 1.4x pipelined "
                 "full-snapshot wall %.3fs at cap 8\n",
                 to_seconds(precopy_cap8.wall), to_seconds(legacy_cap8.wall));
+    std::exit(1);
+  }
+
+  // --- traced rerun (observability): the SAME cap-8 pipelined pre-copy
+  // drain as precopy_cap8 — same seed, same config — with the per-World
+  // trace recorder + metrics on.  Emits the Perfetto timeline
+  // (TRACE_fleet_drain.json: machines as processes, one span tree per
+  // migration) and the report+metrics file trace_check.py audits in CI.
+  std::printf("\ntraced rerun, 32 enclaves / 5 machines (pipelined pre-copy, "
+              "cap 8):\n");
+  std::string trace_json;
+  const DrainResult traced =
+      drain(/*enclaves=*/32, /*machines=*/5, /*cap=*/8, Fault::kNone,
+            TransferMode::kPrecopy, /*pipelined=*/true, /*freeze_aware=*/false,
+            /*traced=*/true, &trace_json);
+  std::printf("tracing overhead: traced wall %.6fs vs untraced %.6fs "
+              "(virtual-time delta %+lld ns); %zu bytes of Chrome trace "
+              "JSON\n",
+              to_seconds(traced.wall), to_seconds(precopy_cap8.wall),
+              static_cast<long long>((traced.wall - precopy_cap8.wall).count()),
+              trace_json.size());
+  json.begin_row()
+      .field("comparison", std::string("tracing_overhead"))
+      .field("cap", static_cast<uint64_t>(8))
+      .field("untraced_wall_seconds", to_seconds(precopy_cap8.wall))
+      .field("traced_wall_seconds", to_seconds(traced.wall))
+      .field("wall_delta_ns",
+             static_cast<uint64_t>(
+                 std::llabs((traced.wall - precopy_cap8.wall).count())))
+      .field("trace_json_bytes", static_cast<uint64_t>(trace_json.size()))
+      .field("succeeded", static_cast<uint64_t>(traced.report.succeeded()))
+      .field("failed", static_cast<uint64_t>(traced.report.failed()));
+  // CI gate: zero overhead IN VIRTUAL TIME, exactly.  The recorder reads
+  // the clock and never advances it or draws randomness, so the traced
+  // run must reproduce the untraced wall bit-for-bit; any drift means an
+  // instrumentation site perturbed the simulation.
+  if (traced.wall != precopy_cap8.wall || traced.report.failed() != 0) {
+    std::printf("GATE FAILED: traced wall %lld ns != untraced wall %lld ns "
+                "(or traced run had failures) — tracing must not perturb "
+                "virtual time\n",
+                static_cast<long long>(traced.wall.count()),
+                static_cast<long long>(precopy_cap8.wall.count()));
+    std::exit(1);
+  }
+  if (trace_json.empty() ||
+      !write_text_file("TRACE_fleet_drain.json", trace_json) ||
+      !write_text_file("TRACE_REPORT_fleet_drain.json",
+                       traced.report.to_json(/*include_events=*/true))) {
+    std::printf("FAILED to write TRACE_fleet_drain.json artifacts\n");
     std::exit(1);
   }
 

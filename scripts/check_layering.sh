@@ -13,19 +13,20 @@ cd "$(dirname "$0")/.."
 
 declare -A allowed=(
   [support]="support"
+  [obs]="obs support"
   [crypto]="crypto support"
   [sgx]="sgx crypto support"
-  [net]="net sgx crypto support"
-  [platform]="platform net sgx crypto support"
+  [net]="net obs sgx crypto support"
+  [platform]="platform net obs sgx crypto support"
   [baseline]="baseline net sgx crypto support"
-  [migration]="migration platform net sgx crypto support"
-  [orchestrator]="orchestrator migration platform net sgx crypto support"
+  [migration]="migration platform net obs sgx crypto support"
+  [orchestrator]="orchestrator migration platform net obs sgx crypto support"
   [apps]="apps migration baseline platform net sgx crypto support"
   [attacks]="attacks apps migration baseline platform net sgx crypto support"
   [vm]="vm platform net sgx crypto support"
 )
 
-layers="support crypto sgx net platform baseline migration orchestrator apps attacks vm"
+layers="support obs crypto sgx net platform baseline migration orchestrator apps attacks vm"
 failures=0
 
 for layer in $layers; do

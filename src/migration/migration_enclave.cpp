@@ -2,6 +2,7 @@
 
 #include "crypto/cmac.h"
 #include "net/network.h"
+#include "obs/observability.h"
 
 namespace sgxmig::migration {
 
@@ -27,6 +28,27 @@ MeResponse error_response(Status status) {
   MeResponse resp;
   resp.status = status;
   return resp;
+}
+
+// ----- observability -----
+//
+// The ME never owns an Observability; it borrows the world's through its
+// platform, and every hook below is a cheap no-op when tracing is off.
+
+obs::Observability* enabled_obs(sgx::PlatformIface& platform) {
+  obs::Observability* obs = platform.observability();
+  return (obs != nullptr && obs->enabled()) ? obs : nullptr;
+}
+
+// TransferTask step transitions as trace instants on this ME's lane,
+// keyed by the attempt nonce so they land inside the migration's tree.
+void trace_task_step(sgx::PlatformIface& platform, uint64_t nonce,
+                     const char* step) {
+  obs::Observability* obs = enabled_obs(platform);
+  if (obs == nullptr) return;
+  obs->trace.instant("me.task.step", platform.address(), nonce,
+                     {{"step", step}});
+  obs->metrics.add(std::string("me.task.steps.") + step);
 }
 
 // ----- attestation-session resume transcripts -----
@@ -392,7 +414,16 @@ LibMsg MigrationEnclave::on_fetch_incoming(uint64_t session_id,
   BinaryWriter w;
   w.bytes(it->second.data.serialize());
   w.u64(it->second.delivery_token);
+  // Third field (tolerated as absent by older readers): the attempt
+  // nonce, so the destination library can join this migration's trace
+  // tree without any new protocol message.
+  w.u64(it->second.request_nonce);
   reply.payload = w.take();
+  if (obs::Observability* obs = enabled_obs(platform())) {
+    obs->trace.instant("me.fetch", platform().address(),
+                       it->second.request_nonce);
+    obs->metrics.add("me.fetches");
+  }
   return reply;
 }
 
@@ -446,6 +477,7 @@ LibMsg MigrationEnclave::on_confirm_migration(uint64_t session_id,
   }
   const uint64_t transfer_id = it->second.transfer_id;
   const std::string source_address = it->second.source_me_address;
+  const uint64_t request_nonce = it->second.request_nonce;
 
   // Seal the DONE record for the source ME while the inbound channel is
   // still at hand, then retire both queue entries.  The erase of pending_
@@ -487,6 +519,10 @@ LibMsg MigrationEnclave::on_confirm_migration(uint64_t session_id,
   // simply keeps the data as "pending" until the DONE gets through).
   retry_done_relays();
 
+  if (obs::Observability* obs = enabled_obs(platform())) {
+    obs->trace.instant("me.confirm", platform().address(), request_nonce);
+    obs->metrics.add("me.confirms");
+  }
   reply.type = LibMsgType::kConfirmAck;
   reply.status = Status::kOk;
   return reply;
@@ -648,6 +684,9 @@ Result<net::SecureChannel> MigrationEnclave::attest_peer_me(
   cache_peer_session(destination_address, ra.session_key(), peer_epoch,
                      peer_auth.value().credential, peer_region);
   ++full_handshakes_;
+  if (obs::Observability* obs = enabled_obs(platform())) {
+    obs->metrics.add("me.handshake.full");
+  }
   return net::SecureChannel(ra.session_key(),
                             net::SecureChannel::Role::kInitiator);
 }
@@ -720,6 +759,9 @@ Result<net::SecureChannel> MigrationEnclave::try_resume_session(
                                             transfer_id, resume.nonce,
                                             reply.value().nonce);
   ++resumed_handshakes_;
+  if (obs::Observability* obs = enabled_obs(platform())) {
+    obs->metrics.add("me.handshake.resumed");
+  }
   return net::SecureChannel(key, net::SecureChannel::Role::kInitiator);
 }
 
@@ -1171,6 +1213,7 @@ void MigrationEnclave::kick_task(uint64_t nonce) {
     rr.id = transfer_id;
     rr.payload = resume.serialize();
     task.step = TransferTask::Step::kAwaitResume;
+    trace_task_step(platform(), nonce, "await-resume");
     const std::array<uint8_t, 16> nonce_i = resume.nonce;
     net->post(task.request.destination_address + "/me", rr.serialize(),
               net_endpoint(),
@@ -1186,6 +1229,7 @@ void MigrationEnclave::kick_task(uint64_t nonce) {
   m1.id = transfer_id;
   m1.payload = task.ra->create_msg1().serialize();
   task.step = TransferTask::Step::kAwaitRaMsg2;
+  trace_task_step(platform(), nonce, "await-ra-msg2");
   net->post(task.request.destination_address + "/me", m1.serialize(),
             net_endpoint(),
             [this, nonce](Result<Bytes> raw) {
@@ -1227,6 +1271,7 @@ void MigrationEnclave::task_on_ra_msg2(uint64_t nonce, Result<Bytes> raw) {
   m3.id = task.transfer_id;
   m3.payload = m3_payload.take();
   task.step = TransferTask::Step::kAwaitAuth;
+  trace_task_step(platform(), nonce, "await-auth");
   platform().network()->post(
       task.request.destination_address + "/me", m3.serialize(), net_endpoint(),
       [this, nonce](Result<Bytes> raw2) {
@@ -1264,6 +1309,9 @@ void MigrationEnclave::task_on_auth(uint64_t nonce, Result<Bytes> raw) {
   cache_peer_session(task.request.destination_address, task.ra->session_key(),
                      peer_epoch, peer_auth.value().credential, peer_region);
   ++full_handshakes_;
+  if (obs::Observability* obs = enabled_obs(platform())) {
+    obs->metrics.add("me.handshake.full");
+  }
   task_attested(nonce, task);
 }
 
@@ -1285,6 +1333,7 @@ void MigrationEnclave::task_on_resume(uint64_t nonce,
     // the attempt through the full handshake.
     peer_sessions_.erase(task.request.destination_address);
     task.step = TransferTask::Step::kQueued;
+    trace_task_step(platform(), nonce, "requeued");
     task.ra.reset();
     task.channel.reset();
     kick_task(nonce);
@@ -1304,6 +1353,9 @@ void MigrationEnclave::task_on_resume(uint64_t nonce,
                         reply.value().nonce),
       net::SecureChannel::Role::kInitiator);
   ++resumed_handshakes_;
+  if (obs::Observability* obs = enabled_obs(platform())) {
+    obs->metrics.add("me.handshake.resumed");
+  }
   task_attested(nonce, task);
 }
 
@@ -1314,6 +1366,7 @@ void MigrationEnclave::task_attested(uint64_t nonce, TransferTask& task) {
     // poll report kSlotLive.  The library freezes, collects, and arms —
     // only then does the payload ship.
     task.step = TransferTask::Step::kAwaitArm;
+    trace_task_step(platform(), nonce, "await-arm");
     return;
   }
   ship_task_payload(nonce, task);
@@ -1332,6 +1385,7 @@ void MigrationEnclave::ship_task_payload(uint64_t nonce, TransferTask& task) {
   t.id = task.transfer_id;
   t.payload = task.channel->seal_record(payload_bytes);
   task.step = TransferTask::Step::kAwaitAccept;
+  trace_task_step(platform(), nonce, "await-accept");
   platform().network()->post(
       task.request.destination_address + "/me", t.serialize(), net_endpoint(),
       [this, nonce](Result<Bytes> raw2) {
@@ -1374,6 +1428,7 @@ void MigrationEnclave::task_on_accept(uint64_t nonce, Result<Bytes> raw) {
   // Moved, not copied: kept only for the rare persist-failure unwind.
   MigrateRequestPayload request = std::move(task.request);
   transfer_tasks_.erase(it);
+  trace_task_step(platform(), nonce, "retained");
   const Status persisted = persist_queue();
   if (persisted != Status::kOk) {
     // The retained entry must not stand non-durable: unwind it AND the
@@ -1401,6 +1456,7 @@ void MigrationEnclave::fail_task(uint64_t nonce, Status status) {
   if (it == transfer_tasks_.end()) return;
   it->second.step = TransferTask::Step::kFailed;
   it->second.failure = status;
+  trace_task_step(platform(), nonce, "failed");
   it->second.ra.reset();
   it->second.channel.reset();
 }

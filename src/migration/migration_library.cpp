@@ -5,6 +5,7 @@
 #include "crypto/gcm.h"
 #include "migration/migration_enclave.h"
 #include "net/network.h"
+#include "obs/observability.h"
 #include "support/serde.h"
 
 namespace sgxmig::migration {
@@ -54,6 +55,84 @@ Duration MigrationLibrary::now() const {
   return host_.platform().clock().now();
 }
 
+// ----- observability -----
+
+obs::Observability* MigrationLibrary::observability() const {
+  return host_.platform().observability();
+}
+
+obs::TraceRecorder* MigrationLibrary::recorder() const {
+  obs::Observability* obs = host_.platform().observability();
+  return obs != nullptr && obs->enabled() ? &obs->trace : nullptr;
+}
+
+const std::string& MigrationLibrary::lane() const {
+  return host_.platform().address();
+}
+
+void MigrationLibrary::trace_attempt_root(uint64_t nonce) {
+  obs::TraceRecorder* rec = recorder();
+  if (rec == nullptr) return;
+  const obs::TraceSpan* root = rec->find_span(root_span_);
+  if (root == nullptr || !root->open) {
+    root_span_ = rec->begin_span("migration", lane());
+    rec->span_arg(root_span_, "enclave", host_.image().name());
+  }
+  if (nonce != 0) rec->assign_trace(root_span_, nonce);
+}
+
+void MigrationLibrary::trace_freeze_begin() {
+  obs::TraceRecorder* rec = recorder();
+  if (rec == nullptr) return;
+  if (freeze_span_ != 0) {
+    const obs::TraceSpan* span = rec->find_span(freeze_span_);
+    if (span != nullptr && span->open) return;  // retry: freeze still open
+  }
+  trace_attempt_root(0);  // ensure a root exists to nest under
+  freeze_span_ = rec->begin_span("freeze", lane(), 0, root_span_);
+  rec->span_arg(freeze_span_, "enclave", host_.image().name());
+}
+
+void MigrationLibrary::trace_freeze_end() {
+  obs::TraceRecorder* rec = recorder();
+  if (rec != nullptr && freeze_span_ != 0) {
+    rec->span_arg(freeze_span_, "window_ns",
+                  static_cast<uint64_t>(last_freeze_window_.count()));
+    rec->end_span(freeze_span_);
+  }
+  freeze_span_ = 0;
+}
+
+void MigrationLibrary::trace_attempt_done(uint64_t nonce,
+                                          uint64_t payload_bytes) {
+  obs::Observability* obs = observability();
+  if (obs == nullptr || !obs->enabled()) {
+    root_span_ = 0;
+    freeze_span_ = 0;
+    enqueue_span_ = 0;
+    return;
+  }
+  obs::TraceRecorder& rec = obs->trace;
+  if (enqueue_span_ != 0) {
+    rec.end_span(enqueue_span_);
+    enqueue_span_ = 0;
+  }
+  trace_freeze_end();  // normally already closed where the window landed
+  if (root_span_ != 0) {
+    rec.span_arg(root_span_, "bytes", payload_bytes);
+    rec.end_span(root_span_);
+    root_span_ = 0;
+  }
+  if (nonce != 0) rec.end_trace_root(nonce);
+  rec.instant("migration.source_done", lane(), nonce,
+              {{"enclave", host_.image().name()}});
+  obs->metrics.add("migration.accepted");
+  obs->metrics.observe("migration.freeze_window_ms",
+                       to_seconds(last_freeze_window_) * 1e3);
+  obs->metrics.observe("migration.transfer_bytes",
+                       static_cast<double>(payload_bytes));
+}
+
 Status MigrationLibrary::persist_after_mutation(MutationKind kind) {
   return engine_->on_mutation(*this, kind);
 }
@@ -61,6 +140,10 @@ Status MigrationLibrary::persist_after_mutation(MutationKind kind) {
 Status MigrationLibrary::persist_mutation_durable(MutationKind kind) {
   const Status status = engine_->on_mutation(*this, kind);
   if (status != Status::kOk) return status;
+  if (obs::Observability* obs = observability();
+      obs != nullptr && obs->enabled()) {
+    obs->metrics.add("persist.flush_fences");
+  }
   return engine_->flush(*this);
 }
 
@@ -133,14 +216,35 @@ Status MigrationLibrary::migration_init(ByteView state_buffer,
       // Payload: the migration data plus the ME's delivery token — proof
       // of being the instance the sealed fetch reply reached, honored by
       // the confirm even if this library must re-attest in between.
+      // Newer MEs append the attempt's request nonce so the destination's
+      // restore joins the source's trace tree; older payloads simply end
+      // after the token.
       BinaryReader fetched(reply.value().payload);
       const Bytes data_bytes = fetched.bytes(1u << 20);
       const uint64_t delivery_token = fetched.u64();
+      const uint64_t request_nonce = fetched.done() ? 0 : fetched.u64();
       if (!fetched.done()) return Status::kTampered;
+      uint64_t restore_span = 0;
+      if (obs::TraceRecorder* rec = recorder()) {
+        restore_span = rec->begin_span("restore", lane(), request_nonce);
+        rec->span_arg(restore_span, "enclave", host_.image().name());
+      }
+      const auto end_restore = [&](const char* outcome) {
+        obs::TraceRecorder* rec = recorder();
+        if (rec == nullptr || restore_span == 0) return;
+        rec->span_arg(restore_span, "outcome", outcome);
+        rec->end_span(restore_span);
+      };
       auto data = MigrationData::deserialize(data_bytes);
-      if (!data.ok()) return data.status();
+      if (!data.ok()) {
+        end_restore("deserialize-failed");
+        return data.status();
+      }
       const Status apply_status = apply_incoming(data.value());
-      if (apply_status != Status::kOk) return apply_status;
+      if (apply_status != Status::kOk) {
+        end_restore("apply-failed");
+        return apply_status;
+      }
       initialized_ = true;
       // Confirm so the source ME can delete its retained copy.  The
       // confirm must tolerate a lost reply: the ME may have processed it
@@ -159,9 +263,21 @@ Status MigrationLibrary::migration_init(ByteView state_buffer,
       if (!ack.ok() || ack.value().type != LibMsgType::kConfirmAck) {
         ack = me_exchange_reattest(confirm);
       }
-      if (!ack.ok()) return ack.status();
+      if (!ack.ok()) {
+        end_restore("confirm-failed");
+        return ack.status();
+      }
       if (ack.value().type != LibMsgType::kConfirmAck) {
+        end_restore("confirm-failed");
         return Status::kUnexpected;
+      }
+      end_restore("ok");
+      if (obs::Observability* obs = observability();
+          obs != nullptr && obs->enabled()) {
+        obs->trace.instant("migration.done", lane(), request_nonce,
+                           {{"enclave", host_.image().name()}});
+        if (request_nonce != 0) obs->trace.end_trace_root(request_nonce);
+        obs->metrics.add("migration.restored");
       }
       return Status::kOk;
     }
@@ -589,10 +705,15 @@ MigrationStartResult MigrationLibrary::stage_for_migration(
     if (fence != Status::kOk) {
       return start_failure(fence, "pre-freeze persistence fence");
     }
+    if (obs::Observability* obs = observability();
+        obs != nullptr && obs->enabled()) {
+      obs->metrics.add("persist.flush_fences");
+    }
     // Freeze first: no further operations may mutate persistent state
     // while (or after) the migration is in flight (§V-A step 2).
     freeze_started_ = now();
     runtime_frozen_ = true;
+    trace_freeze_begin();
     // A half-done pre-copy toward any destination is abandoned: the full
     // snapshot staged below supersedes it (the destination's staged
     // chunks are swept when the assembled transfer lands or is confirmed).
@@ -611,6 +732,12 @@ MigrationStartResult MigrationLibrary::stage_for_migration(
       // Nothing destructive happened yet: the enclave may resume normal
       // operation and retry the migration later.
       runtime_frozen_ = false;
+      if (obs::TraceRecorder* rec = recorder();
+          rec != nullptr && freeze_span_ != 0) {
+        rec->span_arg(freeze_span_, "outcome", "collect-failed");
+        rec->end_span(freeze_span_);
+      }
+      freeze_span_ = 0;
       return start_failure(collected.status(), "collecting counter values");
     }
     staged_outgoing_ = std::move(collected).value();
@@ -631,6 +758,11 @@ MigrationStartResult MigrationLibrary::stage_for_migration(
     if (staged_nonce_ == 0) staged_nonce_ = 1;
     staged_destination_ = destination_address;
     enqueue_pending_ = false;  // an old queued attempt is superseded
+  }
+  trace_attempt_root(staged_nonce_);
+  if (obs::TraceRecorder* rec = recorder();
+      rec != nullptr && freeze_span_ != 0) {
+    rec->assign_trace(freeze_span_, staged_nonce_);
   }
   if (!counters_destroyed_) {
     // Destroy the hardware counters BEFORE any data leaves the machine
@@ -664,7 +796,9 @@ MigrationStartResult MigrationLibrary::stage_for_migration(
 }
 
 void MigrationLibrary::finish_outgoing(uint64_t payload_bytes) {
+  const uint64_t nonce = staged_nonce_;
   last_freeze_window_ = now() - freeze_started_;
+  trace_freeze_end();
   last_transfer_bytes_ = payload_bytes;
   last_precopy_rounds_ = async_finalize_pending_ ? precopy_rounds_ : 0;
   if (async_finalize_pending_) {
@@ -689,6 +823,7 @@ void MigrationLibrary::finish_outgoing(uint64_t payload_bytes) {
   staged_destination_.clear();
   enqueue_pending_ = false;
   enqueued_bytes_ = 0;
+  trace_attempt_done(nonce, payload_bytes);
 }
 
 void MigrationLibrary::notify_abort_stale(uint64_t nonce,
@@ -787,6 +922,10 @@ MigrationStartResult MigrationLibrary::migration_enqueue_detailed(
   }
   enqueue_pending_ = true;
   enqueued_bytes_ = payload_bytes;
+  if (obs::TraceRecorder* rec = recorder()) {
+    rec->instant("migration.queued", lane(), staged_nonce_,
+                 {{"destination", destination_address}});
+  }
   return MigrationStartResult{};
 }
 
@@ -843,6 +982,13 @@ MigrationStartResult MigrationLibrary::migration_reserve_detailed(
   enqueued_bytes_ = 0;
   enqueue_started_ = now();
   last_enqueue_wait_ = Duration{};
+  trace_attempt_root(staged_nonce_);
+  if (obs::TraceRecorder* rec = recorder()) {
+    if (enqueue_span_ != 0) rec->end_span(enqueue_span_);
+    enqueue_span_ =
+        rec->begin_span("enqueue_wait", lane(), staged_nonce_, root_span_);
+    rec->span_arg(enqueue_span_, "destination", destination_address);
+  }
   return MigrationStartResult{};
 }
 
@@ -851,6 +997,13 @@ MigrationStartResult MigrationLibrary::arm_reserved_slot() {
     // First arm of this attempt: the live queue wait ends here — the
     // freeze clock starts inside stage_for_migration.
     last_enqueue_wait_ = now() - enqueue_started_;
+    if (obs::TraceRecorder* rec = recorder();
+        rec != nullptr && enqueue_span_ != 0) {
+      rec->span_arg(enqueue_span_, "wait_ns",
+                    static_cast<uint64_t>(last_enqueue_wait_.count()));
+      rec->end_span(enqueue_span_);
+      enqueue_span_ = 0;
+    }
   }
   // stage_for_migration treats every fresh freeze as a fresh attempt
   // (clears the staged destination, draws a new nonce) — but the reserve
@@ -1064,9 +1217,26 @@ Result<PrecopyRoundReport> MigrationLibrary::migration_precopy_round(
     reset_precopy(destination_address);
   }
 
+  trace_attempt_root(precopy_nonce_);
+  uint64_t round_span = 0;
+  if (obs::TraceRecorder* rec = recorder()) {
+    round_span =
+        rec->begin_span("precopy_round", lane(), precopy_nonce_, root_span_);
+    rec->span_arg(round_span, "round", static_cast<uint64_t>(precopy_rounds_));
+  }
+  const auto end_round = [&](const char* outcome) {
+    obs::TraceRecorder* rec = recorder();
+    if (rec == nullptr || round_span == 0) return;
+    rec->span_arg(round_span, "outcome", outcome);
+    rec->end_span(round_span);
+  };
+
   auto chunks = collect_dirty_chunks(/*include_all_populated=*/
                                      precopy_rounds_ == 0);
-  if (!chunks.ok()) return chunks.status();
+  if (!chunks.ok()) {
+    end_round("collect-failed");
+    return chunks.status();
+  }
 
   PrecopyRoundPayload payload;
   payload.destination_address = destination_address;
@@ -1078,8 +1248,12 @@ Result<PrecopyRoundReport> MigrationLibrary::migration_precopy_round(
   request.type = LibMsgType::kPrecopyRound;
   request.payload = payload.serialize();
   auto reply = me_exchange_reattest(request);
-  if (!reply.ok()) return reply.status();
+  if (!reply.ok()) {
+    end_round("exchange-failed");
+    return reply.status();
+  }
   if (reply.value().type != LibMsgType::kPrecopyAck) {
+    end_round("rejected");
     return reply.value().status != Status::kOk ? reply.value().status
                                                : Status::kUnexpected;
   }
@@ -1096,6 +1270,18 @@ Result<PrecopyRoundReport> MigrationLibrary::migration_precopy_round(
   report.bytes_shipped = request.payload.size();
   precopy_bytes_ += request.payload.size();
   ++precopy_rounds_;
+  if (obs::Observability* obs = observability();
+      obs != nullptr && obs->enabled()) {
+    if (round_span != 0) {
+      obs->trace.span_arg(round_span, "chunks",
+                          static_cast<uint64_t>(report.chunks_shipped));
+      obs->trace.span_arg(round_span, "bytes", report.bytes_shipped);
+    }
+    obs->metrics.add("migration.precopy_rounds");
+    obs->metrics.observe("migration.precopy_round_bytes",
+                         static_cast<double>(report.bytes_shipped));
+  }
+  end_round("ok");
   return report;
 }
 
@@ -1136,13 +1322,24 @@ MigrationStartResult MigrationLibrary::migration_finalize_detailed(
     if (fence != Status::kOk) {
       return start_failure(fence, "pre-freeze persistence fence");
     }
+    if (obs::Observability* obs = observability();
+        obs != nullptr && obs->enabled()) {
+      obs->metrics.add("persist.flush_fences");
+    }
     freeze_started_ = now();
     runtime_frozen_ = true;
+    trace_freeze_begin();
     auto delta = collect_dirty_chunks(/*include_all_populated=*/
                                       precopy_rounds_ == 0);
     if (!delta.ok()) {
       // Nothing destructive yet: unfreeze and let the caller retry.
       runtime_frozen_ = false;
+      if (obs::TraceRecorder* rec = recorder();
+          rec != nullptr && freeze_span_ != 0) {
+        rec->span_arg(freeze_span_, "outcome", "collect-failed");
+        rec->end_span(freeze_span_);
+      }
+      freeze_span_ = 0;
       return start_failure(delta.status(), "collecting final delta");
     }
     final_chunks_ = std::move(delta).value();
@@ -1166,6 +1363,12 @@ MigrationStartResult MigrationLibrary::migration_finalize_detailed(
     for (const auto& [index, chunk] : staged_chunks_) {
       final_chunks_.push_back(chunk);
     }
+  }
+
+  trace_attempt_root(precopy_nonce_);
+  if (obs::TraceRecorder* rec = recorder();
+      rec != nullptr && freeze_span_ != 0) {
+    rec->assign_trace(freeze_span_, precopy_nonce_);
   }
 
   if (!epoch_invalidated_) {
@@ -1192,6 +1395,20 @@ MigrationStartResult MigrationLibrary::migration_finalize_detailed(
     }
     freeze_persisted_ = true;
   }
+
+  uint64_t finalize_span = 0;
+  if (obs::TraceRecorder* rec = recorder()) {
+    finalize_span =
+        rec->begin_span("finalize", lane(), precopy_nonce_, root_span_);
+    rec->span_arg(finalize_span, "rounds",
+                  static_cast<uint64_t>(precopy_rounds_));
+  }
+  const auto end_finalize = [&](const char* outcome) {
+    obs::TraceRecorder* rec = recorder();
+    if (rec == nullptr || finalize_span == 0) return;
+    rec->span_arg(finalize_span, "outcome", outcome);
+    rec->end_span(finalize_span);
+  };
 
   PrecopyFinalizePayload payload;
   payload.destination_address = destination_address;
@@ -1226,8 +1443,10 @@ MigrationStartResult MigrationLibrary::migration_finalize_detailed(
     auto attempt = query_status_internal(precopy_nonce_);
     if (!attempt.ok() || (attempt.value() != OutgoingState::kPending &&
                           attempt.value() != OutgoingState::kCompleted)) {
+      end_finalize("exchange-failed");
       return start_failure(reply.status(), "ME finalize exchange");
     }
+    end_finalize("resumed");
   } else if (reply.value().type == LibMsgType::kMigrateQueued) {
     // Async source ME: the sealed finalize record ships through the
     // deferred pump — the enqueue-then-poll contract of the pipelined
@@ -1240,6 +1459,7 @@ MigrationStartResult MigrationLibrary::migration_finalize_detailed(
     enqueue_pending_ = true;
     async_finalize_pending_ = true;
     enqueued_bytes_ = precopy_bytes_ + request.payload.size();
+    end_finalize("queued");
     MigrationStartResult in_flight;
     in_flight.status = Status::kMigrationInProgress;
     in_flight.failure_class = MigrationFailureClass::kNone;
@@ -1249,13 +1469,18 @@ MigrationStartResult MigrationLibrary::migration_finalize_detailed(
     const Status rejected = reply.value().status != Status::kOk
                                 ? reply.value().status
                                 : Status::kMigrationAborted;
+    end_finalize("rejected");
     return start_failure(rejected,
                          "destination rejected by source ME protocol");
+  } else {
+    end_finalize("ok");
   }
 
   // The destination ME holds the authoritative snapshot: the freeze
   // window ends here.
+  const uint64_t accepted_nonce = precopy_nonce_;
   last_freeze_window_ = now() - freeze_started_;
+  trace_freeze_end();
   last_transfer_bytes_ = precopy_bytes_ + request.payload.size();
   last_precopy_rounds_ = precopy_rounds_;
 
@@ -1273,6 +1498,7 @@ MigrationStartResult MigrationLibrary::migration_finalize_detailed(
   staged_chunks_.clear();
   final_chunks_.clear();
   finalize_staged_ = false;
+  trace_attempt_done(accepted_nonce, last_transfer_bytes_);
   return MigrationStartResult{};
 }
 

@@ -47,6 +47,10 @@
 #include "net/channel.h"
 #include "sgx/enclave.h"
 
+namespace sgxmig::obs {
+class TraceRecorder;
+}  // namespace sgxmig::obs
+
 namespace sgxmig::migration {
 
 /// Paper Fig. 1: how the enclave is being initialized.
@@ -306,6 +310,24 @@ class MigrationLibrary : private PersistSink {
   // ----- PersistSink (the engine calls back into us to commit) -----
   Status commit_state() override;
   Duration now() const override;
+  obs::Observability* observability() const override;
+
+  // ----- observability helpers -----
+  /// The world's trace recorder when wired AND enabled; nullptr otherwise.
+  obs::TraceRecorder* recorder() const;
+  /// This enclave's machine address (the lane spans are attributed to).
+  const std::string& lane() const;
+  /// Ensures the attempt's root span ("migration", one per trace id) is
+  /// open, binding `nonce` as the trace id.
+  void trace_attempt_root(uint64_t nonce);
+  /// Opens the freeze span at freeze_started_ (trace id bound later if
+  /// the nonce does not exist yet).
+  void trace_freeze_begin();
+  /// Closes the freeze span where last_freeze_window_ is computed, so the
+  /// trace-derived window equals the reported one BY CONSTRUCTION.
+  void trace_freeze_end();
+  /// Closes the attempt's spans and root on the accepted verdict.
+  void trace_attempt_done(uint64_t nonce, uint64_t payload_bytes);
 
   /// Reports one completed mutation to the engine.
   Status persist_after_mutation(MutationKind kind);
@@ -453,6 +475,11 @@ class MigrationLibrary : private PersistSink {
   // the attempt waited live before its slot went live.
   Duration enqueue_started_{};
   Duration last_enqueue_wait_{};
+
+  // ----- trace spans of the in-flight attempt (0 = none/disabled) -----
+  uint64_t root_span_ = 0;
+  uint64_t freeze_span_ = 0;
+  uint64_t enqueue_span_ = 0;
 };
 
 }  // namespace sgxmig::migration

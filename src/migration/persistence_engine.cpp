@@ -1,6 +1,24 @@
 #include "migration/persistence_engine.h"
 
+#include "obs/observability.h"
+
 namespace sgxmig::migration {
+
+Status PersistenceEngine::commit(PersistSink& sink) {
+  ++commits_issued_;
+  const Status status = sink.commit_state();
+  if (status != Status::kOk) return status;
+  // Batch size = mutations newly covered by this successful commit.
+  const uint64_t batch = mutations_seen_ - committed_mutations_;
+  committed_mutations_ = mutations_seen_;
+  obs::Observability* obs = sink.observability();
+  if (obs != nullptr && obs->enabled()) {
+    obs->metrics.add("persist.commits");
+    obs->metrics.observe("persist.batch_mutations",
+                         static_cast<double>(batch));
+  }
+  return status;
+}
 
 const char* persistence_mode_name(PersistenceMode mode) {
   switch (mode) {

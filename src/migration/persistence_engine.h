@@ -34,6 +34,10 @@
 #include "support/sim_clock.h"
 #include "support/status.h"
 
+namespace sgxmig::obs {
+struct Observability;
+}  // namespace sgxmig::obs
+
 namespace sgxmig::migration {
 
 enum class PersistenceMode : uint8_t {
@@ -69,6 +73,9 @@ class PersistSink {
   virtual Status commit_state() = 0;
   /// Virtual time, for window-based coalescing.
   virtual Duration now() const = 0;
+  /// The world's trace/metrics bundle; null (the default) disables engine
+  /// instrumentation.
+  virtual obs::Observability* observability() const { return nullptr; }
 };
 
 struct GroupCommitOptions {
@@ -99,15 +106,13 @@ class PersistenceEngine {
   uint64_t commits_issued() const { return commits_issued_; }
 
  protected:
-  Status commit(PersistSink& sink) {
-    ++commits_issued_;
-    return sink.commit_state();
-  }
+  Status commit(PersistSink& sink);
   void note_mutation() { ++mutations_seen_; }
 
  private:
   uint64_t mutations_seen_ = 0;
   uint64_t commits_issued_ = 0;
+  uint64_t committed_mutations_ = 0;  // mutations covered by past commits
 };
 
 /// Factory.  `options` only affects kGroupCommit.

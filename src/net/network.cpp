@@ -1,5 +1,7 @@
 #include "net/network.h"
 
+#include "obs/observability.h"
+
 namespace sgxmig::net {
 
 Network::Network(VirtualClock& clock, Rng& rng, const CostModel& costs)
@@ -24,7 +26,26 @@ void Network::charge(Duration base) {
       static_cast<double>(base.count()) * rng_.jitter(costs_.jitter_sigma))));
 }
 
+obs::TraceRecorder* Network::recorder() const {
+  return obs_ != nullptr && obs_->enabled() ? &obs_->trace : nullptr;
+}
+
+obs::MetricsRegistry* Network::metrics() const {
+  return obs_ != nullptr && obs_->enabled() ? &obs_->metrics : nullptr;
+}
+
+void Network::track_pending(Duration at, const std::string& lane, int delta) {
+  const int depth = (pending_per_lane_[lane] += delta);
+  if (obs::TraceRecorder* rec = recorder()) {
+    rec->counter_at(at, "net.pending", lane, static_cast<double>(depth));
+  }
+  if (obs::MetricsRegistry* m = metrics()) {
+    m->set_gauge("net.pending." + lane, static_cast<double>(depth));
+  }
+}
+
 Result<Bytes> Network::rpc(const std::string& to, ByteView request) {
+  if (obs::MetricsRegistry* m = metrics()) m->add("net.rpcs");
   const auto it = endpoints_.find(to);
   if (it == endpoints_.end()) return Status::kNetworkUnreachable;
   const auto down_it = down_.find(to);
@@ -35,6 +56,7 @@ Result<Bytes> Network::rpc(const std::string& to, ByteView request) {
   Bytes in_flight = to_bytes(request);
   if (tamper_ != nullptr && !tamper_(to, in_flight)) {
     // Dropped by the adversary; the caller observes a network failure.
+    if (obs::MetricsRegistry* m = metrics()) m->add("net.rpc_drops.tamper");
     charge(costs_.net_latency);
     return Status::kNetworkUnreachable;
   }
@@ -50,6 +72,9 @@ Result<Bytes> Network::rpc(const std::string& to, ByteView request) {
     if (!response_tamper_(to, reply)) {
       // Reply dropped AFTER the handler ran: the caller sees a network
       // failure but the remote side has already committed the request.
+      if (obs::MetricsRegistry* m = metrics()) {
+        m->add("net.rpc_drops.reply_lost");
+      }
       charge(costs_.net_latency);
       return Status::kNetworkUnreachable;
     }
@@ -91,8 +116,20 @@ uint64_t Network::post(const std::string& to, ByteView request,
   event.payload = to_bytes(request);
   event.on_reply = std::move(on_reply);
   const uint64_t seq = next_event_seq_++;
-  events_.emplace(std::make_pair(clock_.now() + wire_time(request.size()), seq),
-                  std::move(event));
+  event.id = seq;
+  const Duration deliver_at = clock_.now() + wire_time(request.size());
+  if (obs::TraceRecorder* rec = recorder()) {
+    rec->instant("net.post", lane_of(from_endpoint), 0,
+                 {{"msg", std::to_string(seq)},
+                  {"to", to},
+                  {"bytes", std::to_string(request.size())}});
+  }
+  if (obs::MetricsRegistry* m = metrics()) {
+    m->add("net.posts");
+    m->observe("net.post_bytes", static_cast<double>(request.size()));
+  }
+  track_pending(clock_.now(), lane_of(to), +1);
+  events_.emplace(std::make_pair(deliver_at, seq), std::move(event));
   return seq;
 }
 
@@ -100,12 +137,37 @@ void Network::deliver_request(Duration at, DeferredEvent event) {
   Result<Bytes> response = Status::kNetworkUnreachable;
   Duration handler_end = at;
 
+  track_pending(at, lane_of(event.to), -1);
   Bytes in_flight = std::move(event.payload);
   const auto it = endpoints_.find(event.to);
   const auto down_it = down_.find(event.to);
   const bool reachable = it != endpoints_.end() &&
                          (down_it == down_.end() || !down_it->second);
-  if (reachable && (tamper_ == nullptr || tamper_(event.to, in_flight))) {
+  const bool tamper_dropped =
+      reachable && tamper_ != nullptr && !tamper_(event.to, in_flight);
+  if (obs::TraceRecorder* rec = recorder()) {
+    if (reachable && !tamper_dropped) {
+      rec->instant_at(at, "net.deliver", lane_of(event.to), 0,
+                      {{"msg", std::to_string(event.id)}, {"to", event.to}});
+    } else {
+      const char* reason = !reachable
+                               ? (it == endpoints_.end() ? "unreachable"
+                                                         : "down")
+                               : "tamper";
+      rec->instant_at(at, "net.drop", lane_of(event.to), 0,
+                      {{"msg", std::to_string(event.id)},
+                       {"to", event.to},
+                       {"reason", reason}});
+    }
+  }
+  if (obs::MetricsRegistry* m = metrics()) {
+    if (reachable && !tamper_dropped) {
+      m->add("net.delivered");
+    } else {
+      m->add(tamper_dropped ? "net.drops.tamper" : "net.drops.unreachable");
+    }
+  }
+  if (reachable && !tamper_dropped) {
     ++rpcs_sent_;
     bytes_sent_ += in_flight.size();
     const auto run_handler = [&] { response = it->second(in_flight); };
@@ -131,6 +193,7 @@ void Network::deliver_request(Duration at, DeferredEvent event) {
 
   DeferredEvent reply;
   reply.is_reply = true;
+  reply.id = event.id;
   reply.from = std::move(event.from);
   reply.on_reply = std::move(event.on_reply);
   if (response.ok()) {
@@ -139,11 +202,25 @@ void Network::deliver_request(Duration at, DeferredEvent event) {
     reply.failure = response.status();
   }
   const Duration reply_at = handler_end + wire_time(reply.payload.size());
+  track_pending(handler_end, lane_of(reply.from), +1);
   const uint64_t seq = next_event_seq_++;
   events_.emplace(std::make_pair(reply_at, seq), std::move(reply));
 }
 
 void Network::deliver_reply(Duration at, DeferredEvent& event) {
+  track_pending(at, lane_of(event.from), -1);
+  if (obs::TraceRecorder* rec = recorder()) {
+    if (!event.on_reply) {
+      rec->instant_at(at, "net.reply_drop", lane_of(event.from), 0,
+                      {{"msg", std::to_string(event.id)},
+                       {"reason", "canceled"}});
+    } else {
+      rec->instant_at(at, "net.reply", lane_of(event.from), 0,
+                      {{"msg", std::to_string(event.id)},
+                       {"status",
+                        std::string(status_name(event.failure))}});
+    }
+  }
   if (!event.on_reply) return;  // poster canceled (e.g. crashed ME)
   const auto run_reply = [&] {
     if (event.failure == Status::kOk) {

@@ -19,6 +19,12 @@
 #include "support/sim_clock.h"
 #include "support/status.h"
 
+namespace sgxmig::obs {
+struct Observability;
+class TraceRecorder;
+class MetricsRegistry;
+}  // namespace sgxmig::obs
+
 namespace sgxmig::net {
 
 using RpcHandler = std::function<Result<Bytes>(ByteView request)>;
@@ -101,6 +107,13 @@ class Network {
   /// must uninstall it before it dies.
   void set_lane_schedule(LaneSchedule* lanes) { lanes_ = lanes; }
 
+  /// Installs the world's trace/metrics bundle (nullptr disconnects).
+  /// When tracing is enabled the network emits net.post / net.deliver /
+  /// net.drop / net.reply instants (timestamped at the scheduled delivery
+  /// instant, not the recording instant) and a per-destination-lane
+  /// "net.pending" queue-depth counter track.
+  void set_observability(obs::Observability* obs) { obs_ = obs; }
+
   // ----- fault & adversary injection -----
   void set_endpoint_down(const std::string& address, bool down);
   void set_tamper_hook(TamperHook hook) { tamper_ = std::move(hook); }
@@ -117,6 +130,7 @@ class Network {
  private:
   struct DeferredEvent {
     bool is_reply = false;
+    uint64_t id = 0;          // post() return value; replies inherit it
     std::string to;           // request: destination endpoint
     std::string from;         // poster endpoint (cancel key + reply lane)
     Bytes payload;            // request bytes, or the reply bytes
@@ -131,6 +145,13 @@ class Network {
   void deliver_request(Duration at, DeferredEvent event);
   void deliver_reply(Duration at, DeferredEvent& event);
 
+  /// The trace recorder / metrics registry, or nullptr when observability
+  /// is absent or disabled.
+  obs::TraceRecorder* recorder() const;
+  obs::MetricsRegistry* metrics() const;
+  /// Adjusts the in-flight count of `lane` and samples "net.pending".
+  void track_pending(Duration at, const std::string& lane, int delta);
+
   VirtualClock& clock_;
   Rng& rng_;
   const CostModel& costs_;
@@ -139,6 +160,8 @@ class Network {
   TamperHook tamper_;
   ResponseTamperHook response_tamper_;
   LaneSchedule* lanes_ = nullptr;
+  obs::Observability* obs_ = nullptr;
+  std::map<std::string, int> pending_per_lane_;  // deferred events en route
   // (event time, sequence) orders deliveries deterministically.
   std::map<std::pair<Duration, uint64_t>, DeferredEvent> events_;
   uint64_t next_event_seq_ = 1;

@@ -1,0 +1,35 @@
+// The per-World observability bundle: one TraceRecorder + one
+// MetricsRegistry, reached from any layer through
+// sgx::PlatformIface::observability() (machines forward to their World's
+// instance) or net::Network::set_observability.
+//
+// Disabled by default.  Instrumentation sites guard with
+// `obs != nullptr && obs->enabled()`; neither component charges virtual
+// time or draws randomness, so a traced run of a given seed produces
+// EXACTLY the virtual timings of the untraced run — the property
+// bench_fleet_drain's tracing_overhead gate enforces.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sgxmig::obs {
+
+struct Observability {
+  explicit Observability(const VirtualClock& clock) : trace(clock) {}
+
+  void set_enabled(bool on) {
+    enabled_ = on;
+    trace.set_enabled(on);
+    metrics.set_enabled(on);
+  }
+  bool enabled() const { return enabled_; }
+
+  TraceRecorder trace;
+  MetricsRegistry metrics;
+
+ private:
+  bool enabled_ = false;
+};
+
+}  // namespace sgxmig::obs

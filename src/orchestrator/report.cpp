@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "support/json.h"
+#include "support/stats.h"
 
 namespace sgxmig::orchestrator {
 
@@ -86,27 +87,12 @@ double OrchestratorReport::max_freeze_window_seconds() const {
   return max;
 }
 
-namespace {
-
-/// Nearest-rank percentile over a sample set (p clamped to [0, 100]);
-/// 0 on an empty sample.
-double percentile(std::vector<double> samples, double p) {
-  if (samples.empty()) return 0.0;
-  std::sort(samples.begin(), samples.end());
-  const double clamped = std::min(100.0, std::max(0.0, p));
-  const size_t rank = static_cast<size_t>(
-      (clamped / 100.0) * static_cast<double>(samples.size() - 1) + 0.5);
-  return samples[std::min(rank, samples.size() - 1)];
-}
-
-}  // namespace
-
 double OrchestratorReport::freeze_window_percentile_seconds(double p) const {
   std::vector<double> samples;
   for (const auto& m : migrations) {
     if (m.success) samples.push_back(to_seconds(m.freeze_window));
   }
-  return percentile(std::move(samples), p);
+  return percentile_nearest_rank(std::move(samples), p);
 }
 
 double OrchestratorReport::enqueue_wait_percentile_seconds(double p) const {
@@ -114,7 +100,7 @@ double OrchestratorReport::enqueue_wait_percentile_seconds(double p) const {
   for (const auto& m : migrations) {
     if (m.success) samples.push_back(to_seconds(m.enqueue_wait));
   }
-  return percentile(std::move(samples), p);
+  return percentile_nearest_rank(std::move(samples), p);
 }
 
 size_t OrchestratorReport::freeze_budget_violations() const {
@@ -245,6 +231,11 @@ std::string OrchestratorReport::to_json(bool include_events) const {
       out += "}";
     }
     out += "]";
+  }
+
+  if (!metrics_json.empty()) {
+    out += ", \"metrics\": ";
+    out += metrics_json;
   }
   out += "}";
   return out;

@@ -82,6 +82,10 @@ struct OrchestratorReport {
   /// Per-enclave freeze budget copied from the options (zero =
   /// unenforced); freeze_budget_violations() counts against it.
   Duration freeze_budget{};
+  /// Pre-rendered JSON object from obs::MetricsRegistry::to_json(); when
+  /// non-empty, to_json() merges it under the "metrics" key so BENCH_*
+  /// files carry the run's counters/gauges/histograms.
+  std::string metrics_json;
 
   Duration wall() const { return finished_at - started_at; }
   size_t succeeded() const;

@@ -1,9 +1,25 @@
 #include "platform/machine.h"
 
+#include "obs/observability.h"
 #include "platform/world.h"
 #include "sgx/pse_wire.h"
 
 namespace sgxmig::platform {
+
+namespace {
+
+const char* pse_op_name(sgx::PseOp op) {
+  switch (op) {
+    case sgx::PseOp::kCreate: return "create";
+    case sgx::PseOp::kRead: return "read";
+    case sgx::PseOp::kIncrement: return "increment";
+    case sgx::PseOp::kDestroy: return "destroy";
+    case sgx::PseOp::kRetireAll: return "retire";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 Machine::Machine(World& world, std::string address, std::string region,
                  uint32_t cpu_cores, uint64_t seed)
@@ -42,6 +58,8 @@ Bytes Machine::draw_entropy(size_t len) { return rng_.bytes(len); }
 
 net::Network* Machine::network() { return &world_.network(); }
 
+obs::Observability* Machine::observability() { return &world_.observability(); }
+
 sgx::IntelAttestationService& Machine::attestation_service() {
   return world_.ias();
 }
@@ -77,6 +95,11 @@ Result<Bytes> Machine::pse_service_handler(ByteView request) {
                                  req.session_token.size()))) {
     resp.status = Status::kCounterNotOwned;
     return resp.serialize();
+  }
+
+  obs::Observability& obs = world_.observability();
+  if (obs.enabled()) {
+    obs.metrics.add(std::string("pse.") + pse_op_name(req.op));
   }
 
   const CostModel& cm = world_.costs();
@@ -126,10 +149,20 @@ Result<Bytes> Machine::pse_service_handler(ByteView request) {
 }
 
 size_t Machine::reclaim_retired_counters() {
+  obs::Observability& obs = world_.observability();
+  const uint64_t sweep =
+      obs.enabled() ? obs.trace.begin_span("pse.reclaim", address_) : 0;
   const size_t n = counters_.reclaim_retired();
   // The firmware sweep pays the same flash cost per slot a foreground
   // destroy would — it just never contends with an enclave's ecall path.
   for (size_t i = 0; i < n; ++i) charge(world_.costs().counter_destroy);
+  if (sweep != 0) {
+    obs.trace.span_arg(sweep, "slots", static_cast<uint64_t>(n));
+    obs.trace.end_span(sweep);
+  }
+  if (obs.enabled()) {
+    obs.metrics.add("pse.reclaimed", static_cast<uint64_t>(n));
+  }
   return n;
 }
 

@@ -44,6 +44,7 @@ class Machine final : public sgx::PlatformIface {
   const std::string& region() const override { return region_; }
   uint32_t cpu_cores() const override { return cpu_cores_; }
   net::Network* network() override;
+  obs::Observability* observability() override;
   sgx::QuotingEnclave& quoting_enclave() override { return *quoting_enclave_; }
   sgx::IntelAttestationService& attestation_service() override;
 

@@ -7,6 +7,7 @@ namespace sgxmig::platform {
 World::World(uint64_t seed, const CostModel& costs)
     : rng_(seed), costs_(costs) {
   network_ = std::make_unique<net::Network>(clock_, rng_, costs_);
+  network_->set_observability(&observability_);
   epid_ = std::make_unique<sgx::EpidAuthority>(seed ^ 0xe91d);
   ias_ = std::make_unique<sgx::IntelAttestationService>(*epid_, clock_, costs_,
                                                         seed ^ 0x1a5);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "obs/observability.h"
 #include "platform/machine.h"
 #include "platform/provider.h"
 #include "sgx/epid.h"
@@ -50,6 +51,7 @@ class World {
   const CostModel& costs() const { return costs_; }
   CostModel& mutable_costs() { return costs_; }
   net::Network& network() { return *network_; }
+  obs::Observability& observability() { return observability_; }
   sgx::EpidAuthority& epid_authority() { return *epid_; }
   sgx::IntelAttestationService& ias() { return *ias_; }
   ProviderCa& provider() { return *provider_; }
@@ -60,6 +62,7 @@ class World {
   VirtualClock clock_;
   Rng rng_;
   CostModel costs_;
+  obs::Observability observability_{clock_};
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<sgx::EpidAuthority> epid_;
   std::unique_ptr<sgx::IntelAttestationService> ias_;

@@ -18,6 +18,10 @@ namespace sgxmig::net {
 class Network;
 }  // namespace sgxmig::net
 
+namespace sgxmig::obs {
+struct Observability;
+}  // namespace sgxmig::obs
+
 namespace sgxmig::sgx {
 
 class QuotingEnclave;
@@ -55,6 +59,11 @@ class PlatformIface {
 
   /// The simulated data-center network; null in minimal unit-test fakes.
   virtual net::Network* network() = 0;
+
+  /// The world's trace/metrics bundle; null in unit-test fakes and when
+  /// the platform has no observability wired (instrumentation sites must
+  /// tolerate nullptr).
+  virtual obs::Observability* observability() { return nullptr; }
 
   /// This machine's Quoting Enclave (for remote attestation).
   virtual QuotingEnclave& quoting_enclave() = 0;

@@ -1,0 +1,282 @@
+#include "support/json_parse.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace sgxmig {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+JsonValue JsonValue::make_bool(bool v) {
+  JsonValue out(Kind::kBool);
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_number(double v) {
+  JsonValue out(Kind::kNumber);
+  out.number_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_string(std::string v) {
+  JsonValue out(Kind::kString);
+  out.string_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue out(Kind::kArray);
+  out.items_ = std::move(items);
+  return out;
+}
+
+JsonValue JsonValue::make_object(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue out(Kind::kObject);
+  out.members_ = std::move(members);
+  return out;
+}
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> parse() {
+    skip_ws();
+    Result<JsonValue> value = parse_value(0);
+    if (!value.ok()) return value;
+    skip_ws();
+    if (pos_ != text_.size()) return Status::kInvalidParameter;
+    return value;
+  }
+
+ private:
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (eof() || peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Result<JsonValue> parse_value(int depth) {
+    if (depth > kMaxDepth || eof()) return Status::kInvalidParameter;
+    switch (peek()) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return Status::kInvalidParameter;
+        return JsonValue::make_string(std::move(s));
+      }
+      case 't':
+        if (!consume_literal("true")) return Status::kInvalidParameter;
+        return JsonValue::make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) return Status::kInvalidParameter;
+        return JsonValue::make_bool(false);
+      case 'n':
+        if (!consume_literal("null")) return Status::kInvalidParameter;
+        return JsonValue::make_null();
+      default:
+        return parse_number();
+    }
+  }
+
+  Result<JsonValue> parse_object(int depth) {
+    ++pos_;  // '{'
+    std::vector<std::pair<std::string, JsonValue>> members;
+    skip_ws();
+    if (consume('}')) return JsonValue::make_object(std::move(members));
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (eof() || peek() != '"' || !parse_string(key)) {
+        return Status::kInvalidParameter;
+      }
+      skip_ws();
+      if (!consume(':')) return Status::kInvalidParameter;
+      skip_ws();
+      Result<JsonValue> value = parse_value(depth + 1);
+      if (!value.ok()) return value.status();
+      members.emplace_back(std::move(key), std::move(value).value());
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return JsonValue::make_object(std::move(members));
+      return Status::kInvalidParameter;
+    }
+  }
+
+  Result<JsonValue> parse_array(int depth) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (consume(']')) return JsonValue::make_array(std::move(items));
+    while (true) {
+      skip_ws();
+      Result<JsonValue> value = parse_value(depth + 1);
+      if (!value.ok()) return value.status();
+      items.push_back(std::move(value).value());
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return JsonValue::make_array(std::move(items));
+      return Status::kInvalidParameter;
+    }
+  }
+
+  bool parse_hex4(uint32_t& out) {
+    if (pos_ + 4 > text_.size()) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<size_t>(i)];
+      uint32_t digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<uint32_t>(c - 'a') + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<uint32_t>(c - 'A') + 10;
+      } else {
+        return false;
+      }
+      out = out * 16 + digit;
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  void append_utf8(std::string& out, uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // '"'
+    while (true) {
+      if (eof()) return false;
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // '\'
+      if (eof()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          uint32_t cp;
+          if (!parse_hex4(cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate: need a pair
+            if (!consume('\\') || !consume('u')) return false;
+            uint32_t low;
+            if (!parse_hex4(low) || low < 0xDC00 || low > 0xDFFF) return false;
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return false;  // lone low surrogate
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+  }
+
+  Result<JsonValue> parse_number() {
+    const size_t start = pos_;
+    consume('-');
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      return Status::kInvalidParameter;
+    }
+    if (peek() == '0') {
+      ++pos_;
+      if (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        return Status::kInvalidParameter;  // leading zero
+      }
+    } else {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return Status::kInvalidParameter;
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return Status::kInvalidParameter;
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    return JsonValue::make_number(std::strtod(token.c_str(), nullptr));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> parse_json(std::string_view text) {
+  return Parser(text).parse();
+}
+
+}  // namespace sgxmig

@@ -1,0 +1,74 @@
+// Strict recursive-descent JSON parser for test oracles and report
+// round-trips.  The repo WRITES JSON by string concatenation (json.h,
+// OrchestratorReport::to_json, TraceRecorder::to_chrome_json); this is
+// the reader that proves those emitters produce well-formed documents —
+// a malformed escape in an event detail string fails here, not in a
+// downstream viewer.
+//
+// Strictness: the whole input must parse as exactly one value (trailing
+// garbage is an error), strings accept only the escapes RFC 8259 allows
+// (including \uXXXX), numbers follow the RFC grammar, and nesting depth
+// is bounded.  Errors come back as Status::kInvalidParameter.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/status.h"
+
+namespace sgxmig {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  /// Object members in document order (duplicate keys preserved).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  bool has(std::string_view key) const { return find(key) != nullptr; }
+  /// First member with this key, or nullptr.
+  const JsonValue* find(std::string_view key) const;
+
+  static JsonValue make_null() { return JsonValue(Kind::kNull); }
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  explicit JsonValue(Kind kind) : kind_(kind) {}
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses `text` as exactly one JSON document (leading/trailing
+/// whitespace allowed, anything else after the value is an error).
+/// Returns kInvalidParameter on any syntax violation.
+Result<JsonValue> parse_json(std::string_view text);
+
+}  // namespace sgxmig

@@ -1,5 +1,6 @@
 #include "support/stats.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -83,6 +84,18 @@ double student_t_quantile(double p, double df) {
     }
   }
   return 0.5 * (lo + hi);
+}
+
+double percentile_nearest_rank(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  p = std::min(100.0, std::max(0.0, p));
+  const size_t n = samples.size();
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  return samples[rank - 1];
 }
 
 Summary summarize(const std::vector<double>& samples) {

@@ -20,6 +20,13 @@ struct Summary {
 /// the Student t quantile for n-1 degrees of freedom.
 Summary summarize(const std::vector<double>& samples);
 
+/// Nearest-rank percentile: the smallest sample v such that at least
+/// p% of the samples are <= v, i.e. sorted[ceil(p/100 * n) - 1].
+/// `p` is clamped to [0, 100]; p = 0 returns the minimum.  Returns 0.0
+/// for an empty sample set.  Note the p50 of {a, b} is the LOWER value:
+/// nearest-rank never interpolates, it always returns an actual sample.
+double percentile_nearest_rank(std::vector<double> samples, double p);
+
 /// One-tailed Welch t-test for H1: mean(a) > mean(b).
 /// Returns the p-value (probability of observing the data under H0).
 double welch_one_tailed_p(const std::vector<double>& a,

@@ -268,5 +268,41 @@ TEST(Stats, WelchNoDifference) {
   EXPECT_LT(p, 0.99);
 }
 
+TEST(Stats, NearestRankPercentileSmallSamples) {
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank({}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank({7.0}, 50.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank({7.0}, 100.0), 7.0);
+  // Nearest rank never interpolates: the p50 of two samples is the LOWER
+  // one (rank ceil(0.5 * 2) = 1), and any p > 50 selects the upper.
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank({3.0, 9.0}, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank({9.0, 3.0}, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank({3.0, 9.0}, 50.1), 9.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank({3.0, 9.0}, 99.0), 9.0);
+  // p clamps to [0, 100]; p = 0 is the minimum, p = 100 the maximum.
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank({5.0, 1.0, 3.0}, -10.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank({5.0, 1.0, 3.0}, 400.0), 5.0);
+}
+
+TEST(Stats, NearestRankPercentileRanks) {
+  const std::vector<double> samples = {10.0, 20.0, 30.0, 40.0, 50.0,
+                                       60.0, 70.0, 80.0, 90.0, 100.0};
+  // rank = ceil(p/100 * 10): exact decile boundaries land on the sample
+  // covering at least p% of the set, one past the boundary steps up.
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(samples, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(samples, 10.5), 20.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(samples, 50.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(samples, 90.0), 90.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(samples, 91.0), 100.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(samples, 99.0), 100.0);
+  // Monotone in p.
+  double prev = 0.0;
+  for (double p = 0.0; p <= 100.0; p += 0.5) {
+    const double v = percentile_nearest_rank(samples, p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
 }  // namespace
 }  // namespace sgxmig
