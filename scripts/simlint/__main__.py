@@ -1,0 +1,11 @@
+"""Entry point: `python3 scripts/simlint <command>` from the repo root."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from cli import main  # noqa: E402  (path bootstrap must run first)
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""Determinism lint: the simulator must be a pure function of its seeds.
+
+Everything under src/ and bench/ runs on the virtual clock and the
+project Rng; wall-clock reads, ambient randomness, and
+iteration-order-dependent containers are how nondeterminism sneaks in
+and silently breaks the bit-identical-trace CI oracles.  Rules:
+
+  wall-clock          std::chrono::{system,steady,high_resolution}_clock,
+                      time(), gettimeofday(), clock_gettime(),
+                      localtime()/gmtime()
+  ambient-randomness  std::random_device, rand()/srand(), unseeded
+                      std::mt19937 / default_random_engine
+  unordered-container std::unordered_{map,set,multimap,multiset}
+                      (hash-order iteration differs across libstdc++
+                      versions and seeds emission order hazards)
+  pointer-keyed-ordered  std::map/std::set keyed on a raw pointer
+                      (ASLR makes the iteration order differ per run)
+
+Suppress a deliberate use with `// simlint: allow(<rule>)` on the same
+line.  support/sim_clock.h (the virtual clock itself) is whitelisted.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+from util import Finding, SourceFile, cxx_files_under, load_compile_commands
+
+# Files that legitimately own the time/randomness boundary.
+WHITELIST = {
+    "src/support/sim_clock.h",
+    "src/support/sim_clock.cpp",
+}
+
+# (rule id, compiled pattern, message) — matched against comment- and
+# string-stripped code, line by line.
+RULES: list[tuple[str, re.Pattern[str], str]] = [
+    ("wall-clock",
+     re.compile(r"(?<![\w:])(?:std::)?chrono::"
+                r"(system_clock|steady_clock|high_resolution_clock)"),
+     "wall-clock read (use the VirtualClock / lane schedule instead)"),
+    ("wall-clock",
+     re.compile(r"(?<![\w.:>])(time|gettimeofday|clock_gettime|localtime"
+                r"|gmtime|mktime)\s*\("),
+     "wall-clock call (use the VirtualClock / lane schedule instead)"),
+    ("ambient-randomness",
+     re.compile(r"(?<![\w:])(?:std::)?random_device\b"),
+     "ambient randomness (seed a support::Rng explicitly instead)"),
+    ("ambient-randomness",
+     re.compile(r"(?<![\w.:>])s?rand\s*\("),
+     "ambient randomness (seed a support::Rng explicitly instead)"),
+    ("ambient-randomness",
+     re.compile(r"(?<![\w:])(?:std::)?"
+                r"(mt19937(?:_64)?|default_random_engine|minstd_rand0?)"
+                r"\s+\w+\s*(;|=\s*\{\s*\}|\{\s*\})"),
+     "unseeded random engine (pass an explicit seed, or use support::Rng)"),
+    ("unordered-container",
+     re.compile(r"(?<![\w:])(?:std::)?"
+                r"unordered_(map|set|multimap|multiset)\s*<"),
+     "hash-ordered container (iteration order is a nondeterminism hazard; "
+     "use std::map/std::set or a vector)"),
+    ("pointer-keyed-ordered",
+     re.compile(r"(?<![\w:])(?:std::)?(map|set|multimap|multiset)"
+                r"\s*<\s*(?:const\s+)?[\w:]+\s*\*"),
+     "pointer-keyed ordered container (ASLR-dependent iteration order; "
+     "key on a stable id instead)"),
+]
+
+
+def file_list(root: pathlib.Path,
+              compile_commands: pathlib.Path | None) -> list[pathlib.Path]:
+    """Translation units from compile_commands filtered to src/ and
+    bench/, plus every header under those trees (headers never appear in
+    a compile database)."""
+    scopes = [root / "src", root / "bench"]
+    files: set[pathlib.Path] = set()
+    if compile_commands is not None and compile_commands.is_file():
+        for f in load_compile_commands(compile_commands):
+            if any(f.is_relative_to(scope) for scope in scopes if
+                   scope.is_dir()):
+                files.add(f)
+        for d in scopes:
+            if d.is_dir():
+                files.update(d.rglob("*.h"))
+                files.update(d.rglob("*.hpp"))
+    else:
+        files.update(cxx_files_under(*scopes))
+    return sorted(files)
+
+
+def check(root: pathlib.Path,
+          compile_commands: pathlib.Path | None = None) -> list[Finding]:
+    findings: list[Finding] = []
+    for path in file_list(root, compile_commands):
+        src = SourceFile(path, root)
+        if src.rel in WHITELIST:
+            continue
+        for line_no, code in enumerate(src.code_lines, start=1):
+            for rule, pattern, message in RULES:
+                m = pattern.search(code)
+                if m is None:
+                    continue
+                if src.allowed(line_no, rule):
+                    continue
+                findings.append(Finding(src.rel, line_no, rule,
+                                        f"{message}: `{m.group(0).strip()}`"))
+    return findings

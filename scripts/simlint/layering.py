@@ -1,0 +1,136 @@
+"""Layering v2: the include graph is DERIVED from CMakeLists.txt.
+
+The old scripts/check_layering.sh carried a hand-maintained copy of the
+allowed-include map, which drifted the moment obs/ landed.  This
+checker parses the `sgxmig_layer(<name> SOURCES ... DEPS sgxmig::x)`
+calls instead: a layer may include itself plus the transitive closure
+of its declared link dependencies — if the build would not link it, the
+code must not include it.  tests/, bench/, and examples/ link
+${SGXMIG_ALL_LIBS}, so they may include any layer named there (and
+their own local headers); anything else is a violation.
+
+The failure-output format is kept byte-compatible with the old script
+("LAYERING VIOLATION: ..." / "check_layering: FAILED|OK") so CI logs
+stay greppable across the transition.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+from util import Finding
+
+LAYER_CALL_RE = re.compile(r"sgxmig_layer\(\s*(\w+)(.*?)\)", re.DOTALL)
+DEP_RE = re.compile(r"sgxmig::(\w+)")
+ALL_LIBS_RE = re.compile(r"set\(\s*SGXMIG_ALL_LIBS(.*?)\)", re.DOTALL)
+INCLUDE_RE = re.compile(r"^\s*#\s*include\s+\"(\w+)/", re.MULTILINE)
+
+HARNESS_DIRS = ("tests", "bench", "examples")
+
+
+def parse_layers(cmake_text: str) -> dict[str, set[str]]:
+    """layer -> direct link dependencies, from sgxmig_layer() calls."""
+    deps: dict[str, set[str]] = {}
+    for match in LAYER_CALL_RE.finditer(cmake_text):
+        name, body = match.group(1), match.group(2)
+        direct: set[str] = set()
+        dep_clause = body.split("DEPS", 1)
+        if len(dep_clause) == 2:
+            direct = {m.group(1) for m in DEP_RE.finditer(dep_clause[1])}
+        deps[name] = direct
+    return deps
+
+
+def transitive_closure(deps: dict[str, set[str]]) -> dict[str, set[str]]:
+    closure: dict[str, set[str]] = {}
+
+    def visit(layer: str, stack: tuple[str, ...]) -> set[str]:
+        if layer in closure:
+            return closure[layer]
+        if layer in stack:  # dependency cycle; report nothing extra here
+            return set()
+        reach: set[str] = set()
+        for dep in deps.get(layer, set()):
+            reach.add(dep)
+            reach |= visit(dep, stack + (layer,))
+        closure[layer] = reach
+        return reach
+
+    for layer in deps:
+        visit(layer, ())
+    return closure
+
+
+def parse_all_libs(cmake_text: str) -> set[str]:
+    match = ALL_LIBS_RE.search(cmake_text)
+    if not match:
+        return set()
+    return {m.group(1) for m in DEP_RE.finditer(match.group(1))}
+
+
+def _includes(path: pathlib.Path) -> list[tuple[int, str]]:
+    text = path.read_text(encoding="utf-8", errors="replace")
+    out: list[tuple[int, str]] = []
+    for match in INCLUDE_RE.finditer(text):
+        out.append((text.count("\n", 0, match.start()) + 1, match.group(1)))
+    return out
+
+
+def check(root: pathlib.Path) -> list[Finding]:
+    cmake = root / "CMakeLists.txt"
+    if not cmake.is_file():
+        return [Finding(str(cmake), 0, "layering-config",
+                        "CMakeLists.txt not found")]
+    cmake_text = cmake.read_text(encoding="utf-8", errors="replace")
+    deps = parse_layers(cmake_text)
+    if not deps:
+        return [Finding(str(cmake), 0, "layering-config",
+                        "no sgxmig_layer() calls found in CMakeLists.txt")]
+    closure = transitive_closure(deps)
+    layers = set(deps)
+    all_libs = parse_all_libs(cmake_text) or layers
+
+    findings: list[Finding] = []
+
+    def scan(directory: pathlib.Path, owner: str, allowed: set[str]) -> None:
+        for pattern in ("*.cpp", "*.cc", "*.h", "*.hpp"):
+            for path in sorted(directory.rglob(pattern)):
+                rel = path.relative_to(root).as_posix()
+                for line, prefix in _includes(path):
+                    if prefix in layers and prefix not in allowed:
+                        findings.append(Finding(
+                            rel, line, "layering",
+                            f"{owner} must not include {prefix}/ (not a "
+                            f"link dependency in CMakeLists.txt)"))
+
+    for layer in sorted(layers):
+        layer_dir = root / "src" / layer
+        if layer_dir.is_dir():
+            scan(layer_dir, f"src/{layer}", {layer} | closure[layer])
+    for harness in HARNESS_DIRS:
+        harness_dir = root / harness
+        if harness_dir.is_dir():
+            scan(harness_dir, harness, set(all_libs))
+    return findings
+
+
+def render_legacy(findings: list[Finding], layer_count: int) -> str:
+    """The old check_layering.sh output, preserved for greppable CI logs."""
+    lines: list[str] = []
+    by_owner: dict[str, list[Finding]] = {}
+    for f in findings:
+        owner = f.message.split(" must not include ", 1)[0]
+        target = f.message.split(" must not include ", 1)[1].split("/", 1)[0]
+        by_owner.setdefault(f"{owner}|{target}", []).append(f)
+    for key in sorted(by_owner):
+        owner, target = key.split("|", 1)
+        lines.append(f"LAYERING VIOLATION: {owner} must not include "
+                     f"{target}/:")
+        for f in by_owner[key]:
+            lines.append(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+    if findings:
+        lines.append("check_layering: FAILED")
+    else:
+        lines.append(f"check_layering: OK ({layer_count} layers clean)")
+    return "\n".join(lines)

@@ -1,0 +1,195 @@
+"""Shared infrastructure for the simlint checkers.
+
+Everything here is stdlib-only.  The central abstraction is SourceFile:
+a C++ (or CMake/Python) file loaded with its comments and string
+literals stripped OUT of the matchable text but with the line structure
+preserved, plus the per-line `// simlint: allow(<rule>[, <rule>...])`
+suppressions extracted from the comments before they were stripped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import re
+
+ALLOW_RE = re.compile(r"simlint:\s*allow\(\s*([-\w\s,]+?)\s*\)")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One diagnostic: file, 1-based line, rule id, human message."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def parse_allows(comment_text: str) -> set[str]:
+    """Rule ids suppressed by a comment ('all' suppresses every rule)."""
+    allows: set[str] = set()
+    for match in ALLOW_RE.finditer(comment_text):
+        for rule in match.group(1).split(","):
+            rule = rule.strip()
+            if rule:
+                allows.add(rule)
+    return allows
+
+
+def strip_cpp(text: str) -> tuple[list[str], dict[int, set[str]]]:
+    """Remove comments and string/char literals from C++ source.
+
+    Returns (code_lines, allows) where code_lines[i] is line i+1 with
+    comment/literal bytes replaced by spaces (so columns keep meaning)
+    and allows maps a 1-based line number to the rule ids a
+    `simlint: allow(...)` comment on that line suppresses.
+    """
+    out: list[str] = []
+    allows: dict[int, set[str]] = {}
+    line_comments: dict[int, list[str]] = {}
+
+    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR = range(5)
+    state = NORMAL
+    comment_buf: list[str] = []
+    comment_start_line = 0
+    line_no = 1
+    cur: list[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "\n":
+            if state == LINE_COMMENT:
+                line_comments.setdefault(comment_start_line, []).append(
+                    "".join(comment_buf))
+                comment_buf = []
+                state = NORMAL
+            elif state == BLOCK_COMMENT:
+                line_comments.setdefault(line_no, []).append(
+                    "".join(comment_buf))
+                comment_buf = []
+            out.append("".join(cur))
+            cur = []
+            line_no += 1
+            i += 1
+            continue
+        if state == NORMAL:
+            if ch == "/" and nxt == "/":
+                state = LINE_COMMENT
+                comment_start_line = line_no
+                comment_buf = []
+                cur.append("  ")
+                i += 2
+                continue
+            if ch == "/" and nxt == "*":
+                state = BLOCK_COMMENT
+                comment_start_line = line_no
+                comment_buf = []
+                cur.append("  ")
+                i += 2
+                continue
+            if ch == '"':
+                state = STRING
+                cur.append(" ")
+                i += 1
+                continue
+            if ch == "'":
+                state = CHAR
+                cur.append(" ")
+                i += 1
+                continue
+            cur.append(ch)
+            i += 1
+            continue
+        if state == LINE_COMMENT:
+            comment_buf.append(ch)
+            cur.append(" ")
+            i += 1
+            continue
+        if state == BLOCK_COMMENT:
+            if ch == "*" and nxt == "/":
+                line_comments.setdefault(line_no, []).append(
+                    "".join(comment_buf))
+                comment_buf = []
+                state = NORMAL
+                cur.append("  ")
+                i += 2
+                continue
+            comment_buf.append(ch)
+            cur.append(" ")
+            i += 1
+            continue
+        if state in (STRING, CHAR):
+            quote = '"' if state == STRING else "'"
+            if ch == "\\":
+                cur.append("  ")
+                i += 2
+                continue
+            if ch == quote:
+                state = NORMAL
+            cur.append(" ")
+            i += 1
+            continue
+    if cur or not out:
+        out.append("".join(cur))
+    if state == LINE_COMMENT and comment_buf:
+        line_comments.setdefault(comment_start_line, []).append(
+            "".join(comment_buf))
+    for ln, comments in line_comments.items():
+        rules = parse_allows(" ".join(comments))
+        if rules:
+            allows.setdefault(ln, set()).update(rules)
+    return out, allows
+
+
+class SourceFile:
+    """A source file with code text, raw text, and allow() suppressions."""
+
+    def __init__(self, path: pathlib.Path, root: pathlib.Path):
+        self.path = path
+        self.rel = path.relative_to(root).as_posix() if path.is_relative_to(
+            root) else path.as_posix()
+        self.raw = path.read_text(encoding="utf-8", errors="replace")
+        self.raw_lines = self.raw.splitlines()
+        self.code_lines, self.allows = strip_cpp(self.raw)
+
+    def allowed(self, line: int, rule: str) -> bool:
+        rules = self.allows.get(line, set())
+        return rule in rules or "all" in rules
+
+    @property
+    def code(self) -> str:
+        return "\n".join(self.code_lines)
+
+
+def load_compile_commands(path: pathlib.Path) -> list[pathlib.Path]:
+    """File list from a compile_commands.json (absolute, deduplicated)."""
+    entries = json.loads(path.read_text(encoding="utf-8"))
+    files: list[pathlib.Path] = []
+    seen: set[str] = set()
+    for entry in entries:
+        f = pathlib.Path(entry["directory"], entry["file"]).resolve() \
+            if not pathlib.Path(entry["file"]).is_absolute() \
+            else pathlib.Path(entry["file"]).resolve()
+        key = f.as_posix()
+        if key not in seen:
+            seen.add(key)
+            files.append(f)
+    return files
+
+
+def cxx_files_under(*dirs: pathlib.Path) -> list[pathlib.Path]:
+    """All C++ translation units and headers under the given directories."""
+    files: list[pathlib.Path] = []
+    for d in dirs:
+        if not d.is_dir():
+            continue
+        for pattern in ("*.cpp", "*.cc", "*.h", "*.hpp"):
+            files.extend(d.rglob(pattern))
+    return sorted(set(files))

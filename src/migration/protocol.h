@@ -98,7 +98,10 @@ enum class LibMsgType : uint8_t {
   kFinalizeAccepted = 16,
   kMigrateQueued = 17,      // TransferTask accepted into the pipeline
   kTransferProgress = 18,   // TransferProgressPayload
-  kAbortAck = 19,
+  // The abort path is best-effort fire-and-forget: a failed or ignored
+  // abort just leaves the orphan for the pull-based reconcile sweep, so
+  // the library deliberately never inspects this reply.
+  kAbortAck = 19,  // simlint: allow(protocol-consume)
   // Freeze-aware (enqueue-without-freeze) pipeline: the library reserves
   // a transfer slot WITHOUT freezing (kMigrateReserve carries no data);
   // the ME runs the attestation pipeline and parks the task slot-live;

@@ -89,6 +89,7 @@ class FleetRegistry {
   std::vector<uint64_t> ids_in_region(const std::string& region) const;
 
   size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
   size_t count_on(const std::string& machine_address) const;
   /// True when the machine hosts a registered enclave with this
   /// MRENCLAVE (anti-affinity placement query).

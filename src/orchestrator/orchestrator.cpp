@@ -70,7 +70,7 @@ std::vector<Orchestrator::Task> Orchestrator::build_tasks(const Plan& plan) {
     }
     case PlanKind::kRebalance: {
       const auto machines = fleet_.world().machines();
-      if (machines.empty() || fleet_.size() == 0) break;
+      if (machines.empty() || fleet_.empty()) break;
       const uint32_t target = static_cast<uint32_t>(
           (fleet_.size() + machines.size() - 1) / machines.size());
       for (platform::Machine* m : machines) {

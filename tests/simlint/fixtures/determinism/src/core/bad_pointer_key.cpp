@@ -1,0 +1,17 @@
+// Seeded violation: pointer-keyed ordered container (ASLR-dependent
+// iteration order).
+#include <map>
+#include <set>
+
+struct Session {};
+
+int fixture_pointer_keys(Session* a, Session* b) {
+  std::map<Session*, int> by_session;
+  by_session[a] = 1;
+  by_session[b] = 2;
+  std::set<const Session*> seen;
+  seen.insert(a);
+  int total = 0;
+  for (const auto& entry : by_session) total += entry.second;
+  return total + static_cast<int>(seen.size());
+}

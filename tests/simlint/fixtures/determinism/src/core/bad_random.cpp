@@ -1,0 +1,9 @@
+// Seeded violation: ambient randomness (non-reproducible runs).
+#include <cstdlib>
+#include <random>
+
+unsigned fixture_ambient_random() {
+  std::random_device device;
+  std::mt19937 unseeded;
+  return device() + unseeded() + static_cast<unsigned>(rand());
+}

@@ -1,0 +1,11 @@
+// Seeded violation: hash-ordered container (iteration-order hazard).
+#include <string>
+#include <unordered_map>
+
+int fixture_count(const std::string& key) {
+  std::unordered_map<std::string, int> counts;
+  counts[key] = 1;
+  int total = 0;
+  for (const auto& entry : counts) total += entry.second;
+  return total;
+}

@@ -1,0 +1,15 @@
+// Seeded violation: wall-clock read in simulator code.
+#include <chrono>
+
+long long fixture_wall_clock_nanos() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long long fixture_system_clock_nanos() {
+  auto now = std::chrono::system_clock::now();
+  return now.time_since_epoch().count();
+}
+
+long long fixture_libc_time() {
+  return static_cast<long long>(time(nullptr));
+}

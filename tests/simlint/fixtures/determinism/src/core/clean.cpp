@@ -1,0 +1,30 @@
+// Deterministic code: ordered containers keyed on stable ids, time from
+// an injected clock, randomness from an explicitly seeded engine.  Also
+// exercises the false-positive surface: "time(" inside comments and
+// strings, identifiers ending in the forbidden stems (wall_time,
+// retry_time), member access spelled .time(), and a seeded mt19937
+// must all pass.
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+
+struct Clock {
+  std::uint64_t now_ns = 0;
+  std::uint64_t now() const { return now_ns; }
+};
+
+struct Timings {
+  std::uint64_t time_value = 0;
+  std::uint64_t time() const;  // simlint: allow(wall-clock) member, not ::time
+};
+
+// Comment mentioning time() and rand() and system_clock must not trip.
+std::uint64_t fixture_clean(const Clock& clock) {
+  std::mt19937 seeded(12345);  // explicit seed: reproducible
+  std::map<std::string, std::uint64_t> wall_time_by_lane;
+  Timings timings;
+  wall_time_by_lane["lane-0"] = clock.now() + seeded() + timings.time();
+  const std::string label = "time(now) rand() steady_clock";  // literal
+  return wall_time_by_lane["lane-0"] + label.size();
+}

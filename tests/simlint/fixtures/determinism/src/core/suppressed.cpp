@@ -1,0 +1,19 @@
+// Every rule violated once, every violation suppressed with the
+// per-line escape hatch: this file must produce ZERO findings.
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <unordered_map>
+
+struct Widget {};
+
+long long fixture_suppressed() {
+  auto t = std::chrono::steady_clock::now();  // simlint: allow(wall-clock)
+  std::random_device dev;  // simlint: allow(ambient-randomness)
+  std::unordered_map<int, int> m;  // simlint: allow(unordered-container)
+  std::map<Widget*, int> p;  // simlint: allow(pointer-keyed-ordered)
+  m[1] = static_cast<int>(dev());
+  p[nullptr] = 2;
+  return t.time_since_epoch().count() + m[1] + p[nullptr];
+}

@@ -1,0 +1,8 @@
+// Whitelisted file: the virtual clock itself may name wall-clock types
+// (this fixture mirrors src/support/sim_clock.h's privileged position).
+#pragma once
+#include <chrono>
+
+inline long long fixture_whitelisted_clock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

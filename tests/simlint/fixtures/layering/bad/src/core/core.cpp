@@ -1,0 +1,3 @@
+#include "core/core.h"
+
+int core_value() { return 1; }

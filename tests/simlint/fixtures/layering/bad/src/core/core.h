@@ -1,0 +1,6 @@
+#pragma once
+// Seeded violation: the lower layer reaches UP into engine/ even though
+// sgxmig_core does not link sgxmig_engine.
+#include "engine/engine.h"
+
+int core_value();

@@ -1,0 +1,5 @@
+// Legal downward include: engine declares DEPS sgxmig::core.
+#include "core/core.h"
+#include "engine/engine.h"
+
+int engine_value() { return core_value() + 1; }

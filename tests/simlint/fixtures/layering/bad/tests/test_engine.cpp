@@ -1,0 +1,5 @@
+// Harness code may include any layer in SGXMIG_ALL_LIBS.
+#include "core/core.h"
+#include "engine/engine.h"
+
+int main() { return engine_value() == core_value() + 1 ? 0 : 1; }

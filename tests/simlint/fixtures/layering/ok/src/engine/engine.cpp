@@ -1,0 +1,3 @@
+#include "core/core.h"
+
+int engine_value() { return core_value() + 1; }

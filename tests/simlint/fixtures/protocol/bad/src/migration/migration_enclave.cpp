@@ -1,0 +1,27 @@
+// Mini dispatcher with seeded duplicate and stale cases.
+#include "protocol.h"
+
+int dispatch_outer(MeMsgType type) {
+  switch (type) {
+    case MeMsgType::kPing:
+      return 1;
+    case MeMsgType::kTransfer:
+      return 2;
+    case MeMsgType::kTransfer:  // seeded: protocol-duplicate-case (dead)
+      return 3;
+    case MeMsgType::kGone:  // seeded: protocol-stale-case (not in enum)
+      return 4;
+  }
+  return 0;
+}
+
+int dispatch_lib(LibMsgType type) {
+  switch (type) {
+    case LibMsgType::kMigrate:
+      return 1;
+    case LibMsgType::kQuery:
+      return 2;
+    default:
+      return 0;
+  }
+}

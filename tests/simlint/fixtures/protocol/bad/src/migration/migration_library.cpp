@@ -1,0 +1,6 @@
+// Mini consumer: checks kAck and kSecret replies, never kIgnored.
+#include "protocol.h"
+
+bool reply_ok(LibMsgType type) {
+  return type == LibMsgType::kAck || type == LibMsgType::kSecret;
+}

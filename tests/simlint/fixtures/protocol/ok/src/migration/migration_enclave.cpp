@@ -1,0 +1,19 @@
+#include "protocol.h"
+
+int dispatch_outer(MeMsgType type) {
+  switch (type) {
+    case MeMsgType::kPing:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+int dispatch_lib(LibMsgType type) {
+  switch (type) {
+    case LibMsgType::kMigrate:
+      return 1;
+    default:
+      return 0;
+  }
+}

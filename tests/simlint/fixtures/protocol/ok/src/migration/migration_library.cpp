@@ -1,0 +1,3 @@
+#include "protocol.h"
+
+bool reply_ok(LibMsgType type) { return type == LibMsgType::kAck; }

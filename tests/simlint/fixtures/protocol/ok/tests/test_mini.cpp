@@ -1,0 +1,7 @@
+#include "../src/migration/protocol.h"
+
+int coverage() {
+  return static_cast<int>(MeMsgType::kPing) +
+         static_cast<int>(LibMsgType::kMigrate) +
+         static_cast<int>(LibMsgType::kAck);
+}

@@ -1,0 +1,13 @@
+"""Seeded Python violations: unused import, duplicate def, assert-tuple."""
+
+import json
+import os  # seeded: py-unused-import
+
+
+def report():  # seeded: py-duplicate-def shadows this one below
+    return json.dumps({})
+
+
+def report():
+    assert ("always", "true")  # seeded: py-assert-tuple
+    return "{}"

@@ -1,0 +1,13 @@
+"""Same violations as bad_script.py, each suppressed: zero findings."""
+
+import json
+import os  # simlint: allow(py-unused-import)
+
+
+def report():  # simlint: allow(py-duplicate-def) — overridden on purpose
+    return json.dumps({})
+
+
+def report():  # simlint: allow(py-duplicate-def)
+    assert ("fine", "suppressed")  # simlint: allow(py-assert-tuple)
+    return "{}"

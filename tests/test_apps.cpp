@@ -48,8 +48,8 @@ class AppsTest : public ::testing::Test {
   }
 
   template <typename E>
-  std::unique_ptr<E> migrate_app(std::unique_ptr<E> enclave, Machine& src,
-                                 Machine& dst,
+  std::unique_ptr<E> migrate_app(std::unique_ptr<E> enclave,
+                                 Machine& /*src*/, Machine& dst,
                                  std::shared_ptr<const EnclaveImage> image,
                                  const std::string& blob_name) {
     EXPECT_EQ(enclave->ecall_migration_start(dst.address()), Status::kOk);

@@ -66,8 +66,9 @@ class AttestCacheTest : public ::testing::Test {
   }
   /// Full migration src -> dst (source object destroyed, destination
   /// inits as kMigrate and pulls the pending data from its ME).
-  Status migrate(std::unique_ptr<MigratableEnclave>& enclave, Machine& src,
-                 Machine& dst, std::shared_ptr<const EnclaveImage> image) {
+  Status migrate(std::unique_ptr<MigratableEnclave>& enclave,
+                 Machine& /*src*/, Machine& dst,
+                 std::shared_ptr<const EnclaveImage> image) {
     const Status start = enclave->ecall_migration_start(dst.address());
     if (start != Status::kOk) return start;
     enclave.reset();

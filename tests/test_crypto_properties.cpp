@@ -127,7 +127,9 @@ TEST_P(CryptoProperty, GcmRandomRoundTrips) {
   EXPECT_EQ(back.value(), plaintext);
 
   // Ciphertext differs from plaintext (for non-empty inputs).
-  if (!plaintext.empty()) EXPECT_NE(ct.ciphertext, plaintext);
+  if (!plaintext.empty()) {
+    EXPECT_NE(ct.ciphertext, plaintext);
+  }
 
   // Tag flip rejected.
   auto bad_tag = ct.tag;

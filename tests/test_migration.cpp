@@ -51,8 +51,8 @@ class MigrationTest : public ::testing::Test {
   }
 
   /// Full migration: start on src, stop, start as migrated on dst.
-  Status migrate(std::unique_ptr<MigratableEnclave>& enclave, Machine& src,
-                 Machine& dst) {
+  Status migrate(std::unique_ptr<MigratableEnclave>& enclave,
+                 Machine& /*src*/, Machine& dst) {
     const Status start = enclave->ecall_migration_start(dst.address());
     if (start != Status::kOk) return start;
     enclave.reset();  // enclave (and its memory) destroyed on the source
