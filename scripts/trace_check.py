@@ -20,7 +20,24 @@ orchestrator report serialized next to it.  Invariants:
      with every span of that trace closed (no orphans).
 
 Usage: trace_check.py TRACE.json TRACE_REPORT.json
+       trace_check.py --chaos TRACE.json TRACE_REPORT.json
 Prints each violation and exits non-zero if any invariant failed.
+
+--chaos mode verifies a chaos-storm trace (bench_chaos_storm artifacts)
+instead.  Storms retry migrations through injected faults, and retried
+attempts reuse cached pre-copy sessions across migration traces, so the
+strict parent-trace and complete-tree invariants do not apply; what must
+hold is:
+
+  6. recovery — every chaos.fault instant is followed by recovery
+     evidence (a later net.deliver / net.reply / chaos.heal instant, or
+     a later span start): injected faults heal, they never silently
+     stall the drain.
+  7. accounting — the trace's chaos.fault count equals the report's
+     chaos["injected.total"], and chaos["forks"] is zero.
+
+Chaos-mode failures print the storm seed from the report so the run
+replays exactly (bench_chaos_storm <seed>).
 """
 import json
 import sys
@@ -67,7 +84,7 @@ def load_spans(events, errors):
     return spans
 
 
-def check_structure(spans, errors):
+def check_structure(spans, errors, check_parents=True):
     for sid, s in sorted(spans.items()):
         label = f"span {sid} ({s['name']}, lane {s['lane'] or 'control'})"
         if s["end"] is None:
@@ -78,7 +95,7 @@ def check_structure(spans, errors):
         if s["end"] < s["start"] - TS_EPS:
             errors.append(f"{label}: ends before it starts")
         parent = s["parent"]
-        if parent == 0:
+        if parent == 0 or not check_parents:
             continue
         p = spans.get(parent)
         if p is None:
@@ -198,29 +215,88 @@ def check_span_trees(spans, events, report, errors):
                 f"{sorted(missing)} spans")
 
 
+def check_chaos(spans, events, report, errors):
+    """Chaos-storm invariants 6 and 7 (mirrors chaos::check_fault_recovery)."""
+    chaos = report.get("chaos")
+    if not isinstance(chaos, dict):
+        errors.append("report has no chaos block (not a chaos-storm report?)")
+        return
+    faults = [e for e in events
+              if e.get("ph") == "i" and e["name"] == "chaos.fault"]
+    injected = int(chaos.get("injected.total", -1))
+    if len(faults) != injected:
+        errors.append(
+            f"trace carries {len(faults)} chaos.fault instants but the "
+            f"report counted injected.total={injected}")
+    forks = int(chaos.get("forks", -1))
+    if forks != 0:
+        errors.append(f"report counted {forks} forked enclaves (want 0)")
+    # Recovery evidence horizons: the last traffic/heal instant and the
+    # last span start.  A fault with neither after it is a silent stall.
+    recovery = [float(e["ts"]) for e in events
+                if e.get("ph") == "i"
+                and e["name"] in ("net.deliver", "net.reply", "chaos.heal")]
+    last_instant = max(recovery) if recovery else None
+    starts = [s["start"] for s in spans.values()]
+    last_span_start = max(starts) if starts else None
+    for fault in faults:
+        ts = float(fault["ts"])
+        if last_instant is not None and last_instant > ts + TS_EPS:
+            continue
+        if last_span_start is not None and last_span_start > ts + TS_EPS:
+            continue
+        args = fault.get("args", {})
+        errors.append(
+            f"silent stall: no traced activity after "
+            f"{args.get('kind', '?')} fault ({args.get('detail', '?')}) "
+            f"at ts={ts:.3f}")
+
+
 def main(argv):
-    if len(argv) != 3:
+    args = list(argv[1:])
+    chaos_mode = bool(args) and args[0] == "--chaos"
+    if chaos_mode:
+        args = args[1:]
+    if len(args) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    with open(argv[1]) as f:
+    with open(args[0]) as f:
         trace = json.load(f)
-    with open(argv[2]) as f:
+    with open(args[1]) as f:
         report = json.load(f)
     events = trace.get("traceEvents", [])
     errors = []
     spans = load_spans(events, errors)
-    check_structure(spans, errors)
+    # Chaos storms retry through faults and reuse cached pre-copy sessions
+    # across migration traces, so parent-trace containment and complete
+    # per-migration trees are not invariants there; pairing, one-freeze,
+    # and delivery still are.
+    check_structure(spans, errors, check_parents=not chaos_mode)
     by_enclave = freezes_by_enclave(spans)
     check_one_live_freeze(by_enclave, errors)
-    check_freeze_windows(by_enclave, report, errors)
     check_delivery(events, errors)
-    check_span_trees(spans, events, report, errors)
+    if chaos_mode:
+        check_chaos(spans, events, report, errors)
+    else:
+        check_freeze_windows(by_enclave, report, errors)
+        check_span_trees(spans, events, report, errors)
     if errors:
         for err in errors:
             print(f"trace_check: VIOLATION: {err}")
+        if chaos_mode:
+            seed = report.get("chaos", {}).get("seed", "?")
+            print(f"trace_check: replay with: bench_chaos_storm {seed}")
         print(f"trace_check: FAILED ({len(errors)} violations, "
               f"{len(spans)} spans)")
         return 1
+    if chaos_mode:
+        chaos = report.get("chaos", {})
+        faults = sum(1 for e in events
+                     if e.get("ph") == "i" and e["name"] == "chaos.fault")
+        print(f"trace_check: OK (chaos: {faults} injected faults all "
+              f"recovered, forks=0, seed {chaos.get('seed', '?')}, "
+              f"{len(spans)} spans)")
+        return 0
     migrations = sum(1 for m in report.get("migrations", [])
                      if m.get("success"))
     print(f"trace_check: OK ({len(spans)} spans, "

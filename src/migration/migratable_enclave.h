@@ -198,6 +198,8 @@ class MigratableEnclave : public sgx::Enclave {
   const PersistenceEngine& persistence_engine() const {
     return library_.persistence();
   }
+  /// Chaos drill only: see MigrationLibrary::chaos_disable_epoch_guard.
+  void chaos_disable_epoch_guard() { library_.chaos_disable_epoch_guard(); }
 
  protected:
   /// Subclasses (application enclaves) use the library from inside their

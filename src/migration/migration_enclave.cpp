@@ -2713,6 +2713,64 @@ Status MigrationEnclave::reconcile_pending(const sgx::Measurement& mr) {
   return persist_queue();
 }
 
+size_t MigrationEnclave::reconcile_all_pending() {
+  std::vector<sgx::Measurement> mrs;
+  mrs.reserve(pending_.size());
+  for (const auto& [mr, entry] : pending_) mrs.push_back(mr);
+  for (const sgx::Measurement& mr : mrs) reconcile_pending(mr);
+  return pending_.size();
+}
+
+size_t MigrationEnclave::sweep_superseded_outgoing() {
+  // Same supersede criterion as on_reconcile's verdict, applied to this
+  // ME's OWN source-side queues: positive evidence the identity moved on
+  // (a completion record under another nonce), none that this attempt
+  // won.  A restarted ME re-ships retained entries, so leaving a
+  // superseded one behind would re-create the orphan at its destination.
+  const auto superseded = [this](const sgx::Measurement& mr, uint64_t nonce) {
+    bool newer_completed = false;
+    for (const auto& [id, record] : completed_outgoing_) {
+      if (!(record.source_mr == mr)) continue;
+      if (record.request_nonce == nonce) return false;  // this attempt won
+      newer_completed = true;
+    }
+    return newer_completed;
+  };
+  size_t expired = 0;
+  for (auto it = outgoing_.begin(); it != outgoing_.end();) {
+    if (superseded(it->second.source_mr, it->second.request_nonce)) {
+      secure_wipe(it->second.retained_data);
+      const auto latest = latest_outgoing_.find(it->second.source_mr);
+      if (latest != latest_outgoing_.end() &&
+          latest->second.first == it->second.sequence) {
+        latest_outgoing_.erase(latest);
+      }
+      it = outgoing_.erase(it);
+      ++expired;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = transfer_tasks_.begin(); it != transfer_tasks_.end();) {
+    if (superseded(it->second.source_mr, it->first)) {
+      it = transfer_tasks_.erase(it);
+      ++expired;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = precopy_outgoing_.begin(); it != precopy_outgoing_.end();) {
+    if (superseded(it->second.source_mr, it->first)) {
+      it = precopy_outgoing_.erase(it);
+      ++expired;
+    } else {
+      ++it;
+    }
+  }
+  if (expired != 0) persist_queue();
+  return expired;
+}
+
 MeResponse MigrationEnclave::on_reconcile(const MeRequest& req) {
   const auto it = inbound_.find(req.id);
   if (it == inbound_.end() || !it->second.authenticated) {

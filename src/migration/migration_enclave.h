@@ -170,6 +170,24 @@ class MigrationEnclave : public sgx::Enclave, private PersistSink {
   /// new transfer is blocked by an undelivered pending entry.
   Status reconcile_pending(const sgx::Measurement& mr);
 
+  /// Post-storm queue janitors (chaos harness + recovery drills).  A
+  /// fault storm can strand queue entries whose normal cleanup message
+  /// was itself lost: re-routed attempts whose abort never reached this
+  /// ME, and pending entries whose lost-ACCEPTED orphan reconcile only
+  /// runs when a NEW transfer collides with them.  Both sweeps act only
+  /// on POSITIVE evidence and leave anything ambiguous retained (§V-D).
+  ///
+  /// reconcile_all_pending: one reconcile_pending sweep (same rate
+  /// limit) over every undelivered pending entry; returns how many
+  /// pending entries remain afterwards.
+  size_t reconcile_all_pending();
+  /// sweep_superseded_outgoing: expires retained outgoing transfers,
+  /// pipelined transfer tasks, and source-side pre-copy attempts whose
+  /// enclave identity verifiably completed a NEWER migration from this
+  /// ME (a completion record under a different nonce, none under the
+  /// entry's own).  Returns how many entries were expired.
+  size_t sweep_superseded_outgoing();
+
   /// How long a delivery pin on pending incoming data survives without
   /// the pinned LA session showing activity.  After the timeout a NEW
   /// attested session of the same MRENCLAVE may re-arm the delivery (the

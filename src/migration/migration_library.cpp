@@ -1371,7 +1371,7 @@ MigrationStartResult MigrationLibrary::migration_finalize_detailed(
     rec->assign_trace(freeze_span_, precopy_nonce_);
   }
 
-  if (!epoch_invalidated_) {
+  if (!epoch_invalidated_ && !chaos_epoch_guard_disabled_) {
     // Constant-time invalidation of the sealed-buffer lineage: ONE epoch
     // increment plays the role the per-counter destroys play in the
     // full-snapshot path (§VI-B), so the actual destroys can wait until
@@ -1489,7 +1489,7 @@ MigrationStartResult MigrationLibrary::migration_finalize_detailed(
   // are unreachable garbage — retire them all in one logical op (a
   // failure leaks quota on a machine this enclave just left, never
   // state).  Physical slot reclaim is the platform's background sweep.
-  if (!counters_destroyed_) {
+  if (!counters_destroyed_ && !chaos_epoch_guard_disabled_) {
     (void)host_.counter_retire_all();
     counters_destroyed_ = true;
   }

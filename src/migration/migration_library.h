@@ -278,6 +278,15 @@ class MigrationLibrary : private PersistSink {
   /// events and before destroying a hardware counter.
   Status persist_flush();
 
+  // ----- chaos drill plumbing (oracle self-tests only) -----
+  /// FAULT-INJECTION DRILL: disables the anti-fork machinery of the
+  /// pre-copy finalize path — the epoch is NOT invalidated and the
+  /// hardware counters are NOT retired, so a stale pre-freeze sealed
+  /// buffer restores into a usable second live instance (a fork).  Exists
+  /// so the chaos fork oracle can be proven to catch the violation it
+  /// guards against; never call outside such a drill.
+  void chaos_disable_epoch_guard() { chaos_epoch_guard_disabled_ = true; }
+
   // ----- state inspection -----
   bool initialized() const { return initialized_; }
   bool frozen() const { return runtime_frozen_; }
@@ -465,6 +474,10 @@ class MigrationLibrary : private PersistSink {
   // One epoch increment per outgoing pre-copy migration: like the counter
   // destroys of the full-snapshot path, it must never run twice.
   bool epoch_invalidated_ = false;
+  // chaos_disable_epoch_guard() drill: skip the epoch invalidation AND
+  // the deferred counter retire so the fork oracle has a real fork to
+  // catch.
+  bool chaos_epoch_guard_disabled_ = false;
 
   // ----- per-migration metrics (freeze-window accounting) -----
   Duration freeze_started_{};

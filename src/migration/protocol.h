@@ -10,6 +10,7 @@
 //      - TransferPayload / DONE between source and destination MEs.
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,22 @@ enum class MeMsgType : uint8_t {
   // and both sides derive a fresh channel key from fresh nonces.  Any
   // verification failure falls back to the full handshake.
   kSessionResume = 12,  // ME_src -> ME_dst: SessionResumeRequest (plaintext)
+};
+
+/// Stable wire-facing name of an outer envelope type ("la-record",
+/// "transfer", ...) for fault-site enumeration, chaos coverage accounting,
+/// and trace/report labels.  Unknown values map to "unknown".
+const char* me_msg_type_name(MeMsgType type);
+
+/// Every outer envelope type, in wire order — the fault-site enumeration
+/// chaos profiles draw from when building per-message-type rules.
+inline constexpr std::array<MeMsgType, 12> kAllMeMsgTypes = {
+    MeMsgType::kLaStart,        MeMsgType::kLaMsg2,
+    MeMsgType::kLaRecord,       MeMsgType::kRaMsg1,
+    MeMsgType::kRaMsg3,         MeMsgType::kTransfer,
+    MeMsgType::kDone,           MeMsgType::kPrecopyChunk,
+    MeMsgType::kPrecopyFinalize, MeMsgType::kReconcile,
+    MeMsgType::kAbort,          MeMsgType::kSessionResume,
 };
 
 struct MeRequest {

@@ -15,6 +15,7 @@ void Network::register_endpoint(const std::string& address,
 void Network::unregister_endpoint(const std::string& address) {
   endpoints_.erase(address);
   down_.erase(address);
+  flaps_.erase(address);
 }
 
 bool Network::has_endpoint(const std::string& address) const {
@@ -48,10 +49,7 @@ Result<Bytes> Network::rpc(const std::string& to, ByteView request) {
   if (obs::MetricsRegistry* m = metrics()) m->add("net.rpcs");
   const auto it = endpoints_.find(to);
   if (it == endpoints_.end()) return Status::kNetworkUnreachable;
-  const auto down_it = down_.find(to);
-  if (down_it != down_.end() && down_it->second) {
-    return Status::kNetworkUnreachable;
-  }
+  if (endpoint_down_at(to, clock_.now())) return Status::kNetworkUnreachable;
 
   Bytes in_flight = to_bytes(request);
   if (tamper_ != nullptr && !tamper_(to, in_flight)) {
@@ -92,6 +90,27 @@ Result<Bytes> Network::rpc(const std::string& to, ByteView request) {
 
 void Network::set_endpoint_down(const std::string& address, bool down) {
   down_[address] = down;
+}
+
+void Network::schedule_endpoint_flap(const std::string& address,
+                                     Duration down_at, Duration down_for) {
+  if (down_for <= Duration::zero()) return;
+  flaps_[address].emplace_back(down_at, down_at + down_for);
+}
+
+void Network::clear_endpoint_flaps(const std::string& address) {
+  flaps_.erase(address);
+}
+
+bool Network::endpoint_down_at(const std::string& address, Duration at) const {
+  const auto down_it = down_.find(address);
+  if (down_it != down_.end() && down_it->second) return true;
+  const auto flap_it = flaps_.find(address);
+  if (flap_it == flaps_.end()) return false;
+  for (const auto& [from, until] : flap_it->second) {
+    if (at >= from && at < until) return true;
+  }
+  return false;
 }
 
 // ----- deferred delivery -----
@@ -140,9 +159,8 @@ void Network::deliver_request(Duration at, DeferredEvent event) {
   track_pending(at, lane_of(event.to), -1);
   Bytes in_flight = std::move(event.payload);
   const auto it = endpoints_.find(event.to);
-  const auto down_it = down_.find(event.to);
-  const bool reachable = it != endpoints_.end() &&
-                         (down_it == down_.end() || !down_it->second);
+  const bool reachable =
+      it != endpoints_.end() && !endpoint_down_at(event.to, at);
   const bool tamper_dropped =
       reachable && tamper_ != nullptr && !tamper_(event.to, in_flight);
   if (obs::TraceRecorder* rec = recorder()) {

@@ -12,6 +12,7 @@
 #include <map>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "support/bytes.h"
 #include "support/cost_model.h"
@@ -116,6 +117,20 @@ class Network {
 
   // ----- fault & adversary injection -----
   void set_endpoint_down(const std::string& address, bool down);
+  /// Schedules a down-up flap: the endpoint is unreachable during
+  /// [down_at, down_at + down_for).  Reachability is evaluated at the
+  /// QUERY instant — rpc() uses the current clock, a deferred post() uses
+  /// its scheduled delivery instant — so a message already on the wire
+  /// when the flap begins is lost exactly when its delivery lands inside
+  /// the window.  Flaps compose with set_endpoint_down and with the
+  /// tamper hooks (a flapped-away message never reaches the hooks, like
+  /// any other unreachable destination).  Windows may overlap.
+  void schedule_endpoint_flap(const std::string& address, Duration down_at,
+                              Duration down_for);
+  void clear_endpoint_flaps(const std::string& address);
+  /// True when `address` is administratively down (set_endpoint_down) or
+  /// inside a scheduled flap window at instant `at`.
+  bool endpoint_down_at(const std::string& address, Duration at) const;
   void set_tamper_hook(TamperHook hook) { tamper_ = std::move(hook); }
   void clear_tamper_hook() { tamper_ = nullptr; }
   void set_response_tamper_hook(ResponseTamperHook hook) {
@@ -157,6 +172,8 @@ class Network {
   const CostModel& costs_;
   std::map<std::string, RpcHandler> endpoints_;
   std::map<std::string, bool> down_;
+  // Scheduled flap windows per endpoint: [down_at, down_at + down_for).
+  std::map<std::string, std::vector<std::pair<Duration, Duration>>> flaps_;
   TamperHook tamper_;
   ResponseTamperHook response_tamper_;
   LaneSchedule* lanes_ = nullptr;

@@ -73,7 +73,33 @@ Status FleetRegistry::complete_move(uint64_t id,
   install_persist_callback(*next, *destination, storage_key(record.name));
   const Status init = next->ecall_migration_init(
       ByteView(), migration::InitState::kMigrate, destination_address);
-  if (init != Status::kOk) return init;
+  bool salvaged = false;
+  if (init == Status::kNoPendingMigration) {
+    // Confirm-ack loss salvage (§V-D): a previous destination instance
+    // may have fetched, applied (apply_incoming force-persists the
+    // restored state into this machine's storage), and CONFIRMED — which
+    // erased the ME's pending entry — and then been discarded because
+    // every ConfirmAck reply was lost.  If that durable blob exists,
+    // restore from it instead of failing the migration.  Safe against
+    // stale blobs from an EARLIER visit to this machine: migrating away
+    // set their freeze flag / bumped the epoch guard, so kRestore refuses
+    // them and the original error stands.
+    auto persisted = destination->storage().get(storage_key(record.name));
+    if (persisted.ok()) {
+      auto salvage = std::make_unique<migration::MigratableEnclave>(
+          *destination, record.image, record.options.persistence,
+          record.options.group_commit, record.options.live_transfer);
+      install_persist_callback(*salvage, *destination,
+                               storage_key(record.name));
+      if (salvage->ecall_migration_init(persisted.value(),
+                                        migration::InitState::kRestore,
+                                        destination_address) == Status::kOk) {
+        next = std::move(salvage);
+        salvaged = true;
+      }
+    }
+  }
+  if (init != Status::kOk && !salvaged) return init;
   destination->storage().put(storage_key(record.name), next->sealed_state());
 
   if (auto* source = world_.machine(record.machine)) {

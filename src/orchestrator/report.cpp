@@ -233,6 +233,19 @@ std::string OrchestratorReport::to_json(bool include_events) const {
     out += "]";
   }
 
+  if (!chaos_stats.empty()) {
+    out += ", \"chaos\": {";
+    first = true;
+    for (const auto& [key, value] : chaos_stats) {
+      if (!first) out += ", ";
+      first = false;
+      append_json_string(out, key);
+      out += ": ";
+      append_number(out, value);
+    }
+    out += "}";
+  }
+
   if (!metrics_json.empty()) {
     out += ", \"metrics\": ";
     out += metrics_json;

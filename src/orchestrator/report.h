@@ -86,6 +86,13 @@ struct OrchestratorReport {
   /// non-empty, to_json() merges it under the "metrics" key so BENCH_*
   /// files carry the run's counters/gauges/histograms.
   std::string metrics_json;
+  /// Chaos accounting (filled by chaos::ChaosExecutor::report_stats plus
+  /// the harness's oracle verdicts — e.g. "seed", "injected.total",
+  /// per-kind "injected.<kind>" counts, "forks").  Serialized under the
+  /// "chaos" key when non-empty so BENCH_chaos.json rows and the
+  /// trace_check.py --chaos mode can cross-check trace-visible faults
+  /// against what the executor claims to have injected.
+  std::map<std::string, uint64_t> chaos_stats;
 
   Duration wall() const { return finished_at - started_at; }
   size_t succeeded() const;

@@ -3,6 +3,9 @@
 // protocol stack, and concurrent fleet drains sharing one destination ME.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "migration/migratable_enclave.h"
 #include "migration/migration_enclave.h"
 #include "orchestrator/orchestrator.h"
@@ -10,6 +13,14 @@
 
 namespace sgxmig {
 namespace {
+
+// SGXMIG_SEED reseeds the randomized stress worlds so a failing run can
+// be replayed exactly (tests/ are exempt from the determinism lint; the
+// fallback keeps CI deterministic).
+uint64_t seed_from_env(uint64_t fallback) {
+  const char* text = std::getenv("SGXMIG_SEED");
+  return text != nullptr ? std::strtoull(text, nullptr, 10) : fallback;
+}
 
 using migration::InitState;
 using migration::kMaxCounters;
@@ -37,7 +48,15 @@ class MigrationStressTest : public ::testing::Test {
     return enclave;
   }
 
-  World world_{/*seed=*/4242};
+  void TearDown() override {
+    if (HasFailure()) {
+      std::printf("MigrationStressTest: replay with SGXMIG_SEED=%llu\n",
+                  static_cast<unsigned long long>(seed_));
+    }
+  }
+
+  const uint64_t seed_ = seed_from_env(4242);
+  World world_{seed_};
   platform::Machine& m0_ = world_.add_machine("m0");
   platform::Machine& m1_ = world_.add_machine("m1");
   std::unique_ptr<MigrationEnclave> me0_;

@@ -87,6 +87,81 @@ TEST_F(NetTest, TamperHookCanDropRequests) {
             Status::kNetworkUnreachable);
 }
 
+TEST_F(NetTest, ScheduledFlapWindowBoundsRpc) {
+  network_.register_endpoint("svc", [](ByteView) -> Result<Bytes> {
+    return Bytes{1};
+  });
+  network_.schedule_endpoint_flap("svc", seconds(1.0), seconds(1.0));
+  EXPECT_TRUE(network_.rpc("svc", ByteView()).ok());  // before the window
+  clock_.advance(seconds(1.0));                       // inside [1s, 2s)
+  EXPECT_EQ(network_.rpc("svc", ByteView()).status(),
+            Status::kNetworkUnreachable);
+  clock_.advance(seconds(1.0));                       // past the window
+  EXPECT_TRUE(network_.rpc("svc", ByteView()).ok());
+}
+
+TEST_F(NetTest, EndpointDownAtComposesFlapsAndAdminDown) {
+  network_.schedule_endpoint_flap("svc", seconds(1.0), seconds(1.0));
+  EXPECT_FALSE(network_.endpoint_down_at("svc", seconds(0.5)));
+  EXPECT_TRUE(network_.endpoint_down_at("svc", seconds(1.0)));  // closed start
+  EXPECT_TRUE(network_.endpoint_down_at("svc", seconds(1.999)));
+  EXPECT_FALSE(network_.endpoint_down_at("svc", seconds(2.0)));  // open end
+  // Administrative down is unconditional, outside any window too.
+  network_.set_endpoint_down("svc", true);
+  EXPECT_TRUE(network_.endpoint_down_at("svc", seconds(5.0)));
+  network_.set_endpoint_down("svc", false);
+  network_.clear_endpoint_flaps("svc");
+  EXPECT_FALSE(network_.endpoint_down_at("svc", seconds(1.5)));
+}
+
+TEST_F(NetTest, DeferredPostEvaluatesFlapAtDeliveryInstant) {
+  int hits = 0;
+  network_.register_endpoint("svc", [&hits](ByteView) -> Result<Bytes> {
+    ++hits;
+    return Bytes{};
+  });
+  // A post now delivers after ~120 us of one-way latency; a window opening
+  // 5 ms out never touches it.
+  network_.schedule_endpoint_flap("svc", milliseconds(5), seconds(1.0));
+  Status before = Status::kInvalidParameter;
+  network_.post("svc", ByteView(), "tester",
+                [&before](Result<Bytes> reply) { before = reply.status(); });
+  network_.pump_all();
+  EXPECT_EQ(before, Status::kOk);
+  EXPECT_EQ(hits, 1);
+  network_.clear_endpoint_flaps("svc");
+
+  // A message already on the wire when the flap begins is lost exactly
+  // when its delivery instant lands inside the window.
+  Status inside = Status::kOk;
+  network_.post("svc", ByteView(), "tester",
+                [&inside](Result<Bytes> reply) { inside = reply.status(); });
+  network_.schedule_endpoint_flap("svc", clock_.now(), seconds(1.0));
+  network_.pump_all();
+  EXPECT_EQ(inside, Status::kNetworkUnreachable);
+  EXPECT_EQ(hits, 1);  // the handler never ran
+  network_.clear_endpoint_flaps("svc");
+}
+
+TEST_F(NetTest, FlappedMessagesNeverReachTamperHooks) {
+  network_.register_endpoint("svc", [](ByteView) -> Result<Bytes> {
+    return Bytes{};
+  });
+  int tampered = 0;
+  network_.set_tamper_hook([&tampered](const std::string&, Bytes&) {
+    ++tampered;
+    return true;
+  });
+  network_.schedule_endpoint_flap("svc", Duration{}, seconds(1.0));
+  EXPECT_EQ(network_.rpc("svc", ByteView()).status(),
+            Status::kNetworkUnreachable);
+  EXPECT_EQ(tampered, 0);  // lost before the adversary sees it
+  network_.clear_endpoint_flaps("svc");
+  EXPECT_TRUE(network_.rpc("svc", ByteView()).ok());
+  EXPECT_EQ(tampered, 1);
+  network_.clear_tamper_hook();
+}
+
 TEST_F(NetTest, ProxyPairForwards) {
   int hits = 0;
   net::MgmtTcpProxy mgmt(network_, "m0/tcp", [&](ByteView req) -> Result<Bytes> {

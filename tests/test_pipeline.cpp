@@ -7,6 +7,8 @@
 // abort + staging age sweep.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,6 +20,14 @@
 
 namespace sgxmig {
 namespace {
+
+// SGXMIG_SEED reseeds the fault-storm worlds so a failing run can be
+// replayed exactly (tests/ are exempt from the determinism lint; the
+// fallback keeps CI deterministic).
+uint64_t seed_from_env(uint64_t fallback) {
+  const char* text = std::getenv("SGXMIG_SEED");
+  return text != nullptr ? std::strtoull(text, nullptr, 10) : fallback;
+}
 
 using migration::InitState;
 using migration::MeMsgType;
@@ -87,7 +97,15 @@ class PipelineTest : public ::testing::Test {
     return stuck;
   }
 
-  World world_{/*seed=*/6060};
+  void TearDown() override {
+    if (HasFailure()) {
+      std::printf("PipelineTest: replay with SGXMIG_SEED=%llu\n",
+                  static_cast<unsigned long long>(seed_));
+    }
+  }
+
+  const uint64_t seed_ = seed_from_env(6060);
+  World world_{seed_};
   platform::Machine& m0_ = world_.add_machine("m0");
   platform::Machine& m1_ = world_.add_machine("m1");
   platform::Machine& m2_ = world_.add_machine("m2");
