@@ -1,0 +1,529 @@
+// Datacenter-scale orchestrator bench (ISSUE 10): drives the event-driven
+// wave driver up a (machines x enclaves) curve to 1000 machines / 10,000
+// enclaves — a 10-region evacuation placed by the hierarchical indexed
+// policy — recording virtual wall time, REAL orchestrator CPU seconds,
+// and deterministic control-plane memory per row.
+//
+// CI gates (exit non-zero, printing the replaying seed):
+//   * near-linear control plane: real CPU and driver task touches may
+//     grow at most 15x over the 10x enclave growth from 1k to 10k;
+//   * flat memory: control-plane bytes per enclave at 10k within 2x of
+//     the 1k row (event-log ring + ME history caps bound the rest);
+//   * driver equivalence: the event-driven driver reproduces the legacy
+//     full-scan driver's OrchestratorReport JSON (events included)
+//     bit-for-bit on the 32-enclave BENCH_fleet_drain configurations
+//     (pipelined full-snapshot, pipelined pre-copy, ME-restart);
+//   * a traced rerun of the 1k row reproduces its untraced wall
+//     bit-exactly and emits TRACE_fleet_scale.json for trace_check.py;
+//   * one mixed-profile chaos storm over a 1000-enclave event-driven
+//     drain converges with zero forks and zero oracle findings.
+//
+// Usage: bench_fleet_scale            (SGXMIG_SEED=<n> overrides the base
+//                                      world seed; gate failures print it)
+// Emits BENCH_fleet_scale.json.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "chaos/chaos_executor.h"
+#include "chaos/chaos_plan.h"
+#include "chaos/oracles.h"
+#include "migration/migration_enclave.h"
+#include "orchestrator/orchestrator.h"
+
+namespace sgxmig {
+namespace {
+
+using orchestrator::DriverStats;
+using orchestrator::FleetRegistry;
+using orchestrator::LaunchOptions;
+using orchestrator::Orchestrator;
+using orchestrator::OrchestratorOptions;
+using orchestrator::OrchestratorReport;
+using orchestrator::Plan;
+using orchestrator::Scheduler;
+using orchestrator::TransferMode;
+
+constexpr int kRegions = 10;
+
+uint64_t base_seed() {
+  if (const char* env = std::getenv("SGXMIG_SEED")) {
+    const uint64_t seed = std::strtoull(env, nullptr, 10);
+    if (seed != 0) return seed;
+  }
+  return 9500;
+}
+
+void fail_gate(const char* what) {
+  std::printf("GATE FAILED: %s — replay with: SGXMIG_SEED=%llu "
+              "bench_fleet_scale\n",
+              what, static_cast<unsigned long long>(base_seed()));
+  std::exit(1);
+}
+
+struct ScaleResult {
+  OrchestratorReport report;
+  Duration wall{};
+  double cpu_seconds = 0.0;
+  /// Deterministic control-plane accounting: orchestrator working state +
+  /// scheduler placement index + registry secondary indexes.
+  uint64_t control_plane_bytes = 0;
+  uint64_t peak_rss_bytes = 0;
+  DriverStats stats;
+  uint64_t events_dropped = 0;
+  uint64_t me_history_retained = 0;
+};
+
+/// One region evacuation at datacenter scale: `machines` hosts spread
+/// over 10 regions (region r<i%10>, alternating 16/32 certified cores),
+/// all `enclaves` resident in r0, hierarchical indexed placement, the
+/// pipelined freeze-aware engine, and the bounded-memory knobs on
+/// (event-log ring + ME history caps).
+ScaleResult evacuate(int machines, int enclaves, bool traced = false,
+                     std::string* trace_json = nullptr) {
+  platform::World world(base_seed() + machines + enclaves);
+  if (traced) world.observability().set_enabled(true);
+  world.install_management_enclaves(
+      migration::durable_me_factory(world.provider()));
+  for (int i = 0; i < machines; ++i) {
+    world.add_machine("m" + std::to_string(i),
+                      "r" + std::to_string(i % kRegions),
+                      /*cpu_cores=*/16u + 16u * (i % 2));
+  }
+  for (platform::Machine* m : world.machines()) {
+    if (auto* me = migration::me_on(*m)) {
+      // Long-drain memory bound: the exactly-once dedup history needs to
+      // absorb duplicate DONEs from a retry window, not the whole drain.
+      me->set_completed_history_limit(256);
+    }
+  }
+
+  FleetRegistry fleet(world);
+  const int source_machines = machines / kRegions;  // the r0 hosts
+  LaunchOptions launch;
+  for (int i = 0; i < enclaves; ++i) {
+    const std::string host =
+        "m" + std::to_string((i % source_machines) * kRegions);
+    const std::string name = "scale-app-" + std::to_string(i);
+    const auto image = sgx::EnclaveImage::create(name, 1, "bench");
+    const uint64_t id = fleet.launch(host, name, image, launch).value();
+    auto* enclave = fleet.enclave(id);
+    const uint32_t counter =
+        enclave->ecall_create_migratable_counter().value().counter_id;
+    enclave->ecall_increment_migratable_counter(counter);
+  }
+
+  Scheduler scheduler(fleet, orchestrator::make_hierarchical_policy());
+  OrchestratorOptions options;
+  options.max_inflight_per_machine = 4;
+  options.max_inflight_total = 4u * static_cast<uint32_t>(source_machines);
+  options.max_inflight_per_destination = 4;
+  options.max_attempts = 6;
+  options.pipelined = true;
+  options.freeze_aware = true;
+  // Event-log ring: one evacuation emits ~5 events per migration; retain
+  // a bounded window and count the rest instead of growing with E.
+  options.event_log_limit = 20000;
+  Orchestrator orch(fleet, scheduler, options);
+
+  ScaleResult result;
+  const Duration t0 = world.clock().now();
+  const double cpu0 = process_cpu_seconds();
+  result.report = orch.execute(Plan::evacuate("r0"));
+  result.cpu_seconds = process_cpu_seconds() - cpu0;
+  result.wall = world.clock().now() - t0;
+  result.control_plane_bytes = orch.control_plane_bytes() +
+                               scheduler.index_bytes() + fleet.index_bytes();
+  result.peak_rss_bytes = process_peak_rss_bytes();
+  result.stats = orch.last_driver_stats();
+  result.events_dropped = result.report.events_dropped;
+  for (platform::Machine* m : world.machines()) {
+    if (auto* me = migration::me_on(*m)) {
+      result.me_history_retained +=
+          me->completed_history_size() + me->confirmed_incoming_size();
+    }
+  }
+  if (traced) {
+    result.report.metrics_json = world.observability().metrics.to_json();
+    if (trace_json != nullptr) {
+      *trace_json = world.observability().trace.to_chrome_json();
+    }
+  }
+  return result;
+}
+
+// ----- driver equivalence on the BENCH_fleet_drain configurations -----
+
+enum class DrainConfig { kPipelined, kPrecopy, kMeRestart };
+
+const char* drain_config_name(DrainConfig config) {
+  switch (config) {
+    case DrainConfig::kPipelined: return "pipelined-full-snapshot";
+    case DrainConfig::kPrecopy: return "pipelined-precopy";
+    case DrainConfig::kMeRestart: return "me-restart";
+  }
+  return "?";
+}
+
+/// Replays one 32-enclave BENCH_fleet_drain configuration — same world
+/// seed formula, same fleet, same options — under the requested driver
+/// and returns the full report JSON (events included) plus the wall.
+std::pair<std::string, Duration> drain_report(DrainConfig config,
+                                              bool legacy_driver,
+                                              DriverStats* stats_out) {
+  const int enclaves = 32;
+  const TransferMode mode = config == DrainConfig::kPrecopy
+                                ? TransferMode::kPrecopy
+                                : TransferMode::kFullSnapshot;
+  const int fault = config == DrainConfig::kMeRestart ? 2 : 0;
+  platform::World world(9100 + enclaves + fault * 7 +
+                        static_cast<int>(mode) * 31 + 101);
+  world.install_management_enclaves(
+      migration::durable_me_factory(world.provider()));
+  for (int i = 0; i < 5; ++i) world.add_machine("m" + std::to_string(i));
+  if (mode == TransferMode::kPrecopy) {
+    for (platform::Machine* m : world.machines()) {
+      if (auto* me = migration::me_on(*m)) me->set_async_precopy(true);
+    }
+  }
+
+  FleetRegistry fleet(world);
+  LaunchOptions launch;
+  launch.live_transfer = mode == TransferMode::kPrecopy;
+  for (int i = 0; i < enclaves; ++i) {
+    const std::string name = "drain-app-" + std::to_string(i);
+    const auto image = sgx::EnclaveImage::create(name, 1, "bench");
+    const uint64_t id = fleet.launch("m0", name, image, launch).value();
+    auto* enclave = fleet.enclave(id);
+    const uint32_t counter =
+        enclave->ecall_create_migratable_counter().value().counter_id;
+    enclave->ecall_increment_migratable_counter(counter);
+  }
+
+  Scheduler scheduler(fleet);  // least-loaded (indexed either way)
+  OrchestratorOptions options;
+  options.max_inflight_per_machine = 4;
+  options.max_inflight_total = 8;
+  options.max_attempts = 6;
+  options.transfer_mode = mode;
+  options.pipelined = true;
+  options.legacy_wave_loop = legacy_driver;
+  Orchestrator orch(fleet, scheduler, options);
+  size_t completions = 0;
+  if (config == DrainConfig::kMeRestart) {
+    fleet.set_completion_callback(
+        [&world, &completions](const orchestrator::EnclaveRecord&) {
+          if (++completions == 2) world.machine("m0")->kill_management_enclave();
+        });
+    orch.set_wave_hook([&world, waves_down = 0u](uint32_t) mutable {
+      if (world.machine("m0")->has_management_enclave()) return;
+      if (++waves_down >= 3) world.machine("m0")->restart_management_enclave();
+    });
+  }
+
+  const Duration t0 = world.clock().now();
+  const OrchestratorReport report = orch.execute(Plan::drain("m0"));
+  const Duration wall = world.clock().now() - t0;
+  if (stats_out != nullptr) *stats_out = orch.last_driver_stats();
+  return {report.to_json(/*include_events=*/true), wall};
+}
+
+// ----- chaos storm over a 1000-enclave event-driven drain -----
+
+struct StormResult {
+  OrchestratorReport report;
+  std::vector<chaos::OracleFinding> findings;
+  uint64_t injected = 0;
+  uint64_t forks = 0;
+  uint64_t refusals = 0;
+};
+
+StormResult storm_1k(uint64_t seed) {
+  constexpr int kEnclaves = 1000;
+  constexpr int kMachines = 20;
+  platform::World world(base_seed() + 400 + seed * 2);
+  world.install_management_enclaves(
+      migration::durable_me_factory(world.provider()));
+  std::vector<std::string> destinations;
+  for (int i = 0; i < kMachines; ++i) {
+    world.add_machine("m" + std::to_string(i));
+    if (i != 0) destinations.push_back("m" + std::to_string(i));
+  }
+  for (platform::Machine* m : world.machines()) {
+    auto* me = migration::me_on(*m);
+    if (me == nullptr) continue;
+    me->set_delivery_takeover_timeout(std::chrono::seconds(2));
+    me->set_completed_history_limit(256);
+  }
+
+  FleetRegistry fleet(world);
+  LaunchOptions launch;
+  for (int i = 0; i < kEnclaves; ++i) {
+    const std::string name = "storm-app-" + std::to_string(i);
+    const auto image = sgx::EnclaveImage::create(name, 1, "bench");
+    const uint64_t id = fleet.launch("m0", name, image, launch).value();
+    auto* enclave = fleet.enclave(id);
+    const uint32_t counter =
+        enclave->ecall_create_migratable_counter().value().counter_id;
+    enclave->ecall_increment_migratable_counter(counter);
+  }
+
+  Scheduler scheduler(fleet);
+  OrchestratorOptions options;
+  options.max_inflight_per_machine = 8;
+  options.max_inflight_total = 16;
+  options.max_attempts = 16;
+  options.pipelined = true;
+  options.event_log_limit = 20000;
+  Orchestrator orch(fleet, scheduler, options);
+
+  const chaos::ChaosPlan plan =
+      chaos::generate_storm(seed, chaos::mixed_profile(), "m0", destinations);
+  chaos::ChaosExecutor executor(world, plan);
+  chaos::ConvergenceOracle oracle(fleet, "m0");
+  oracle.capture();
+  executor.arm(orch);
+  StormResult result;
+  result.report = orch.execute(Plan::drain("m0"));
+  executor.disarm();
+  // Post-drain settle outside the gate (see bench_chaos_storm): give
+  // recoverable queue work its timers, then let the oracles judge.
+  for (int i = 0; i < 8; ++i) {
+    bool quiet = true;
+    for (platform::Machine* m : world.machines()) {
+      auto* me = migration::me_on(*m);
+      if (me == nullptr) continue;
+      if (me->pending_incoming_count() != 0 || me->retry_done_relays() != 0 ||
+          me->outgoing_count() != 0 || me->transfer_task_count() != 0) {
+        quiet = false;
+      }
+    }
+    if (quiet) break;
+    world.clock().advance(std::chrono::seconds(1));
+    for (platform::Machine* m : world.machines()) {
+      auto* me = migration::me_on(*m);
+      if (me == nullptr) continue;
+      me->pump();
+      me->sweep_superseded_outgoing();
+      me->reconcile_all_pending();
+    }
+    world.network().pump_all();
+  }
+  result.findings = oracle.verify(result.report);
+  result.injected = executor.injected_total();
+  result.forks = oracle.forks();
+  result.refusals = oracle.epoch_guard_refusals();
+  return result;
+}
+
+bool write_text_file(const char* path, const std::string& body) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  return std::fclose(f) == 0 && written == body.size();
+}
+
+void run() {
+  std::printf("\n================================================================\n");
+  std::printf("Fleet scale — event-driven orchestrator at datacenter scale\n");
+  std::printf("(10-region evacuation, hierarchical indexed placement, seed "
+              "base %llu)\n",
+              static_cast<unsigned long long>(base_seed()));
+  std::printf("================================================================\n");
+
+  bench::JsonBench json("fleet_scale");
+
+  // --- driver equivalence first: cheap, and everything below trusts it.
+  std::printf("\ndriver equivalence on BENCH_fleet_drain 32-enclave rows:\n");
+  DriverStats legacy_stats, event_stats;
+  for (const DrainConfig config :
+       {DrainConfig::kPipelined, DrainConfig::kPrecopy,
+        DrainConfig::kMeRestart}) {
+    const auto legacy = drain_report(config, /*legacy_driver=*/true,
+                                     &legacy_stats);
+    const auto event = drain_report(config, /*legacy_driver=*/false,
+                                    &event_stats);
+    const bool identical =
+        legacy.first == event.first && legacy.second == event.second;
+    std::printf("  %-24s report %s, wall %.6fs; task touches %llu (legacy) "
+                "-> %llu (event)\n",
+                drain_config_name(config),
+                identical ? "IDENTICAL" : "DIVERGED",
+                to_seconds(event.second),
+                static_cast<unsigned long long>(legacy_stats.task_touches),
+                static_cast<unsigned long long>(event_stats.task_touches));
+    json.begin_row()
+        .field("equivalence", std::string(drain_config_name(config)))
+        .field("identical", static_cast<uint64_t>(identical ? 1 : 0))
+        .field("wall_seconds", to_seconds(event.second))
+        .field("legacy_task_touches", legacy_stats.task_touches)
+        .field("event_task_touches", event_stats.task_touches)
+        .field("legacy_waves", legacy_stats.waves)
+        .field("event_waves", event_stats.waves);
+    if (!identical) {
+      fail_gate("event-driven driver diverged from the legacy wave loop");
+    }
+  }
+
+  // --- the scaling curve.
+  std::printf("\n%9s %9s %10s %10s %14s %12s %10s %12s %11s\n", "machines",
+              "enclaves", "wall [s]", "cpu [s]", "ctl-plane [B]", "B/enclave",
+              "waves", "touches", "evts-drop");
+  struct CurvePoint {
+    int machines;
+    int enclaves;
+    ScaleResult result;
+  };
+  std::vector<CurvePoint> curve;
+  for (const auto& [machines, enclaves] :
+       std::vector<std::pair<int, int>>{{100, 1000}, {320, 3200},
+                                        {1000, 10000}}) {
+    CurvePoint point{machines, enclaves, evacuate(machines, enclaves)};
+    const ScaleResult& r = point.result;
+    std::printf("%9d %9d %10.3f %10.3f %14llu %12.1f %10llu %12llu %11llu\n",
+                machines, enclaves, to_seconds(r.wall), r.cpu_seconds,
+                static_cast<unsigned long long>(r.control_plane_bytes),
+                static_cast<double>(r.control_plane_bytes) / enclaves,
+                static_cast<unsigned long long>(r.stats.waves),
+                static_cast<unsigned long long>(r.stats.task_touches),
+                static_cast<unsigned long long>(r.events_dropped));
+    json.begin_row()
+        .field("machines", machines)
+        .field("enclaves", enclaves)
+        .field("regions", kRegions)
+        .field("wall_seconds", to_seconds(r.wall))
+        .field("cpu_seconds", r.cpu_seconds)
+        .field("control_plane_bytes", r.control_plane_bytes)
+        .field("bytes_per_enclave",
+               static_cast<double>(r.control_plane_bytes) / enclaves)
+        .field("peak_rss_bytes", r.peak_rss_bytes)
+        .field("waves", r.stats.waves)
+        .field("task_touches", r.stats.task_touches)
+        .field("admission_checks", r.stats.admission_checks)
+        .field("pump_kicks", r.stats.pump_kicks)
+        .field("events_dropped", r.events_dropped)
+        .field("me_history_retained", r.me_history_retained)
+        .field("succeeded", static_cast<uint64_t>(r.report.succeeded()))
+        .field("failed", static_cast<uint64_t>(r.report.failed()));
+    if (r.report.failed() != 0) {
+      std::printf("UNEXPECTED: %zu migrations failed at %d machines\n",
+                  r.report.failed(), machines);
+      fail_gate("scale-curve migrations failed");
+    }
+    curve.push_back(std::move(point));
+  }
+
+  // --- scaling-shape gates: 1k -> 10k is 10x the enclaves; a linear
+  // control plane grows CPU and task touches ~10x.  15x budgets constant
+  // factors (deeper retry tails, colder caches) while still failing any
+  // O(n^2) wave loop, which lands at ~100x.
+  const ScaleResult& small = curve.front().result;
+  const ScaleResult& large = curve.back().result;
+  const double cpu_ratio = large.cpu_seconds / std::max(1e-9, small.cpu_seconds);
+  const double touches_ratio =
+      static_cast<double>(large.stats.task_touches) /
+      std::max<double>(1.0, static_cast<double>(small.stats.task_touches));
+  const double bytes_small = static_cast<double>(small.control_plane_bytes) /
+                             curve.front().enclaves;
+  const double bytes_large = static_cast<double>(large.control_plane_bytes) /
+                             curve.back().enclaves;
+  std::printf("\nscaling shape 1k -> 10k enclaves: cpu %.2fx, task touches "
+              "%.2fx, control-plane bytes/enclave %.1f -> %.1f\n",
+              cpu_ratio, touches_ratio, bytes_small, bytes_large);
+  json.begin_row()
+      .field("gate", std::string("scaling_shape"))
+      .field("cpu_ratio_10k_over_1k", cpu_ratio)
+      .field("task_touches_ratio_10k_over_1k", touches_ratio)
+      .field("bytes_per_enclave_1k", bytes_small)
+      .field("bytes_per_enclave_10k", bytes_large);
+  if (cpu_ratio > 15.0) {
+    fail_gate("orchestrator CPU grew super-linearly (cpu(10k) > 15x cpu(1k))");
+  }
+  if (touches_ratio > 15.0) {
+    fail_gate("driver task touches grew super-linearly "
+              "(touches(10k) > 15x touches(1k))");
+  }
+  if (bytes_large > 2.0 * bytes_small) {
+    fail_gate("control-plane bytes per enclave not flat "
+              "(10k row > 2x the 1k row)");
+  }
+
+  // --- traced rerun of the 1k row: same seed, same config, observed.
+  std::string trace_json;
+  const ScaleResult traced = evacuate(100, 1000, /*traced=*/true, &trace_json);
+  std::printf("\ntraced 1k rerun: wall %.6fs vs untraced %.6fs; %zu bytes of "
+              "trace JSON\n",
+              to_seconds(traced.wall), to_seconds(small.wall),
+              trace_json.size());
+  json.begin_row()
+      .field("comparison", std::string("tracing_overhead"))
+      .field("untraced_wall_seconds", to_seconds(small.wall))
+      .field("traced_wall_seconds", to_seconds(traced.wall))
+      .field("trace_json_bytes", static_cast<uint64_t>(trace_json.size()));
+  if (traced.wall != small.wall || traced.report.failed() != 0) {
+    fail_gate("traced 1k evacuation did not reproduce the untraced wall "
+              "bit-exactly");
+  }
+  if (trace_json.empty() ||
+      !write_text_file("TRACE_fleet_scale.json", trace_json) ||
+      !write_text_file("TRACE_REPORT_fleet_scale.json",
+                       traced.report.to_json(/*include_events=*/true))) {
+    std::printf("FAILED to write TRACE_fleet_scale.json artifacts\n");
+    std::exit(1);
+  }
+
+  // --- chaos storm over a 1000-enclave event-driven drain.
+  const uint64_t storm_seed = 404;
+  const StormResult storm = storm_1k(storm_seed);
+  std::printf("\nchaos storm (seed %llu, mixed profile, 1000 enclaves): "
+              "injected %llu, forks %llu, refusals %llu, failed %zu, "
+              "findings %zu\n",
+              static_cast<unsigned long long>(storm_seed),
+              static_cast<unsigned long long>(storm.injected),
+              static_cast<unsigned long long>(storm.forks),
+              static_cast<unsigned long long>(storm.refusals),
+              storm.report.failed(), storm.findings.size());
+  json.begin_row()
+      .field("chaos_seed", storm_seed)
+      .field("profile", std::string("mixed"))
+      .field("enclaves", 1000)
+      .field("injected_total", storm.injected)
+      .field("forks", storm.forks)
+      .field("epoch_guard_refusals", storm.refusals)
+      .field("oracle_findings", static_cast<uint64_t>(storm.findings.size()))
+      .field("succeeded", static_cast<uint64_t>(storm.report.succeeded()))
+      .field("failed", static_cast<uint64_t>(storm.report.failed()));
+  if (storm.report.failed() != 0 || storm.forks != 0 ||
+      !storm.findings.empty()) {
+    for (const chaos::OracleFinding& finding : storm.findings) {
+      std::printf("ORACLE VIOLATION [%s]: %s\n", finding.check.c_str(),
+                  finding.detail.c_str());
+    }
+    fail_gate("chaos storm over the 1k event-driven drain violated an "
+              "oracle");
+  }
+
+  std::printf(
+      "\nexpected shape: wall, CPU and task touches grow ~linearly in the\n"
+      "enclave count (the event-driven driver only touches tasks whose\n"
+      "lane produced an event or whose retry ripened; idle enclaves cost\n"
+      "zero wave work), control-plane bytes per enclave stay flat (the\n"
+      "event-log ring and ME history caps bound retention), and the\n"
+      "equivalence rows prove the driver swap changed WHICH work each\n"
+      "wave visits, never its outcome.\n");
+  if (!json.write_file("BENCH_fleet_scale.json")) {
+    std::printf("FAILED to write BENCH_fleet_scale.json\n");
+    std::exit(1);
+  }
+}
+
+}  // namespace
+}  // namespace sgxmig
+
+int main() {
+  sgxmig::run();
+  return 0;
+}

@@ -177,9 +177,30 @@ void MigrationEnclave::record_completed(uint64_t transfer_id,
   record.sequence = t.sequence;
   completed_outgoing_[transfer_id] = record;
   completed_order_.push_back(transfer_id);
-  while (completed_order_.size() > kCompletedHistoryLimit) {
+  while (completed_order_.size() > history_limit()) {
     completed_outgoing_.erase(completed_order_.front());
     completed_order_.pop_front();
+  }
+}
+
+size_t MigrationEnclave::history_limit() const {
+  return completed_history_limit_ == 0 ? kCompletedHistoryLimit
+                                       : completed_history_limit_;
+}
+
+void MigrationEnclave::set_completed_history_limit(size_t limit) {
+  // The serialization format rejects restored queues claiming more than
+  // kCompletedHistoryLimit entries (tamper check), so the override can
+  // only shrink retention, never grow it past the format ceiling.
+  completed_history_limit_ =
+      (limit == 0 || limit >= kCompletedHistoryLimit) ? 0 : limit;
+  while (completed_order_.size() > history_limit()) {
+    completed_outgoing_.erase(completed_order_.front());
+    completed_order_.pop_front();
+  }
+  while (confirmed_incoming_order_.size() > history_limit()) {
+    confirmed_incoming_.erase(confirmed_incoming_order_.front());
+    confirmed_incoming_order_.pop_front();
   }
 }
 
@@ -502,7 +523,7 @@ LibMsg MigrationEnclave::on_confirm_migration(uint64_t session_id,
     confirmed_incoming_order_.push_back(session.peer.mr_enclave);
   }
   confirmed_incoming_[session.peer.mr_enclave] = transfer_id;
-  while (confirmed_incoming_order_.size() > kCompletedHistoryLimit) {
+  while (confirmed_incoming_order_.size() > history_limit()) {
     confirmed_incoming_.erase(confirmed_incoming_order_.front());
     confirmed_incoming_order_.pop_front();
   }

@@ -217,6 +217,19 @@ class MigrationEnclave : public sgx::Enclave, private PersistSink {
   /// finalized into a pending entry).
   size_t precopy_staging_count() const { return precopy_staging_.size(); }
 
+  /// Caps the FIFO-bounded completed-outgoing and confirmed-incoming
+  /// histories (the exactly-once dedup retention).  0 restores the
+  /// library default; values above the default are clamped to it, so a
+  /// restored durable queue always passes the serialization tamper
+  /// check.  Shrinking trims the oldest entries immediately.
+  void set_completed_history_limit(size_t limit);
+  /// Retained completed-outgoing records (memory-bound observable).
+  size_t completed_history_size() const { return completed_order_.size(); }
+  /// Retained confirmed-incoming records (memory-bound observable).
+  size_t confirmed_incoming_size() const {
+    return confirmed_incoming_order_.size();
+  }
+
  private:
   struct LaSessionState {
     std::unique_ptr<sgx::DhSession> dh;
@@ -519,6 +532,8 @@ class MigrationEnclave : public sgx::Enclave, private PersistSink {
   ProviderAuth make_provider_auth(const std::array<uint8_t, 32>& transcript);
 
   uint64_t fresh_id();
+  /// Effective completed/confirmed history cap (override or default).
+  size_t history_limit() const;
   /// Records a confirmed outgoing transfer in the bounded history.
   void record_completed(uint64_t transfer_id, const OutgoingTransfer& t);
   /// Drops LA sessions whose peer measurement matches `mr` (the instance
@@ -552,6 +567,9 @@ class MigrationEnclave : public sgx::Enclave, private PersistSink {
       latest_outgoing_;
   std::map<uint64_t, CompletedOutgoing> completed_outgoing_;
   std::deque<uint64_t> completed_order_;  // FIFO eviction of the history
+  /// Effective history cap; set once from the library default (or an
+  /// operator override via set_completed_history_limit) in the .cpp.
+  size_t completed_history_limit_ = 0;  // 0 = library default
   // Durable record that an incoming migration for this identity was
   // confirmed (pending_ erased, DONE queued), keyed by identity with the
   // confirming transfer id as value.  Lets a RE-sent confirm — whose

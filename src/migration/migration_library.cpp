@@ -1017,6 +1017,15 @@ MigrationStartResult MigrationLibrary::arm_reserved_slot() {
   if (!staged.ok()) return staged;
   staged_nonce_ = reserved_nonce;
   staged_destination_ = destination;
+  // stage_for_migration re-keyed the trace onto its throwaway nonce;
+  // point the root and the freeze span back at the reserved one every
+  // downstream span (the enqueue wait above, the ME transfer, the
+  // destination's restore) is keyed by, or the tree splits at the root.
+  trace_attempt_root(staged_nonce_);
+  if (obs::TraceRecorder* rec = recorder();
+      rec != nullptr && freeze_span_ != 0) {
+    rec->assign_trace(freeze_span_, staged_nonce_);
+  }
   enqueue_pending_ = true;  // the ME still tracks the reserved task
   MigrateRequestPayload payload;
   payload.destination_address = destination;

@@ -12,6 +12,12 @@ void install_persist_callback(migration::MigratableEnclave& enclave,
   });
 }
 
+/// Changelog entries kept before compaction.  Large enough that a
+/// scheduler syncing once per placement decision never falls behind;
+/// small enough that an idle subscriber cannot make the log grow with
+/// the drain length.
+constexpr size_t kChangelogCompactLimit = 4096;
+
 }  // namespace
 
 FleetRegistry::~FleetRegistry() {
@@ -28,9 +34,7 @@ Result<uint64_t> FleetRegistry::launch(
   if (machine == nullptr || image == nullptr) {
     return Status::kInvalidParameter;
   }
-  for (const auto& [id, record] : records_) {
-    if (record.name == name) return Status::kAlreadyExists;
-  }
+  if (names_.count(name) != 0) return Status::kAlreadyExists;
 
   auto enclave = std::make_unique<migration::MigratableEnclave>(
       *machine, image, options.persistence, options.group_commit,
@@ -50,7 +54,9 @@ Result<uint64_t> FleetRegistry::launch(
   record.enclave = std::move(enclave);
   machine->note_enclave_attached();
   const uint64_t id = record.id;
-  records_.emplace(id, std::move(record));
+  auto [it, inserted] = records_.emplace(id, std::move(record));
+  (void)inserted;
+  index_insert(it->second);
   return id;
 }
 
@@ -106,9 +112,11 @@ Status FleetRegistry::complete_move(uint64_t id,
     source->note_enclave_detached();
   }
   destination->note_enclave_attached();
+  index_erase(record);  // still indexed under the source machine
   record.enclave = std::move(next);  // destroys the frozen source instance
   record.machine = destination_address;
   ++record.completed_migrations;
+  index_insert(record);
   if (completion_callback_) completion_callback_(record);
   return Status::kOk;
 }
@@ -117,6 +125,7 @@ Status FleetRegistry::retire(uint64_t id) {
   auto it = records_.find(id);
   if (it == records_.end()) return Status::kInvalidParameter;
   if (auto* m = world_.machine(it->second.machine)) m->note_enclave_detached();
+  index_erase(it->second);
   records_.erase(it);
   return Status::kOk;
 }
@@ -145,40 +154,105 @@ std::vector<uint64_t> FleetRegistry::all_ids() const {
 
 std::vector<uint64_t> FleetRegistry::ids_on(
     const std::string& machine_address) const {
-  std::vector<uint64_t> out;
-  for (const auto& [id, record] : records_) {
-    if (record.machine == machine_address) out.push_back(id);
-  }
-  return out;
+  auto it = ids_by_machine_.find(machine_address);
+  if (it == ids_by_machine_.end()) return {};
+  return std::vector<uint64_t>(it->second.begin(), it->second.end());
 }
 
 std::vector<uint64_t> FleetRegistry::ids_in_region(
     const std::string& region) const {
-  std::vector<uint64_t> out;
-  for (const auto& [id, record] : records_) {
-    platform::Machine* m = world_.machine(record.machine);
-    if (m != nullptr && m->region() == region) out.push_back(id);
-  }
-  return out;
+  auto it = ids_by_region_.find(region);
+  if (it == ids_by_region_.end()) return {};
+  return std::vector<uint64_t>(it->second.begin(), it->second.end());
 }
 
 size_t FleetRegistry::count_on(const std::string& machine_address) const {
-  size_t n = 0;
-  for (const auto& [id, record] : records_) {
-    if (record.machine == machine_address) ++n;
-  }
-  return n;
+  auto it = ids_by_machine_.find(machine_address);
+  return it == ids_by_machine_.end() ? 0 : it->second.size();
 }
 
 bool FleetRegistry::hosts_image(const std::string& machine_address,
                                 const sgx::Measurement& mr) const {
-  for (const auto& [id, record] : records_) {
-    if (record.machine == machine_address &&
-        record.image->mr_enclave() == mr) {
-      return true;
+  auto it = images_by_machine_.find(machine_address);
+  if (it == images_by_machine_.end()) return false;
+  auto image_it = it->second.find(mr);
+  return image_it != it->second.end() && image_it->second > 0;
+}
+
+bool FleetRegistry::replay_load_changes(
+    uint64_t& cursor,
+    const std::function<void(const std::string&, uint32_t)>& fn) const {
+  if (cursor < changelog_base_) return false;  // compacted past the cursor
+  for (size_t i = cursor - changelog_base_; i < load_changelog_.size(); ++i) {
+    fn(load_changelog_[i].first, load_changelog_[i].second);
+  }
+  cursor = load_version();
+  return true;
+}
+
+size_t FleetRegistry::index_bytes() const {
+  size_t bytes = names_.size() * sizeof(std::string);
+  for (const auto& [machine, ids] : ids_by_machine_) {
+    bytes += machine.size() + ids.size() * sizeof(uint64_t);
+  }
+  for (const auto& [region, ids] : ids_by_region_) {
+    bytes += region.size() + ids.size() * sizeof(uint64_t);
+  }
+  for (const auto& [machine, images] : images_by_machine_) {
+    bytes += machine.size() +
+             images.size() * (sizeof(sgx::Measurement) + sizeof(uint32_t));
+  }
+  bytes += load_changelog_.capacity() *
+           sizeof(std::pair<std::string, uint32_t>);
+  return bytes;
+}
+
+void FleetRegistry::index_insert(const EnclaveRecord& record) {
+  names_.insert(record.name);
+  ids_by_machine_[record.machine].insert(record.id);
+  if (const platform::Machine* m = world_.machine(record.machine)) {
+    ids_by_region_[m->region()].insert(record.id);
+  }
+  if (record.image != nullptr) {
+    ++images_by_machine_[record.machine][record.image->mr_enclave()];
+  }
+  record_load_change(record.machine);
+}
+
+void FleetRegistry::index_erase(const EnclaveRecord& record) {
+  names_.erase(record.name);
+  auto machine_it = ids_by_machine_.find(record.machine);
+  if (machine_it != ids_by_machine_.end()) {
+    machine_it->second.erase(record.id);
+    if (machine_it->second.empty()) ids_by_machine_.erase(machine_it);
+  }
+  if (const platform::Machine* m = world_.machine(record.machine)) {
+    auto region_it = ids_by_region_.find(m->region());
+    if (region_it != ids_by_region_.end()) {
+      region_it->second.erase(record.id);
+      if (region_it->second.empty()) ids_by_region_.erase(region_it);
     }
   }
-  return false;
+  if (record.image != nullptr) {
+    auto images_it = images_by_machine_.find(record.machine);
+    if (images_it != images_by_machine_.end()) {
+      auto image_it = images_it->second.find(record.image->mr_enclave());
+      if (image_it != images_it->second.end() && --image_it->second == 0) {
+        images_it->second.erase(image_it);
+      }
+      if (images_it->second.empty()) images_by_machine_.erase(images_it);
+    }
+  }
+  record_load_change(record.machine);
+}
+
+void FleetRegistry::record_load_change(const std::string& machine_address) {
+  load_changelog_.emplace_back(
+      machine_address, static_cast<uint32_t>(count_on(machine_address)));
+  if (load_changelog_.size() > kChangelogCompactLimit) {
+    changelog_base_ += load_changelog_.size();
+    load_changelog_.clear();
+  }
 }
 
 }  // namespace sgxmig::orchestrator

@@ -21,6 +21,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -96,6 +97,32 @@ class FleetRegistry {
   bool hosts_image(const std::string& machine_address,
                    const sgx::Measurement& mr) const;
 
+  // ----- incremental load feed (placement indexes) -----
+  //
+  // Every placement change appends (machine, new enclave count) to a
+  // bounded changelog.  A Scheduler keeps a cursor and replays only the
+  // deltas since its last pick, so its per-region load gauges stay in
+  // sync without rescanning the fleet.  The log is compacted once it
+  // grows past a few thousand entries; a cursor that falls behind the
+  // compaction point gets `false` and must rebuild from count_on().
+
+  /// Monotonic version: one tick per recorded placement change.
+  uint64_t load_version() const {
+    return changelog_base_ + load_changelog_.size();
+  }
+
+  /// Replays every load change after `cursor` into `fn(machine,
+  /// new_count)` and advances `cursor` to load_version().  Returns false
+  /// (cursor untouched) when the changelog was compacted past `cursor`.
+  bool replay_load_changes(
+      uint64_t& cursor,
+      const std::function<void(const std::string&, uint32_t)>& fn) const;
+
+  /// Bytes held by the registry's placement indexes (deterministic
+  /// accounting for the control-plane memory gauge, not an allocator
+  /// measurement).
+  size_t index_bytes() const;
+
   /// Invoked after every registry-confirmed placement change
   /// (complete_move success), with the record already updated.
   using CompletionCallback = std::function<void(const EnclaveRecord&)>;
@@ -112,10 +139,29 @@ class FleetRegistry {
     return name + ".ml";
   }
 
+  /// Adds/removes `record` (already placed on record.machine) to the
+  /// per-machine, per-region, and per-image indexes and logs the load
+  /// change.
+  void index_insert(const EnclaveRecord& record);
+  void index_erase(const EnclaveRecord& record);
+  void record_load_change(const std::string& machine_address);
+
   platform::World& world_;
   std::map<uint64_t, EnclaveRecord> records_;  // ordered: deterministic scans
   uint64_t next_id_ = 1;
   CompletionCallback completion_callback_;
+
+  // Placement indexes.  records_ stays the source of truth; these shard
+  // it by machine / region / image so the hot placement queries
+  // (count_on, ids_on, hosts_image) are O(log M) instead of O(enclaves).
+  // All keyed by strings or ids — orderings stay deterministic.
+  std::set<std::string> names_;
+  std::map<std::string, std::set<uint64_t>> ids_by_machine_;
+  std::map<std::string, std::set<uint64_t>> ids_by_region_;
+  std::map<std::string, std::map<sgx::Measurement, uint32_t>>
+      images_by_machine_;
+  std::vector<std::pair<std::string, uint32_t>> load_changelog_;
+  uint64_t changelog_base_ = 0;
 };
 
 }  // namespace sgxmig::orchestrator

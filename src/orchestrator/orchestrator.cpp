@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "migration/migration_enclave.h"
+#include "net/network.h"
 
 namespace sgxmig::orchestrator {
 
@@ -30,6 +31,63 @@ void Orchestrator::log(const Task& task, EventKind kind, std::string detail) {
   event.kind = kind;
   event.detail = std::move(detail);
   events_.push_back(std::move(event));
+  if (options_.event_log_limit != 0) {
+    while (events_.size() > options_.event_log_limit) {
+      events_.pop_front();
+      ++events_dropped_;
+    }
+  }
+}
+
+void Orchestrator::set_phase(Task& task, TaskPhase phase) {
+  const uint32_t idx = static_cast<uint32_t>(&task - tasks_.data());
+  switch (task.phase) {
+    case TaskPhase::kQueued:
+      ready_by_source_[task.source].erase(idx);
+      break;
+    case TaskPhase::kBackoff:
+      // Ripened backoffs sit in the ready set; unripe ones only in the
+      // heap (their entry is popped at ripen time, so no stale entries).
+      ready_by_source_[task.source].erase(idx);
+      ripe_backoff_.erase(idx);
+      break;
+    case TaskPhase::kTransferring: transferring_.erase(idx); break;
+    case TaskPhase::kPrecopying: precopying_.erase(idx); break;
+    case TaskPhase::kStarted: started_.erase(idx); break;
+    default: break;
+  }
+  task.phase = phase;
+  switch (phase) {
+    case TaskPhase::kBackoff:
+      // retry_at is already rewritten by handle_failure at this point.
+      backoff_heap_.push({task.retry_at, idx});
+      break;
+    case TaskPhase::kTransferring: transferring_.insert(idx); break;
+    case TaskPhase::kPrecopying: precopying_.insert(idx); break;
+    case TaskPhase::kStarted: started_.insert(idx); break;
+    case TaskPhase::kDone:
+    case TaskPhase::kFailed:
+      --unfinished_count_;
+      break;
+    default: break;
+  }
+}
+
+void Orchestrator::ripen_backoffs(Duration at, std::vector<uint32_t>* newly) {
+  while (!backoff_heap_.empty() && backoff_heap_.top().first <= at) {
+    const uint32_t idx = backoff_heap_.top().second;
+    backoff_heap_.pop();
+    Task& task = tasks_[idx];
+    // Defensive: a re-backed-off task re-pushes with its new retry time,
+    // and set_phase pops the ripe marker, so stale entries should not
+    // exist — skip them if they ever do.
+    if (task.phase != TaskPhase::kBackoff || ripe_backoff_.count(idx) != 0) {
+      continue;
+    }
+    ripe_backoff_[idx] = task.retry_at;
+    ready_by_source_[task.source].insert(idx);
+    if (newly != nullptr) newly->push_back(idx);
+  }
 }
 
 std::vector<Orchestrator::Task> Orchestrator::build_tasks(const Plan& plan) {
@@ -54,16 +112,14 @@ std::vector<Orchestrator::Task> Orchestrator::build_tasks(const Plan& plan) {
       break;
     }
     case PlanKind::kEvacuateRegion: {
-      // No destination inside the evacuating region, ever.
-      std::vector<std::string> forbidden;
-      for (platform::Machine* m :
-           fleet_.world().machines_in_region(plan.region)) {
-        forbidden.push_back(m->address());
-      }
+      // No destination inside the evacuating region, ever.  Carried as
+      // the region NAME: at 1000 machines an enumerated exclusion list
+      // would drag ~100 entries through every destination pick of every
+      // task.
       for (const uint64_t id : fleet_.ids_in_region(plan.region)) {
         Task task = make_task(id);
         if (task.enclave_id == 0) continue;
-        task.forbidden = forbidden;
+        task.forbidden_regions.push_back(plan.region);
         tasks.push_back(std::move(task));
       }
       break;
@@ -105,6 +161,16 @@ std::map<std::string, uint32_t> Orchestrator::reserved_destinations() const {
   return inflight_to_destination_;
 }
 
+void Orchestrator::reserve_destination(const std::string& machine) {
+  ++inflight_to_destination_[machine];
+  scheduler_.note_reservation(machine, +1);
+}
+
+void Orchestrator::release_destination(const std::string& machine) {
+  --inflight_to_destination_[machine];
+  scheduler_.note_reservation(machine, -1);
+}
+
 bool Orchestrator::admit_and_start(Task& task) {
   if (inflight_total_ >= options_.max_inflight_total) return false;
   if (inflight_per_machine_[task.source] >=
@@ -121,8 +187,14 @@ bool Orchestrator::admit_and_start(Task& task) {
       PlacementQuery query;
       query.source = task.source;
       query.excluded = task.forbidden;
+      query.excluded_regions = task.forbidden_regions;
       query.avoid = task.failed_destinations;
-      query.reserved = reserved_destinations();
+      // Indexed picks read the scheduler's reservation ledger (kept in
+      // sync by reserve/release_destination); only the brute-force path
+      // needs the per-query map.
+      if (!scheduler_.index_active()) {
+        query.reserved = reserved_destinations();
+      }
       if (const EnclaveRecord* record = fleet_.find(task.enclave_id)) {
         query.image = record->image.get();
       }
@@ -149,7 +221,7 @@ bool Orchestrator::admit_and_start(Task& task) {
 
   ++inflight_total_;
   ++inflight_per_machine_[task.source];
-  ++inflight_to_destination_[task.destination];
+  reserve_destination(task.destination);
   peak_inflight_total_ = std::max(peak_inflight_total_, inflight_total_);
   peak_inflight_per_machine_[task.source] =
       std::max(peak_inflight_per_machine_[task.source],
@@ -167,8 +239,8 @@ bool Orchestrator::admit_and_start(Task& task) {
     if (lanes_ != nullptr) {
       // Pipelined: the restore runs on the destination lane in the
       // completion wave, overlapping with everything else.
-      task.phase = TaskPhase::kStarted;
       task.ready_at = std::max(next_slot_time(), task.retry_at);
+      set_phase(task, TaskPhase::kStarted);
       return true;
     }
     complete(task);
@@ -193,7 +265,7 @@ bool Orchestrator::admit_and_start(Task& task) {
   if (!result.ok()) {
     --inflight_total_;
     --inflight_per_machine_[task.source];
-    --inflight_to_destination_[task.destination];
+    release_destination(task.destination);
     log(task, EventKind::kStartFailed,
         std::string(migration::migration_failure_class_name(
             result.failure_class)) +
@@ -202,7 +274,7 @@ bool Orchestrator::admit_and_start(Task& task) {
                    /*destination_specific=*/true);
     return true;
   }
-  task.phase = TaskPhase::kStarted;
+  set_phase(task, TaskPhase::kStarted);
   task.freeze_window = enclave->last_freeze_window();
   task.precopy_rounds = enclave->last_precopy_rounds();
   task.transfer_bytes = enclave->last_transfer_bytes();
@@ -281,7 +353,7 @@ void Orchestrator::pipelined_source_failure(
     Duration freed_at) {
   --inflight_total_;
   --inflight_per_machine_[task.source];
-  --inflight_to_destination_[task.destination];
+  release_destination(task.destination);
   // The failing task's slot frees at the lane instant the failure was
   // observed, not at some unrelated restore's completion.
   release_slot(freed_at);
@@ -296,7 +368,7 @@ void Orchestrator::pipelined_source_failure(
 void Orchestrator::mark_started(Task& task,
                                 migration::MigratableEnclave& enclave,
                                 Duration ready_at) {
-  task.phase = TaskPhase::kStarted;
+  set_phase(task, TaskPhase::kStarted);
   task.ready_at = ready_at;
   task.freeze_window = enclave.last_freeze_window();
   task.enqueue_wait = enclave.last_enqueue_wait();
@@ -324,7 +396,7 @@ void Orchestrator::start_pipelined(Task& task,
       if (result.status == Status::kMigrationInProgress &&
           result.failure_class == migration::MigrationFailureClass::kNone) {
         // Async source ME queued the re-driven finalize too.
-        task.phase = TaskPhase::kTransferring;
+        set_phase(task, TaskPhase::kTransferring);
       } else if (result.ok()) {
         mark_started(task, enclave, end);
       } else {
@@ -332,7 +404,7 @@ void Orchestrator::start_pipelined(Task& task,
       }
       return;
     }
-    task.phase = TaskPhase::kPrecopying;
+    set_phase(task, TaskPhase::kPrecopying);
     task.ready_at = ready;
     return;  // rounds advance one per wave, interleaved across tasks
   }
@@ -353,7 +425,7 @@ void Orchestrator::start_pipelined(Task& task,
     pipelined_source_failure(task, result, end);
     return;
   }
-  task.phase = TaskPhase::kTransferring;
+  set_phase(task, TaskPhase::kTransferring);
   task.ready_at = end;
 }
 
@@ -412,7 +484,7 @@ void Orchestrator::advance_precopy(Task& task) {
       result.failure_class == migration::MigrationFailureClass::kNone) {
     // Async source ME queued the finalize: the record ships behind the
     // pump and the poll machinery owns the outcome from here.
-    task.phase = TaskPhase::kTransferring;
+    set_phase(task, TaskPhase::kTransferring);
     return;
   }
   if (result.ok()) {
@@ -427,9 +499,9 @@ void Orchestrator::complete(Task& task) {
                                              task.destination);
   --inflight_total_;
   --inflight_per_machine_[task.source];
-  --inflight_to_destination_[task.destination];
+  release_destination(task.destination);
   if (status == Status::kOk) {
-    task.phase = TaskPhase::kDone;
+    set_phase(task, TaskPhase::kDone);
     task.finished_at = now();
     log(task, EventKind::kRestored, task.destination);
     log(task, EventKind::kDone,
@@ -487,47 +559,36 @@ void Orchestrator::handle_failure(Task& task, Status status,
   const uint32_t exponent = task.attempts > 0 ? task.attempts - 1 : 0;
   const Duration backoff = options_.retry_backoff * (1u << exponent);
   task.retry_at = now() + backoff;
-  task.phase = TaskPhase::kBackoff;
+  set_phase(task, TaskPhase::kBackoff);
   log(task, EventKind::kBackoff,
       "retry at " + std::to_string(to_seconds(task.retry_at)) + "s");
 }
 
 void Orchestrator::fail_task(Task& task) {
-  task.phase = TaskPhase::kFailed;
+  set_phase(task, TaskPhase::kFailed);
   task.finished_at = now();
   log(task, EventKind::kFailed,
       std::string(migration::migration_failure_class_name(task.last_class)) +
           ": " + task.last_message);
 }
 
-OrchestratorReport Orchestrator::execute(const Plan& plan) {
-  events_.clear();
-  inflight_per_machine_.clear();
-  inflight_to_destination_.clear();
-  inflight_total_ = 0;
-  peak_inflight_total_ = 0;
-  peak_inflight_per_machine_.clear();
-  released_slots_.clear();
+// ----- wave drivers -----
+//
+// Both drivers run the same wave skeleton — admission, (pipelined) pump +
+// pre-copy advances + polls, completions, backoff stall-jump — through
+// the same admit/poll/complete primitives; they differ ONLY in which
+// tasks and machines each wave VISITS.  The legacy loop scans every task
+// and every machine every wave (O(tasks) per wave even when one enclave
+// is in flight); the event-driven loop walks the phase sets, the
+// per-source ready index, and the lane-event kick set, so a wave costs
+// work proportional to what actually happened.  The visit ORDER within a
+// wave is ascending task index / machine creation order in both, which
+// is why the two produce bit-identical reports (enforced by
+// test_event_driver.cpp and the fleet-scale bench gate).
 
-  OrchestratorReport report;
-  report.plan = plan.kind;
-  report.started_at = now();
-
-  // Pipelined engine: per-machine lanes over the shared clock, with the
-  // deferred-delivery pump attributed to them.  Scoped to this execute():
-  // the LaneSchedule destructor lands the clock on the parallel horizon,
-  // so a stopwatch around execute() reads max-over-lanes wall time.
-  net::Network& net = fleet_.world().network();
-  std::optional<LaneSchedule> lanes;
-  if (options_.pipelined) {
-    lanes.emplace(fleet_.world().clock());
-    lanes_ = &*lanes;
-    net.set_lane_schedule(lanes_);
-  }
-
-  std::vector<Task> tasks = build_tasks(plan);
+void Orchestrator::run_legacy_loop(net::Network& net) {
   auto unfinished = [&] {
-    return std::any_of(tasks.begin(), tasks.end(), [](const Task& t) {
+    return std::any_of(tasks_.begin(), tasks_.end(), [](const Task& t) {
       return t.phase != TaskPhase::kDone && t.phase != TaskPhase::kFailed;
     });
   };
@@ -543,17 +604,20 @@ OrchestratorReport Orchestrator::execute(const Plan& plan) {
       if (lanes_ != nullptr) lanes_->sync_control_from_clock();
     }
     ++wave;
+    ++stats_.waves;
     bool progressed = false;
 
     // Admission wave: start every ready task the caps allow.  Started
     // tasks stay in flight (data pending at their destination MEs) until
     // the completion wave below, so the in-flight gauges genuinely
     // overlap up to the caps.
-    for (Task& task : tasks) {
+    for (Task& task : tasks_) {
+      ++stats_.task_touches;
       const bool ready =
           task.phase == TaskPhase::kQueued ||
           (task.phase == TaskPhase::kBackoff && task.retry_at <= now());
       if (!ready) continue;
+      ++stats_.admission_checks;
       if (admit_and_start(task)) progressed = true;
     }
 
@@ -562,23 +626,26 @@ OrchestratorReport Orchestrator::execute(const Plan& plan) {
       // restart resumes them from the durable queue) and drain the
       // deferred deliveries — every in-flight ME<->ME conversation
       // advances, interleaved across lanes.
-      for (platform::Machine* m : fleet_.world().machines()) {
+      for (platform::Machine* m : machines_) {
         auto* me = migration::me_on(*m);
         if (me == nullptr || (me->transfer_task_count() == 0 &&
                               me->precopy_outgoing_count() == 0)) {
           continue;  // async pre-copy ships also need the pump re-kick
         }
+        ++stats_.pump_kicks;
         lanes_->run(m->address(), lanes_->control(), [&] { me->pump(); });
       }
       if (net.pump_all() > 0) progressed = true;
 
-      for (Task& task : tasks) {
+      for (Task& task : tasks_) {
+        ++stats_.task_touches;
         if (task.phase == TaskPhase::kPrecopying) {
           advance_precopy(task);
           progressed = true;
         }
       }
-      for (Task& task : tasks) {
+      for (Task& task : tasks_) {
+        ++stats_.task_touches;
         if (task.phase != TaskPhase::kTransferring) continue;
         poll_transferring(task);
         if (task.phase != TaskPhase::kTransferring) progressed = true;
@@ -589,7 +656,8 @@ OrchestratorReport Orchestrator::execute(const Plan& plan) {
     // destination.  Pipelined restores run on the DESTINATION lane —
     // restores toward different machines overlap with each other and
     // with the source lane still streaming the next transfers.
-    for (Task& task : tasks) {
+    for (Task& task : tasks_) {
+      ++stats_.task_touches;
       if (task.phase != TaskPhase::kStarted) continue;
       if (lanes_ != nullptr) {
         const Duration end = lanes_->run(
@@ -610,7 +678,7 @@ OrchestratorReport Orchestrator::execute(const Plan& plan) {
     // produced nothing): jump the virtual clock to the earliest retry
     // instead of spinning.
     Duration earliest = Duration::max();
-    for (const Task& task : tasks) {
+    for (const Task& task : tasks_) {
       if (task.phase == TaskPhase::kBackoff) {
         earliest = std::min(earliest, task.retry_at);
       }
@@ -628,8 +696,269 @@ OrchestratorReport Orchestrator::execute(const Plan& plan) {
       if (earliest > clock.now()) clock.advance(earliest - clock.now());
     }
   }
+}
+
+bool Orchestrator::event_admission_pass() {
+  ripen_backoffs(now(), nullptr);
+  // Saturated fleet: the legacy scan would refuse every ready task with
+  // no side effects, so the whole pass can be skipped.
+  if (inflight_total_ >= options_.max_inflight_total) return false;
+
+  // Merge the per-source ready sets into one ascending-index stream so
+  // candidates are processed in exactly the legacy scan order, while a
+  // saturated source contributes nothing (its candidates would all be
+  // refused without side effects — only a source's OWN admissions can
+  // change its gauge mid-pass, so saturation holds for the whole pass).
+  using Entry = std::pair<uint32_t, const std::string*>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> merge;
+  for (const auto& [source, ready] : ready_by_source_) {
+    if (ready.empty()) continue;
+    if (inflight_per_machine_[source] >= options_.max_inflight_per_machine) {
+      continue;
+    }
+    merge.push({*ready.begin(), &source});
+  }
+
+  bool progressed = false;
+  uint32_t pass_pos = 0;  // next global index the scan may still visit
+  std::vector<uint32_t> newly;
+  while (!merge.empty()) {
+    // Once the fleet-wide cap is hit mid-pass nothing can release it
+    // before the pass ends (releases require processing, which the cap
+    // now refuses), so the legacy scan's remaining visits are all
+    // side-effect-free refusals.
+    if (inflight_total_ >= options_.max_inflight_total) break;
+    const auto [idx0, source] = merge.top();
+    merge.pop();
+    auto sit = ready_by_source_.find(*source);
+    if (sit == ready_by_source_.end()) continue;
+    if (inflight_per_machine_[*source] >= options_.max_inflight_per_machine) {
+      continue;  // saturated for the rest of the pass (see above)
+    }
+    // Validate against the live ready set: the entry may be stale
+    // (admitted via a duplicate, or refused earlier this pass — a
+    // refused candidate keeps its ready slot but is not revisited until
+    // the next wave, exactly like the one-directional legacy scan).
+    const auto it = sit->second.lower_bound(std::max(idx0, pass_pos));
+    if (it == sit->second.end()) continue;
+    if (*it != idx0) {
+      merge.push({*it, source});
+      continue;
+    }
+    pass_pos = idx0 + 1;
+    ++stats_.task_touches;
+    ++stats_.admission_checks;
+    if (admit_and_start(tasks_[idx0])) progressed = true;
+    // Blocking (non-pipelined) admissions advance the clock: tasks later
+    // in the scan may ripen mid-pass, exactly as the legacy loop sees
+    // them at visit time.  Earlier indices ripen into the ready set for
+    // the NEXT wave only — the lower_bound(pass_pos) above skips them.
+    newly.clear();
+    ripen_backoffs(now(), &newly);
+    for (const uint32_t ripe : newly) {
+      const Task& t = tasks_[ripe];
+      if (inflight_per_machine_[t.source] <
+          options_.max_inflight_per_machine) {
+        merge.push({ripe, &ready_by_source_.find(t.source)->first});
+      }
+    }
+    // Re-arm this source's next candidate at or past the scan position.
+    const auto next = sit->second.lower_bound(pass_pos);
+    if (next != sit->second.end()) merge.push({*next, source});
+  }
+  return progressed;
+}
+
+void Orchestrator::run_event_loop(net::Network& net) {
+  uint32_t wave = 0;
+  uint32_t stalled_waves = 0;
+  std::vector<uint32_t> snapshot;
+  while (unfinished_count_ > 0) {
+    if (wave_hook_) {
+      wave_hook_(wave);
+      if (lanes_ != nullptr) lanes_->sync_control_from_clock();
+    }
+    ++wave;
+    ++stats_.waves;
+    bool progressed = false;
+
+    if (event_admission_pass()) progressed = true;
+
+    if (lanes_ != nullptr) {
+      // Pump wave, event-driven: a machine needs a kick only if its lane
+      // ran since it was last pumped (enqueues, deliveries, restores and
+      // pumps all run on lanes, so any ME that gained or still has work
+      // has a lane event behind it).  Candidates leave the set the first
+      // wave their ME has nothing queued.  Hooks can revive MEs with no
+      // lane traffic of their own (mid-plan restarts), so hooked runs
+      // fall back to the legacy full scan.
+      for (const auto& event : lanes_->take_lane_events()) {
+        const auto it = machine_index_.find(event.lane);
+        if (it != machine_index_.end()) kick_candidates_.insert(it->second);
+      }
+      if (wave_hook_ || round_hook_) {
+        for (platform::Machine* m : machines_) {
+          auto* me = migration::me_on(*m);
+          if (me == nullptr || (me->transfer_task_count() == 0 &&
+                                me->precopy_outgoing_count() == 0)) {
+            continue;
+          }
+          ++stats_.pump_kicks;
+          lanes_->run(m->address(), lanes_->control(), [&] { me->pump(); });
+        }
+      } else {
+        snapshot.assign(kick_candidates_.begin(), kick_candidates_.end());
+        for (const uint32_t idx : snapshot) {
+          auto* me = migration::me_on(*machines_[idx]);
+          if (me == nullptr || (me->transfer_task_count() == 0 &&
+                                me->precopy_outgoing_count() == 0)) {
+            kick_candidates_.erase(idx);
+            continue;
+          }
+          ++stats_.pump_kicks;
+          lanes_->run(machines_[idx]->address(), lanes_->control(),
+                      [&] { me->pump(); });
+        }
+      }
+      if (net.pump_all() > 0) progressed = true;
+
+      // Pre-copy advances, then polls: snapshots in ascending index order
+      // replicate the legacy full scans (one task's advance/poll never
+      // changes another task's phase), and taking the poll snapshot
+      // AFTER the advances lets a just-finalized pre-copy be polled in
+      // the same wave, as the legacy re-scan would.
+      snapshot.assign(precopying_.begin(), precopying_.end());
+      for (const uint32_t idx : snapshot) {
+        Task& task = tasks_[idx];
+        if (task.phase != TaskPhase::kPrecopying) continue;
+        ++stats_.task_touches;
+        advance_precopy(task);
+        progressed = true;
+      }
+      snapshot.assign(transferring_.begin(), transferring_.end());
+      for (const uint32_t idx : snapshot) {
+        Task& task = tasks_[idx];
+        if (task.phase != TaskPhase::kTransferring) continue;
+        ++stats_.task_touches;
+        poll_transferring(task);
+        if (task.phase != TaskPhase::kTransferring) progressed = true;
+      }
+    }
+
+    // Completion wave over the started set (snapshot taken after the
+    // polls so a transfer that completed its source side this wave
+    // restores this wave, like the legacy re-scan).
+    snapshot.assign(started_.begin(), started_.end());
+    for (const uint32_t idx : snapshot) {
+      Task& task = tasks_[idx];
+      if (task.phase != TaskPhase::kStarted) continue;
+      ++stats_.task_touches;
+      if (lanes_ != nullptr) {
+        const Duration end = lanes_->run(
+            task.destination, std::max(task.ready_at, lanes_->control()),
+            [&] { complete(task); });
+        release_slot(end);
+      } else {
+        complete(task);
+      }
+      progressed = true;
+    }
+
+    if (progressed) {
+      stalled_waves = 0;
+      continue;
+    }
+    // Stall: jump to the earliest pending retry — the heap holds the
+    // unripe backoffs, the ripe map the ripened-but-capacity-blocked
+    // ones (whose retry times are already in the past, making the jump a
+    // no-op exactly as in the legacy scan).
+    Duration earliest = Duration::max();
+    if (!backoff_heap_.empty()) {
+      earliest = backoff_heap_.top().first;
+    }
+    for (const auto& [idx, retry_at] : ripe_backoff_) {
+      earliest = std::min(earliest, retry_at);
+    }
+    if (earliest == Duration::max()) {
+      if (lanes_ != nullptr && ++stalled_waves < 64) continue;
+      break;  // defensive: nothing to wait on
+    }
+    if (lanes_ != nullptr) {
+      lanes_->advance_control(earliest);
+    } else {
+      VirtualClock& clock = fleet_.world().clock();
+      if (earliest > clock.now()) clock.advance(earliest - clock.now());
+    }
+  }
+}
+
+OrchestratorReport Orchestrator::execute(const Plan& plan) {
+  events_.clear();
+  events_dropped_ = 0;
+  inflight_per_machine_.clear();
+  inflight_to_destination_.clear();
+  inflight_total_ = 0;
+  peak_inflight_total_ = 0;
+  peak_inflight_per_machine_.clear();
+  released_slots_.clear();
+  scheduler_.clear_reservations();
+  ready_by_source_.clear();
+  backoff_heap_ = {};
+  ripe_backoff_.clear();
+  transferring_.clear();
+  precopying_.clear();
+  started_.clear();
+  kick_candidates_.clear();
+  stats_ = {};
+  machines_ = fleet_.world().machines();
+  machine_index_.clear();
+  for (size_t i = 0; i < machines_.size(); ++i) {
+    machine_index_[machines_[i]->address()] = static_cast<uint32_t>(i);
+  }
+
+  OrchestratorReport report;
+  report.plan = plan.kind;
+  report.started_at = now();
+
+  // Pipelined engine: per-machine lanes over the shared clock, with the
+  // deferred-delivery pump attributed to them.  Scoped to this execute():
+  // the LaneSchedule destructor lands the clock on the parallel horizon,
+  // so a stopwatch around execute() reads max-over-lanes wall time.
+  net::Network& net = fleet_.world().network();
+  std::optional<LaneSchedule> lanes;
+  if (options_.pipelined) {
+    lanes.emplace(fleet_.world().clock());
+    lanes_ = &*lanes;
+    lanes_->set_event_recording(!options_.legacy_wave_loop);
+    net.set_lane_schedule(lanes_);
+  }
+
+  tasks_ = build_tasks(plan);
+  unfinished_count_ = tasks_.size();
+  for (uint32_t i = 0; i < tasks_.size(); ++i) {
+    ready_by_source_[tasks_[i].source].insert(i);
+  }
+  if (lanes_ != nullptr && !options_.legacy_wave_loop) {
+    // Seed the kick set with MEs already busy before this plan (durable
+    // queues surviving a previous execute); everything after this enters
+    // via lane events.
+    for (uint32_t i = 0; i < machines_.size(); ++i) {
+      auto* me = migration::me_on(*machines_[i]);
+      if (me != nullptr && (me->transfer_task_count() > 0 ||
+                            me->precopy_outgoing_count() > 0)) {
+        kick_candidates_.insert(i);
+      }
+    }
+  }
+
+  if (options_.legacy_wave_loop) {
+    run_legacy_loop(net);
+  } else {
+    run_event_loop(net);
+  }
 
   if (options_.pipelined) {
+    lanes_->set_event_recording(false);
     net.set_lane_schedule(nullptr);
     lanes_ = nullptr;
     lanes.reset();  // clock lands on the parallel horizon
@@ -637,8 +966,9 @@ OrchestratorReport Orchestrator::execute(const Plan& plan) {
   report.finished_at = now();
   report.peak_inflight_total = peak_inflight_total_;
   report.peak_inflight_per_machine = peak_inflight_per_machine_;
-  report.events = events_;
-  for (const Task& task : tasks) {
+  report.events.assign(events_.begin(), events_.end());
+  report.events_dropped = events_dropped_;
+  for (const Task& task : tasks_) {
     MigrationRecord record;
     record.enclave_id = task.enclave_id;
     record.name = task.name;
@@ -660,6 +990,49 @@ OrchestratorReport Orchestrator::execute(const Plan& plan) {
   }
   report.freeze_budget = options_.freeze_budget;
   return report;
+}
+
+size_t Orchestrator::control_plane_bytes() const {
+  // Deterministic accounting (container node overhead approximated by a
+  // fixed constant) so the scaling bench's memory-per-enclave gate does
+  // not depend on the allocator.
+  constexpr size_t kNode = 48;
+  size_t bytes = tasks_.capacity() * sizeof(Task);
+  for (const Task& task : tasks_) {
+    bytes += task.name.size() + task.source.size() +
+             task.fixed_destination.size() + task.destination.size() +
+             task.last_message.size();
+    for (const auto& s : task.forbidden) bytes += s.size() + sizeof(s);
+    for (const auto& s : task.forbidden_regions) bytes += s.size() + sizeof(s);
+    for (const auto& s : task.failed_destinations) {
+      bytes += s.size() + sizeof(s);
+    }
+  }
+  bytes += events_.size() * sizeof(OrchestratorEvent);
+  for (const auto& event : events_) bytes += event.detail.size();
+  const auto gauge_bytes = [&](const std::map<std::string, uint32_t>& m) {
+    size_t b = 0;
+    for (const auto& [key, value] : m) b += key.size() + sizeof(value) + kNode;
+    return b;
+  };
+  bytes += gauge_bytes(inflight_per_machine_);
+  bytes += gauge_bytes(inflight_to_destination_);
+  bytes += gauge_bytes(peak_inflight_per_machine_);
+  bytes += released_slots_.capacity() * sizeof(Duration);
+  for (const auto& [source, ready] : ready_by_source_) {
+    bytes += source.size() + kNode + ready.size() * (sizeof(uint32_t) + kNode);
+  }
+  bytes += backoff_heap_.size() * sizeof(std::pair<Duration, uint32_t>);
+  bytes += ripe_backoff_.size() *
+           (sizeof(uint32_t) + sizeof(Duration) + kNode);
+  bytes += (transferring_.size() + precopying_.size() + started_.size() +
+            kick_candidates_.size()) *
+           (sizeof(uint32_t) + kNode);
+  bytes += machines_.capacity() * sizeof(platform::Machine*);
+  for (const auto& [address, idx] : machine_index_) {
+    bytes += address.size() + sizeof(idx) + kNode;
+  }
+  return bytes;
 }
 
 }  // namespace sgxmig::orchestrator

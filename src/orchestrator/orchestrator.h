@@ -21,15 +21,23 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <queue>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "orchestrator/fleet_registry.h"
 #include "orchestrator/plan.h"
 #include "orchestrator/report.h"
 #include "orchestrator/scheduler.h"
+
+namespace sgxmig::net {
+class Network;
+}
 
 namespace sgxmig::orchestrator {
 
@@ -83,6 +91,33 @@ struct OrchestratorOptions {
   /// whose freeze window exceeds it are counted as violations in the
   /// report.  This is an SLO observable, not an admission gate.
   Duration freeze_budget{};
+  /// Drive the waves with the legacy full-scan loop (every wave touches
+  /// every task) instead of the event-driven driver.  The two produce
+  /// bit-identical reports — enforced by tests — and this escape hatch
+  /// is kept for one release while the event-driven driver beds in.
+  bool legacy_wave_loop = false;
+  /// Cap on the in-memory orchestrator event log (0 = unbounded).  Once
+  /// full, the OLDEST events are dropped and counted in
+  /// OrchestratorReport::events_dropped, bounding control-plane memory
+  /// over long drains; the §V-D machinery never reads this log, so
+  /// retention is purely observational.
+  size_t event_log_limit = 0;
+};
+
+/// Control-plane work accounting for one execute(): how many waves ran
+/// and how many per-task / per-machine touches the driver spent.  The
+/// scaling bench gates on these (they are deterministic, unlike CPU
+/// seconds) to catch O(n^2) control-plane regressions.
+struct DriverStats {
+  uint64_t waves = 0;
+  /// Admission candidates processed + polls + pre-copy advances +
+  /// completions.  The event-driven driver's figure stays proportional
+  /// to real protocol work; the legacy loop's grows with tasks x waves.
+  uint64_t task_touches = 0;
+  uint64_t admission_checks = 0;
+  /// ME pump lane runs (legacy: every busy ME every wave; event-driven:
+  /// only machines whose lane produced an event).
+  uint64_t pump_kicks = 0;
 };
 
 class Orchestrator {
@@ -108,6 +143,15 @@ class Orchestrator {
   /// returns the report.  Deterministic per world seed.
   OrchestratorReport execute(const Plan& plan);
 
+  /// Work accounting of the most recent execute().
+  const DriverStats& last_driver_stats() const { return stats_; }
+
+  /// Deterministic byte accounting of the orchestrator's own state
+  /// (tasks, event log, gauges, event-driver indexes) after/during an
+  /// execute().  Allocator-independent, so the scaling bench can gate on
+  /// "control-plane memory per enclave stays flat".
+  size_t control_plane_bytes() const;
+
  private:
   enum class TaskPhase : uint8_t {
     kQueued,
@@ -125,6 +169,10 @@ class Orchestrator {
     std::string source;
     std::string fixed_destination;        // targeted moves only
     std::vector<std::string> forbidden;   // hard exclusions from the plan
+    /// Whole regions hard-excluded by the plan (evacuation): carried as
+    /// region names so a 1000-machine evacuation does not give every task
+    /// a 100-entry machine list.
+    std::vector<std::string> forbidden_regions;
     std::vector<std::string> failed_destinations;  // soft-avoided on retry
     std::string destination;              // current attempt
     uint32_t attempts = 0;
@@ -187,6 +235,25 @@ class Orchestrator {
   void log(const Task& task, EventKind kind, std::string detail);
   std::map<std::string, uint32_t> reserved_destinations() const;
   Duration now() const;
+  // ----- wave drivers -----
+  /// Single funnel for every phase transition: maintains the event
+  /// driver's phase sets (ready/backoff/transferring/precopying/started)
+  /// and the unfinished count, so both drivers share one bookkeeping
+  /// path.
+  void set_phase(Task& task, TaskPhase phase);
+  /// Moves backoff tasks whose retry_at has passed into the ready set;
+  /// when `newly` is non-null, appends their indices.
+  void ripen_backoffs(Duration at, std::vector<uint32_t>* newly);
+  /// One event-driven admission pass: visits ready tasks in ascending
+  /// plan order via a per-source merge heap, skipping saturated sources
+  /// wholesale.  Returns true if any task was admitted.
+  bool event_admission_pass();
+  void run_legacy_loop(net::Network& net);
+  void run_event_loop(net::Network& net);
+  /// Pairs the inflight_to_destination_ gauge with the scheduler's
+  /// reservation ledger, so the indexed pick path sees in-flight loads.
+  void reserve_destination(const std::string& machine);
+  void release_destination(const std::string& machine);
 
   FleetRegistry& fleet_;
   Scheduler& scheduler_;
@@ -195,7 +262,8 @@ class Orchestrator {
   RoundHook round_hook_;
 
   // Per-execute() working state.
-  std::vector<OrchestratorEvent> events_;
+  std::deque<OrchestratorEvent> events_;  // ring when event_log_limit > 0
+  uint64_t events_dropped_ = 0;
   std::map<std::string, uint32_t> inflight_per_machine_;
   std::map<std::string, uint32_t> inflight_to_destination_;
   uint32_t inflight_total_ = 0;
@@ -205,6 +273,31 @@ class Orchestrator {
   // the (sorted) completion times that freed in-flight slots.
   LaneSchedule* lanes_ = nullptr;
   std::vector<Duration> released_slots_;
+  // Event-driver state.  Both drivers maintain it (set_phase is the one
+  // funnel); only run_event_loop consumes it.
+  std::vector<Task> tasks_;
+  /// Admittable task indices (kQueued or ripened kBackoff) per source
+  /// machine — the admission pass only visits these.
+  std::map<std::string, std::set<uint32_t>> ready_by_source_;
+  /// Pending backoffs ordered by retry time.
+  std::priority_queue<std::pair<Duration, uint32_t>,
+                      std::vector<std::pair<Duration, uint32_t>>,
+                      std::greater<std::pair<Duration, uint32_t>>>
+      backoff_heap_;
+  /// Ripened-but-unadmitted backoff tasks: index -> retry_at at ripen
+  /// time (keyed by index because handle_failure rewrites retry_at).
+  std::map<uint32_t, Duration> ripe_backoff_;
+  std::set<uint32_t> transferring_;
+  std::set<uint32_t> precopying_;
+  std::set<uint32_t> started_;
+  size_t unfinished_count_ = 0;
+  /// Machines (creation order) and address -> creation index, resolved
+  /// once per execute(); the pump visits kick candidates in creation
+  /// order, matching the legacy full scan.
+  std::vector<platform::Machine*> machines_;
+  std::map<std::string, uint32_t> machine_index_;
+  std::set<uint32_t> kick_candidates_;
+  DriverStats stats_;
 };
 
 }  // namespace sgxmig::orchestrator

@@ -232,6 +232,10 @@ std::string OrchestratorReport::to_json(bool include_events) const {
     }
     out += "]";
   }
+  if (events_dropped > 0) {
+    out += ", \"events_dropped\": ";
+    append_number(out, events_dropped);
+  }
 
   if (!chaos_stats.empty()) {
     out += ", \"chaos\": {";

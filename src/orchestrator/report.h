@@ -73,6 +73,10 @@ struct OrchestratorReport {
   PlanKind plan = PlanKind::kDrainMachine;
   std::vector<MigrationRecord> migrations;
   std::vector<OrchestratorEvent> events;
+  /// Oldest events dropped by the orchestrator's event-log ring
+  /// (OrchestratorOptions::event_log_limit).  Serialized only when
+  /// non-zero, so unbounded runs keep their exact historical JSON.
+  uint64_t events_dropped = 0;
   Duration started_at{};
   Duration finished_at{};
   /// Peak number of simultaneously in-flight migrations, total and per

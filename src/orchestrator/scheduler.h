@@ -33,7 +33,9 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "orchestrator/fleet_registry.h"
@@ -45,6 +47,10 @@ struct PlacementQuery {
   std::string source;
   /// Hard exclusions (e.g. every machine of an evacuating region).
   std::vector<std::string> excluded;
+  /// Hard exclusion of whole regions — one region name instead of
+  /// enumerating its machines, so a region evacuation at 1000 machines
+  /// does not drag a 100-entry exclusion list through every pick.
+  std::vector<std::string> excluded_regions;
   /// Soft exclusions: destinations that already failed for this
   /// migration.  Ranked last rather than dropped, so a fleet with no
   /// other options can still retry them once the interference clears.
@@ -56,10 +62,27 @@ struct PlacementQuery {
   const sgx::EnclaveImage* image = nullptr;
 };
 
+/// Which incrementally-maintained index (if any) can answer
+/// pick_destination for a policy without ranking every machine.  A policy
+/// advertising a mode MUST order identically to its brute-force rank();
+/// the determinism tests in test_event_driver.cpp enforce this.
+enum class PlacementIndexMode : uint8_t {
+  kNone = 0,         // arbitrary rank(): full scan required
+  kLeastLoaded = 1,  // order by (effective load, address)
+  kHierarchical = 2, // region by aggregate occupancy/cores, then
+                     // capacity-weighted machine within the region
+};
+
 class PlacementPolicy {
  public:
   virtual ~PlacementPolicy() = default;
   virtual const char* name() const = 0;
+
+  /// Index the Scheduler may use for pick_destination.  kNone (default)
+  /// keeps the full-scan path.
+  virtual PlacementIndexMode index_mode() const {
+    return PlacementIndexMode::kNone;
+  }
 
   /// Policy-specific preference bucket for one machine; lower is better.
   /// This is the composable judgment: CompositePolicy sorts by the
@@ -92,6 +115,13 @@ std::unique_ptr<PlacementPolicy> make_least_loaded_policy();
 std::unique_ptr<PlacementPolicy> make_same_region_first_policy();
 std::unique_ptr<PlacementPolicy> make_anti_affinity_policy();
 std::unique_ptr<PlacementPolicy> make_capacity_weighted_policy();
+/// Hierarchical datacenter placement: pick the region with the lowest
+/// aggregate occupancy per certified core — computed over ALL machines of
+/// the region, so region health is a property of the region, not of the
+/// filtered candidate set — then the capacity-weighted machine within it.
+/// Ties break by region name, then machine address.  Index-accelerated
+/// (PlacementIndexMode::kHierarchical).
+std::unique_ptr<PlacementPolicy> make_hierarchical_policy();
 
 /// Stacks policies lexicographically: candidates sort by stage 1's
 /// preference bucket first, ties by stage 2's, and so on; the LAST
@@ -107,18 +137,82 @@ class Scheduler {
             std::unique_ptr<PlacementPolicy> policy = nullptr);
 
   /// Best destination for the query, or kNoEligibleDestination when no
-  /// machine survives the hard constraints.
+  /// machine survives the hard constraints.  When the policy advertises
+  /// an index mode (and the index is enabled, the default), the pick
+  /// walks the per-region load gauges — O(regions + skips) — instead of
+  /// ranking every machine; the result is identical to the full scan.
+  ///
+  /// NOTE: the indexed path uses the reservation ledger maintained via
+  /// note_reservation() — a per-query map cannot be baked into a
+  /// persistent index — so a query with a non-empty `reserved` map falls
+  /// back to the full scan.  Ledger users leave the map empty; the
+  /// Orchestrator keeps the ledger in sync with its in-flight gauges, so
+  /// either path sees the same loads.
   Result<std::string> pick_destination(const PlacementQuery& query) const;
 
-  /// Full ranking (tests and rebalance planning).
+  /// Full ranking (tests and rebalance planning).  Always brute-force.
   std::vector<std::string> rank_destinations(
       const PlacementQuery& query) const;
 
   const PlacementPolicy& policy() const { return *policy_; }
 
+  // ----- in-flight reservation ledger (indexed picks) -----
+
+  /// Adjusts the in-flight reservation count for `machine` by `delta`
+  /// (the indexed analog of PlacementQuery::reserved).
+  void note_reservation(const std::string& machine, int32_t delta);
+  void clear_reservations();
+
+  /// Determinism tests flip this off to force the brute-force path.
+  void set_use_index(bool on) { use_index_ = on; }
+  /// True when pick_destination will take the indexed path.
+  bool index_active() const {
+    return use_index_ && policy_->index_mode() != PlacementIndexMode::kNone;
+  }
+
+  /// Deterministic byte accounting for the index (control-plane memory
+  /// gauge).
+  size_t index_bytes() const;
+
  private:
+  struct IndexEntry {
+    uint32_t load = 0;      // registry enclave count
+    uint32_t reserved = 0;  // ledger reservations
+    uint32_t cores = 1;
+    std::string region;
+  };
+  struct RegionShard {
+    /// (load + reserved, address) — least-loaded order.
+    std::set<std::pair<uint32_t, std::string>> by_load;
+    /// ((load + reserved + 1) / cores, address) — capacity-weighted
+    /// order.  The double is computed by the same expression as the
+    /// brute-force comparator, so the orders agree bit-for-bit.
+    std::set<std::pair<double, std::string>> by_weight;
+    uint64_t total_load = 0;  // load + reserved over member machines
+    uint64_t total_cores = 0;
+  };
+
+  void sync_index() const;
+  void rebuild_index() const;
+  void shard_insert(const std::string& machine, const IndexEntry& entry) const;
+  void shard_erase(const std::string& machine, const IndexEntry& entry) const;
+  void index_apply_load(const std::string& machine, uint32_t new_load) const;
+  /// Indexed pick; empty string when nothing survives the constraints.
+  std::string indexed_pick(const PlacementQuery& query,
+                           PlacementIndexMode mode) const;
+
   FleetRegistry& fleet_;
   std::unique_ptr<PlacementPolicy> policy_;
+  bool use_index_ = true;
+  /// Reservation ledger; survives index rebuilds.
+  std::map<std::string, uint32_t> reservations_;
+
+  // Index state is a cache over the registry (synced lazily from its
+  // load changelog before every indexed pick), so const picks stay const.
+  mutable std::map<std::string, IndexEntry> entries_;
+  mutable std::map<std::string, RegionShard> shards_;
+  mutable uint64_t load_cursor_ = 0;
+  mutable bool index_built_ = false;
 };
 
 /// Effective load used by every built-in policy: enclaves the registry

@@ -10,6 +10,8 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace sgxmig {
 
@@ -103,13 +105,58 @@ class LaneSchedule {
   /// Max completion time over every lane run so far (>= control).
   Duration horizon() const { return std::max(horizon_, control_); }
 
+  // ----- lane-event feed (event-driven drivers) -----
+  //
+  // When recording is on, every top-level run() appends one (lane, end)
+  // event.  An event-driven driver drains the feed once per scheduling
+  // wave to learn which lanes did work since it last looked — the set of
+  // machines that may need another pump kick — instead of scanning every
+  // machine in the fleet.  Nested runs attribute to the outer lane and
+  // produce no separate event.  Off by default so LaneSchedule users that
+  // never drain do not accumulate events.
+
+  struct LaneEvent {
+    std::string lane;
+    Duration end{};
+  };
+
+  void set_event_recording(bool on) {
+    recording_ = on;
+    if (!on) events_.clear();
+  }
+
+  /// Drains the recorded events (chronological per lane; interleaved
+  /// across lanes in run order).
+  std::vector<LaneEvent> take_lane_events() {
+    return std::exchange(events_, {});
+  }
+
  private:
   VirtualClock& clock_;
   Duration control_;
   Duration horizon_;
   bool running_ = false;
+  bool recording_ = false;
   std::map<std::string, Duration> lane_end_;
+  std::vector<LaneEvent> events_;
 };
+
+// ----- real-resource probes (scaling benches) -----
+//
+// The scaling benches gate on the orchestrator's REAL control-plane cost
+// (CPU seconds burned driving the simulation), not just virtual wall
+// time.  These are the only real-clock reads in the tree and live here
+// because sim_clock is the designated real-time boundary; nothing in
+// src/ may branch on them.
+
+/// CPU time consumed by this process (user + system), in seconds.
+double process_cpu_seconds();
+
+/// Peak resident set size of this process, in bytes (0 if unavailable).
+/// Informational: allocator reuse makes it a ceiling, not a per-phase
+/// measurement — the benches gate on deterministic byte accounting and
+/// report this alongside.
+uint64_t process_peak_rss_bytes();
 
 /// RAII stopwatch over a VirtualClock.
 class VirtualStopwatch {
